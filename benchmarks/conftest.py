@@ -1,0 +1,91 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Systems are loaded once per session at a laptop-friendly scale; every
+benchmark prints a paper-style summary table (run pytest with ``-s`` to see
+them) and records its headline numbers into ``RESULTS`` for the
+EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ApplianceSystem, CloudWarehouse
+from repro.database import Database
+from repro.workloads import CustomerWorkload, load_into
+from repro.workloads.tpcds import flush_tables, generate
+
+#: Fact-table scale for benchmark runs (20k rows per 1.0).
+TPCDS_SCALE = 2.0
+
+#: Collected headline numbers: {experiment id: {metric: value}}.
+RESULTS: dict[str, dict] = {}
+
+
+def record(experiment: str, **metrics) -> None:
+    RESULTS.setdefault(experiment, {}).update(metrics)
+
+
+def banner(title: str, lines: list[str]) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("-" * 72)
+    for line in lines:
+        print(line)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def tpcds_data():
+    return generate(scale=TPCDS_SCALE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def dashdb_tpcds(tpcds_data):
+    """dashDB Local (single node) loaded with the TPC-DS-shaped data."""
+    db = Database()
+    session = db.connect("db2")
+    load_into(session, tpcds_data)
+    return session
+
+
+@pytest.fixture(scope="session")
+def appliance_tpcds(tpcds_data):
+    """The appliance baseline loaded with the same data."""
+    appliance = ApplianceSystem()
+    load_into(appliance.engine, tpcds_data)
+    return appliance
+
+
+@pytest.fixture(scope="session")
+def cloudwh_tpcds(tpcds_data):
+    """The cloud-warehouse baseline loaded with the same data."""
+    warehouse = CloudWarehouse()
+    load_into(warehouse._session, tpcds_data)
+    flush_tables(warehouse.database)
+    return warehouse
+
+
+@pytest.fixture(scope="session")
+def customer_workload():
+    return CustomerWorkload(scale=1 / 1000, n_trades=160_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dashdb_customer(customer_workload):
+    db = Database()
+    session = db.connect("db2")
+    customer_workload.load_base(session)
+    flush_tables(session.database)
+    return session
+
+
+@pytest.fixture(scope="session")
+def appliance_customer(customer_workload):
+    # Netezza-class appliances have no secondary indexes: every query is a
+    # (FPGA-assisted) scan.  Primary-key B-trees still exist for uniqueness
+    # (the paper: only uniqueness-enforcing indexes are allowed/needed).
+    appliance = ApplianceSystem()
+    customer_workload.load_base(appliance.engine)
+    return appliance

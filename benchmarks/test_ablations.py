@@ -1,0 +1,85 @@
+"""Technique ablation sweep: which of the seven techniques buys what.
+
+Test 4 measures the techniques as a bundle; this ablation removes them one
+at a time from the dashDB configuration and reruns the BD Insight pool,
+attributing the gap (DESIGN.md section 5 lists the design choices this
+covers).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.costmodel import SCAN_SECONDS_PER_MB
+from repro.database import Database
+from repro.workloads import BDINSIGHT_QUERIES, load_into
+
+from conftest import banner, record
+
+#: Ablation variants: scan options + buffer-pool policy.
+VARIANTS = {
+    "full dashDB": dict(scan_options=None, policy="random-weight"),
+    "- data skipping": dict(
+        scan_options={"use_skipping": False, "use_compressed_eval": True},
+        policy="random-weight",
+    ),
+    "- operate-on-compressed": dict(
+        scan_options={"use_skipping": True, "use_compressed_eval": False},
+        policy="random-weight",
+    ),
+    "- scan-resistant pool": dict(scan_options=None, policy="lru"),
+    "- all three": dict(
+        scan_options={"use_skipping": False, "use_compressed_eval": False},
+        policy="lru",
+    ),
+}
+
+
+def _run_variant(tpcds_data, scan_options, policy) -> tuple[float, float]:
+    db = Database(
+        bufferpool_pages=1024, bufferpool_policy=policy, scan_options=scan_options
+    )
+    session = db.connect("db2")
+    load_into(session, tpcds_data)
+    total_wall = 0.0
+    total_bytes = 0
+    for _, sql in BDINSIGHT_QUERIES:
+        t0 = time.perf_counter()
+        session.execute(sql)
+        total_wall += time.perf_counter() - t0
+        compressed, raw = db.last_query_bytes()
+        # A variant without operate-on-compressed streams raw bytes.
+        if scan_options and not scan_options.get("use_compressed_eval", True):
+            total_bytes += raw
+        else:
+            total_bytes += compressed
+    return total_wall, total_bytes / 1e6
+
+
+def test_technique_ablation_sweep(tpcds_data, benchmark):
+    results = {}
+    for name, config in VARIANTS.items():
+        wall, scanned_mb = _run_variant(tpcds_data, **config)
+        results[name] = wall + scanned_mb * SCAN_SECONDS_PER_MB
+
+    benchmark.pedantic(
+        lambda: _run_variant(tpcds_data, **VARIANTS["full dashDB"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    base = results["full dashDB"]
+    lines = ["BD Insight pool, simulated seconds per variant:", ""]
+    for name, seconds in results.items():
+        lines.append(
+            "%-26s %7.2fs   (%.2fx of full)" % (name, seconds, seconds / base)
+        )
+    banner("Ablation — removing the engine techniques one at a time", lines)
+    record(
+        "technique-ablation",
+        seconds={k: round(v, 3) for k, v in results.items()},
+    )
+    # Every removal must cost something; removing all three costs the most.
+    assert all(seconds >= base * 0.98 for seconds in results.values())
+    assert results["- all three"] == max(results.values())
+    assert results["- operate-on-compressed"] > base * 1.2

@@ -1,0 +1,76 @@
+"""Section II.B.5 — scan-resistant buffer-pool replacement.
+
+Paper: LRU is pathological for Big Data scans ("the top of the scan is
+rarely in RAM at the start of the next scan"); the randomized-page-weight
+policy [13] "was found to produce cache efficiency rates for Big Data style
+scanning within a few percentiles of optimal".
+"""
+
+from __future__ import annotations
+
+from repro.bufferpool import BufferPool, OptimalPolicy, make_policy
+from repro.util.rng import derive_rng
+
+from conftest import banner, record
+
+POOL_FRAMES = 64
+
+
+def _scan_workload(n_cold=160, n_hot=8, sweeps=40, seed=3):
+    """Repeated sweeps of a table larger than the pool, with a hot working
+    set touched between sweeps — the paper's problematic scan pattern
+    ("the top of the scan is rarely in RAM at the start of the next scan")."""
+    rng = derive_rng(seed, "bufferpool-bench")
+    trace = []
+    for sweep in range(sweeps):
+        for hot in range(n_hot):
+            trace.append(("hot", hot))
+        for page in range(n_cold):
+            trace.append(("cold", page))
+        # occasional random point lookups on hot pages
+        for _ in range(4):
+            trace.append(("hot", int(rng.integers(0, n_hot))))
+    return trace
+
+
+def _run(policy, trace):
+    pool = BufferPool(POOL_FRAMES, policy)
+    for page in trace:
+        pool.get(page, lambda p=page: p)
+    return pool.stats.hit_ratio
+
+
+def test_policy_comparison(benchmark):
+    trace = _scan_workload()
+    ratios = {}
+    for name in ("lru", "clock", "mru", "random-weight"):
+        ratios[name] = _run(make_policy(name), trace)
+    ratios["opt"] = _run(OptimalPolicy(trace), trace)
+
+    benchmark.pedantic(
+        lambda: _run(make_policy("random-weight"), trace), rounds=3, iterations=1
+    )
+
+    gap_to_opt = ratios["opt"] - ratios["random-weight"]
+    lines = [
+        "paper:    randomized weights within a few percentiles of optimal;",
+        "          LRU keeps evicting exactly what the next sweep needs",
+        "",
+    ]
+    for name, ratio in sorted(ratios.items(), key=lambda kv: kv[1]):
+        lines.append("%-14s hit ratio %6.1f%%" % (name, 100 * ratio))
+    lines.append("")
+    lines.append(
+        "random-weight is %.1f points below OPT; LRU is %.1f points below"
+        % (100 * gap_to_opt, 100 * (ratios["opt"] - ratios["lru"]))
+    )
+    banner("II.B.5 — buffer-pool policies under scan floods", lines)
+    record("bufferpool", **{k: round(100 * v, 1) for k, v in ratios.items()})
+
+    assert ratios["random-weight"] > ratios["lru"], "must beat LRU on scans"
+    assert ratios["random-weight"] > ratios["clock"], "must beat CLOCK on scans"
+    # Paper: "within a few percentiles of optimal" on their traces; this
+    # adversarial two-table sweep is harder — stay within ~20 points.
+    assert gap_to_opt < 0.20, "should be close to OPT on scan floods"
+    # The pathology the paper describes: LRU badly trails the oracle.
+    assert ratios["opt"] - ratios["lru"] > 2 * gap_to_opt

@@ -1,0 +1,74 @@
+"""Section II.B.1 — compression: "regularly compress data 2-3x smaller than
+previous generations of compression techniques", values "as small as one
+bit" via frequency encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import FrequencyEncoding, compress_column
+
+from conftest import banner, record
+
+
+def test_compression_ratio_on_tpcds(dashdb_tpcds, benchmark):
+    db = dashdb_tpcds.database
+    lines = ["paper:    2-3x smaller than prior-generation compression", ""]
+    ratios = {}
+    for name in db.table_names():
+        table = db.catalog.get_table(name).table
+        if table.raw_nbytes() == 0:
+            continue
+        ratio = table.compression_ratio()
+        ratios[name] = ratio
+        lines.append(
+            "%-14s raw %8.1f KB -> compressed %8.1f KB   (%.1fx)"
+            % (
+                name,
+                table.raw_nbytes() / 1024,
+                table.compressed_nbytes() / 1024,
+                ratio,
+            )
+        )
+    fact_ratio = ratios["STORE_SALES"]
+    benchmark.pedantic(
+        lambda: compress_column(np.arange(0, 200_000, 3) % 1000),
+        rounds=3,
+        iterations=1,
+    )
+    banner("II.B.1 — compression ratios (raw / compressed)", lines)
+    record("compression", ratios=ratios, paper_claim="2-3x over prior gen")
+    # Prior-generation row compression achieved ~2x on this kind of data;
+    # the claim translates to >= 3x over raw for the columnar encodings.
+    assert fact_ratio > 3.0
+    # Per-table ratios only mean something once fixed dictionary/synopsis
+    # overheads amortise (tiny dimension tables don't compress).
+    big_enough = {
+        name: r for name, r in ratios.items()
+        if db.catalog.get_table(name).table.raw_nbytes() > 4096
+    }
+    assert all(r > 1.5 for r in big_enough.values())
+
+
+def test_one_bit_frequency_encoding(benchmark):
+    # A flag column: two hot values -> exactly one bit per value.
+    values = np.array(["Y"] * 900_000 + ["N"] * 100_000, dtype=object)
+    encoding = FrequencyEncoding(values)
+    bits = encoding.expected_bits_per_value(values)
+    column = compress_column(values)
+    packed_bits = column.packed.nbytes() * 8 / len(values)
+
+    benchmark.pedantic(lambda: FrequencyEncoding(values[:100_000]), rounds=3, iterations=1)
+
+    banner(
+        "II.B.1 — one-bit encoding for hot values",
+        [
+            "paper:    'compress data as small as one bit'",
+            "measured: %.2f code bits/value; %.2f packed bits/value"
+            % (bits, packed_bits),
+        ],
+    )
+    record("one-bit-encoding", code_bits=bits, packed_bits=packed_bits)
+    assert bits == 1.0
+    assert packed_bits <= 2.5  # field padding + words, still ~2 bits

@@ -1,0 +1,95 @@
+"""Section II.A — deployment in under 30 minutes, and stack update.
+
+Paper: "we find dashDB is consistently able to deploy to large clusters in
+under 30 minutes, fully configured and instantiated, with workload
+management, memory cache, query optimization levels and parallelism
+configured to match", and updates are "stop-and-rename ... seconds to
+start container from new image, few minutes to start dashDB engine on
+large memory configurations".
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import HARDWARE_PRESETS
+from repro.deploy import (
+    ContainerImage,
+    Host,
+    ImageRegistry,
+    deploy_cluster,
+    update_stack,
+)
+from repro.util.timer import SimClock
+
+from conftest import banner, record
+
+
+def _hosts(n, preset="dashdb-test1-node"):
+    return [Host("h%d" % i, HARDWARE_PRESETS[preset]) for i in range(n)]
+
+
+def test_deployment_time_sweep(benchmark):
+    lines = ["paper:    large clusters fully configured in < 30 minutes", ""]
+    results = {}
+    for n_nodes in (1, 4, 8, 24):
+        clock = SimClock()
+        cluster, report = deploy_cluster(_hosts(n_nodes), clock=clock)
+        results[n_nodes] = report.total_minutes
+        lines.append(
+            "%3d nodes: %6.1f min   (%s)"
+            % (
+                n_nodes,
+                report.total_minutes,
+                ", ".join("%s %.0fs" % (p.phase.split(" (")[0], p.seconds) for p in report.phases),
+            )
+        )
+        assert report.total_minutes < 30.0
+        assert len(cluster.live_nodes()) == n_nodes
+
+    # Big-memory single node (6 TB RAM: engine start takes minutes).
+    clock = SimClock()
+    _, big_report = deploy_cluster(
+        [Host("big", HARDWARE_PRESETS["xeon-e7-72way"])], clock=clock
+    )
+    engine_phase = [p for p in big_report.phases if "engine" in p.phase][0]
+    lines.append(
+        "6TB node:  %6.1f min   (engine start alone %.1f min)"
+        % (big_report.total_minutes, engine_phase.seconds / 60)
+    )
+    assert big_report.total_minutes < 30.0
+    assert engine_phase.seconds > 120  # "few minutes" on large memory
+
+    benchmark.pedantic(
+        lambda: deploy_cluster(_hosts(4), clock=SimClock()), rounds=3, iterations=1
+    )
+
+    banner("II.A — cluster deployment time (simulated)", lines)
+    record("deploy-time", minutes_by_nodes=results, claim_minutes=30)
+
+
+def test_stack_update_time(benchmark):
+    clock = SimClock()
+    hosts = _hosts(4)
+    registry = ImageRegistry()
+    cluster, _ = deploy_cluster(hosts, registry=registry, clock=clock)
+    new_image = ContainerImage("ibmdashdb/local", "v2", size_gb=4.6)
+
+    t0 = clock.now
+    report = update_stack(cluster, hosts, new_image, registry=registry, clock=clock)
+    update_minutes = (clock.now - t0) / 60
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    container_phase = [p for p in report.phases if "container" in p.phase][0]
+    banner(
+        "II.A — stack update by container replacement",
+        [
+            "paper:    seconds to start container; minutes for big-RAM engines",
+            "measured: update of 4 nodes in %.1f min"
+            % update_minutes,
+            "          container swap %.0fs, engine restart %.0fs"
+            % (container_phase.seconds, report.phases[-1].seconds),
+        ],
+    )
+    record("stack-update", minutes=update_minutes)
+    assert update_minutes < 15
+    assert container_phase.seconds < 60  # "seconds to start container"

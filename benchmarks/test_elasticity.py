@@ -1,0 +1,73 @@
+"""Section II.E — elastic growth and contraction.
+
+Paper: scale-in reuses the failover path deliberately; scale-out mirrors
+reinstating a repaired node; both are shard reassociation with RAM and
+parallelism adjusted, "largely automated" given the new hardware.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster, HardwareSpec, scale_in, scale_out
+from repro.util.timer import SimClock
+
+from conftest import banner, record
+
+HW = HardwareSpec(cores=8, ram_gb=64, storage_tb=1.0)
+
+
+def _loaded(clock):
+    cluster = Cluster([HW] * 4, clock=clock)
+    session = cluster.connect("db2")
+    session.execute(
+        "CREATE TABLE metrics (id INT, v DECIMAL(10,2)) DISTRIBUTE BY HASH (id)"
+    )
+    session.execute(
+        "INSERT INTO metrics VALUES "
+        + ", ".join("(%d, %d.25)" % (i, i) for i in range(4000))
+    )
+    return cluster, session
+
+
+def test_elastic_cycle(benchmark):
+    clock = SimClock()
+    cluster, session = _loaded(clock)
+    checksum = session.execute("SELECT SUM(v), COUNT(*) FROM metrics").rows
+
+    t0 = clock.now
+    node = scale_out(cluster, HW)
+    grow_seconds = clock.now - t0
+    counts_grown = dict(cluster.shard_counts())
+    assert cluster.is_balanced()
+    assert session.execute("SELECT SUM(v), COUNT(*) FROM metrics").rows == checksum
+
+    t0 = clock.now
+    moves = scale_in(cluster, node.node_id)
+    shrink_seconds = clock.now - t0
+    counts_shrunk = dict(cluster.shard_counts())
+    assert cluster.is_balanced()
+    assert session.execute("SELECT SUM(v), COUNT(*) FROM metrics").rows == checksum
+
+    benchmark.pedantic(
+        lambda: session.execute("SELECT SUM(v) FROM metrics"), rounds=3, iterations=1
+    )
+
+    banner(
+        "II.E — elastic growth and contraction",
+        [
+            "paper:    add/remove a server; shards reassociate; RAM and",
+            "          parallelism per shard adjust; no data moves",
+            "grow:     4 -> 5 nodes in %.1f simulated s  -> %s"
+            % (grow_seconds, counts_grown),
+            "shrink:   5 -> 4 nodes in %.1f simulated s  -> %s (%d moves)"
+            % (shrink_seconds, counts_shrunk, len(moves)),
+            "answers stable throughout: True",
+        ],
+    )
+    record(
+        "elasticity",
+        grow_seconds=grow_seconds,
+        shrink_seconds=shrink_seconds,
+    )
+    assert grow_seconds < 120
+    assert shrink_seconds < 60
+    assert set(counts_shrunk.values()) == {6}

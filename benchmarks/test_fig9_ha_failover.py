@@ -1,0 +1,91 @@
+"""Figure 9 — HA failover by shard reassociation.
+
+Paper: 4 servers x 6 shards; server D fails; shards reassociate so A, B, C
+serve 8 each; "the cluster continues as a well-balanced unit, albeit with
+fewer total cores and less total RAM per byte of user data".
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import Cluster, HardwareSpec, fail_node, reinstate_node
+from repro.util.timer import SimClock
+
+from conftest import banner, record
+
+HW = HardwareSpec(cores=24, ram_gb=64, storage_tb=1.0)
+
+
+@pytest.fixture(scope="module")
+def loaded_cluster():
+    clock = SimClock()
+    cluster = Cluster([HW] * 4, clock=clock)
+    session = cluster.connect("db2")
+    session.execute(
+        "CREATE TABLE sales (id INT, region VARCHAR(10), amt DECIMAL(10,2))"
+        " DISTRIBUTE BY HASH (id)"
+    )
+    values = ", ".join(
+        "(%d, '%s', %d.50)" % (i, ["east", "west", "north"][i % 3], i % 1000)
+        for i in range(6000)
+    )
+    session.execute("INSERT INTO sales VALUES " + values)
+    return cluster, session, clock
+
+
+def test_fig9_failover(loaded_cluster, benchmark):
+    cluster, session, clock = loaded_cluster
+    query = "SELECT region, SUM(amt) FROM sales GROUP BY region ORDER BY region"
+    before_counts = dict(cluster.shard_counts())
+    before_rows = session.execute(query).rows
+    node0 = cluster.node_by_id("node0")
+    memory_before = node0.memory_per_shard_bytes
+    parallelism_before = node0.parallelism_per_shard
+
+    t_sim0 = clock.now
+    moves = fail_node(cluster, "node3")
+    failover_sim_seconds = clock.now - t_sim0
+
+    after_counts = dict(cluster.shard_counts())
+    t0 = time.perf_counter()
+    after_rows = session.execute(query).rows
+    query_after_wall = time.perf_counter() - t0
+
+    benchmark.pedantic(lambda: session.execute(query), rounds=3, iterations=1)
+
+    banner(
+        "Figure 9 — HA failover (4 servers x 6 shards, server D fails)",
+        [
+            "paper:    shards of D reassociate; A,B,C serve 8 each; balanced",
+            "before:   %s" % before_counts,
+            "after:    %s  (moves: %d, %.1f simulated s)"
+            % (after_counts, len(moves), failover_sim_seconds),
+            "node0 RAM/shard: %.1f -> %.1f GiB; parallelism %d -> %d"
+            % (
+                memory_before / 2**30,
+                node0.memory_per_shard_bytes / 2**30,
+                parallelism_before,
+                node0.parallelism_per_shard,
+            ),
+            "query answers identical after failover: %s" % (before_rows == after_rows),
+        ],
+    )
+    record(
+        "fig9-ha",
+        before=str(before_counts),
+        after=str(after_counts),
+        answers_identical=before_rows == after_rows,
+        failover_sim_seconds=failover_sim_seconds,
+    )
+    assert before_counts == {"node0": 6, "node1": 6, "node2": 6, "node3": 6}
+    assert after_counts == {"node0": 8, "node1": 8, "node2": 8}
+    assert cluster.is_balanced()
+    assert before_rows == after_rows
+    # Degraded capacity: per-shard memory and parallelism shrink (II.E).
+    assert node0.memory_per_shard_bytes < memory_before
+    assert node0.parallelism_per_shard <= parallelism_before
+    reinstate_node(cluster, "node3")
+    assert set(cluster.shard_counts().values()) == {6}

@@ -1,0 +1,77 @@
+"""Table 1, Test 4 — BD Insight 5-stream throughput vs. a cloud warehouse.
+
+Paper: "we ran a throughput test of dashDB running on the Amazon Cloud AWS,
+executing a 5-stream workload of IBM BD Insight workload and compared these
+results to a popular cloud data warehouse running on the same platform with
+identical hardware ... dashDB achieved a 3.2x throughput advantage" (QpH).
+
+The baseline here is a column store sharing dashDB's storage but with the
+seven BLU techniques disabled (no operate-on-compressed / software-SIMD, no
+data skipping, LRU caching) — the ablation distance Test 4 measures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.costmodel import CLOUDWH_PROFILE, DASHDB_PROFILE
+from repro.workloads import BDINSIGHT_QUERIES, measure_pool, run_multistream
+
+from conftest import banner, record
+
+N_STREAMS = 5  # the paper's stream count
+CONCURRENCY = 5
+
+
+def test_test4_bdinsight_throughput(dashdb_tpcds, cloudwh_tpcds, benchmark):
+    # Correctness parity between the two columnar systems.
+    for query_id, sql in BDINSIGHT_QUERIES:
+        assert (
+            dashdb_tpcds.execute(sql).rows
+            == cloudwh_tpcds.execute(sql).result.rows
+        ), "mismatch on %s" % query_id
+
+    from repro.baselines.costmodel import SCAN_SECONDS_PER_MB
+
+    def dash_seconds(result, wall):
+        compressed, _ = dashdb_tpcds.database.last_query_bytes()
+        # Operating on compressed data: dashDB streams compressed bytes.
+        return DASHDB_PROFILE.query_seconds(wall) + (
+            compressed / 1e6
+        ) * SCAN_SECONDS_PER_MB
+
+    dash_measure = measure_pool(
+        lambda sql: dashdb_tpcds.execute(sql),
+        BDINSIGHT_QUERIES,
+        repeats=2,
+        seconds_of=dash_seconds,
+    )
+    cloud_measure = measure_pool(
+        lambda sql: cloudwh_tpcds.execute(sql),
+        BDINSIGHT_QUERIES,
+        repeats=2,
+        seconds_of=lambda timed, wall: timed.seconds,
+    )
+
+    benchmark.pedantic(
+        lambda: [dashdb_tpcds.execute(sql) for _, sql in BDINSIGHT_QUERIES],
+        rounds=2,
+        iterations=1,
+    )
+
+    dash_sched = run_multistream(dash_measure, N_STREAMS, CONCURRENCY)
+    cloud_sched = run_multistream(cloud_measure, N_STREAMS, CONCURRENCY)
+    ratio = dash_sched.throughput_per_hour / cloud_sched.throughput_per_hour
+
+    banner(
+        "Table 1 / Test 4 — BD Insight 5-stream throughput (QpH)",
+        [
+            "paper:    3.2x QpH advantage on identical AWS hardware",
+            "measured: dashDB %.0f QpH vs cloud warehouse %.0f QpH -> %.1fx"
+            % (dash_sched.throughput_per_hour, cloud_sched.throughput_per_hour, ratio),
+            "          serial pool: dashDB %.2fs vs cloud %.2fs"
+            % (dash_measure.total, cloud_measure.total),
+        ],
+    )
+    record("table1-test4", qph_ratio=ratio, paper_ratio=3.2)
+    assert ratio > 1.5, "the seven techniques should buy a clear QpH advantage"

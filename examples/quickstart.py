@@ -1,0 +1,72 @@
+"""Quickstart: the single-node dashDB Local experience.
+
+Covers the paper's "operational out of the box" story: one object gives
+you a configured warehouse (automatic hardware adaptation), SQL with
+dialect support, integrated Spark, and in-database analytics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DashDBLocal
+
+
+def main() -> None:
+    # "docker run" equivalent: a fully configured instance for this host.
+    dash = DashDBLocal(hardware="laptop")
+    print("=== automatic configuration (paper II.A) ===")
+    print(dash.configuration_summary())
+
+    session = dash.connect()
+
+    print("\n=== SQL warehouse (paper II.B) ===")
+    session.execute(
+        "CREATE TABLE sales (id INT PRIMARY KEY, region VARCHAR(8),"
+        " sold DATE, amount DECIMAL(10,2))"
+    )
+    session.execute(
+        "INSERT INTO sales VALUES"
+        " (1, 'east', DATE '2016-06-01', 125.50),"
+        " (2, 'west', DATE '2016-06-02', 80.00),"
+        " (3, 'east', DATE '2016-06-03', 244.25),"
+        " (4, 'north', DATE '2016-06-03', 17.75)"
+    )
+    report = session.execute(
+        "SELECT region, COUNT(*) AS n, SUM(amount) AS total"
+        " FROM sales GROUP BY region ORDER BY total DESC"
+    )
+    print(report.pretty())
+
+    print("\n=== session dialects (paper II.C) ===")
+    session.execute("SET SQL_COMPAT = 'NPS'")  # Netezza/PostgreSQL dialect
+    top = session.execute("SELECT region FROM sales ORDER BY amount DESC LIMIT 1")
+    print("biggest sale region (LIMIT syntax):", top.scalar())
+
+    oracle = dash.connect("oracle")
+    decoded = oracle.execute(
+        "SELECT id, DECODE(region, 'east', 'E', 'west', 'W', '?') FROM sales"
+        " WHERE ROWNUM <= 3"
+    )
+    print("Oracle DECODE + ROWNUM:", decoded.rows)
+
+    print("\n=== integrated Spark (paper II.D) ===")
+    app = dash.submit_spark(
+        user="alice",
+        app_name="word-count",
+        main_fn=lambda sc: sorted(
+            sc.parallelize(["big data", "big simple", "data"])
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        ),
+    )
+    print("spark app %s -> %s: %s" % (app.app_id, app.state, app.result))
+
+    print("\n=== in-database analytics (paper II.C.4) ===")
+    ida = dash.ida("sales")
+    print("count:", ida.count(), " mean:", ida.mean("amount"))
+    print("describe(amount):", ida.describe("amount"))
+
+
+if __name__ == "__main__":
+    main()

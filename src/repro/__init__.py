@@ -1,0 +1,51 @@
+"""repro — a working reproduction of "Making Big Data Simple with dashDB
+Local" (Lightstone et al., ICDE 2017).
+
+A columnar MPP SQL warehouse in Python: BLU-style compression with
+operate-on-compressed-data predicates, software-SIMD kernels, data
+skipping, a scan-resistant buffer pool, a dialect-aware SQL compiler
+(Oracle / Netezza / PostgreSQL / DB2), shared-nothing clustering with HA
+and elasticity, container-deployment simulation, an integrated mini-Spark,
+federation, and in-database analytics.
+
+Quickstart::
+
+    from repro import DashDBLocal
+
+    dash = DashDBLocal(hardware="laptop")
+    s = dash.connect()
+    s.execute("CREATE TABLE sales (id INT, amount DECIMAL(10,2))")
+    s.execute("INSERT INTO sales VALUES (1, 9.99), (2, 19.99)")
+    print(s.execute("SELECT SUM(amount) FROM sales").scalar())
+"""
+
+from repro.cluster.hardware import HARDWARE_PRESETS, HardwareSpec
+from repro.cluster.mpp import Cluster
+from repro.core import DashDBLocal
+from repro.database.database import Database
+from repro.database.result import Result
+from repro.database.session import Session
+from repro.deploy.deployer import deploy_cluster, deploy_single_node, update_stack
+from repro.util.timer import SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "DashDBLocal",
+    "Database",
+    "HARDWARE_PRESETS",
+    "HardwareSpec",
+    "Result",
+    "Session",
+    "SimClock",
+    "connect",
+    "deploy_cluster",
+    "deploy_single_node",
+    "update_stack",
+]
+
+
+def connect(database: Database | None = None, dialect: str = "db2") -> Session:
+    """Open a session against a (new, in-memory) database."""
+    return (database or Database()).connect(dialect)

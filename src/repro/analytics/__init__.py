@@ -1,0 +1,23 @@
+"""In-database analytics (paper II.C.4, Netezza heritage).
+
+R/Python-style APIs that "seamlessly delegate the heavy lifting of analytic
+computations to be performed with built-in database operations", plus the
+commonly used machine-learning algorithms (GLM, k-means, regression, naive
+Bayes) and the UDX extension hook.
+"""
+
+from repro.analytics.glm import glm_fit
+from repro.analytics.idax import IdaDataFrame, register_udx
+from repro.analytics.kmeans import kmeans_fit
+from repro.analytics.naive_bayes import NaiveBayesModel, naive_bayes_fit
+from repro.analytics.regression import linear_regression
+
+__all__ = [
+    "IdaDataFrame",
+    "NaiveBayesModel",
+    "glm_fit",
+    "kmeans_fit",
+    "linear_regression",
+    "naive_bayes_fit",
+    "register_udx",
+]

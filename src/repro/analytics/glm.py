@@ -1,0 +1,18 @@
+"""In-database GLM wrapper (delegates to the shared IRLS implementation)."""
+
+from __future__ import annotations
+
+from repro.spark.mllib import GLM, train_glm
+
+
+def glm_fit(session, table: str, label: str, features: list[str], family: str = "gaussian") -> GLM:
+    """Fit a GLM over a database table: the SQL pulls only the needed
+    columns; the solve runs next to the data."""
+    columns = ", ".join(list(features) + [label])
+    rows = session.execute("SELECT %s FROM %s" % (columns, table)).rows
+    pairs = [
+        ([float(v) for v in row[:-1]], float(row[-1]))
+        for row in rows
+        if all(v is not None for v in row)
+    ]
+    return train_glm(pairs, family=family)

@@ -1,0 +1,15 @@
+"""In-database k-means wrapper."""
+
+from __future__ import annotations
+
+from repro.spark.mllib import KMeansModel, train_kmeans
+
+
+def kmeans_fit(session, table: str, features: list[str], k: int, seed: int = 7) -> KMeansModel:
+    """Cluster the rows of a table on the given feature columns."""
+    columns = ", ".join(features)
+    rows = session.execute("SELECT %s FROM %s" % (columns, table)).rows
+    points = [
+        [float(v) for v in row] for row in rows if all(v is not None for v in row)
+    ]
+    return train_kmeans(points, k=k, seed=seed)

@@ -1,0 +1,85 @@
+"""Categorical naive Bayes with in-database counting.
+
+All sufficient statistics (class priors and per-feature conditional
+counts) are GROUP BY queries; only the tiny count tables leave the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import AnalyticsError
+
+
+@dataclass
+class NaiveBayesModel:
+    classes: list
+    priors: dict
+    conditionals: dict  # (feature, value, cls) -> probability
+    feature_names: list[str]
+    smoothing: float = 1.0
+    value_counts: dict = field(default_factory=dict)  # feature -> #distinct
+
+    def predict(self, row: dict):
+        best_class = None
+        best_score = None
+        for cls in self.classes:
+            score = math.log(self.priors[cls])
+            for feature in self.feature_names:
+                value = row[feature]
+                p = self.conditionals.get((feature, value, cls))
+                if p is None:
+                    # Laplace-smoothed unseen value.
+                    denominator = (
+                        self.priors[cls] * self._total
+                        + self.smoothing * self.value_counts.get(feature, 1)
+                    )
+                    p = self.smoothing / denominator
+                score += math.log(p)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_class = cls
+        return best_class
+
+    _total: int = 1
+
+
+def naive_bayes_fit(
+    session, table: str, label: str, features: list[str], smoothing: float = 1.0
+) -> NaiveBayesModel:
+    """Train over a table using GROUP BY counting queries."""
+    total = session.execute("SELECT COUNT(*) FROM %s" % table).scalar()
+    if not total:
+        raise AnalyticsError("naive Bayes needs training rows")
+    class_rows = session.execute(
+        "SELECT %s, COUNT(*) FROM %s GROUP BY %s" % (label, table, label)
+    ).rows
+    classes = [r[0] for r in class_rows]
+    class_counts = {r[0]: r[1] for r in class_rows}
+    priors = {cls: count / total for cls, count in class_counts.items()}
+    conditionals = {}
+    value_counts = {}
+    for feature in features:
+        distinct = session.execute(
+            "SELECT COUNT(DISTINCT %s) FROM %s" % (feature, table)
+        ).scalar()
+        value_counts[feature] = distinct or 1
+        rows = session.execute(
+            "SELECT %s, %s, COUNT(*) FROM %s GROUP BY %s, %s"
+            % (feature, label, table, feature, label)
+        ).rows
+        for value, cls, count in rows:
+            conditionals[(feature, value, cls)] = (count + smoothing) / (
+                class_counts[cls] + smoothing * value_counts[feature]
+            )
+    model = NaiveBayesModel(
+        classes=classes,
+        priors=priors,
+        conditionals=conditionals,
+        feature_names=list(features),
+        smoothing=smoothing,
+        value_counts=value_counts,
+    )
+    model._total = total
+    return model

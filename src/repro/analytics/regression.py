@@ -1,0 +1,43 @@
+"""Ordinary least squares with in-database sufficient statistics.
+
+Demonstrates full push-down: for simple (one-feature) regression the
+slope/intercept come entirely from aggregates computed inside the engine
+(COUNT, SUM, COVAR, VAR) — no row ever leaves the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalyticsError
+
+
+@dataclass
+class SimpleRegression:
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def linear_regression(session, table: str, x: str, y: str) -> SimpleRegression:
+    """Fit y = a + b*x using only in-database aggregates."""
+    row = session.execute(
+        "SELECT COUNT(*), AVG(%s), AVG(%s), COVAR_POP(%s, %s),"
+        " VAR_POP(%s), VAR_POP(%s) FROM %s"
+        % (x, y, x, y, x, y, table)
+    ).rows[0]
+    n, mean_x, mean_y, cov, var_x, var_y = row
+    if not n:
+        raise AnalyticsError("regression over an empty table")
+    if not var_x:
+        raise AnalyticsError("x has zero variance")
+    slope = float(cov) / float(var_x)
+    intercept = float(mean_y) - slope * float(mean_x)
+    r_squared = 0.0
+    if var_y:
+        r_squared = (float(cov) ** 2) / (float(var_x) * float(var_y))
+    return SimpleRegression(slope=slope, intercept=intercept, r_squared=r_squared, n=n)

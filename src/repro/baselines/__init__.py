@@ -1,0 +1,26 @@
+"""Baseline systems and the simulated-time cost model.
+
+* :mod:`repro.baselines.rowdb` — a row-store SQL database (row-at-a-time
+  interpreter over :class:`~repro.storage.rowtable.RowTable` with secondary
+  B-tree indexes): the execution engine of the appliance baseline.
+* :mod:`repro.baselines.appliance` — the Netezza-class appliance of Table 1
+  (row engine + FPGA scan offload + HDD I/O, via the cost model).
+* :mod:`repro.baselines.cloudwh` — the unnamed "popular cloud data
+  warehouse" of Test 4: columnar layout but none of BLU's seven techniques.
+* :mod:`repro.baselines.costmodel` — translates measured engine work into
+  simulated seconds per hardware profile.
+"""
+
+from repro.baselines.appliance import ApplianceSystem
+from repro.baselines.cloudwh import CloudWarehouse
+from repro.baselines.costmodel import APPLIANCE_PROFILE, DASHDB_PROFILE, SystemProfile
+from repro.baselines.rowdb import RowDatabase
+
+__all__ = [
+    "APPLIANCE_PROFILE",
+    "ApplianceSystem",
+    "CloudWarehouse",
+    "DASHDB_PROFILE",
+    "RowDatabase",
+    "SystemProfile",
+]

@@ -1,0 +1,53 @@
+"""The Netezza-class appliance baseline of Table 1.
+
+A row-store SQL engine (:class:`~repro.baselines.rowdb.RowDatabase`) whose
+measured work is converted to simulated seconds by the appliance hardware
+profile: FPGA scan offload divides the row-engine CPU time, HDD streaming
+charges per byte examined.  Statements execute for real (results are
+compared against dashDB's for correctness); only the *clock* is modelled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines.costmodel import APPLIANCE_PROFILE, SystemProfile
+from repro.baselines.rowdb import RowDatabase
+from repro.database.result import Result
+
+#: Average row footprint used to convert rows examined into MB streamed.
+ROW_BYTES_ESTIMATE = 96
+
+
+@dataclass
+class TimedResult:
+    result: Result
+    seconds: float  # simulated
+
+
+class ApplianceSystem:
+    """Row engine + appliance cost profile."""
+
+    def __init__(
+        self,
+        dialect: str = "db2",
+        profile: SystemProfile = APPLIANCE_PROFILE,
+    ):
+        self.engine = RowDatabase(dialect=dialect)
+        self.profile = profile
+        self.total_seconds = 0.0
+
+    def execute(self, sql: str) -> TimedResult:
+        examined_before = self.engine.rows_examined
+        t0 = time.perf_counter()
+        result = self.engine.execute(sql)
+        wall = time.perf_counter() - t0
+        examined = self.engine.rows_examined - examined_before
+        scanned_mb = examined * ROW_BYTES_ESTIMATE / 1e6
+        seconds = self.profile.query_seconds(wall, scanned_mb)
+        self.total_seconds += seconds
+        return TimedResult(result=result, seconds=seconds)
+
+    def create_index(self, table: str, column: str) -> None:
+        self.engine.create_index(table, column)

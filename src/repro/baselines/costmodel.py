@@ -1,0 +1,105 @@
+"""The simulated-time cost model for cluster-scale comparisons.
+
+The paper's Table 1 compares systems on hardware we do not have (FPGA
+appliances, multi-terabyte SSD clusters).  This model converts *measured
+engine work* (wall-clock seconds of the Python engines, plus bytes
+scanned) into simulated per-query seconds under an explicit hardware
+profile:
+
+* the appliance's FPGAs filter/decompress at wire speed, so its
+  row-engine CPU time is credited with ``scan_speedup``;
+* its HDDs are slower per byte than dashDB's SSDs (``io_seconds_per_mb``);
+* both sides pay a fixed per-query startup (compile + dispatch).
+
+The calibration constants are *not* fitted to reproduce the paper's exact
+numbers; they encode the qualitative hardware facts from Table 1's
+hardware rows (FPGA offload, HDD vs SSD), and the experiment reports the
+resulting shape (who wins, skew of avg vs median).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Hardware/engine profile for cost conversion."""
+
+    name: str
+    #: Divide measured engine CPU seconds by this (FPGA offload credit).
+    scan_speedup: float = 1.0
+    #: Sequential I/O cost per MB scanned beyond cache.
+    io_seconds_per_mb: float = 0.0
+    #: Fixed per-statement overhead (compile, dispatch).
+    per_query_overhead_s: float = 0.002
+
+    def query_seconds(self, engine_wall_s: float, scanned_mb: float = 0.0) -> float:
+        """Simulated seconds for one statement."""
+        return (
+            self.per_query_overhead_s
+            + engine_wall_s / self.scan_speedup
+            + scanned_mb * self.io_seconds_per_mb
+        )
+
+
+#: dashDB Local node (Table 1 Tests 1-2): SSD-backed, no offload engine —
+#: its engine time is the vectorised columnar engine's, taken as-is.
+DASHDB_PROFILE = SystemProfile(
+    name="dashdb-local",
+    scan_speedup=1.0,
+    io_seconds_per_mb=0.000_2,  # SSD streaming
+)
+
+#: Netezza-class appliance (Table 1 baseline): the FPGA offload makes brute
+#: scans cheaper than a pure software row engine (credit factor), but data
+#: comes off HDDs and every row still flows through a row-at-a-time core.
+#: Calibration note: the Python row engine is itself generous to the
+#: appliance (B-tree indexes over in-memory lists, no buffer management),
+#: so the FPGA credit is kept modest; EXPERIMENTS.md discusses this.
+APPLIANCE_PROFILE = SystemProfile(
+    name="appliance",
+    scan_speedup=2.0,
+    io_seconds_per_mb=0.002,  # HDD streaming
+)
+
+#: The unnamed cloud warehouse (Test 4): columnar but without BLU's
+#: operate-on-compressed / SIMD / skipping; same AWS hardware as dashDB.
+CLOUDWH_PROFILE = SystemProfile(
+    name="cloud-warehouse",
+    scan_speedup=1.0,
+    io_seconds_per_mb=0.000_6,  # EBS at 1800 IOPs
+)
+
+#: Effective scan bandwidth on the shared Test 4 hardware: both systems
+#: move bytes at the same rate — dashDB moves *compressed* bytes (it
+#: operates on compressed data, II.B.2) while the baseline must move the
+#: *uncompressed* working set (decode-then-filter).  This is the physical
+#: mechanism behind Test 4's gap.  The constant is scaled to the Python
+#: engines' time base (their wall clocks run ~two orders of magnitude
+#: slower than real silicon, so the per-MB charge is inflated identically
+#: to keep CPU and bandwidth terms comparable).
+SCAN_SECONDS_PER_MB = 0.3
+
+
+def speedup_stats(dashdb_times: list[float], baseline_times: list[float]) -> dict:
+    """Per-query speedups plus the avg/median summary Table 1 reports."""
+    if len(dashdb_times) != len(baseline_times) or not dashdb_times:
+        raise ValueError("need matching, non-empty timing lists")
+    speedups = sorted(
+        b / d if d > 0 else float("inf")
+        for d, b in zip(dashdb_times, baseline_times)
+    )
+    n = len(speedups)
+    median = (
+        speedups[n // 2]
+        if n % 2
+        else (speedups[n // 2 - 1] + speedups[n // 2]) / 2.0
+    )
+    return {
+        "n": n,
+        "avg": sum(speedups) / n,
+        "median": median,
+        "min": speedups[0],
+        "max": speedups[-1],
+    }

@@ -1,0 +1,27 @@
+"""Buffer pool with scan-resistant randomized-weight replacement.
+
+Implements paper section II.B.5: LRU performs pathologically on Big Data
+scans (the page at the top of a scan is always the coldest at the end), so
+dashDB uses "a novel probabilistic algorithm for buffer pool replacement"
+(randomized page weights, patent [13]).  LRU, CLOCK, and Belady's OPT are
+provided as comparators for the "within a few percentiles of optimal"
+benchmark.
+"""
+
+from repro.bufferpool.policies import (
+    ClockPolicy,
+    LRUPolicy,
+    OptimalPolicy,
+    RandomizedWeightPolicy,
+    make_policy,
+)
+from repro.bufferpool.pool import BufferPool
+
+__all__ = [
+    "BufferPool",
+    "ClockPolicy",
+    "LRUPolicy",
+    "OptimalPolicy",
+    "RandomizedWeightPolicy",
+    "make_policy",
+]

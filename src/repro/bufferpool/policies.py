@@ -1,0 +1,260 @@
+"""Replacement policies for the buffer pool.
+
+:class:`RandomizedWeightPolicy` is the paper's contribution (II.B.5 and
+patent [13]): every frame carries a weight that grows with access frequency
+and decays with age; a victim is chosen by sampling a handful of frames and
+evicting the lowest effective weight.  The combination is scan-resistant —
+one sequential sweep leaves every page with the same low weight, so the
+sweep cannot flush genuinely hot pages, and random sampling removes any
+sensitivity to a page's position in the table.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_rng
+
+
+@dataclass
+class Frame:
+    """Book-keeping for one resident page."""
+
+    page_id: object
+    last_access: int = 0
+    access_count: int = 0
+    weight: float = 1.0
+    bonus: float = 0.0  # randomized base weight (random-weight policy)
+    referenced: bool = True  # CLOCK bit
+
+
+class ReplacementPolicy:
+    """Interface: the pool notifies loads/accesses and asks for victims."""
+
+    name = "base"
+
+    def on_load(self, frame: Frame, tick: int) -> None:
+        """A page was just brought in."""
+
+    def on_access(self, frame: Frame, tick: int) -> None:
+        """A resident page was hit."""
+
+    def choose_victim(self, frames: dict, tick: int):
+        """Return the page_id to evict."""
+        raise NotImplementedError
+
+    def on_evict(self, frame: Frame) -> None:
+        """A page is leaving the pool."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used page — the classic victim rule."""
+
+    name = "lru"
+
+    def on_load(self, frame: Frame, tick: int) -> None:
+        frame.last_access = tick
+
+    def on_access(self, frame: Frame, tick: int) -> None:
+        frame.last_access = tick
+
+    def choose_victim(self, frames: dict, tick: int):
+        return min(frames.values(), key=lambda f: f.last_access).page_id
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the most recently used page.
+
+    Included because MRU is the textbook answer for pure cyclic scans; it
+    serves as another comparator in the policy benchmark.
+    """
+
+    name = "mru"
+
+    def on_load(self, frame: Frame, tick: int) -> None:
+        frame.last_access = tick
+
+    def on_access(self, frame: Frame, tick: int) -> None:
+        frame.last_access = tick
+
+    def choose_victim(self, frames: dict, tick: int):
+        return max(frames.values(), key=lambda f: f.last_access).page_id
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance CLOCK: sweep a hand, clearing reference bits."""
+
+    name = "clock"
+
+    def __init__(self):
+        self._ring: list = []
+        self._hand = 0
+
+    def on_load(self, frame: Frame, tick: int) -> None:
+        frame.referenced = True
+        self._ring.append(frame.page_id)
+
+    def on_access(self, frame: Frame, tick: int) -> None:
+        frame.referenced = True
+
+    def choose_victim(self, frames: dict, tick: int):
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            page_id = self._ring[self._hand]
+            frame = frames.get(page_id)
+            if frame is None:  # stale ring entry
+                self._ring.pop(self._hand)
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                self._hand += 1
+            else:
+                self._ring.pop(self._hand)
+                return page_id
+
+    def on_evict(self, frame: Frame) -> None:
+        if frame.page_id in self._ring:  # evicted outside choose_victim
+            self._ring.remove(frame.page_id)
+
+
+class RandomizedWeightPolicy(ReplacementPolicy):
+    """The paper's probabilistic, frequency-aware, scan-resistant policy.
+
+    * Every page carries a stable *randomized base weight* (the patent's
+      namesake): a per-page pseudo-random bonus.  Under a cyclic scan all
+      pages look identical to recency/frequency heuristics, but the random
+      bonuses pick a stable subset that persistently out-weighs the rest —
+      that subset freezes in the pool and keeps hitting on every sweep,
+      which is what LRU fundamentally cannot do.
+    * On access: ``weight <- weight * decay^(age) + 1`` — frequency-aware
+      with exponential aging, so genuinely hot pages dominate any bonus.
+    * On eviction: sample ``sample_size`` resident frames uniformly and
+      evict the one with the lowest age-adjusted weight.
+
+    Random sampling and random base weights make the policy insensitive to
+    the position of a page within a table (paper: "less sensitive to the
+    position of data in the table").
+    """
+
+    name = "random-weight"
+
+    def __init__(
+        self,
+        decay: float = 0.999,
+        sample_size: int = 16,
+        seed: int = 17,
+        ghost_size: int = 4096,
+        jitter: float = 8.0,
+    ):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if sample_size < 1:
+            raise ValueError("sample_size must be positive")
+        self.decay = decay
+        self.sample_size = sample_size
+        self.ghost_size = ghost_size
+        self.jitter = jitter
+        # Ghost history: weights of recently evicted pages, so a hot page
+        # re-entering the pool keeps its accumulated access frequency.
+        self._ghosts: dict = {}
+        self._rng = derive_rng(seed, "bufferpool", "random-weight")
+        self._seed = seed
+
+    def _page_bonus(self, page_id) -> float:
+        """Stable pseudo-random base weight for a page (patent [13])."""
+        import hashlib
+
+        digest = hashlib.blake2s(
+            repr((self._seed, page_id)).encode(), digest_size=4
+        ).digest()
+        return self.jitter * int.from_bytes(digest, "little") / 0xFFFFFFFF
+
+    def _effective_weight(self, frame: Frame, tick: int) -> float:
+        age = max(0, tick - frame.last_access)
+        # The randomized base weight never decays: it is the page's stable
+        # identity in the ordering, not an access-recency signal.
+        return frame.weight * (self.decay ** age) + frame.bonus
+
+    def on_load(self, frame: Frame, tick: int) -> None:
+        ghost = self._ghosts.pop(frame.page_id, None)
+        if ghost is not None:
+            weight, last_tick = ghost
+            frame.weight = weight * (self.decay ** max(0, tick - last_tick)) + 1.0
+        else:
+            frame.weight = 1.0
+        frame.bonus = self._page_bonus(frame.page_id)
+        frame.last_access = tick
+
+    def on_access(self, frame: Frame, tick: int) -> None:
+        frame.weight = self._effective_weight(frame, tick) + 1.0
+        frame.last_access = tick
+
+    def choose_victim(self, frames: dict, tick: int):
+        page_ids = list(frames.keys())
+        k = min(self.sample_size, len(page_ids))
+        picks = self._rng.choice(len(page_ids), size=k, replace=False)
+        best_id = None
+        best_weight = None
+        for i in picks:
+            frame = frames[page_ids[int(i)]]
+            weight = self._effective_weight(frame, tick)
+            if best_weight is None or weight < best_weight:
+                best_weight = weight
+                best_id = frame.page_id
+        return best_id
+
+    def on_evict(self, frame: Frame) -> None:
+        self._ghosts[frame.page_id] = (frame.weight, frame.last_access)
+        if len(self._ghosts) > self.ghost_size:
+            # Drop the stalest half of the ghost history.
+            by_age = sorted(self._ghosts.items(), key=lambda kv: kv[1][1])
+            for page_id, _ in by_age[: len(by_age) // 2]:
+                del self._ghosts[page_id]
+
+
+class OptimalPolicy(ReplacementPolicy):
+    """Belady's OPT: evict the page whose next use is farthest away.
+
+    Requires the full future reference string, so it is an off-line oracle
+    used only to bound the other policies in benchmarks ("within a few
+    percentiles of optimal", paper II.B.5).
+    """
+
+    name = "opt"
+
+    def __init__(self, reference_string):
+        self._positions: dict = {}
+        for position, page_id in enumerate(reference_string):
+            self._positions.setdefault(page_id, []).append(position)
+        self._cursor = 0
+
+    def note_reference(self) -> None:
+        """Advance the oracle cursor; call once per pool request."""
+        self._cursor += 1
+
+    def _next_use(self, page_id) -> int:
+        positions = self._positions.get(page_id, [])
+        i = bisect.bisect_left(positions, self._cursor)
+        if i >= len(positions):
+            return 1 << 60  # never used again
+        return positions[i]
+
+    def choose_victim(self, frames: dict, tick: int):
+        return max(frames.values(), key=lambda f: self._next_use(f.page_id)).page_id
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Factory by policy name (used by configuration and benchmarks)."""
+    registry = {
+        "lru": LRUPolicy,
+        "mru": MRUPolicy,
+        "clock": ClockPolicy,
+        "random-weight": RandomizedWeightPolicy,
+    }
+    if name == "opt":
+        return OptimalPolicy(kwargs.pop("reference_string"))
+    if name not in registry:
+        raise ValueError("unknown replacement policy %r" % name)
+    return registry[name](**kwargs)

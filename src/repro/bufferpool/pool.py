@@ -1,0 +1,109 @@
+"""The buffer pool: a fixed number of page frames plus a policy.
+
+Pages are fetched through :meth:`BufferPool.get`; on a miss the loader
+callback supplies the page (charged as a disk read by the cost model), and
+the policy picks a victim when the pool is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bufferpool.policies import Frame, OptimalPolicy, ReplacementPolicy
+from repro.errors import BufferPoolError
+
+
+@dataclass
+class PoolStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferPool:
+    """A page cache of ``capacity`` frames governed by a replacement policy."""
+
+    def __init__(self, capacity: int, policy: ReplacementPolicy):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs at least one frame")
+        self.capacity = capacity
+        self.policy = policy
+        self._frames: dict = {}
+        self._pages: dict = {}
+        self._tick = 0
+        self.stats = PoolStats()
+
+    def __contains__(self, page_id) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(self, page_id, loader):
+        """Return the page payload, loading (and possibly evicting) on miss.
+
+        Args:
+            page_id: hashable page identity.
+            loader: zero-argument callable producing the page payload; only
+                invoked on a miss.
+        """
+        self._tick += 1
+        if isinstance(self.policy, OptimalPolicy):
+            self.policy.note_reference()
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.access_count += 1
+            self.policy.on_access(frame, self._tick)
+            return self._pages[page_id]
+        self.stats.misses += 1
+        payload = loader()
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        frame = Frame(page_id=page_id, last_access=self._tick, access_count=1)
+        self._frames[page_id] = frame
+        self._pages[page_id] = payload
+        self.policy.on_load(frame, self._tick)
+        return payload
+
+    def _evict_one(self) -> None:
+        victim = self.policy.choose_victim(self._frames, self._tick)
+        frame = self._frames.pop(victim, None)
+        if frame is None:
+            raise BufferPoolError("policy chose non-resident victim %r" % (victim,))
+        self._pages.pop(victim, None)
+        self.policy.on_evict(frame)
+        self.stats.evictions += 1
+
+    def invalidate(self, page_id) -> None:
+        """Drop a page (e.g. after its table is dropped or truncated)."""
+        frame = self._frames.pop(page_id, None)
+        if frame is not None:
+            self._pages.pop(page_id, None)
+            self.policy.on_evict(frame)
+
+    def invalidate_table(self, table_name: str) -> None:
+        """Drop every cached page belonging to one table."""
+        victims = [
+            pid for pid in self._frames
+            if getattr(pid, "table", None) == table_name
+        ]
+        for pid in victims:
+            self.invalidate(pid)
+
+    def clear(self) -> None:
+        for pid in list(self._frames):
+            self.invalidate(pid)
+
+    def resident_pages(self) -> list:
+        return list(self._frames.keys())

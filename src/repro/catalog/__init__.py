@@ -1,0 +1,19 @@
+"""System catalog: schemas, tables, views, sequences, aliases, nicknames."""
+
+from repro.catalog.catalog import (
+    AliasInfo,
+    Catalog,
+    NicknameInfo,
+    TableInfo,
+    ViewInfo,
+)
+from repro.catalog.sequence import Sequence
+
+__all__ = [
+    "AliasInfo",
+    "Catalog",
+    "NicknameInfo",
+    "Sequence",
+    "TableInfo",
+    "ViewInfo",
+]

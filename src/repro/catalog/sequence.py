@@ -1,0 +1,58 @@
+"""Sequences: NEXTVAL/CURRVAL (Oracle) and NEXT VALUE FOR (DB2)."""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+
+
+class Sequence:
+    """A monotonic value generator with start/increment/min/max/cycle."""
+
+    def __init__(
+        self,
+        name: str,
+        start: int = 1,
+        increment: int = 1,
+        minvalue: int | None = None,
+        maxvalue: int | None = None,
+        cycle: bool = False,
+    ):
+        if increment == 0:
+            raise SQLError("sequence increment cannot be zero")
+        self.name = name
+        self.start = start
+        self.increment = increment
+        self.minvalue = minvalue
+        self.maxvalue = maxvalue
+        self.cycle = cycle
+        self._current: int | None = None
+
+    def nextval(self) -> int:
+        """Advance and return the next value."""
+        if self._current is None:
+            value = self.start
+        else:
+            value = self._current + self.increment
+        if self.maxvalue is not None and value > self.maxvalue:
+            if not self.cycle:
+                raise SQLError("sequence %s exhausted (maxvalue)" % self.name)
+            value = self.minvalue if self.minvalue is not None else self.start
+        if self.minvalue is not None and value < self.minvalue:
+            if not self.cycle:
+                raise SQLError("sequence %s exhausted (minvalue)" % self.name)
+            value = self.maxvalue if self.maxvalue is not None else self.start
+        self._current = value
+        return value
+
+    def currval(self) -> int:
+        """Return the last value produced in this database.
+
+        Raises:
+            SQLError: if NEXTVAL has not been called yet (Oracle semantics).
+        """
+        if self._current is None:
+            raise SQLError(
+                "CURRVAL of sequence %s is not yet defined in this session"
+                % self.name
+            )
+        return self._current

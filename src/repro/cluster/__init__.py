@@ -1,0 +1,39 @@
+"""MPP shared-nothing cluster layer (paper II.A, II.B Fig. 2, II.E).
+
+* :mod:`repro.cluster.hardware` — host hardware detection and presets.
+* :mod:`repro.cluster.autoconfig` — automatic adaptation to the hardware.
+* :mod:`repro.cluster.shard` / :mod:`repro.cluster.node` — shards (hash
+  partitions with their own filesets) and server hosts.
+* :mod:`repro.cluster.mpp` — the distributed SQL executor (scatter/gather
+  with partial-aggregate combining).
+* :mod:`repro.cluster.ha` — failover by shard reassociation (Fig. 9).
+* :mod:`repro.cluster.elasticity` — scale out/in via the same mechanics.
+* :mod:`repro.cluster.wlm` — workload management (admission control and a
+  simulated-time multiprogramming scheduler).
+"""
+
+from repro.cluster.autoconfig import InstanceConfig, auto_configure
+from repro.cluster.elasticity import scale_in, scale_out
+from repro.cluster.ha import fail_node, reinstate_node
+from repro.cluster.hardware import HARDWARE_PRESETS, HardwareSpec, detect_hardware
+from repro.cluster.mpp import Cluster
+from repro.cluster.node import Node
+from repro.cluster.shard import Shard
+from repro.cluster.wlm import Job, WorkloadManager
+
+__all__ = [
+    "Cluster",
+    "HARDWARE_PRESETS",
+    "HardwareSpec",
+    "InstanceConfig",
+    "Job",
+    "Node",
+    "Shard",
+    "WorkloadManager",
+    "auto_configure",
+    "detect_hardware",
+    "fail_node",
+    "reinstate_node",
+    "scale_in",
+    "scale_out",
+]

@@ -1,0 +1,139 @@
+"""Automatic configuration: adapt the instance to detected hardware.
+
+Paper II.A: "Big Data systems ... have many elements of configuration, for
+the allocation of memory to functional purposes (caching, sorting, hashing,
+locking, logging, etc.), query parallelism degree, workload management
+infrastructure ... dashDB Local includes an automatic configuration
+component that detects several characteristics of the hardware environment,
+and adapts its configuration to optimize for the resources available."
+
+The rules here follow the shape of DB2's AUTOCONFIGURE heuristics (paper
+reference [16]): fixed fractions of RAM per memory consumer, parallelism
+tied to cores, WLM concurrency tied to cores and memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import HardwareSpec
+
+#: Memory split fractions (of usable instance memory).
+BUFFERPOOL_FRACTION = 0.40
+SORT_FRACTION = 0.20
+HASH_JOIN_FRACTION = 0.15
+LOCK_LIST_FRACTION = 0.02
+LOG_BUFFER_FRACTION = 0.03
+UTILITY_FRACTION = 0.05
+# remainder: OS / runtime headroom
+
+#: Fraction of physical RAM the instance may use.
+INSTANCE_MEMORY_FRACTION = 0.85
+
+#: Simulated page size for buffer-pool sizing.
+PAGE_BYTES = 32 * 1024
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """A fully derived instance configuration for one node."""
+
+    instance_memory_bytes: int
+    bufferpool_bytes: int
+    bufferpool_pages: int
+    sort_heap_bytes: int
+    hash_join_bytes: int
+    lock_list_bytes: int
+    log_buffer_bytes: int
+    utility_heap_bytes: int
+    query_parallelism: int
+    wlm_concurrency: int
+    shards_per_node: int
+    cores_per_shard: int
+
+    def explain(self) -> str:
+        """Human-readable configuration summary (console display)."""
+        gib = float(1 << 30)
+        return "\n".join(
+            [
+                "instance memory : %.1f GiB" % (self.instance_memory_bytes / gib),
+                "bufferpool      : %.1f GiB (%d pages)"
+                % (self.bufferpool_bytes / gib, self.bufferpool_pages),
+                "sort heap       : %.1f GiB" % (self.sort_heap_bytes / gib),
+                "hash join heap  : %.1f GiB" % (self.hash_join_bytes / gib),
+                "lock list       : %.2f GiB" % (self.lock_list_bytes / gib),
+                "log buffer      : %.2f GiB" % (self.log_buffer_bytes / gib),
+                "utility heap    : %.2f GiB" % (self.utility_heap_bytes / gib),
+                "parallelism     : %d" % self.query_parallelism,
+                "WLM concurrency : %d" % self.wlm_concurrency,
+                "shards per node : %d (%d cores each)"
+                % (self.shards_per_node, self.cores_per_shard),
+            ]
+        )
+
+
+def shards_for_cluster(n_nodes: int, cores_per_node: int, factor: int = 6) -> int:
+    """Shard count rule (paper II.E): "sharded ... onto a number of shards
+    that is several factors larger than the number of servers, though not
+    larger than the cumulative number of cores in the cluster"."""
+    total_cores = n_nodes * cores_per_node
+    shards = n_nodes * factor
+    while shards > total_cores and factor > 1:
+        factor -= 1
+        shards = n_nodes * factor
+    return max(n_nodes, min(shards, total_cores))
+
+
+def auto_configure(
+    hardware: HardwareSpec,
+    n_nodes: int = 1,
+    shard_factor: int = 6,
+) -> InstanceConfig:
+    """Derive a node's full configuration from its detected hardware."""
+    shards_total = shards_for_cluster(n_nodes, hardware.cores, shard_factor)
+    shards_per_node = max(1, shards_total // n_nodes)
+    cores_per_shard = max(1, hardware.cores // shards_per_node)
+    instance_memory = int(hardware.ram_bytes * INSTANCE_MEMORY_FRACTION)
+    bufferpool = int(instance_memory * BUFFERPOOL_FRACTION)
+    config = InstanceConfig(
+        instance_memory_bytes=instance_memory,
+        bufferpool_bytes=bufferpool,
+        bufferpool_pages=max(64, bufferpool // PAGE_BYTES),
+        sort_heap_bytes=int(instance_memory * SORT_FRACTION),
+        hash_join_bytes=int(instance_memory * HASH_JOIN_FRACTION),
+        lock_list_bytes=int(instance_memory * LOCK_LIST_FRACTION),
+        log_buffer_bytes=int(instance_memory * LOG_BUFFER_FRACTION),
+        utility_heap_bytes=int(instance_memory * UTILITY_FRACTION),
+        query_parallelism=max(1, cores_per_shard),
+        wlm_concurrency=_wlm_concurrency(hardware),
+        shards_per_node=shards_per_node,
+        cores_per_shard=cores_per_shard,
+    )
+    return config
+
+
+def _wlm_concurrency(hardware: HardwareSpec) -> int:
+    """Concurrent query slots: bounded by cores and by memory headroom."""
+    by_cores = max(2, hardware.cores)
+    by_memory = max(2, hardware.ram_gb // 4)
+    return min(by_cores, by_memory, 64)
+
+
+def reconfigure_for_shards(
+    config: InstanceConfig, hardware: HardwareSpec, shards_on_node: int
+) -> InstanceConfig:
+    """Recompute per-shard memory/parallelism after HA or elasticity events.
+
+    Paper II.E: after reassociation "the query parallelism per shard is
+    reduced accordingly, as is the memory allocation per shard".
+    """
+    from dataclasses import replace
+
+    shards_on_node = max(1, shards_on_node)
+    cores_per_shard = max(1, hardware.cores // shards_on_node)
+    return replace(
+        config,
+        shards_per_node=shards_on_node,
+        cores_per_shard=cores_per_shard,
+        query_parallelism=cores_per_shard,
+    )

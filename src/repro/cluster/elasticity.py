@@ -1,0 +1,53 @@
+"""Elastic growth and contraction (paper II.E).
+
+"To achieve elastic contraction the same process is used [as failover],
+except with a deliberate action ... the process of elastic growth is also
+very similar to the path of reinstating a repaired node."  Both directions
+are pure shard reassociation over the shared filesystem, followed by the
+per-shard RAM / parallelism adjustment that nodes recompute automatically.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.ha import rebalance
+from repro.cluster.hardware import HardwareSpec, detect_hardware
+from repro.cluster.mpp import Cluster
+from repro.cluster.node import Node
+from repro.errors import ClusterError
+
+
+def scale_out(cluster: Cluster, hardware: HardwareSpec) -> Node:
+    """Add a server to the cluster and rebalance shards onto it.
+
+    The user "does need to provide the new hardware and indicate the
+    requested expansion"; everything else is automated.
+    """
+    node_id = "node%d" % len(cluster.nodes)
+    node = Node(node_id=node_id, hardware=detect_hardware(hardware, cluster.clock))
+    node.configure(n_nodes=len(cluster.nodes) + 1)
+    cluster.nodes.append(node)
+    rebalance(cluster)
+    if cluster.clock is not None:
+        cluster.clock.advance(30.0)  # container start + engine join
+    return node
+
+
+def scale_in(cluster: Cluster, node_id: str) -> dict[int, str]:
+    """Deliberately remove a server, reassociating its shards first."""
+    node = cluster.node_by_id(node_id)
+    if not node.alive:
+        raise ClusterError("node %s is not running" % node_id)
+    live = [n for n in cluster.live_nodes() if n.node_id != node_id]
+    if not live:
+        raise ClusterError("cannot remove the last node")
+    moves: dict[int, str] = {}
+    for shard_id in node.release_all():
+        target = min(live, key=lambda n: len(n.shard_ids))
+        target.assign_shard(shard_id)
+        cluster.assignment[shard_id] = target.node_id
+        moves[shard_id] = target.node_id
+    node.alive = False
+    cluster.nodes.remove(node)
+    if cluster.clock is not None:
+        cluster.clock.advance(5.0 + 0.5 * len(moves))
+    return moves

@@ -1,0 +1,85 @@
+"""High availability: failover by shard reassociation (paper Fig. 9).
+
+"If a server host fails ... all services and the shards associated with
+that container or host are re-associated with the surviving containers
+running on other server hosts.  The query parallelism per shard is reduced
+accordingly, as is the memory allocation per shard. ... The cluster
+continues as a well-balanced unit, albeit with fewer total cores and less
+total RAM per byte of user data."
+
+Because every shard's fileset lives on the shared clustered filesystem, a
+failover moves no data: it only rewrites the assignment map (and the
+fileset paths, a metadata-only rename).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.mpp import Cluster
+from repro.errors import ClusterError, NoSurvivorsError
+
+
+def fail_node(cluster: Cluster, node_id: str) -> dict[int, str]:
+    """Simulate a host failure; returns the reassociation map applied.
+
+    The failed node's shards are spread over the surviving nodes so the
+    cluster stays balanced (Fig. 9: 4 servers x 6 shards -> 3 x 8).
+    """
+    node = cluster.node_by_id(node_id)
+    if not node.alive:
+        raise ClusterError("node %s is already down" % node_id)
+    node.alive = False
+    orphaned = node.release_all()
+    survivors = cluster.live_nodes()
+    if not survivors:
+        raise NoSurvivorsError("no healthy node remains after %s failed" % node_id)
+    moves = _reassociate(cluster, orphaned, survivors)
+    if cluster.clock is not None:
+        # Reassociation is metadata-only: detection + takeover per shard.
+        cluster.clock.advance(5.0 + 0.5 * len(orphaned))
+    return moves
+
+
+def reinstate_node(cluster: Cluster, node_id: str) -> dict[int, str]:
+    """Bring a repaired node back and rebalance shards onto it."""
+    node = cluster.node_by_id(node_id)
+    if node.alive:
+        raise ClusterError("node %s is already up" % node_id)
+    node.alive = True
+    moves = rebalance(cluster)
+    if cluster.clock is not None:
+        cluster.clock.advance(5.0 + 0.5 * len(moves))
+    return moves
+
+
+def rebalance(cluster: Cluster) -> dict[int, str]:
+    """Move shards from the most-loaded to the least-loaded live nodes until
+    the distribution is balanced; returns the moves performed."""
+    moves: dict[int, str] = {}
+    while True:
+        counts = cluster.shard_counts()
+        live = {nid: c for nid, c in counts.items() if cluster.node_by_id(nid).alive}
+        if not live:
+            raise NoSurvivorsError("no live nodes to rebalance onto")
+        most = max(live, key=lambda nid: live[nid])
+        least = min(live, key=lambda nid: live[nid])
+        if live[most] - live[least] <= 1:
+            return moves
+        shard_id = cluster.shards_on(most)[-1]
+        _move_shard(cluster, shard_id, most, least)
+        moves[shard_id] = least
+
+
+def _reassociate(cluster: Cluster, orphaned: list[int], survivors) -> dict[int, str]:
+    moves: dict[int, str] = {}
+    for shard_id in orphaned:
+        target = min(survivors, key=lambda n: len(n.shard_ids))
+        target.assign_shard(shard_id)
+        cluster.assignment[shard_id] = target.node_id
+        moves[shard_id] = target.node_id
+    return moves
+
+
+def _move_shard(cluster: Cluster, shard_id: int, from_id: str, to_id: str) -> None:
+    cluster.node_by_id(from_id).release_shard(shard_id)
+    cluster.node_by_id(to_id).assign_shard(shard_id)
+    cluster.assignment[shard_id] = to_id

@@ -1,0 +1,95 @@
+"""Host hardware descriptions and the detection step of auto-configuration.
+
+Paper II.A: "automatic detection of CPU and core counts, and automatic
+detection of RAM".  Because real probing is environment-specific, hosts in
+this reproduction carry an explicit :class:`HardwareSpec`;
+:func:`detect_hardware` models the probe (returning the host's spec after a
+simulated probe delay).  The presets mirror the hardware rows of Table 1
+and the examples in section II.A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Simulated seconds for the hardware probe during deployment.
+DETECTION_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One server's resources."""
+
+    cores: int
+    ram_gb: int
+    storage_tb: float
+    storage_type: str = "ssd"  # "ssd" | "hdd" | "ebs"
+    storage_iops: int = 100_000
+    fpga_count: int = 0
+    network_gbps: float = 10.0
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError("a server needs at least one core")
+        if self.ram_gb < 1:
+            raise ValueError("a server needs at least 1 GB of RAM")
+        if self.storage_type not in ("ssd", "hdd", "ebs"):
+            raise ValueError("unknown storage type %r" % self.storage_type)
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.ram_gb * (1 << 30)
+
+    def scaled(self, factor: float) -> "HardwareSpec":
+        """A spec with cores and RAM scaled (for VM slicing)."""
+        return replace(
+            self,
+            cores=max(1, int(self.cores * factor)),
+            ram_gb=max(1, int(self.ram_gb * factor)),
+        )
+
+
+#: Named presets from the paper.
+HARDWARE_PRESETS: dict[str, HardwareSpec] = {
+    # II.A entry level: "8GB RAM and 20GB of storage ... your laptop".
+    "laptop": HardwareSpec(cores=4, ram_gb=8, storage_tb=0.02),
+    # II.A large server: "Xeon e7 4 x 18 core 72 way machines with 6 TB RAM".
+    "xeon-e7-72way": HardwareSpec(cores=72, ram_gb=6144, storage_tb=50.0),
+    # Table 1, Tests 1-2 dashDB node: 4 nodes x 20 cores, 256 GB, SSD.
+    "dashdb-test1-node": HardwareSpec(cores=20, ram_gb=256, storage_tb=7.0),
+    # Table 1, Tests 1-2 appliance node: 16 cores, 2 FPGAs, 132 GB, HDD.
+    "appliance-test1-node": HardwareSpec(
+        cores=16, ram_gb=132, storage_tb=5.75, storage_type="hdd",
+        storage_iops=2_000, fpga_count=2,
+    ),
+    # Table 1, Test 3 dashDB node: 24 cores, 512 GB, SSD.
+    "dashdb-test3-node": HardwareSpec(cores=24, ram_gb=512, storage_tb=5.7),
+    # Table 1, Test 3 appliance node: 20 cores, 2 FPGAs, 132 GB, HDD.
+    "appliance-test3-node": HardwareSpec(
+        cores=20, ram_gb=132, storage_tb=6.6, storage_type="hdd",
+        storage_iops=2_000, fpga_count=2,
+    ),
+    # Table 1, Test 4: 32 vcpu / 244 GB AWS instance, EBS 1800 IOPs.
+    "aws-test4": HardwareSpec(
+        cores=32, ram_gb=244, storage_tb=2.56, storage_type="ebs",
+        storage_iops=1_800,
+    ),
+}
+
+
+def detect_hardware(host, clock=None) -> HardwareSpec:
+    """Probe a host's hardware (paper: automatic CPU/RAM detection).
+
+    Args:
+        host: anything with a ``hardware`` attribute (a Node or container
+            host), or a HardwareSpec itself.
+        clock: optional SimClock charged with the probe time.
+    """
+    if clock is not None:
+        clock.advance(DETECTION_SECONDS)
+    if isinstance(host, HardwareSpec):
+        return host
+    spec = getattr(host, "hardware", None)
+    if spec is None:
+        raise ValueError("host %r exposes no hardware description" % (host,))
+    return spec

@@ -1,0 +1,685 @@
+"""The MPP shared-nothing distributed SQL executor (paper Fig. 2, II.E).
+
+Tables are hash-partitioned across shards (or replicated to every shard);
+queries scatter to all live shards and gather at a coordinator:
+
+* **non-aggregate queries** run unchanged on every shard; the coordinator
+  concatenates partial rows, then applies global DISTINCT / ORDER / LIMIT;
+* **aggregate queries** are split into per-shard partial aggregates
+  (COUNT -> partial COUNT + global SUM, AVG -> SUM&COUNT, ...) combined by
+  a rewritten global statement over the gathered partials — the classic
+  two-phase aggregation of shared-nothing warehouses;
+* shapes the splitter cannot handle (subqueries over distributed tables,
+  set operations, exotic aggregates) fall back to gathering the referenced
+  tables to the coordinator and running the original statement there.
+
+Joins execute shard-locally, which is correct when each join either has a
+replicated side or is co-partitioned (the schema designer's contract, as on
+real MPP systems).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.autoconfig import shards_for_cluster
+from repro.cluster.hardware import HardwareSpec, detect_hardware
+from repro.cluster.node import Node
+from repro.cluster.shard import Shard, hash_value_to_shard
+from repro.database.database import Database
+from repro.database.result import Result
+from repro.database.session import Session
+from repro.errors import (
+    ClusterError,
+    DialectError,
+    NoSurvivorsError,
+    SQLError,
+    UnknownObjectError,
+    UnsupportedFeatureError,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.storage.filesystem import ClusterFileSystem
+from repro.storage.table import TableSchema
+from repro.util.timer import SimClock
+
+#: Aggregates the two-phase splitter handles natively.
+_SPLITTABLE = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_AGG_NAMES = {
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "STDDEV", "VARIANCE",
+    "VAR_POP", "VAR_SAMP", "STDDEV_POP", "STDDEV_SAMP", "COVAR_POP",
+    "COVAR_SAMP", "COVARIANCE", "COVARIANCE_SAMP", "PERCENTILE_CONT",
+    "PERCENTILE_DISC", "MEAN",
+}
+
+_GATHER_TABLE = "__MPP_GATHER"
+
+
+@dataclass
+class DistInfo:
+    """Distribution metadata for one cluster table."""
+
+    name: str
+    key_columns: list[str] | None  # None/[] -> round robin
+    replicated: bool = False
+
+
+@dataclass
+class QueryStats:
+    """Execution accounting for the last distributed statement."""
+
+    shards_touched: int = 0
+    rows_gathered: int = 0
+    mode: str = ""  # "scatter", "two-phase", "gather-fallback", "dml", ...
+    elapsed_by_node: dict = field(default_factory=dict)
+
+
+class ClusterSession:
+    """A client session against the whole cluster."""
+
+    def __init__(self, cluster: "Cluster", dialect: str = "db2"):
+        self.cluster = cluster
+        self.inner = cluster.coordinator.connect(dialect)
+
+    @property
+    def dialect(self):
+        return self.inner.dialect
+
+    def execute(self, sql: str) -> Result:
+        return self.cluster.execute(sql, session=self)
+
+    def query(self, sql: str) -> list[tuple]:
+        return self.execute(sql).rows
+
+
+class Cluster:
+    """A dashDB Local MPP cluster."""
+
+    def __init__(
+        self,
+        node_hardware: list[HardwareSpec],
+        filesystem: ClusterFileSystem | None = None,
+        clock: SimClock | None = None,
+        shard_factor: int = 6,
+        shard_bufferpool_pages: int = 256,
+    ):
+        if not node_hardware:
+            raise ClusterError("a cluster needs at least one node")
+        self.filesystem = filesystem or ClusterFileSystem()
+        self.clock = clock
+        self.nodes: list[Node] = []
+        for i, hardware in enumerate(node_hardware):
+            node = Node(node_id="node%d" % i, hardware=detect_hardware(hardware))
+            node.configure(n_nodes=len(node_hardware), shard_factor=shard_factor)
+            self.nodes.append(node)
+        min_cores = min(h.cores for h in node_hardware)
+        n_shards = shards_for_cluster(len(node_hardware), min_cores, shard_factor)
+        self.shards: dict[int, Shard] = {
+            sid: Shard(sid, self.filesystem, shard_bufferpool_pages, clock)
+            for sid in range(n_shards)
+        }
+        self.assignment: dict[int, str] = {}
+        self._assign_initial()
+        self.coordinator = Database(name="COORD", clock=clock)
+        self.tables: dict[str, DistInfo] = {}
+        self.last_stats = QueryStats()
+
+    # -- shard placement ------------------------------------------------------
+
+    def _assign_initial(self) -> None:
+        node_ids = [n.node_id for n in self.nodes]
+        for sid in sorted(self.shards):
+            node = self.nodes[sid % len(self.nodes)]
+            node.assign_shard(sid)
+            self.assignment[sid] = node.node_id
+
+    def node_by_id(self, node_id: str) -> Node:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ClusterError("no node %s" % node_id)
+
+    def live_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.alive]
+
+    def shards_on(self, node_id: str) -> list[int]:
+        return sorted(sid for sid, nid in self.assignment.items() if nid == node_id)
+
+    def shard_counts(self) -> dict[str, int]:
+        counts = {n.node_id: 0 for n in self.live_nodes()}
+        for sid, nid in self.assignment.items():
+            counts[nid] = counts.get(nid, 0) + 1
+        return counts
+
+    def is_balanced(self, tolerance: int = 1) -> bool:
+        counts = [c for nid, c in self.shard_counts().items()
+                  if self.node_by_id(nid).alive]
+        return (max(counts) - min(counts)) <= tolerance if counts else True
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def total_rows(self, table_name: str) -> int:
+        return sum(s.n_rows(table_name.upper()) for s in self.shards.values())
+
+    # -- connections ---------------------------------------------------------------
+
+    def connect(self, dialect: str = "db2") -> ClusterSession:
+        return ClusterSession(self, dialect)
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, sql: str, session: ClusterSession | None = None) -> Result:
+        session = session or self.connect()
+        node = parse_statement(sql)
+        return self.execute_ast(node, session)
+
+    def execute_ast(self, node: ast.Node, session: ClusterSession) -> Result:
+        self.last_stats = QueryStats()
+        if isinstance(node, ast.Select):
+            return self._execute_select(node, session)
+        if isinstance(node, ast.CreateTable):
+            return self._execute_create_table(node, session)
+        if isinstance(node, ast.Insert):
+            return self._execute_insert(node, session)
+        if isinstance(node, (ast.Update, ast.Delete)):
+            return self._broadcast_dml(node, session)
+        if isinstance(node, (ast.DropTable, ast.TruncateTable)):
+            return self._execute_drop_or_truncate(node, session)
+        # Views, sequences, aliases, SET, EXPLAIN, VALUES, CALL: coordinator.
+        return self.coordinator.execute_ast(node, session.inner)
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def _execute_create_table(self, node: ast.CreateTable, session) -> Result:
+        if node.as_select is not None:
+            raise UnsupportedFeatureError(
+                "CREATE TABLE AS over the cluster: create then INSERT ... SELECT"
+            )
+        name = node.name.name.upper()
+        for shard in self.shards.values():
+            shard.engine.execute_ast(node, shard.engine.connect(session.dialect.name))
+        # Register on the coordinator too (schema known for fallbacks).
+        self.coordinator.execute_ast(node, session.inner)
+        if node.replicated:
+            info = DistInfo(name, None, replicated=True)
+        elif node.distribute_on is not None:
+            info = DistInfo(name, [c.upper() for c in node.distribute_on])
+        else:
+            first_column = node.columns[0].name.upper() if node.columns else None
+            info = DistInfo(name, [first_column] if first_column else [])
+        self.tables[name] = info
+        self.last_stats.mode = "ddl"
+        return Result(message="table %s created across %d shards" % (name, self.n_shards))
+
+    def _execute_drop_or_truncate(self, node, session) -> Result:
+        for shard in self.shards.values():
+            shard.engine.execute_ast(node, shard.engine.connect(session.dialect.name))
+        result = self.coordinator.execute_ast(node, session.inner)
+        if isinstance(node, ast.DropTable):
+            self.tables.pop(node.name.name.upper(), None)
+        self.last_stats.mode = "ddl"
+        return result
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _dist_info(self, name: str) -> DistInfo:
+        info = self.tables.get(name.upper())
+        if info is None:
+            raise UnknownObjectError("table %s is not a cluster table" % name.upper())
+        return info
+
+    def _execute_insert(self, node: ast.Insert, session) -> Result:
+        name = node.table.name.upper()
+        info = self._dist_info(name)
+        schema = self.shards[0].engine.catalog.get_table(name).table.schema
+        names = schema.column_names
+        targets = [c.upper() for c in node.columns] if node.columns else names
+        if node.rows is not None:
+            raw_rows = self.coordinator.evaluate_rows(node.rows, session.inner)
+        else:
+            select_result = self._execute_select(node.select, session)
+            raw_rows = [list(r) for r in select_result.rows]
+        rows = []
+        for raw in raw_rows:
+            if len(raw) != len(targets):
+                raise SQLError("INSERT arity mismatch")
+            by_name = dict(zip(targets, raw))
+            rows.append(tuple(by_name.get(c) for c in names))
+        count = self._insert_rows(name, info, names, rows, session)
+        self.last_stats.mode = "dml"
+        return Result(rowcount=count, message="%d row(s) inserted" % count)
+
+    def _insert_rows(self, name, info, names, rows, session) -> int:
+        if info.replicated:
+            for shard in self.shards.values():
+                self._shard_table(shard, name).insert_rows(rows)
+                shard.sync_fileset()
+            return len(rows)
+        by_shard: dict[int, list] = {}
+        if info.key_columns:
+            key_idx = [names.index(c) for c in info.key_columns]
+            for row in rows:
+                key = tuple(row[i] for i in key_idx)
+                sid = hash_value_to_shard(key if len(key) > 1 else key[0], self.n_shards)
+                by_shard.setdefault(sid, []).append(row)
+        else:  # round robin
+            for i, row in enumerate(rows):
+                by_shard.setdefault(i % self.n_shards, []).append(row)
+        for sid, shard_rows in by_shard.items():
+            self._shard_table(self.shards[sid], name).insert_rows(shard_rows)
+            self.shards[sid].sync_fileset()
+        return len(rows)
+
+    def _shard_table(self, shard: Shard, name: str):
+        return shard.engine.catalog.get_table(name).table
+
+    def _broadcast_dml(self, node, session) -> Result:
+        total = 0
+        for shard in self.shards.values():
+            self._check_owner_alive(shard.shard_id)
+            result = shard.engine.execute_ast(
+                node, shard.engine.connect(session.dialect.name)
+            )
+            total += max(result.rowcount, 0)
+            shard.sync_fileset()
+        self.last_stats.mode = "dml"
+        self.last_stats.shards_touched = self.n_shards
+        verb = "updated" if isinstance(node, ast.Update) else "deleted"
+        return Result(rowcount=total, message="%d row(s) %s" % (total, verb))
+
+    def _check_owner_alive(self, shard_id: int) -> None:
+        node = self.node_by_id(self.assignment[shard_id])
+        node.check_alive()
+
+    # -- SELECT ------------------------------------------------------------------------
+
+    def _execute_select(self, select: ast.Select, session) -> Result:
+        if select.limit_syntax == "limit" and not session.dialect.allows_limit:
+            raise DialectError(
+                "LIMIT/OFFSET requires the Netezza or PostgreSQL dialect"
+            )
+        if self._needs_gather_fallback(select):
+            return self._gather_fallback(select, session)
+        aggregates = _collect_aggregates(select)
+        if aggregates:
+            if all(a.name.upper() in _SPLITTABLE and not a.distinct for a in aggregates):
+                return self._two_phase(select, aggregates, session)
+            return self._gather_fallback(select, session)
+        # GROUP BY without aggregates deduplicates like DISTINCT; the global
+        # phase must dedup across shards.
+        force_distinct = bool(select.group_by)
+        return self._scatter_concat(select, session, force_distinct=force_distinct)
+
+    def _needs_gather_fallback(self, select: ast.Select) -> bool:
+        if select.set_op is not None or select.ctes:
+            return True
+        if _contains_subquery(select):
+            return True
+        # FROM items referencing only coordinator objects (views, DUAL)?
+        for item in select.from_items:
+            for ref in _table_refs(item):
+                if ref.name.upper() not in self.tables and ref.name.upper() != "DUAL":
+                    return True
+        if not select.from_items:
+            return True
+        return False
+
+    def _run_on_shards(self, select: ast.Select, session) -> list[Result]:
+        results = []
+        elapsed: dict[str, float] = {}
+        for shard in self.shards.values():
+            self._check_owner_alive(shard.shard_id)
+            node_id = self.assignment[shard.shard_id]
+            t0 = time.perf_counter()
+            shard_session = shard.engine.connect(session.dialect.name)
+            results.append(shard.engine.execute_ast(select, shard_session))
+            elapsed[node_id] = elapsed.get(node_id, 0.0) + (time.perf_counter() - t0)
+        self.last_stats.shards_touched = len(results)
+        self.last_stats.elapsed_by_node = elapsed
+        if self.clock is not None and elapsed:
+            # Nodes work in parallel; each node divides its work across its
+            # shard slots.
+            per_node = []
+            for node_id, seconds in elapsed.items():
+                node = self.node_by_id(node_id)
+                slots = max(1, len(node.shard_ids))
+                per_node.append(seconds * slots / max(slots, 1))
+            self.clock.advance(max(per_node))
+        return results
+
+    def _gather_into_temp(
+        self, session, results: list[Result], table_name: str = _GATHER_TABLE
+    ) -> None:
+        """Materialise gathered partial rows as a coordinator temp table."""
+        template = next((r for r in results if r.columns), results[0])
+        columns = tuple(
+            (c, dt) for c, dt in zip(template.columns, template.dtypes)
+        )
+        session.inner.drop_temp_table(table_name)
+        table = session.inner.declare_temp_table(TableSchema(table_name, columns))
+        for result in results:
+            if result.rows:
+                table.insert_rows([list(r) for r in result.rows])
+                self.last_stats.rows_gathered += len(result.rows)
+
+    def _scatter_concat(self, select: ast.Select, session, force_distinct=False) -> Result:
+        """Non-aggregate scatter: shards run the body, coordinator finishes."""
+        self.last_stats.mode = "scatter"
+        partial = ast.Select(
+            items=select.items,
+            distinct=select.distinct,
+            from_items=select.from_items,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            connect_by=select.connect_by,
+        )
+        # LIMIT n (without OFFSET) can also run on each shard.
+        if select.limit is not None and select.offset is None and not select.order_by:
+            partial.limit = select.limit
+            partial.limit_syntax = "fetch"
+        results = self._run_on_shards(partial, session)
+        self._gather_into_temp(session, results)
+        template = next((r for r in results if r.columns), results[0])
+        global_select = ast.Select(
+            items=[
+                ast.SelectItem(ast.Identifier([c]), alias=c) for c in template.columns
+            ],
+            distinct=select.distinct or force_distinct,
+            from_items=[ast.TableRef([_GATHER_TABLE])],
+            order_by=_order_for_gather(select, template.columns),
+            limit=select.limit,
+            limit_syntax="fetch" if select.limit is not None else None,
+            offset=select.offset,
+        )
+        return self.coordinator.execute_ast(global_select, session.inner)
+
+    def _two_phase(self, select: ast.Select, aggregates, session) -> Result:
+        """Split aggregates into shard partials plus a global combine."""
+        self.last_stats.mode = "two-phase"
+        rewriter = _AggregateSplitter()
+        # Partial select: group-key expressions + partial aggregates.
+        partial_items = []
+        for i, g in enumerate(select.group_by):
+            partial_items.append(ast.SelectItem(_deep(g), alias="__G%d" % i))
+        global_items = []
+        for index, item in enumerate(select.items):
+            from repro.sql.planner import _default_name
+
+            alias = item.alias or _default_name(item.expr, index)
+            global_items.append(
+                ast.SelectItem(rewriter.rewrite(item.expr, select.group_by), alias)
+            )
+        global_having = (
+            rewriter.rewrite(select.having, select.group_by)
+            if select.having is not None
+            else None
+        )
+        global_order = []
+        for item in select.order_by:
+            if isinstance(item.expr, ast.NumberLit):
+                global_order.append(item)
+            else:
+                global_order.append(
+                    ast.OrderItem(
+                        rewriter.rewrite(item.expr, select.group_by),
+                        item.ascending,
+                        item.nulls_first,
+                    )
+                )
+        partial_items.extend(rewriter.partial_items)
+        partial = ast.Select(
+            items=partial_items,
+            from_items=select.from_items,
+            where=select.where,
+            group_by=[_deep(g) for g in select.group_by],
+            connect_by=select.connect_by,
+        )
+        results = self._run_on_shards(partial, session)
+        self._gather_into_temp(session, results)
+        global_select = ast.Select(
+            items=global_items,
+            from_items=[ast.TableRef([_GATHER_TABLE])],
+            group_by=[ast.Identifier(["__G%d" % i]) for i in range(len(select.group_by))],
+            having=global_having,
+            order_by=global_order,
+            limit=select.limit,
+            limit_syntax="fetch" if select.limit is not None else None,
+            offset=select.offset,
+            distinct=select.distinct,
+        )
+        return self.coordinator.execute_ast(global_select, session.inner)
+
+    def _gather_fallback(self, select: ast.Select, session) -> Result:
+        """Gather every referenced cluster table, run the statement locally."""
+        self.last_stats.mode = "gather-fallback"
+        referenced = self._tables_reachable(select)
+        for name in sorted(referenced):
+            star = ast.Select(
+                items=[ast.SelectItem(ast.Star())],
+                from_items=[ast.TableRef([name])],
+            )
+            results = self._run_on_shards(star, session)
+            self._gather_into_temp(session, results, table_name=name)
+        return self.coordinator.execute_ast(select, session.inner)
+
+    def _tables_reachable(self, select: ast.Select) -> set[str]:
+        """Cluster tables referenced directly or through coordinator views
+        (views recompile at the coordinator, so their base data must be
+        gathered too)."""
+        from repro.catalog.catalog import ViewInfo
+        from repro.sql.parser import parse_statement
+
+        out: set[str] = set()
+        seen_views: set[str] = set()
+        queue = [select]
+        while queue:
+            node = queue.pop()
+            for item in _ast_walk(node):
+                if not isinstance(item, ast.TableRef):
+                    continue
+                name = item.name.upper()
+                if name in self.tables:
+                    out.add(name)
+                    continue
+                if name in seen_views:
+                    continue
+                view = self.coordinator.catalog.try_resolve(name, item.schema)
+                if isinstance(view, ViewInfo):
+                    seen_views.add(name)
+                    parsed = parse_statement(view.text)
+                    if isinstance(parsed, ast.Select):
+                        queue.append(parsed)
+        return out
+
+
+# --------------------------------------------------------------------------
+# AST utilities for the splitter
+# --------------------------------------------------------------------------
+
+
+def _deep(node):
+    import copy
+
+    return copy.deepcopy(node)
+
+
+def _ast_walk(node):
+    yield node
+    if not hasattr(node, "__dataclass_fields__"):
+        return
+    for name in node.__dataclass_fields__:
+        value = getattr(node, name)
+        if isinstance(value, ast.Node):
+            yield from _ast_walk(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    yield from _ast_walk(item)
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, ast.Node):
+                            yield from _ast_walk(sub)
+
+
+def _collect_aggregates(select: ast.Select) -> list[ast.FunctionCall]:
+    out = []
+    roots = [i.expr for i in select.items]
+    if select.having is not None:
+        roots.append(select.having)
+    for item in select.order_by:
+        roots.append(item.expr)
+    for root in roots:
+        for node in _ast_walk(root):
+            if isinstance(node, ast.FunctionCall) and node.name.upper() in _AGG_NAMES:
+                out.append(node)
+    if select.group_by and not out:
+        # GROUP BY without aggregates still needs two-phase dedup; treat as
+        # one COUNT(*) the splitter can drop.
+        pass
+    return out
+
+
+def _contains_subquery(select: ast.Select) -> bool:
+    for node in _ast_walk(select):
+        if node is select:
+            continue
+        if isinstance(node, (ast.ScalarSubquery, ast.ExistsExpr)):
+            return True
+        if isinstance(node, ast.InExpr) and node.subquery is not None:
+            return True
+        if isinstance(node, ast.SubqueryRef):
+            return True
+    return False
+
+
+def _table_refs(item):
+    if isinstance(item, ast.TableRef):
+        yield item
+    elif isinstance(item, ast.Join):
+        yield from _table_refs(item.left)
+        yield from _table_refs(item.right)
+
+
+def _referenced_cluster_tables(select: ast.Select, registry) -> set[str]:
+    names = set()
+    for node in _ast_walk(select):
+        if isinstance(node, ast.TableRef) and node.name.upper() in registry:
+            names.add(node.name.upper())
+    return names
+
+
+def _ast_signature(node) -> tuple:
+    if not isinstance(node, ast.Node):
+        return ("value", node)
+    parts = [type(node).__name__]
+    for name in node.__dataclass_fields__:
+        value = getattr(node, name)
+        if isinstance(value, ast.Node):
+            parts.append(_ast_signature(value))
+        elif isinstance(value, (list, tuple)):
+            parts.append(tuple(_ast_signature(v) if isinstance(v, ast.Node) else v for v in value))
+        else:
+            parts.append(value)
+    return tuple(parts)
+
+
+class _AggregateSplitter:
+    """Rewrites expressions: aggregate calls -> combines over partials."""
+
+    def __init__(self):
+        self.partial_items: list[ast.SelectItem] = []
+        self._counter = 0
+        self._memo: dict[tuple, ast.ExprNode] = {}
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        return "__P%d" % self._counter
+
+    def rewrite(self, node, group_by):
+        signature = _ast_signature(node)
+        for i, g in enumerate(group_by):
+            if signature == _ast_signature(g):
+                return ast.Identifier(["__G%d" % i])
+        if isinstance(node, ast.FunctionCall) and node.name.upper() in _AGG_NAMES:
+            return self._split_aggregate(node)
+        return self._rewrite_children(node, group_by)
+
+    def _rewrite_children(self, node, group_by):
+        if not isinstance(node, ast.Node):
+            return node
+        clone = _deep(node)
+        for name in clone.__dataclass_fields__:
+            value = getattr(clone, name)
+            if isinstance(value, ast.ExprNode):
+                setattr(clone, name, self.rewrite(value, group_by))
+            elif isinstance(value, list):
+                new_list = []
+                for item in value:
+                    if isinstance(item, ast.ExprNode):
+                        new_list.append(self.rewrite(item, group_by))
+                    elif isinstance(item, tuple):
+                        new_list.append(
+                            tuple(
+                                self.rewrite(x, group_by) if isinstance(x, ast.ExprNode) else x
+                                for x in item
+                            )
+                        )
+                    else:
+                        new_list.append(item)
+                setattr(clone, name, new_list)
+        return clone
+
+    def _split_aggregate(self, call: ast.FunctionCall) -> ast.ExprNode:
+        signature = _ast_signature(call)
+        if signature in self._memo:
+            return self._memo[signature]
+        func = call.name.upper()
+        if func in ("COUNT",):
+            alias = self._fresh()
+            self.partial_items.append(ast.SelectItem(_deep(call), alias=alias))
+            combined = ast.FunctionCall("SUM", [ast.Identifier([alias])])
+        elif func in ("SUM", "MIN", "MAX"):
+            alias = self._fresh()
+            self.partial_items.append(ast.SelectItem(_deep(call), alias=alias))
+            combined = ast.FunctionCall(func, [ast.Identifier([alias])])
+        elif func == "AVG":
+            sum_alias = self._fresh()
+            count_alias = self._fresh()
+            self.partial_items.append(
+                ast.SelectItem(ast.FunctionCall("SUM", [_deep(call.args[0])]), alias=sum_alias)
+            )
+            self.partial_items.append(
+                ast.SelectItem(ast.FunctionCall("COUNT", [_deep(call.args[0])]), alias=count_alias)
+            )
+            combined = ast.BinaryOp(
+                "/",
+                ast.CastExpr(
+                    ast.FunctionCall("SUM", [ast.Identifier([sum_alias])]), "DOUBLE"
+                ),
+                ast.FunctionCall("SUM", [ast.Identifier([count_alias])]),
+            )
+        else:  # pragma: no cover - guarded by _SPLITTABLE
+            raise UnsupportedFeatureError("cannot split aggregate %s" % func)
+        self._memo[signature] = combined
+        return combined
+
+
+def _order_for_gather(select: ast.Select, columns: list[str]):
+    """ORDER BY items usable over the gather table (ordinals/output names)."""
+    out = []
+    for item in select.order_by:
+        expr = item.expr
+        if isinstance(expr, ast.NumberLit):
+            out.append(item)
+        elif isinstance(expr, ast.Identifier) and expr.parts[-1].upper() in columns:
+            out.append(ast.OrderItem(ast.Identifier([expr.parts[-1].upper()]),
+                                     item.ascending, item.nulls_first))
+        else:
+            raise UnsupportedFeatureError(
+                "distributed ORDER BY must use output columns or ordinals"
+            )
+    return out

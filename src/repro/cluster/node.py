@@ -1,0 +1,69 @@
+"""Cluster nodes: server hosts that serve a set of shards.
+
+The shard-to-node association is "fixed only during steady state
+operations, and can be easily adjusted" (paper II.E) — nodes only hold
+shard *ids*; the shard payloads live on the shared clustered filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.autoconfig import InstanceConfig, auto_configure, reconfigure_for_shards
+from repro.cluster.hardware import HardwareSpec
+from repro.errors import NodeDownError
+
+
+@dataclass
+class Node:
+    """One server host in the cluster."""
+
+    node_id: str
+    hardware: HardwareSpec
+    config: InstanceConfig | None = None
+    shard_ids: list[int] = field(default_factory=list)
+    alive: bool = True
+
+    def configure(self, n_nodes: int, shard_factor: int = 6) -> InstanceConfig:
+        """Run automatic configuration for this node."""
+        self.config = auto_configure(self.hardware, n_nodes, shard_factor)
+        return self.config
+
+    def assign_shard(self, shard_id: int) -> None:
+        if shard_id not in self.shard_ids:
+            self.shard_ids.append(shard_id)
+        self._rebalance_config()
+
+    def release_shard(self, shard_id: int) -> None:
+        if shard_id in self.shard_ids:
+            self.shard_ids.remove(shard_id)
+        self._rebalance_config()
+
+    def release_all(self) -> list[int]:
+        released = list(self.shard_ids)
+        self.shard_ids = []
+        return released
+
+    def _rebalance_config(self) -> None:
+        if self.config is not None:
+            self.config = reconfigure_for_shards(
+                self.config, self.hardware, len(self.shard_ids)
+            )
+
+    @property
+    def parallelism_per_shard(self) -> int:
+        if self.config is None:
+            return 1
+        return self.config.query_parallelism
+
+    @property
+    def memory_per_shard_bytes(self) -> int:
+        if not self.shard_ids:
+            return self.hardware.ram_bytes
+        if self.config is None:
+            return self.hardware.ram_bytes // len(self.shard_ids)
+        return self.config.instance_memory_bytes // len(self.shard_ids)
+
+    def check_alive(self) -> None:
+        if not self.alive:
+            raise NodeDownError("node %s is down" % self.node_id)

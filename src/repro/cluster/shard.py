@@ -1,0 +1,69 @@
+"""Shards: hash partitions with their own filesets on the clustered FS.
+
+Paper II.E: "each shard has its own file set that is not shared.  Because
+the system is based on a clustered file system, it is similarly possible to
+re-associate shards from one host to another."  A shard owns a slice of
+every distributed table (a full copy of replicated tables) and is backed by
+a single-shard :class:`~repro.database.database.Database` engine.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.database.database import Database
+from repro.storage.filesystem import ClusterFileSystem
+
+
+def hash_value_to_shard(value, n_shards: int) -> int:
+    """Deterministic hash partitioning for distribution-key values.
+
+    NULL distribution keys all land on shard 0 (they compare equal for
+    co-partitioned joins only via non-null keys anyway).
+    """
+    if value is None:
+        return 0
+    return zlib.crc32(repr(value).encode()) % n_shards
+
+
+class Shard:
+    """One hash partition: local engine plus its fileset path."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        filesystem: ClusterFileSystem,
+        bufferpool_pages: int = 256,
+        clock=None,
+    ):
+        self.shard_id = shard_id
+        self.filesystem = filesystem
+        self.engine = Database(
+            name="SHARD%d" % shard_id,
+            bufferpool_pages=bufferpool_pages,
+            clock=clock,
+        )
+        self.fileset_path = "shards/s%04d" % shard_id
+        filesystem.mkdir(self.fileset_path)
+        self._register_fileset()
+
+    def _register_fileset(self) -> None:
+        self.filesystem.write_file(
+            "%s/fileset" % self.fileset_path, self, self.data_bytes()
+        )
+
+    def data_bytes(self) -> int:
+        """Compressed bytes held by this shard."""
+        return self.engine.total_compressed_bytes()
+
+    def sync_fileset(self) -> None:
+        """Refresh the fileset's recorded size after DML."""
+        self.filesystem.write_file(
+            "%s/fileset" % self.fileset_path, self, self.data_bytes()
+        )
+
+    def n_rows(self, table_name: str) -> int:
+        return self.engine.catalog.get_table(table_name).table.n_rows
+
+    def __repr__(self) -> str:
+        return "Shard(%d)" % self.shard_id

@@ -1,0 +1,38 @@
+"""Column compression: frequency, minus, and prefix encodings.
+
+Implements paper section II.B.1 (compression methods) and the
+order-preserving property required by II.B.2 (operating on compressed data):
+
+* :mod:`repro.compression.dictionary` — order-preserving dictionaries.
+* :mod:`repro.compression.frequency` — frequency partitions (Huffman-style
+  tiers) so the most frequent values take the fewest bits.
+* :mod:`repro.compression.minus` — minus (frame-of-reference) encoding for
+  high-cardinality numerics.
+* :mod:`repro.compression.prefix` — common-prefix elimination for strings.
+* :mod:`repro.compression.codec` — per-column codec selection and the
+  compressed-column container used by the storage layer.
+"""
+
+from repro.compression.codec import (
+    CompressedColumn,
+    DictionaryCodec,
+    MinusCodec,
+    compress_column,
+)
+from repro.compression.dictionary import OrderPreservingDictionary
+from repro.compression.frequency import FrequencyEncoding
+from repro.compression.minus import MinusEncoding
+from repro.compression.prefix import common_prefix, prefix_compress, prefix_decompress
+
+__all__ = [
+    "CompressedColumn",
+    "DictionaryCodec",
+    "FrequencyEncoding",
+    "MinusCodec",
+    "MinusEncoding",
+    "OrderPreservingDictionary",
+    "common_prefix",
+    "compress_column",
+    "prefix_compress",
+    "prefix_decompress",
+]

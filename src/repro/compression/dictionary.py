@@ -1,0 +1,107 @@
+"""Order-preserving dictionary encoding.
+
+The simplest of the paper's encodings: distinct values are sorted and codes
+assigned in value order, so ``code(a) < code(b)  <=>  a < b``.  Equality and
+range predicates can then be evaluated directly on codes without decoding
+(paper section II.B.2).  :mod:`repro.compression.frequency` builds the
+frequency-partitioned variant on top of this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bitpack import bits_needed
+
+
+class OrderPreservingDictionary:
+    """A global, order-preserving code assignment for one column.
+
+    Codes are dense integers ``0 .. cardinality-1`` assigned in sorted value
+    order.  Works for any value domain numpy can sort (ints, floats, strings
+    via object arrays).
+    """
+
+    def __init__(self, values: np.ndarray):
+        """Build from the distinct values of a column (order irrelevant)."""
+        distinct = np.unique(np.asarray(values))
+        self._values = distinct
+        self._width = bits_needed(max(0, distinct.size - 1))
+        if distinct.dtype == object:
+            self._index = {v: i for i, v in enumerate(distinct)}
+        else:
+            self._index = None
+
+    @property
+    def cardinality(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def code_width(self) -> int:
+        """Bits needed for any code."""
+        return self._width
+
+    @property
+    def values(self) -> np.ndarray:
+        """Distinct values in code order (ascending value order)."""
+        return self._values
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map values to their codes.
+
+        Raises:
+            KeyError: if a value is not in the dictionary.
+        """
+        values = np.asarray(values)
+        if self._index is not None:
+            out = np.empty(values.size, dtype=np.uint64)
+            for i, v in enumerate(values.reshape(-1)):
+                out[i] = self._index[v]
+            return out
+        codes = np.searchsorted(self._values, values)
+        codes = np.minimum(codes, max(0, self._values.size - 1))
+        if values.size and not np.array_equal(self._values[codes], values):
+            bad = values[self._values[codes] != values]
+            raise KeyError("value %r not in dictionary" % (bad.reshape(-1)[0],))
+        return codes.astype(np.uint64)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to values."""
+        return self._values[np.asarray(codes, dtype=np.int64)]
+
+    def code_for(self, value) -> int | None:
+        """Code for one value, or None if absent (used by predicates)."""
+        if self._index is not None:
+            return self._index.get(value)
+        pos = int(np.searchsorted(self._values, value))
+        if pos < self._values.size and self._values[pos] == value:
+            return pos
+        return None
+
+    def code_range(self, lo, hi, *, lo_open: bool = False, hi_open: bool = False):
+        """Translate a value range into a code range, or None if empty.
+
+        Returns an inclusive ``(code_lo, code_hi)`` pair covering exactly the
+        dictionary values within the value interval.  Open bounds exclude the
+        endpoint.  ``lo``/``hi`` of ``None`` mean unbounded.
+        """
+        n = self._values.size
+        if n == 0:
+            return None
+        code_lo = 0
+        code_hi = n - 1
+        if lo is not None:
+            side = "right" if lo_open else "left"
+            code_lo = int(np.searchsorted(self._values, lo, side=side))
+        if hi is not None:
+            side = "left" if hi_open else "right"
+            code_hi = int(np.searchsorted(self._values, hi, side=side)) - 1
+        if code_lo > code_hi:
+            return None
+        return code_lo, code_hi
+
+    def nbytes(self) -> int:
+        """Approximate size of the dictionary itself."""
+        if self._values.dtype == object:
+            return sum(len(str(v)) for v in self._values) + 8 * self._values.size
+        return int(self._values.nbytes)

@@ -1,0 +1,89 @@
+"""Minus (frame-of-reference) encoding for high-cardinality numerics.
+
+Paper section II.B.1: "minus encoding methods for high cardinality
+numeric".  Values are stored as unsigned offsets from a base (the minimum of
+the region), which is trivially order-preserving, so all comparisons run on
+codes after shifting the constant by the same base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bitpack import bits_needed
+
+
+class MinusEncoding:
+    """Offsets-from-minimum encoding over an integer domain."""
+
+    def __init__(self, values: np.ndarray):
+        """Derive base and width from the (non-null) values of a region."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            self._base = 0
+            self._width = 1
+        else:
+            self._base = int(values.min())
+            spread = int(values.max()) - self._base
+            self._width = bits_needed(spread)
+        self._max_code = (1 << self._width) - 1
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def code_width(self) -> int:
+        return self._width
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map values to codes (``value - base``)."""
+        values = np.asarray(values, dtype=np.int64)
+        codes = values - self._base
+        if codes.size and (codes.min() < 0 or codes.max() > self._max_code):
+            raise ValueError("value outside the encoded domain")
+        return codes.astype(np.uint64)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to values."""
+        return np.asarray(codes, dtype=np.int64) + self._base
+
+    def code_for(self, value) -> int | None:
+        """Code for one value, or None when it is outside the domain."""
+        code = int(value) - self._base
+        if 0 <= code <= self._max_code:
+            return code
+        return None
+
+    def code_ranges(self, lo, hi, *, lo_open: bool = False, hi_open: bool = False):
+        """Translate a value range to (at most one) inclusive code range.
+
+        Bounds may be non-integral (a float constant compared against an
+        integer-coded column); they round to the nearest integer inside the
+        interval.
+        """
+        import math
+
+        code_lo = 0
+        code_hi = self._max_code
+        if lo is not None:
+            if lo_open:
+                bound = math.floor(lo) + 1  # smallest integer > lo
+            else:
+                bound = math.ceil(lo)  # smallest integer >= lo
+            code_lo = bound - self._base
+        if hi is not None:
+            if hi_open:
+                bound = math.ceil(hi) - 1  # largest integer < hi
+            else:
+                bound = math.floor(hi)  # largest integer <= hi
+            code_hi = bound - self._base
+        code_lo = max(code_lo, 0)
+        code_hi = min(code_hi, self._max_code)
+        if code_lo > code_hi:
+            return []
+        return [(code_lo, code_hi)]
+
+    def nbytes(self) -> int:
+        """Metadata footprint (base + width)."""
+        return 16

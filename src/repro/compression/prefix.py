@@ -1,0 +1,46 @@
+"""Prefix compression for string columns.
+
+Paper section II.B.1: "Prefix compression methods are also used to eliminate
+storage for commonly occurring string prefixes."  The shared prefix of a
+region is stored once; each value keeps only its suffix.  Stripping a common
+prefix preserves ordering, so the result remains usable by order-preserving
+dictionaries.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def common_prefix(strings) -> str:
+    """Longest prefix shared by every string in the sequence."""
+    strings = list(strings)
+    if not strings:
+        return ""
+    return os.path.commonprefix([s for s in strings])
+
+
+def prefix_compress(strings) -> tuple[str, list[str]]:
+    """Split strings into ``(shared_prefix, suffixes)``.
+
+    >>> prefix_compress(["ORDER_2016_01", "ORDER_2016_02"])
+    ('ORDER_2016_0', ['1', '2'])
+    """
+    strings = list(strings)
+    prefix = common_prefix(strings)
+    cut = len(prefix)
+    return prefix, [s[cut:] for s in strings]
+
+
+def prefix_decompress(prefix: str, suffixes) -> list[str]:
+    """Inverse of :func:`prefix_compress`."""
+    return [prefix + s for s in suffixes]
+
+
+def prefix_savings(strings) -> int:
+    """Bytes saved by prefix compression over storing strings verbatim."""
+    strings = list(strings)
+    prefix = common_prefix(strings)
+    if not strings:
+        return 0
+    return max(0, len(prefix) * len(strings) - len(prefix))

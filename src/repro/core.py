@@ -1,0 +1,98 @@
+"""The integrated dashDB Local product facade.
+
+What a user gets after ``docker run``: the SQL warehouse engine, automatic
+hardware adaptation, the integrated Spark environment with its per-user
+dispatcher and stored procedures, in-database analytics, geospatial SQL,
+and federation — assembled and ready (paper II.D.1: "the system is
+operational out of the box").
+"""
+
+from __future__ import annotations
+
+import repro.geospatial.functions  # noqa: F401  (installs ST_* into SQL)
+from repro.analytics.idax import IdaDataFrame
+from repro.cluster.autoconfig import InstanceConfig, auto_configure
+from repro.cluster.hardware import HARDWARE_PRESETS, HardwareSpec
+from repro.database.database import Database
+from repro.database.session import Session
+from repro.federation.connectors import RemoteStore
+from repro.federation.nickname import add_nickname
+from repro.spark.dispatcher import SparkDispatcher
+from repro.spark.integration import DashDBSparkContext
+from repro.spark.procedures import SparkAppRegistry, install_spark_procedures
+from repro.util.timer import SimClock
+
+
+class DashDBLocal:
+    """A single-node dashDB Local instance: SQL + Spark + analytics.
+
+    Args:
+        hardware: the host's hardware (a preset name or a
+            :class:`HardwareSpec`); drives automatic configuration.
+        compatibility: "oracle" selects the Oracle-compatibility image.
+        clock: optional simulated clock for deterministic time functions.
+
+    Example:
+        >>> dash = DashDBLocal(hardware="laptop")
+        >>> session = dash.connect()
+        >>> session.execute("CREATE TABLE t (a INT)").message
+        'table T created'
+    """
+
+    def __init__(
+        self,
+        hardware: str | HardwareSpec = "laptop",
+        compatibility: str | None = None,
+        clock: SimClock | None = None,
+    ):
+        if isinstance(hardware, str):
+            hardware = HARDWARE_PRESETS[hardware]
+        self.hardware = hardware
+        #: Automatic adaptation to the host (paper II.A).
+        self.config: InstanceConfig = auto_configure(hardware)
+        self.database = Database(
+            compatibility=compatibility,
+            bufferpool_pages=min(self.config.bufferpool_pages, 65_536),
+            clock=clock,
+        )
+        #: The integrated Spark environment (paper II.D).
+        self.spark_dispatcher = SparkDispatcher(
+            total_memory_bytes=self.config.instance_memory_bytes
+            - self.config.bufferpool_bytes,
+            default_parallelism=max(2, hardware.cores // 2),
+        )
+        self.spark_apps = SparkAppRegistry()
+        install_spark_procedures(self.database, self.spark_dispatcher, self.spark_apps)
+
+    # -- SQL ------------------------------------------------------------------
+
+    def connect(self, dialect: str | None = None) -> Session:
+        """Open a SQL session (the JDBC/ODBC entry point)."""
+        return self.database.connect(dialect)
+
+    # -- Spark ----------------------------------------------------------------
+
+    def submit_spark(self, user: str, app_name: str, main_fn):
+        """Submit a Spark application (the spark_submit / REST path)."""
+        return self.spark_dispatcher.submit(user, app_name, main_fn)
+
+    def deploy_spark_app(self, name: str, main_fn) -> None:
+        """One-click deployment of a notebook-derived application."""
+        self.spark_apps.deploy(name, main_fn)
+
+    # -- analytics ---------------------------------------------------------------
+
+    def ida(self, table_name: str, dialect: str | None = None) -> IdaDataFrame:
+        """The R/Python in-database analytics API (paper II.C.4)."""
+        return IdaDataFrame(self.connect(dialect), table_name)
+
+    # -- federation ----------------------------------------------------------------
+
+    def add_nickname(self, nickname: str, store: RemoteStore, remote_table: str):
+        """Fluid Query: expose a remote table under a local name (II.C.6)."""
+        return add_nickname(self.database, nickname, store, remote_table)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def configuration_summary(self) -> str:
+        return self.config.explain()

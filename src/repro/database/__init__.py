@@ -1,0 +1,7 @@
+"""Single-node database: sessions, statement execution, results."""
+
+from repro.database.database import Database
+from repro.database.result import Result
+from repro.database.session import Session
+
+__all__ = ["Database", "Result", "Session"]

@@ -1,0 +1,542 @@
+"""The single-node dashDB database engine.
+
+Executes every statement class the paper's workloads use (III: INSERT,
+UPDATE, DROP, SELECT, CREATE, DELETE, WITH, EXPLAIN, TRUNCATE) over the
+column-organised storage layer, through the dialect-aware SQL front end.
+One Database is one shard-group member in the MPP layer (or the whole
+system in single-node deployments).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from repro.bufferpool import BufferPool, make_policy
+from repro.catalog.catalog import Catalog, NicknameInfo, TableInfo, ViewInfo
+from repro.database.result import Result, result_from_batch
+from repro.database.session import Session
+from repro.engine.expression import Batch, selection_mask
+from repro.errors import (
+    DialectError,
+    SQLError,
+    UnknownObjectError,
+    UnsupportedFeatureError,
+)
+from repro.sql import ast
+from repro.sql.binder import ExpressionBinder, Scope, ScopeColumn
+from repro.sql.dialects import get_dialect, resolve_type
+from repro.sql.parser import parse_statement, parse_statements
+from repro.sql.planner import PlannedQuery, SelectPlanner
+from repro.storage.column import ColumnVector, to_boundary_scalar
+from repro.storage.page import PageId
+from repro.storage.table import ColumnTable, TableSchema
+from repro.util.timer import SimClock
+
+DEFAULT_BUFFERPOOL_PAGES = 1024
+
+
+class Database:
+    """A single dashDB Local database instance.
+
+    Args:
+        name: database name (dashDB's default is BLUDB).
+        compatibility: "oracle" selects the Oracle-compatibility deployment
+            image (VARCHAR2 semantics; paper II.C.2); None is the standard
+            image.
+        bufferpool_pages: page frames in the buffer pool.
+        bufferpool_policy: replacement policy name (default the paper's
+            randomized-weight policy).
+        clock: optional SimClock; when set, CURRENT_DATE/TIMESTAMP are
+            simulated (deterministic benchmarks).
+    """
+
+    def __init__(
+        self,
+        name: str = "BLUDB",
+        compatibility: str | None = None,
+        bufferpool_pages: int = DEFAULT_BUFFERPOOL_PAGES,
+        bufferpool_policy: str = "random-weight",
+        clock: SimClock | None = None,
+        region_rows: int = 65_536,
+        scan_options: dict | None = None,
+    ):
+        self.name = name
+        self.compatibility = compatibility
+        self.catalog = Catalog()
+        self.bufferpool = BufferPool(bufferpool_pages, make_policy(bufferpool_policy))
+        self.clock = clock
+        self.region_rows = region_rows
+        #: Engine feature flags for scans (used by ablation baselines):
+        #: {"use_skipping": bool, "use_compressed_eval": bool}.
+        self.scan_options = scan_options
+        self.procedures: dict[str, object] = {}
+        self.statement_count = 0
+        #: Scans created while planning the most recent statement.
+        self.last_scans: list = []
+
+    def note_scan(self, scan) -> None:
+        """Planner callback: remember scans for per-query byte accounting."""
+        self.last_scans.append(scan)
+
+    def last_query_bytes(self) -> tuple[int, int]:
+        """(compressed, raw-equivalent) bytes scanned by the last query."""
+        compressed = sum(s.stats.bytes_scanned for s in self.last_scans)
+        raw = sum(s.stats.raw_bytes_scanned for s in self.last_scans)
+        return compressed, raw
+
+    # -- connections -----------------------------------------------------------
+
+    def connect(self, dialect: str | None = None) -> Session:
+        """Open a session; the default dialect follows the deployment image."""
+        if dialect is None:
+            dialect = "oracle" if self.compatibility == "oracle" else "db2"
+        return Session(self, dialect)
+
+    # -- time --------------------------------------------------------------------
+
+    def current_date(self) -> datetime.date:
+        if self.clock is not None:
+            return datetime.date(2016, 1, 1) + datetime.timedelta(
+                days=int(self.clock.now // 86400)
+            )
+        return datetime.date.today()
+
+    def current_timestamp(self) -> datetime.datetime:
+        if self.clock is not None:
+            return datetime.datetime(2016, 1, 1) + datetime.timedelta(
+                seconds=self.clock.now
+            )
+        return datetime.datetime.now()
+
+    # -- page source (buffer pool integration) --------------------------------------
+
+    def page_source(self, table: str, column: str, region: int, loader):
+        page_id = PageId(table=table, column=column, extent=region)
+        return self.bufferpool.get(page_id, loader)
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute_script(self, sql: str, session: Session | None = None) -> list[Result]:
+        session = session or self.connect()
+        return [
+            self._execute_node(node, session) for node in parse_statements(sql)
+        ]
+
+    def execute(self, sql: str, session: Session | None = None) -> Result:
+        session = session or self.connect()
+        node = parse_statement(sql)
+        return self._execute_node(node, session)
+
+    def execute_ast(self, node: ast.Node, session: Session | None = None) -> Result:
+        """Execute a pre-parsed statement (used by the MPP layer, which
+        rewrites ASTs for partial/global aggregation)."""
+        session = session or self.connect()
+        return self._execute_node(node, session)
+
+    def evaluate_rows(self, ast_rows, session: Session | None = None) -> list[list]:
+        """Evaluate constant VALUES rows to boundary values."""
+        session = session or self.connect()
+        return self._evaluate_rows(ast_rows, session)
+
+    def _planner(self, session: Session) -> SelectPlanner:
+        return SelectPlanner(
+            self, session.dialect, page_source=self.page_source, session=session
+        )
+
+    def _execute_node(self, node: ast.Node, session: Session) -> Result:
+        self.statement_count += 1
+        if isinstance(node, ast.Select):
+            self.last_scans = []
+            planned = self._planner(session).plan(node)
+            return result_from_batch(
+                planned.run(), planned.names, planned.keys, planned.dtypes
+            )
+        if isinstance(node, ast.ValuesStatement):
+            return self._execute_values(node, session)
+        if isinstance(node, ast.Insert):
+            return self._execute_insert(node, session)
+        if isinstance(node, ast.Update):
+            return self._execute_update(node, session)
+        if isinstance(node, ast.Delete):
+            return self._execute_delete(node, session)
+        if isinstance(node, ast.CreateTable):
+            return self._execute_create_table(node, session)
+        if isinstance(node, ast.DropTable):
+            return self._execute_drop_table(node, session)
+        if isinstance(node, ast.TruncateTable):
+            return self._execute_truncate(node, session)
+        if isinstance(node, ast.CreateView):
+            return self._execute_create_view(node, session)
+        if isinstance(node, ast.DropView):
+            self.catalog.drop(node.name.name, node.name.schema)
+            return Result(message="view dropped")
+        if isinstance(node, ast.CreateSequence):
+            self.catalog.create_sequence(
+                node.name,
+                start=node.start,
+                increment=node.increment,
+                minvalue=node.minvalue,
+                maxvalue=node.maxvalue,
+                cycle=node.cycle,
+            )
+            return Result(message="sequence created")
+        if isinstance(node, ast.DropSequence):
+            self.catalog.drop_sequence(node.name)
+            return Result(message="sequence dropped")
+        if isinstance(node, ast.CreateAlias):
+            self.catalog.create_alias(node.name.name, node.target.name, node.name.schema)
+            return Result(message="alias created")
+        if isinstance(node, ast.SetStatement):
+            return self._execute_set(node, session)
+        if isinstance(node, ast.ExplainStatement):
+            return self._execute_explain(node, session)
+        if isinstance(node, ast.CallStatement):
+            return self._execute_call(node, session)
+        if isinstance(node, ast.AnonymousBlock):
+            last = Result(message="block executed")
+            for statement in node.statements:
+                last = self._execute_node(statement, session)
+            return last
+        raise UnsupportedFeatureError(
+            "statement %s not supported" % type(node).__name__
+        )
+
+    # -- VALUES ------------------------------------------------------------------------
+
+    def _execute_values(self, node: ast.ValuesStatement, session: Session) -> Result:
+        if not session.dialect.allows_top_level_values:
+            raise DialectError("top-level VALUES requires the DB2 dialect")
+        rows = self._evaluate_rows(node.rows, session)
+        width = len(node.rows[0])
+        names = ["%d" % (i + 1) for i in range(width)]
+        return Result(columns=names, rows=[tuple(r) for r in rows], rowcount=len(rows))
+
+    def _evaluate_rows(self, ast_rows, session: Session) -> list[list]:
+        binder = ExpressionBinder(Scope([]), session.dialect, self)
+        binder.subquery_planner = self._planner(session)
+        out = []
+        width = len(ast_rows[0])
+        for ast_row in ast_rows:
+            if len(ast_row) != width:
+                raise SQLError("VALUES rows have differing widths")
+            row = []
+            for expr_node in ast_row:
+                expr = binder.bind(expr_node)
+                value = expr.eval_row({})
+                row.append(to_boundary_scalar(value, expr.dtype))
+            out.append(row)
+        return out
+
+    # -- INSERT -------------------------------------------------------------------------
+
+    def _resolve_target(self, ref: ast.TableRef, session: Session) -> ColumnTable:
+        if ref.schema is None or ref.schema == "SESSION":
+            temp = session.get_temp_table(ref.name)
+            if temp is not None:
+                return temp
+        if ref.schema == "SESSION":
+            raise UnknownObjectError("no declared temp table %s" % ref.name)
+        info = self.catalog.resolve(ref.name, ref.schema)
+        if isinstance(info, TableInfo):
+            return info.table
+        raise SQLError("%s is not a base table" % ref.name)
+
+    def _execute_insert(self, node: ast.Insert, session: Session) -> Result:
+        table = self._resolve_target(node.table, session)
+        schema = table.schema
+        names = schema.column_names
+        if node.columns is not None:
+            targets = [c.upper() for c in node.columns]
+            for t in targets:
+                if t not in names:
+                    raise SQLError("column %s not in table %s" % (t, schema.name))
+        else:
+            targets = names
+        if node.rows is not None:
+            raw_rows = self._evaluate_rows(node.rows, session)
+        else:
+            planned = self._planner(session).plan(node.select)
+            result = result_from_batch(
+                planned.run(), planned.names, planned.keys, planned.dtypes
+            )
+            raw_rows = [list(r) for r in result.rows]
+        rows = []
+        for raw in raw_rows:
+            if len(raw) != len(targets):
+                raise SQLError(
+                    "INSERT has %d values for %d columns" % (len(raw), len(targets))
+                )
+            by_name = dict(zip(targets, raw))
+            rows.append(tuple(by_name.get(n) for n in names))
+        oracle_strings = self.compatibility == "oracle"
+        if oracle_strings:
+            rows = [
+                tuple(None if v == "" else v for v in row) for row in rows
+            ]
+        count = table.insert_rows(rows)
+        return Result(rowcount=count, message="%d row(s) inserted" % count)
+
+    # -- UPDATE / DELETE -----------------------------------------------------------------
+
+    def _table_batch(self, table: ColumnTable, alias: str) -> tuple[Batch, Scope, np.ndarray]:
+        columns = {}
+        scope_columns = []
+        for cname, dtype in table.schema.columns:
+            key = "%s.%s" % (alias, cname)
+            columns[key] = table.column_vector(cname)
+            scope_columns.append(ScopeColumn(key, cname, alias, dtype))
+        live = table.live_mask()
+        batch = Batch.from_columns(columns) if columns else Batch({}, 0)
+        return batch, Scope(scope_columns), live
+
+    def _match_mask(self, table, alias, where, session) -> np.ndarray:
+        batch, scope, live = self._table_batch(table, alias)
+        if where is None:
+            return live
+        binder = ExpressionBinder(scope, session.dialect, self)
+        binder.subquery_planner = self._planner(session)
+        predicate = binder.bind(where)
+        return selection_mask(predicate, batch) & live
+
+    def _execute_delete(self, node: ast.Delete, session: Session) -> Result:
+        table = self._resolve_target(node.table, session)
+        alias = (node.table.alias or node.table.name).upper()
+        mask = self._match_mask(table, alias, node.where, session)
+        count = table.apply_deletes(mask)
+        return Result(rowcount=count, message="%d row(s) deleted" % count)
+
+    def _execute_update(self, node: ast.Update, session: Session) -> Result:
+        table = self._resolve_target(node.table, session)
+        alias = (node.table.alias or node.table.name).upper()
+        batch, scope, live = self._table_batch(table, alias)
+        binder = ExpressionBinder(scope, session.dialect, self)
+        binder.subquery_planner = self._planner(session)
+        if node.where is not None:
+            mask = selection_mask(binder.bind(node.where), batch) & live
+        else:
+            mask = live
+        count = int(mask.sum())
+        if count == 0:
+            return Result(rowcount=0, message="0 row(s) updated")
+        assignments = []
+        for column, expr_node in node.assignments:
+            cname = column.upper()
+            dtype = table.schema.column_type(cname)
+            assignments.append((cname, dtype, binder.bind(expr_node)))
+        # Column-store update = read matched rows, tombstone, re-insert.
+        matched = batch.filter(mask)
+        names = table.schema.column_names
+        rows = []
+        for i in range(matched.n):
+            row_ctx = {}
+            for key, vector in matched.columns.items():
+                row_ctx[key] = (
+                    None if vector.null_mask()[i] else _unwrap(vector.values[i])
+                )
+            new_row = []
+            for cname, dtype in table.schema.columns:
+                key = "%s.%s" % (alias, cname)
+                value = row_ctx[key]
+                boundary = to_boundary_scalar(value, dtype) if value is not None else None
+                new_row.append(boundary)
+            for cname, dtype, expr in assignments:
+                physical = expr.eval_row(row_ctx)
+                index = names.index(cname)
+                new_row[index] = (
+                    None if physical is None else to_boundary_scalar(
+                        _coerce_assignment(physical, expr.dtype, dtype), dtype
+                    )
+                )
+            rows.append(tuple(new_row))
+        table.apply_deletes(mask)
+        table.insert_rows(rows)
+        self.bufferpool.invalidate_table(table.schema.name)
+        return Result(rowcount=count, message="%d row(s) updated" % count)
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _execute_create_table(self, node: ast.CreateTable, session: Session) -> Result:
+        name = node.name.name.upper()
+        if node.as_select is not None:
+            planned = self._planner(session).plan(node.as_select)
+            result = result_from_batch(
+                planned.run(), planned.names, planned.keys, planned.dtypes
+            )
+            schema = TableSchema(
+                name,
+                tuple(
+                    (n.upper(), dt) for n, dt in zip(planned.names, planned.dtypes)
+                ),
+            )
+            if node.temporary:
+                table = session.declare_temp_table(schema, region_rows=self.region_rows)
+            else:
+                table = self.catalog.create_table(
+                    schema, node.name.schema, region_rows=self.region_rows
+                ).table
+            table.insert_rows([list(r) for r in result.rows])
+            return Result(message="table %s created (%d rows)" % (name, len(result.rows)))
+        columns = []
+        unique = []
+        not_null = []
+        for cdef in node.columns:
+            dtype = resolve_type(cdef.type_name, cdef.length, cdef.precision, cdef.scale)
+            columns.append((cdef.name.upper(), dtype))
+            if cdef.unique or cdef.primary_key:
+                unique.append(cdef.name.upper())
+            if cdef.not_null:
+                not_null.append(cdef.name.upper())
+        schema = TableSchema(name, tuple(columns))
+        if node.temporary:
+            session.declare_temp_table(
+                schema,
+                region_rows=self.region_rows,
+                unique_columns=tuple(unique),
+                not_null_columns=tuple(not_null),
+            )
+            return Result(message="temporary table %s declared" % name)
+        self.catalog.create_table(
+            schema,
+            node.name.schema,
+            region_rows=self.region_rows,
+            unique_columns=tuple(unique),
+            not_null_columns=tuple(not_null),
+        )
+        return Result(message="table %s created" % name)
+
+    def _execute_drop_table(self, node: ast.DropTable, session: Session) -> Result:
+        name = node.name.name
+        if node.name.schema is None and session.drop_temp_table(name):
+            return Result(message="temporary table %s dropped" % name.upper())
+        try:
+            self.catalog.drop(name, node.name.schema)
+        except UnknownObjectError:
+            if node.if_exists:
+                return Result(message="table %s did not exist" % name.upper())
+            raise
+        self.bufferpool.invalidate_table(name.upper())
+        return Result(message="table %s dropped" % name.upper())
+
+    def _execute_truncate(self, node: ast.TruncateTable, session: Session) -> Result:
+        table = self._resolve_target(node.name, session)
+        table.truncate()
+        self.bufferpool.invalidate_table(table.schema.name)
+        return Result(message="table %s truncated" % table.schema.name)
+
+    def _execute_create_view(self, node: ast.CreateView, session: Session) -> Result:
+        # The creating session's dialect is pinned to the view (II.C.2).
+        self.catalog.create_view(
+            node.name.name,
+            node.select_text,
+            session.dialect.name,
+            node.name.schema,
+            node.column_names,
+            replace=node.or_replace,
+        )
+        return Result(message="view %s created" % node.name.name.upper())
+
+    # -- SET / EXPLAIN / CALL -------------------------------------------------------------
+
+    def _execute_set(self, node: ast.SetStatement, session: Session) -> Result:
+        name = node.name.upper()
+        value = node.value.strip("'")
+        if name in ("SQL_COMPAT", "SQL_DIALECT", "CURRENT SQL_COMPAT"):
+            session.set_dialect(value)
+            return Result(message="dialect set to %s" % session.dialect.name)
+        if name in ("SCHEMA", "CURRENT SCHEMA"):
+            session.current_schema = value.upper()
+            return Result(message="schema set to %s" % value.upper())
+        session.variables[name] = value
+        return Result(message="%s set" % name)
+
+    def _execute_explain(self, node: ast.ExplainStatement, session: Session) -> Result:
+        if not isinstance(node.statement, ast.Select):
+            return Result(columns=["PLAN"], rows=[("non-query statement",)], rowcount=1)
+        planned = self._planner(session).plan(node.statement)
+        lines = _describe_plan(planned.op)
+        return Result(columns=["PLAN"], rows=[(l,) for l in lines], rowcount=len(lines))
+
+    def _execute_call(self, node: ast.CallStatement, session: Session) -> Result:
+        proc = self.procedures.get(node.name.upper())
+        if proc is None:
+            raise UnknownObjectError("no procedure %s" % node.name)
+        binder = ExpressionBinder(Scope([]), session.dialect, self)
+        args = []
+        for arg_node in node.args:
+            expr = binder.bind(arg_node)
+            args.append(to_boundary_scalar(expr.eval_row({}), expr.dtype))
+        return proc(self, session, args)
+
+    # -- misc -------------------------------------------------------------------------------
+
+    def register_procedure(self, name: str, fn) -> None:
+        """Install a stored procedure (CALL name(...)).
+
+        ``fn(database, session, args) -> Result``.
+        """
+        self.procedures[name.upper()] = fn
+
+    def table_names(self) -> list[str]:
+        return [
+            name
+            for name in self.catalog.objects()
+            if isinstance(self.catalog.try_resolve(name), TableInfo)
+        ]
+
+    def total_compressed_bytes(self) -> int:
+        total = 0
+        for name in self.table_names():
+            total += self.catalog.get_table(name).table.compressed_nbytes()
+        return total
+
+
+def _unwrap(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _coerce_assignment(physical, from_dt, to_dt):
+    """Adjust a physical value produced by an expression to a column type."""
+    from repro.types.datatypes import TypeKind
+
+    if from_dt.kind is TypeKind.DECIMAL and to_dt.kind is TypeKind.DECIMAL:
+        shift = to_dt.scale - from_dt.scale
+        if shift >= 0:
+            return physical * (10 ** shift)
+        return physical // (10 ** -shift)
+    if from_dt.kind is TypeKind.DECIMAL and to_dt.is_approximate:
+        return physical / (10 ** from_dt.scale)
+    if from_dt.is_approximate and to_dt.kind is TypeKind.DECIMAL:
+        return int(round(physical * (10 ** to_dt.scale)))
+    if from_dt.is_integer and to_dt.kind is TypeKind.DECIMAL:
+        return physical * (10 ** to_dt.scale)
+    return physical
+
+
+def _describe_plan(op, depth: int = 0) -> list[str]:
+    name = type(op).__name__
+    details = ""
+    from repro.engine.operators import TableScanOp
+
+    if isinstance(op, TableScanOp):
+        preds = ", ".join(
+            "%s %s" % (p.column, p.op) for p in op.pushed
+        )
+        details = " %s(%s)%s" % (
+            op.table.schema.name,
+            ", ".join(op.columns),
+            (" WHERE " + preds) if preds else "",
+        )
+    lines = ["%s%s%s" % ("  " * depth, name, details)]
+    for attr in ("child", "left", "right"):
+        sub = getattr(op, attr, None)
+        if sub is not None and hasattr(sub, "execute"):
+            lines.extend(_describe_plan(sub, depth + 1))
+    children = getattr(op, "children", None)
+    if children:
+        for sub in children:
+            lines.extend(_describe_plan(sub, depth + 1))
+    return lines

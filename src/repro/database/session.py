@@ -1,0 +1,65 @@
+"""Sessions: the connection-scoped state.
+
+Each session carries its **dialect variable** (paper II.C.2: "a session
+variable is leveraged allowing individual sessions to decide the dialect to
+use when compiling SQL"), its declared temporary tables, and Oracle-style
+sequence CURRVAL state lives on the shared catalog sequences.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql.dialects import Dialect, get_dialect
+from repro.storage.table import ColumnTable, TableSchema
+
+
+class Session:
+    """One client connection to a :class:`~repro.database.database.Database`."""
+
+    def __init__(self, database, dialect: str = "db2"):
+        self.database = database
+        self.dialect: Dialect = get_dialect(dialect)
+        self._temp_tables: dict[str, ColumnTable] = {}
+        self.current_schema: str | None = None
+        self.variables: dict[str, str] = {}
+
+    # -- dialect ---------------------------------------------------------------
+
+    def set_dialect(self, name: str) -> None:
+        self.dialect = get_dialect(name)
+
+    # -- temporary tables --------------------------------------------------------
+
+    def declare_temp_table(self, schema: TableSchema, **kwargs) -> ColumnTable:
+        key = schema.name.upper()
+        if key in self._temp_tables:
+            raise SQLError("temporary table %s already declared" % key)
+        table = ColumnTable(schema, **kwargs)
+        self._temp_tables[key] = table
+        return table
+
+    def get_temp_table(self, name: str) -> ColumnTable | None:
+        return self._temp_tables.get(name.upper())
+
+    def drop_temp_table(self, name: str) -> bool:
+        return self._temp_tables.pop(name.upper(), None) is not None
+
+    def temp_table_names(self) -> list[str]:
+        return sorted(self._temp_tables)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str):
+        """Run one statement and return its :class:`Result`."""
+        return self.database.execute(sql, session=self)
+
+    def execute_script(self, sql: str) -> list:
+        """Run a ';'-separated script, returning one Result per statement."""
+        return self.database.execute_script(sql, session=self)
+
+    def query(self, sql: str) -> list[tuple]:
+        """Run a query and return its rows."""
+        return self.execute(sql).rows
+
+    def close(self) -> None:
+        self._temp_tables.clear()

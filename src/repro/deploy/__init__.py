@@ -1,0 +1,29 @@
+"""Container deployment simulator (paper II.A, Fig. 1).
+
+Models the Docker-based deployment story: an image registry, hosts running
+a container engine, the dashDB Local container with its packaged software
+stack, automatic hardware adaptation during first boot, stack update by
+container replacement, and full-cluster deployment timing (the "<30
+minutes" claim).
+"""
+
+from repro.deploy.container import Container, ContainerImage, Host
+from repro.deploy.deployer import (
+    DeploymentReport,
+    deploy_cluster,
+    deploy_single_node,
+    update_stack,
+)
+from repro.deploy.registry import DASHDB_IMAGE, ImageRegistry
+
+__all__ = [
+    "Container",
+    "ContainerImage",
+    "DASHDB_IMAGE",
+    "DeploymentReport",
+    "Host",
+    "ImageRegistry",
+    "deploy_cluster",
+    "deploy_single_node",
+    "update_stack",
+]

@@ -1,0 +1,115 @@
+"""Containers, images, and hosts.
+
+Paper Fig. 1 divides responsibility: the customer owns the host OS, the
+Docker engine, and the clustered filesystem mount; IBM owns everything
+inside the image ("the application container is consistent and
+'stateless'").  "Only one dashDB Local container per Docker host."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.hardware import HardwareSpec
+from repro.errors import DeploymentError
+
+_container_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An immutable software-stack image."""
+
+    name: str
+    tag: str
+    size_gb: float
+    #: The packaged stack (paper Fig. 1 contents).
+    stack: tuple[str, ...] = (
+        "dashdb-engine",
+        "blu-runtime",
+        "apache-spark",
+        "web-console",
+        "ldap",
+        "dsm-monitoring",
+    )
+
+    @property
+    def ref(self) -> str:
+        return "%s:%s" % (self.name, self.tag)
+
+
+@dataclass
+class Container:
+    """One container instance on a host."""
+
+    image: ContainerImage
+    host: "Host"
+    name: str = ""
+    state: str = "created"  # created -> running -> stopped
+    mounts: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = "dashdb-local-%d" % next(_container_ids)
+
+    def start(self) -> None:
+        if self.state == "running":
+            raise DeploymentError("container %s already running" % self.name)
+        self.state = "running"
+
+    def stop(self) -> None:
+        if self.state != "running":
+            raise DeploymentError("container %s is not running" % self.name)
+        self.state = "stopped"
+
+    def rename(self, new_name: str) -> None:
+        self.name = new_name
+
+
+@dataclass
+class Host:
+    """A customer-owned server: OS, container engine, mounts."""
+
+    host_id: str
+    hardware: HardwareSpec
+    has_docker_engine: bool = True
+    mounted_clusterfs: bool = True
+    pulled_images: dict[str, ContainerImage] = field(default_factory=dict)
+    containers: list[Container] = field(default_factory=list)
+
+    def check_prerequisites(self) -> None:
+        """Paper II.A: Docker client + POSIX clustered filesystem mount."""
+        if not self.has_docker_engine:
+            raise DeploymentError(
+                "host %s has no container engine installed" % self.host_id
+            )
+        if not self.mounted_clusterfs:
+            raise DeploymentError(
+                "host %s has no clustered filesystem mounted at /mnt/clusterfs"
+                % self.host_id
+            )
+
+    def has_image(self, ref: str) -> bool:
+        return ref in self.pulled_images
+
+    def run_container(self, image: ContainerImage) -> Container:
+        """docker run: at most one dashDB Local container per host."""
+        if any(c.state == "running" for c in self.containers):
+            raise DeploymentError(
+                "host %s already runs a dashDB Local container" % self.host_id
+            )
+        if not self.has_image(image.ref):
+            raise DeploymentError("image %s not pulled on %s" % (image.ref, self.host_id))
+        container = Container(
+            image=image, host=self, mounts={"/mnt/clusterfs": "/mnt/bludata0"}
+        )
+        container.start()
+        self.containers.append(container)
+        return container
+
+    def running_container(self) -> Container | None:
+        for container in self.containers:
+            if container.state == "running":
+                return container
+        return None

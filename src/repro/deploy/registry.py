@@ -1,0 +1,60 @@
+"""Image registry: the Docker Hub private repository of paper II.A.
+
+"dashDB Local is available as a Docker container on a Docker Hub private
+repository accessible by registration."  Pulls are charged to the
+simulated clock according to image size and the host's network bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deploy.container import ContainerImage, Host
+from repro.errors import DeploymentError
+from repro.util.timer import SimClock
+
+#: The published dashDB Local image (a multi-GB stack download).
+DASHDB_IMAGE = ContainerImage(name="ibmdashdb/local", tag="latest", size_gb=4.5)
+
+
+@dataclass
+class ImageRegistry:
+    """A pullable image catalogue with registration control."""
+
+    images: dict[str, ContainerImage] = field(default_factory=dict)
+    registered_users: set[str] = field(default_factory=set)
+    require_registration: bool = True
+
+    def __post_init__(self):
+        if not self.images:
+            self.publish(DASHDB_IMAGE)
+
+    def publish(self, image: ContainerImage) -> None:
+        self.images[image.ref] = image
+
+    def register(self, user: str) -> None:
+        self.registered_users.add(user)
+
+    def pull(
+        self,
+        ref: str,
+        host: Host,
+        clock: SimClock | None = None,
+        user: str | None = None,
+    ) -> ContainerImage:
+        """docker pull: transfer the image to the host."""
+        if self.require_registration and (
+            user is None or user not in self.registered_users
+        ):
+            raise DeploymentError(
+                "pulling %s requires Docker Hub registration" % ref
+            )
+        image = self.images.get(ref)
+        if image is None:
+            raise DeploymentError("image %s not found in the registry" % ref)
+        if clock is not None and not host.has_image(ref):
+            gbps = max(host.hardware.network_gbps, 0.1)
+            seconds = image.size_gb * 8.0 / gbps + 5.0  # transfer + unpack
+            clock.advance(seconds)
+        host.pulled_images[ref] = image
+        return image

@@ -1,0 +1,67 @@
+"""The vectorised columnar query engine (paper section II.B).
+
+Operators process data a batch at a time over compressed, column-organised
+storage: scans consult synopses (data skipping) and evaluate simple
+predicates directly on packed codes (software-SIMD, operating on compressed
+data); joins and grouping partition their inputs into cache-sized chunks
+(II.B.7).  :mod:`repro.engine.row_engine` is the row-at-a-time baseline used
+for the paper's row-vs-column comparison.
+"""
+
+from repro.engine.expression import (
+    Arith,
+    Batch,
+    Between,
+    CaseExpr,
+    Cast,
+    ColumnRef,
+    Compare,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Logical,
+    Not,
+)
+from repro.engine.aggregate import AggregateSpec, GroupByOp
+from repro.engine.join import HashJoinOp
+from repro.engine.operators import (
+    FilterOp,
+    LimitOp,
+    ProjectOp,
+    SimplePredicate,
+    TableScanOp,
+    VectorSourceOp,
+)
+from repro.engine.sort import SortKey, SortOp
+
+__all__ = [
+    "AggregateSpec",
+    "Arith",
+    "Batch",
+    "Between",
+    "CaseExpr",
+    "Cast",
+    "ColumnRef",
+    "Compare",
+    "Expr",
+    "FilterOp",
+    "FuncCall",
+    "GroupByOp",
+    "HashJoinOp",
+    "InList",
+    "IsNull",
+    "Like",
+    "LimitOp",
+    "Literal",
+    "Logical",
+    "Not",
+    "ProjectOp",
+    "SimplePredicate",
+    "SortKey",
+    "SortOp",
+    "TableScanOp",
+    "VectorSourceOp",
+]

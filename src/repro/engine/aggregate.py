@@ -1,0 +1,324 @@
+"""Vectorised grouping and aggregation (paper II.B.7).
+
+Groups are resolved with a single ``np.unique(return_inverse)`` pass over
+the key columns; aggregates then reduce with ``np.bincount``-style
+scatter-adds, so the whole operator is a handful of vectorised passes
+(the cache-efficient, partition-into-chunks strategy the paper describes,
+expressed in numpy).
+
+Supported aggregates: COUNT(*), COUNT(x), COUNT(DISTINCT x), SUM, AVG,
+MIN, MAX, VAR_POP, VAR_SAMP/VARIANCE, STDDEV, STDDEV_POP, STDDEV_SAMP,
+MEDIAN, COVAR_POP, COVAR_SAMP/COVARIANCE, CUME_DIST/PERCENTILE via MEDIAN's
+machinery, GROUPING passthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.expression import Batch, Expr
+from repro.engine.operators import Operator
+from repro.errors import UnsupportedFeatureError
+from repro.storage.column import ColumnVector
+from repro.types.datatypes import BIGINT, DOUBLE, DataType, TypeKind, decimal_type
+
+_SINGLE_ARG = {
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "VAR_POP",
+    "VAR_SAMP",
+    "STDDEV_POP",
+    "STDDEV_SAMP",
+    "MEDIAN",
+    "PERCENTILE_CONT",
+    "PERCENTILE_DISC",
+    "CUME_DIST",
+}
+_TWO_ARG = {"COVAR_POP", "COVAR_SAMP"}
+
+
+@dataclass
+class AggregateSpec:
+    """One output aggregate: function, argument expression(s), alias."""
+
+    func: str
+    args: list[Expr]
+    alias: str
+    distinct: bool = False
+    param: float | None = None  # percentile fraction for PERCENTILE_*
+
+    def output_type(self) -> DataType:
+        func = self.func
+        if func == "COUNT":
+            return BIGINT
+        if func in ("SUM",):
+            arg = self.args[0].dtype
+            if arg.kind is TypeKind.DECIMAL:
+                return decimal_type(31, arg.scale)
+            if arg.is_integer:
+                return BIGINT
+            return DOUBLE
+        if func in ("MIN", "MAX"):
+            return self.args[0].dtype
+        return DOUBLE
+
+
+class GroupByOp(Operator):
+    """GROUP BY with vectorised aggregate computation.
+
+    Args:
+        child: input operator.
+        keys: (alias, expression) pairs forming the group key (empty for a
+            grand total).
+        aggregates: the aggregate outputs.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: list[tuple[str, Expr]],
+        aggregates: list[AggregateSpec],
+    ):
+        self.child = child
+        self.keys = keys
+        self.aggregates = aggregates
+
+    def execute(self):
+        batch = self.child.run()
+        if batch.n == 0 and not batch.columns:
+            # A drained-empty child lost its schema: rebuild typed empty
+            # columns for every column reference the aggregates/keys read.
+            batch = _synthesize_empty(self.keys, self.aggregates)
+        if not self.keys:
+            yield self._grand_total(batch)
+            return
+        if batch.n == 0:
+            yield Batch(
+                columns={
+                    **{alias: ColumnVector(e.dtype, np.empty(0, e.dtype.numpy_dtype), None)
+                       for alias, e in self.keys},
+                    **{s.alias: ColumnVector(s.output_type(), np.empty(0, s.output_type().numpy_dtype), None)
+                       for s in self.aggregates},
+                },
+                n=0,
+            )
+            return
+        key_vectors = [(alias, expr.eval(batch)) for alias, expr in self.keys]
+        group_ids, representatives, n_groups = _group_ids(key_vectors, batch.n)
+        columns: dict[str, ColumnVector] = {}
+        for alias, vector in key_vectors:
+            columns[alias] = vector.take(representatives)
+        for spec in self.aggregates:
+            columns[spec.alias] = _compute_aggregate(spec, batch, group_ids, n_groups)
+        yield Batch.from_columns(columns)
+
+    def _grand_total(self, batch: Batch) -> Batch:
+        group_ids = np.zeros(batch.n, dtype=np.int64)
+        columns = {
+            spec.alias: _compute_aggregate(spec, batch, group_ids, 1)
+            for spec in self.aggregates
+        }
+        return Batch.from_columns(columns)
+
+
+def _synthesize_empty(keys, aggregates) -> Batch:
+    """An empty batch whose columns cover every ColumnRef in the exprs."""
+    from repro.engine.expression import ColumnRef as _ColumnRef
+
+    columns: dict[str, ColumnVector] = {}
+
+    def walk(expr):
+        if isinstance(expr, _ColumnRef):
+            columns[expr.name] = ColumnVector(
+                expr.dtype, np.empty(0, dtype=expr.dtype.numpy_dtype), None
+            )
+            return
+        for attr in ("left", "right", "child", "low", "high", "default"):
+            sub = getattr(expr, attr, None)
+            if isinstance(sub, Expr):
+                walk(sub)
+        for attr in ("operands", "args"):
+            for sub in getattr(expr, attr, []) or []:
+                if isinstance(sub, Expr):
+                    walk(sub)
+        for pair in getattr(expr, "whens", []) or []:
+            for sub in pair:
+                if isinstance(sub, Expr):
+                    walk(sub)
+
+    for _, expr in keys:
+        walk(expr)
+    for spec in aggregates:
+        for arg in spec.args:
+            walk(arg)
+    return Batch(columns=columns, n=0)
+
+
+def _group_ids(key_vectors, n: int):
+    """Assign dense group ids; returns (ids, representative row per group, k).
+
+    NULL forms its own group (SQL GROUP BY treats NULLs as equal).
+    """
+    encoded = []
+    for _, vector in key_vectors:
+        values = vector.values
+        nulls = vector.null_mask()
+        # Factorise each key column independently, reserving code 0 for NULL.
+        uniq, inverse = np.unique(values, return_inverse=True)
+        codes = inverse.astype(np.int64) + 1
+        codes[nulls] = 0
+        encoded.append(codes)
+    combined = encoded[0]
+    for codes in encoded[1:]:
+        combined = combined * (int(codes.max()) + 1) + codes
+    uniq, first_index, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return inverse.astype(np.int64), first_index, uniq.size
+
+
+def _compute_aggregate(
+    spec: AggregateSpec, batch: Batch, group_ids: np.ndarray, n_groups: int
+) -> ColumnVector:
+    func = spec.func.upper()
+    out_dt = spec.output_type()
+    if func == "COUNT" and not spec.args:
+        counts = np.bincount(group_ids, minlength=n_groups).astype(np.int64)
+        return ColumnVector(BIGINT, counts, None)
+    if func in _TWO_ARG:
+        return _covariance(spec, batch, group_ids, n_groups, sample=func.endswith("SAMP"))
+    if func not in _SINGLE_ARG:
+        raise UnsupportedFeatureError("aggregate function %s" % func)
+    vector = spec.args[0].eval(batch)
+    live = ~vector.null_mask()
+    ids = group_ids[live]
+    values = vector.values[live]
+    if func == "COUNT":
+        if spec.distinct:
+            counts = np.zeros(n_groups, dtype=np.int64)
+            seen = set()
+            for g, v in zip(ids.tolist(), values.tolist()):
+                if (g, v) not in seen:
+                    seen.add((g, v))
+                    counts[g] += 1
+        else:
+            counts = np.bincount(ids, minlength=n_groups).astype(np.int64)
+        return ColumnVector(BIGINT, counts, None)
+
+    group_counts = np.bincount(ids, minlength=n_groups).astype(np.int64)
+    empty = group_counts == 0  # groups where every input was NULL
+    if func in ("MIN", "MAX"):
+        return _min_max(vector, values, ids, n_groups, empty, func, out_dt)
+    if spec.distinct:
+        ids, values = _distinct_pairs(ids, values)
+        group_counts = np.bincount(ids, minlength=n_groups).astype(np.int64)
+        empty = group_counts == 0
+    numeric = values.astype(np.float64)
+    arg_dt = spec.args[0].dtype
+    if arg_dt.kind is TypeKind.DECIMAL:
+        # Physical decimals are scaled integers; statistics need true values.
+        numeric = numeric / (10 ** arg_dt.scale)
+    sums = np.bincount(ids, weights=numeric, minlength=n_groups)
+    if func == "SUM":
+        return _sum_result(vector, values, ids, n_groups, sums, empty, out_dt)
+    safe_counts = np.maximum(group_counts, 1)
+    means = sums / safe_counts
+    if func == "AVG":
+        return ColumnVector(DOUBLE, means, empty if empty.any() else None)
+    if func == "CUME_DIST":
+        # Hypothetical-set aggregate: the relative position the constant
+        # spec.param would take if inserted into each group:
+        # (rows <= value, counting itself) / (n + 1).
+        value = float(spec.param or 0.0)
+        out = np.zeros(n_groups, dtype=np.float64)
+        for g in range(n_groups):
+            members = numeric[ids == g]
+            if members.size:
+                out[g] = (int((members <= value).sum()) + 1) / (members.size + 1)
+        return ColumnVector(DOUBLE, out, empty if empty.any() else None)
+    if func in ("MEDIAN", "PERCENTILE_CONT", "PERCENTILE_DISC"):
+        fraction = 0.5 if func == "MEDIAN" else float(spec.param or 0.5)
+        method = "lower" if func == "PERCENTILE_DISC" else "linear"
+        out = np.zeros(n_groups, dtype=np.float64)
+        for g in range(n_groups):
+            members = numeric[ids == g]
+            if members.size:
+                out[g] = np.percentile(members, fraction * 100.0, method=method)
+        return ColumnVector(DOUBLE, out, empty if empty.any() else None)
+    # Variance family.
+    sq = np.bincount(ids, weights=numeric * numeric, minlength=n_groups)
+    var_pop = np.maximum(sq / safe_counts - means * means, 0.0)
+    if func == "VAR_POP":
+        return ColumnVector(DOUBLE, var_pop, empty if empty.any() else None)
+    if func == "STDDEV_POP":
+        return ColumnVector(DOUBLE, np.sqrt(var_pop), empty if empty.any() else None)
+    denom = np.maximum(group_counts - 1, 1)
+    var_samp = var_pop * group_counts / denom
+    nulls = empty | (group_counts <= 1)
+    if func == "VAR_SAMP":
+        return ColumnVector(DOUBLE, var_samp, nulls if nulls.any() else None)
+    # STDDEV_SAMP
+    return ColumnVector(DOUBLE, np.sqrt(var_samp), nulls if nulls.any() else None)
+
+
+def _distinct_pairs(ids: np.ndarray, values: np.ndarray):
+    seen = set()
+    keep = np.zeros(ids.size, dtype=bool)
+    for i, (g, v) in enumerate(zip(ids.tolist(), values.tolist())):
+        if (g, v) not in seen:
+            seen.add((g, v))
+            keep[i] = True
+    return ids[keep], values[keep]
+
+
+def _min_max(vector, values, ids, n_groups, empty, func, out_dt):
+    np_dtype = vector.values.dtype
+    filler = "" if np_dtype == object else 0
+    out = np.full(n_groups, filler, dtype=np_dtype)
+    initialised = np.zeros(n_groups, dtype=bool)
+    better = (lambda a, b: a < b) if func == "MIN" else (lambda a, b: a > b)
+    for g, v in zip(ids.tolist(), values.tolist()):
+        if not initialised[g] or better(v, out[g]):
+            out[g] = v
+            initialised[g] = True
+    return ColumnVector(out_dt, out, empty if empty.any() else None)
+
+
+def _sum_result(vector, values, ids, n_groups, float_sums, empty, out_dt):
+    if vector.values.dtype == np.int64:
+        # Exact integer accumulation (money sums on scaled decimals).
+        sums = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(sums, ids, values)
+        return ColumnVector(out_dt, sums, empty if empty.any() else None)
+    return ColumnVector(DOUBLE, float_sums, empty if empty.any() else None)
+
+
+def _covariance(spec, batch, group_ids, n_groups, sample: bool):
+    xv = spec.args[0].eval(batch)
+    yv = spec.args[1].eval(batch)
+    live = ~xv.null_mask() & ~yv.null_mask()
+    ids = group_ids[live]
+    x = xv.values[live].astype(np.float64)
+    y = yv.values[live].astype(np.float64)
+    if xv.dtype.kind is TypeKind.DECIMAL:
+        x = x / (10 ** xv.dtype.scale)
+    if yv.dtype.kind is TypeKind.DECIMAL:
+        y = y / (10 ** yv.dtype.scale)
+    counts = np.bincount(ids, minlength=n_groups).astype(np.int64)
+    empty = counts == 0
+    safe = np.maximum(counts, 1)
+    mx = np.bincount(ids, weights=x, minlength=n_groups) / safe
+    my = np.bincount(ids, weights=y, minlength=n_groups) / safe
+    xy = np.bincount(ids, weights=x * y, minlength=n_groups) / safe
+    cov_pop = xy - mx * my
+    if not sample:
+        return ColumnVector(DOUBLE, cov_pop, empty if empty.any() else None)
+    denom = np.maximum(counts - 1, 1)
+    cov_samp = cov_pop * counts / denom
+    nulls = empty | (counts <= 1)
+    return ColumnVector(DOUBLE, cov_samp, nulls if nulls.any() else None)

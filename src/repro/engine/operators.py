@@ -1,0 +1,379 @@
+"""Scan, filter, project, and limit operators.
+
+The scan is where the paper's techniques compose (II.B): for each region it
+first asks the synopsis which extents can match (data skipping), then
+evaluates pushed-down simple predicates directly on the packed codes
+(operating on compressed data via software-SIMD), and only decodes the
+columns the query actually needs for extents that survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.expression import Batch, Expr, selection_mask
+from repro.storage.column import ColumnVector
+from repro.storage.table import ColumnTable
+
+
+@dataclass
+class ScanStats:
+    """Observability + cost-model inputs collected during a scan."""
+
+    regions_scanned: int = 0
+    extents_total: int = 0
+    extents_skipped: int = 0
+    rows_scanned: int = 0
+    rows_matched: int = 0
+    pages_read: int = 0
+    bytes_scanned: int = 0       # compressed bytes touched
+    raw_bytes_scanned: int = 0   # uncompressed equivalent of touched data
+
+
+@dataclass
+class SimplePredicate:
+    """A pushdown-able predicate: ``column <op> constant`` (physical form).
+
+    op is one of the comparison operators, "BETWEEN", "IN", "IS NULL",
+    "IS NOT NULL".  ``value`` holds the constant, the (lo, hi) pair, or the
+    value list, in physical representation.
+    """
+
+    column: str
+    op: str
+    value: object = None
+
+    def synopsis_candidates(self, synopsis) -> np.ndarray:
+        if self.op == "BETWEEN":
+            lo, hi = self.value
+            return synopsis.candidates_between(lo, hi)
+        if self.op == "IN":
+            return synopsis.candidates_in(self.value)
+        if self.op == "IS NULL":
+            return synopsis.candidates_is_null()
+        if self.op == "IS NOT NULL":
+            return synopsis.candidates_is_not_null()
+        return synopsis.candidates_compare(self.op, self.value)
+
+    def eval_compressed(self, column) -> np.ndarray:
+        if self.op == "BETWEEN":
+            lo, hi = self.value
+            return column.eval_between(lo, hi)
+        if self.op == "IN":
+            return column.eval_in(self.value)
+        if self.op == "IS NULL":
+            return column.eval_is_null()
+        if self.op == "IS NOT NULL":
+            return column.eval_is_not_null()
+        return column.eval_compare(self.op, self.value)
+
+    def eval_vector(self, vector: ColumnVector) -> np.ndarray:
+        values, nulls = vector.values, vector.null_mask()
+        if self.op == "IS NULL":
+            return nulls.copy()
+        if self.op == "IS NOT NULL":
+            return ~nulls
+        if self.op == "BETWEEN":
+            lo, hi = self.value
+            return (values >= lo) & (values <= hi) & ~nulls
+        if self.op == "IN":
+            live = [v for v in self.value if v is not None]
+            return np.isin(values, live) & ~nulls
+        ops = {
+            "=": values == self.value,
+            "<>": values != self.value,
+            "<": values < self.value,
+            "<=": values <= self.value,
+            ">": values > self.value,
+            ">=": values >= self.value,
+        }
+        return np.asarray(ops[self.op]) & ~nulls
+
+    def eval_row_value(self, value) -> bool:
+        if self.op == "IS NULL":
+            return value is None
+        if self.op == "IS NOT NULL":
+            return value is not None
+        if value is None:
+            return False
+        if self.op == "BETWEEN":
+            lo, hi = self.value
+            return lo <= value <= hi
+        if self.op == "IN":
+            return value in [v for v in self.value if v is not None]
+        ops = {
+            "=": value == self.value,
+            "<>": value != self.value,
+            "<": value < self.value,
+            "<=": value <= self.value,
+            ">": value > self.value,
+            ">=": value >= self.value,
+        }
+        return bool(ops[self.op])
+
+
+class Operator:
+    """Base: operators produce an iterator of batches."""
+
+    def execute(self):
+        raise NotImplementedError
+
+    def run(self) -> Batch:
+        """Drain the operator into one batch (pipeline-breaker helper)."""
+        return Batch.concat(list(self.execute()))
+
+
+class TableScanOp(Operator):
+    """Scan a column-organised table with skipping and compressed predicates.
+
+    Args:
+        table: the storage table.
+        columns: column names the query needs (projection pruning, II.B.3).
+        pushed: conjunctive simple predicates evaluated on compressed data.
+        residual: optional residual predicate evaluated on decoded batches.
+        page_source: optional callable(table_name, column, region_idx,
+            loader) routing page fetches through a buffer pool.
+        stride_rows: if set, emit batches of at most this many rows
+            (stride-at-a-time processing, II.B.7).
+    """
+
+    def __init__(
+        self,
+        table: ColumnTable,
+        columns: list[str],
+        pushed: list[SimplePredicate] | None = None,
+        residual: Expr | None = None,
+        page_source=None,
+        stride_rows: int | None = None,
+        use_skipping: bool = True,
+        use_compressed_eval: bool = True,
+    ):
+        self.table = table
+        self.columns = list(columns)
+        self.pushed = list(pushed or [])
+        self.residual = residual
+        self.page_source = page_source
+        self.stride_rows = stride_rows
+        self.use_skipping = use_skipping
+        self.use_compressed_eval = use_compressed_eval
+        self.stats = ScanStats()
+
+    def _fetch(self, region_idx: int, column: str):
+        region = self.table.regions[region_idx]
+        if self.page_source is None:
+            return region.columns[column]
+        return self.page_source(
+            self.table.schema.name,
+            column,
+            region_idx,
+            lambda: region.columns[column],
+        )
+
+    def execute(self):
+        needed = set(self.columns)
+        if self.residual is not None:
+            needed |= self.residual.references()
+        pushed_columns = {p.column for p in self.pushed}
+        for region_idx, region in enumerate(self.table.regions):
+            batch = self._scan_region(region_idx, region, needed, pushed_columns)
+            if batch is not None and batch.n:
+                yield from self._emit(batch)
+        tail = self._scan_tail(needed)
+        if tail is not None and tail.n:
+            yield from self._emit(tail)
+
+    def _emit(self, batch: Batch):
+        if self.stride_rows is None or batch.n <= self.stride_rows:
+            yield batch
+            return
+        for start in range(0, batch.n, self.stride_rows):
+            idx = np.arange(start, min(start + self.stride_rows, batch.n))
+            yield batch.take(idx)
+
+    def _scan_region(self, region_idx, region, needed, pushed_columns):
+        self.stats.regions_scanned += 1
+        n = region.n_rows
+        stride = self.table.synopsis_stride
+        n_extents = -(-n // stride) if n else 0
+        self.stats.extents_total += n_extents
+        # 1. Data skipping: intersect synopsis candidates per predicate.
+        extent_keep = np.ones(n_extents, dtype=bool)
+        if self.use_skipping:
+            for pred in self.pushed:
+                synopsis = region.synopses.get(pred.column)
+                if synopsis is not None:
+                    extent_keep &= pred.synopsis_candidates(synopsis)
+        skipped = int((~extent_keep).sum())
+        self.stats.extents_skipped += skipped
+        if not extent_keep.any():
+            return None
+        row_keep = np.repeat(extent_keep, stride)[:n]
+        rows_touched = int(row_keep.sum())
+        self.stats.rows_scanned += rows_touched
+        # Uncompressed-equivalent bytes for the touched columns/rows.
+        touched_columns = {p.column for p in self.pushed} | set(needed)
+        for column in touched_columns:
+            per_row = region.column_raw_nbytes.get(column, 8) / max(region.n_rows, 1)
+            self.stats.raw_bytes_scanned += int(per_row * rows_touched)
+        touched_fraction = rows_touched / max(n, 1)
+        # Surviving-extent window: with skipping on, predicates evaluate
+        # only over the word-aligned range covering surviving extents.
+        if self.use_skipping and not extent_keep.all():
+            first_extent = int(np.argmax(extent_keep))
+            last_extent = n_extents - int(np.argmax(extent_keep[::-1]))
+            window = (first_extent * stride, min(last_extent * stride, n))
+        else:
+            window = None
+        # 2. Predicates on compressed data (no decode).
+        selection = row_keep
+        for pred in self.pushed:
+            compressed = self._fetch(region_idx, pred.column)
+            self.stats.pages_read += 1
+            self.stats.bytes_scanned += int(compressed.nbytes() * touched_fraction)
+            if self.use_compressed_eval:
+                if window is not None:
+                    col_slice, base = compressed.slice_rows(*window)
+                    mask = np.zeros(n, dtype=bool)
+                    mask[base : base + col_slice.n] = pred.eval_compressed(col_slice)
+                    selection = selection & mask
+                else:
+                    selection = selection & pred.eval_compressed(compressed)
+            else:
+                values, nulls = compressed.decode()
+                vector = ColumnVector(
+                    self.table.schema.column_type(pred.column), values, nulls
+                )
+                selection = selection & pred.eval_vector(vector)
+            if not selection.any():
+                return None
+        live = region.live_mask()
+        if live is not None:
+            selection = selection & live
+            if not selection.any():
+                return None
+        # 3. Decode only the needed columns for surviving rows (windowed to
+        # the surviving extents when skipping applies).
+        columns = {}
+        for name in needed:
+            compressed = self._fetch(region_idx, name)
+            if name not in pushed_columns:
+                self.stats.pages_read += 1
+                self.stats.bytes_scanned += int(compressed.nbytes() * touched_fraction)
+            if window is not None:
+                col_slice, base = compressed.slice_rows(*window)
+                values, nulls = col_slice.decode()
+                vector = ColumnVector(
+                    self.table.schema.column_type(name), values, nulls
+                )
+                columns[name] = vector.filter(selection[base : base + col_slice.n])
+            else:
+                values, nulls = compressed.decode()
+                vector = ColumnVector(self.table.schema.column_type(name), values, nulls)
+                columns[name] = vector.filter(selection)
+        batch = Batch.from_columns(columns)
+        batch = self._apply_residual(batch)
+        self.stats.rows_matched += batch.n
+        return batch
+
+    def _scan_tail(self, needed):
+        if self.table.tail_rows == 0:
+            return None
+        self.stats.rows_scanned += self.table.tail_rows
+        fetch = set(needed) | {p.column for p in self.pushed}
+        vectors = {name: self.table.tail_vector(name) for name in fetch}
+        batch = Batch.from_columns(vectors)
+        selection = np.ones(batch.n, dtype=bool)
+        for pred in self.pushed:
+            selection &= pred.eval_vector(batch.columns[pred.column])
+        batch = batch.filter(selection)
+        batch = Batch.from_columns(
+            {name: batch.columns[name] for name in needed}
+        )
+        batch = self._apply_residual(batch)
+        self.stats.rows_matched += batch.n
+        return batch
+
+    def _apply_residual(self, batch: Batch) -> Batch:
+        if self.residual is None or batch.n == 0:
+            return batch
+        return batch.filter(selection_mask(self.residual, batch))
+
+
+class VectorSourceOp(Operator):
+    """Expose an in-memory batch as a plan source (VALUES, intermediate)."""
+
+    def __init__(self, batch: Batch):
+        self.batch = batch
+
+    def execute(self):
+        if self.batch.n:
+            yield self.batch
+
+
+class FilterOp(Operator):
+    def __init__(self, child: Operator, predicate: Expr):
+        self.child = child
+        self.predicate = predicate
+
+    def execute(self):
+        for batch in self.child.execute():
+            mask = selection_mask(self.predicate, batch)
+            # Empty results still flow through so downstream operators keep
+            # the batch schema.
+            yield batch.filter(mask)
+
+
+class ProjectOp(Operator):
+    """Compute output columns as (alias, expression) pairs."""
+
+    def __init__(self, child: Operator, outputs: list[tuple[str, Expr]]):
+        self.child = child
+        self.outputs = outputs
+
+    def execute(self):
+        import numpy as np
+
+        from repro.storage.column import ColumnVector
+
+        for batch in self.child.execute():
+            if batch.n == 0 and not batch.columns:
+                # A drained-empty child lost its schema; rebuild typed
+                # empty outputs so downstream operators keep working.
+                columns = {
+                    alias: ColumnVector(
+                        expr.dtype, np.empty(0, dtype=expr.dtype.numpy_dtype), None
+                    )
+                    for alias, expr in self.outputs
+                }
+            else:
+                columns = {alias: expr.eval(batch) for alias, expr in self.outputs}
+            yield Batch.from_columns(columns)
+
+
+class LimitOp(Operator):
+    """LIMIT/OFFSET (also FETCH FIRST n ROWS ONLY and ROWNUM <= n)."""
+
+    def __init__(self, child: Operator, limit: int | None, offset: int = 0):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def execute(self):
+        to_skip = self.offset
+        remaining = self.limit
+        for batch in self.child.execute():
+            if to_skip >= batch.n:
+                to_skip -= batch.n
+                continue
+            if to_skip:
+                batch = batch.take(np.arange(to_skip, batch.n))
+                to_skip = 0
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                if batch.n > remaining:
+                    batch = batch.take(np.arange(remaining))
+                remaining -= batch.n
+            yield batch

@@ -1,0 +1,153 @@
+"""Exception hierarchy for the dashDB Local reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch one base class.  The hierarchy loosely mirrors SQLSTATE
+classes: syntax, semantic (binding), runtime (data), and system (cluster /
+deployment) failures are distinguishable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised while compiling or running SQL."""
+
+    def __init__(self, message: str, sqlstate: str = "58000"):
+        super().__init__(message)
+        self.sqlstate = sqlstate
+
+
+class SQLSyntaxError(SQLError):
+    """The statement text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message, sqlstate="42601")
+        self.line = line
+        self.column = column
+
+
+class BindError(SQLError):
+    """A name (table, column, function) could not be resolved."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="42704")
+
+
+class TypeCheckError(SQLError):
+    """Operand types are incompatible with an operator or function."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="42804")
+
+
+class DuplicateObjectError(SQLError):
+    """CREATE of an object that already exists."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="42710")
+
+
+class UnknownObjectError(SQLError):
+    """Reference to (or DROP of) an object that does not exist."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="42704")
+
+
+class ConversionError(SQLError):
+    """A value could not be converted to the requested data type."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="22018")
+
+
+class DivisionByZeroError(SQLError):
+    """Numeric division by zero during expression evaluation."""
+
+    def __init__(self, message: str = "division by zero"):
+        super().__init__(message, sqlstate="22012")
+
+
+class ConstraintViolationError(SQLError):
+    """A uniqueness or not-null constraint was violated."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="23505")
+
+
+class UnsupportedFeatureError(SQLError):
+    """Syntax parsed but the feature is not supported (or not in dialect)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="0A000")
+
+
+class DialectError(SQLError):
+    """A dialect-specific construct used under the wrong session dialect."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="42601")
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageCorruptionError(StorageError):
+    """A page failed its checksum or structural validation."""
+
+
+class FileSystemError(StorageError):
+    """Simulated clustered-filesystem failure (missing path, bad mount)."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse (e.g. unfixing a page that is not fixed)."""
+
+
+class ClusterError(ReproError):
+    """Base class for MPP cluster-layer failures."""
+
+
+class NodeDownError(ClusterError):
+    """An operation was routed to a node that is not alive."""
+
+
+class NoSurvivorsError(ClusterError):
+    """Failover was requested but no healthy node remains."""
+
+
+class RebalanceError(ClusterError):
+    """Shard reassociation could not produce a valid assignment."""
+
+
+class AdmissionError(ClusterError):
+    """The workload manager rejected or timed out a queued query."""
+
+
+class DeploymentError(ReproError):
+    """Container deployment failed (bad image, missing mount, etc.)."""
+
+
+class SparkError(ReproError):
+    """Base class for mini-Spark failures."""
+
+
+class SparkJobError(SparkError):
+    """A Spark job failed during DAG execution."""
+
+
+class SparkSubmitError(SparkError):
+    """A Spark application could not be submitted or was rejected."""
+
+
+class FederationError(ReproError):
+    """Remote-table (nickname) access failure."""
+
+
+class AnalyticsError(ReproError):
+    """In-database analytics failure (non-convergence, bad input shape)."""

@@ -1,0 +1,39 @@
+"""Schema-on-read external tables (the paper's Future Work, section VI).
+
+The paper lists three storage-side future directions: "Improve support for
+Schema on Read", "Support for common Big Data storage formats, such as
+Parquet", and "Support for Big Data Analytics on JSON data".  This package
+implements all three:
+
+* :mod:`repro.external.formats` — readers for delimited text (CSV), JSON
+  lines, and a Parquet-style columnar file format ("parquet-lite": column
+  chunks with per-chunk min/max statistics and dictionary encoding).
+* :mod:`repro.external.table` — ``CREATE EXTERNAL TABLE``-style
+  registration: files on the clustered filesystem become queryable
+  relations whose schema is applied *at read time*.
+* :mod:`repro.external.json_functions` — JSON_VALUE / JSON_EXISTS /
+  JSON_ARRAY_LENGTH scalar functions for analytics over JSON columns.
+"""
+
+from repro.external.formats import (
+    ParquetLiteFile,
+    read_csv,
+    read_json_lines,
+    write_csv,
+    write_json_lines,
+    write_parquet_lite,
+)
+from repro.external.json_functions import register_json_functions
+from repro.external.table import ExternalTable, register_external_table
+
+__all__ = [
+    "ExternalTable",
+    "ParquetLiteFile",
+    "read_csv",
+    "read_json_lines",
+    "register_external_table",
+    "register_json_functions",
+    "write_csv",
+    "write_json_lines",
+    "write_parquet_lite",
+]

@@ -1,0 +1,232 @@
+"""External file formats: CSV, JSON lines, and parquet-lite.
+
+Files live on the simulated clustered filesystem
+(:class:`~repro.storage.filesystem.ClusterFileSystem`).  Text formats store
+their payload as strings; parquet-lite stores a columnar structure with
+per-chunk statistics, so external scans over it can skip chunks the same
+way internal scans skip extents.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConversionError
+from repro.storage.filesystem import ClusterFileSystem
+
+# --------------------------------------------------------------------------
+# Delimited text
+# --------------------------------------------------------------------------
+
+
+def write_csv(fs: ClusterFileSystem, path: str, rows, header: list[str],
+              delimiter: str = ",") -> int:
+    """Write rows of boundary values as delimited text; returns bytes."""
+    out = io.StringIO()
+    out.write(delimiter.join(header) + "\n")
+    for row in rows:
+        rendered = []
+        for value in row:
+            if value is None:
+                rendered.append("")
+            else:
+                text = str(value)
+                if delimiter in text or '"' in text:
+                    text = '"%s"' % text.replace('"', '""')
+                rendered.append(text)
+        out.write(delimiter.join(rendered) + "\n")
+    payload = out.getvalue()
+    fs.write_file(path, payload, len(payload.encode()))
+    return len(payload)
+
+
+def read_csv(fs: ClusterFileSystem, path: str, delimiter: str = ",") -> tuple[list[str], list[list[str]]]:
+    """Read delimited text: returns (header, rows-of-strings).
+
+    Empty fields read as None (schema applied later — that is the point of
+    schema-on-read).
+    """
+    payload = fs.read_file(path)
+    if not isinstance(payload, str):
+        raise ConversionError("%s does not hold delimited text" % path)
+    lines = payload.splitlines()
+    if not lines:
+        return [], []
+    header = _split_line(lines[0], delimiter)
+    rows = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        fields = _split_line(line, delimiter)
+        rows.append([None if f == "" else f for f in fields])
+    return [h or "" for h in header], rows
+
+
+def _split_line(line: str, delimiter: str) -> list[str]:
+    fields = []
+    current = []
+    in_quotes = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if in_quotes:
+            if ch == '"':
+                if i + 1 < len(line) and line[i + 1] == '"':
+                    current.append('"')
+                    i += 1
+                else:
+                    in_quotes = False
+            else:
+                current.append(ch)
+        elif ch == '"':
+            in_quotes = True
+        elif ch == delimiter:
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    fields.append("".join(current))
+    return fields
+
+
+# --------------------------------------------------------------------------
+# JSON lines
+# --------------------------------------------------------------------------
+
+
+def write_json_lines(fs: ClusterFileSystem, path: str, records: list[dict]) -> int:
+    payload = "\n".join(json.dumps(r, default=str) for r in records)
+    fs.write_file(path, payload, len(payload.encode()))
+    return len(payload)
+
+
+def read_json_lines(fs: ClusterFileSystem, path: str) -> list[dict]:
+    payload = fs.read_file(path)
+    if not isinstance(payload, str):
+        raise ConversionError("%s does not hold JSON lines" % path)
+    records = []
+    for i, line in enumerate(payload.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ConversionError("bad JSON on line %d of %s" % (i + 1, path)) from exc
+    return records
+
+
+# --------------------------------------------------------------------------
+# parquet-lite: columnar chunks with statistics
+# --------------------------------------------------------------------------
+
+CHUNK_ROWS = 4096
+
+
+@dataclass
+class ColumnChunk:
+    """One column's values for one row group, with skip statistics."""
+
+    values: list
+    min_value: object = None
+    max_value: object = None
+    null_count: int = 0
+    distinct_hint: int = 0
+
+    @classmethod
+    def build(cls, values: list) -> "ColumnChunk":
+        live = [v for v in values if v is not None]
+        return cls(
+            values=list(values),
+            min_value=min(live) if live else None,
+            max_value=max(live) if live else None,
+            null_count=len(values) - len(live),
+            distinct_hint=len(set(map(str, live))),
+        )
+
+    def may_match_range(self, lo, hi) -> bool:
+        """Chunk-level skipping: can any value fall inside [lo, hi]?"""
+        if self.min_value is None:
+            return False
+        if lo is not None and self.max_value < lo:
+            return False
+        if hi is not None and self.min_value > hi:
+            return False
+        return True
+
+
+@dataclass
+class ParquetLiteFile:
+    """A columnar file: named columns split into row groups of chunks."""
+
+    columns: list[str]
+    row_groups: list[dict[str, ColumnChunk]] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        if not self.row_groups:
+            return 0
+        first = self.columns[0]
+        return sum(len(g[first].values) for g in self.row_groups)
+
+    def read_rows(self, wanted: list[str] | None = None,
+                  range_filter: tuple[str, object, object] | None = None):
+        """Yield row tuples, applying chunk skipping for a range filter.
+
+        Args:
+            wanted: column subset (None = all).
+            range_filter: optional (column, lo, hi) used for *chunk-level*
+                elimination; surviving rows are still returned unfiltered
+                (exact filtering is the engine's job).
+        """
+        wanted = wanted or self.columns
+        for group in self.row_groups:
+            if range_filter is not None:
+                column, lo, hi = range_filter
+                if column in group and not group[column].may_match_range(lo, hi):
+                    continue
+            chunks = [group[c].values for c in wanted]
+            yield from zip(*chunks)
+
+    def chunks_scanned(self, range_filter: tuple[str, object, object] | None = None) -> int:
+        if range_filter is None:
+            return len(self.row_groups)
+        column, lo, hi = range_filter
+        return sum(
+            1
+            for g in self.row_groups
+            if column not in g or g[column].may_match_range(lo, hi)
+        )
+
+
+def write_parquet_lite(
+    fs: ClusterFileSystem,
+    path: str,
+    columns: list[str],
+    rows: list[tuple],
+    chunk_rows: int = CHUNK_ROWS,
+) -> ParquetLiteFile:
+    """Build a parquet-lite file from rows and store it on the cluster FS."""
+    pq = ParquetLiteFile(columns=[c.upper() for c in columns])
+    for start in range(0, len(rows), chunk_rows):
+        group_rows = rows[start : start + chunk_rows]
+        group = {}
+        for i, column in enumerate(pq.columns):
+            group[column] = ColumnChunk.build([r[i] for r in group_rows])
+        pq.row_groups.append(group)
+    nbytes = sum(
+        64 + sum(len(str(v)) + 1 for v in chunk.values)
+        for g in pq.row_groups
+        for chunk in g.values()
+    )
+    fs.write_file(path, pq, nbytes)
+    return pq
+
+
+def read_parquet_lite(fs: ClusterFileSystem, path: str) -> ParquetLiteFile:
+    payload = fs.read_file(path)
+    if not isinstance(payload, ParquetLiteFile):
+        raise ConversionError("%s is not a parquet-lite file" % path)
+    return payload

@@ -1,0 +1,101 @@
+"""JSON analytics scalar functions (Future Work: "Big Data Analytics on
+JSON data").
+
+JSON documents travel through SQL as VARCHAR values; the functions follow
+the SQL/JSON flavour:
+
+* ``JSON_VALUE(doc, '$.path.to.field')`` — extract a scalar (NULL when the
+  path is absent or the document is malformed).
+* ``JSON_EXISTS(doc, '$.path')`` — does the path resolve?
+* ``JSON_ARRAY_LENGTH(doc, '$.path')`` — length of an array at the path.
+
+Paths support dotted fields and ``[n]`` array subscripts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.sql.functions import FunctionRegistry, simple
+from repro.types.datatypes import BIGINT, BOOLEAN, varchar_type
+
+_PATH_TOKEN = re.compile(r"\.([A-Za-z_][A-Za-z0-9_]*)|\[(\d+)\]")
+
+
+def _resolve(doc_text, path):
+    if doc_text is None or path is None:
+        return None, False
+    try:
+        node = json.loads(str(doc_text))
+    except (json.JSONDecodeError, TypeError):
+        return None, False
+    path = str(path).strip()
+    if not path.startswith("$"):
+        return None, False
+    pos = 1
+    for match in _PATH_TOKEN.finditer(path, 1):
+        if match.start() != pos:
+            return None, False
+        pos = match.end()
+        field, index = match.group(1), match.group(2)
+        if field is not None:
+            if not isinstance(node, dict) or field not in node:
+                return None, False
+            node = node[field]
+        else:
+            i = int(index)
+            if not isinstance(node, list) or i >= len(node):
+                return None, False
+            node = node[i]
+    if pos != len(path):
+        return None, False
+    return node, True
+
+
+def _json_value(values, dtypes):
+    node, found = _resolve(values[0], values[1])
+    if not found or node is None:
+        return None
+    if isinstance(node, bool):
+        return "true" if node else "false"
+    if isinstance(node, (dict, list)):
+        return json.dumps(node)
+    return str(node)
+
+
+def _json_exists(values, dtypes):
+    if values[0] is None or values[1] is None:
+        return None
+    _, found = _resolve(values[0], values[1])
+    return int(found)
+
+
+def _json_array_length(values, dtypes):
+    node, found = _resolve(values[0], values[1] if len(values) > 1 else "$")
+    if not found or not isinstance(node, list):
+        return None
+    return len(node)
+
+
+def register_json_functions(registry: FunctionRegistry) -> None:
+    registry.register(
+        "JSON_VALUE", simple("JSON_VALUE", 2, 2, varchar_type(), _json_value)
+    )
+    registry.register(
+        "JSON_EXISTS", simple("JSON_EXISTS", 2, 2, BOOLEAN, _json_exists)
+    )
+    registry.register(
+        "JSON_ARRAY_LENGTH",
+        simple("JSON_ARRAY_LENGTH", 1, 2, BIGINT, _json_array_length),
+    )
+
+
+def install_default() -> None:
+    """Install into the shared ANSI registry (visible to all dialects)."""
+    from repro.sql.dialects import _ANSI_FNS
+
+    register_json_functions(_ANSI_FNS)
+
+
+install_default()

@@ -1,0 +1,146 @@
+"""External tables: schema applied at read time ("schema on read").
+
+An :class:`ExternalTable` binds a file on the clustered filesystem to a
+declared schema.  Registration puts it in the catalog like a nickname, so
+the planner treats it as an ordinary relation; the schema conversion
+(strings -> typed values, malformed cells -> NULL or error) happens on
+every scan — the defining property of schema-on-read systems the paper's
+intro credits to the Hadoop world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expression import Batch
+from repro.errors import ConversionError, FederationError
+from repro.sql.binder import ScopeColumn
+from repro.storage.column import ColumnVector
+from repro.storage.filesystem import ClusterFileSystem
+from repro.types.datatypes import DataType
+from repro.types.values import cast_value
+
+from repro.external.formats import (
+    ParquetLiteFile,
+    read_csv,
+    read_json_lines,
+    read_parquet_lite,
+)
+
+_FORMATS = ("csv", "jsonl", "parquet-lite")
+
+
+@dataclass
+class ExternalTable:
+    """A file + a read-time schema.
+
+    Args:
+        name: catalog name.
+        fs: the clustered filesystem holding the file.
+        path: file path on the FS.
+        file_format: "csv" | "jsonl" | "parquet-lite".
+        columns: declared (name, DataType) pairs applied at read time.
+        on_error: "null" (malformed cell reads as NULL — permissive
+            schema-on-read) or "fail" (raise on first malformed cell).
+    """
+
+    name: str
+    fs: ClusterFileSystem
+    path: str
+    file_format: str
+    columns: tuple[tuple[str, DataType], ...]
+    on_error: str = "null"
+
+    def __post_init__(self):
+        if self.file_format not in _FORMATS:
+            raise FederationError("unknown external format %r" % self.file_format)
+        if self.on_error not in ("null", "fail"):
+            raise FederationError("on_error must be 'null' or 'fail'")
+        self.name = self.name.upper()
+        self.columns = tuple((c.upper(), dt) for c, dt in self.columns)
+        self.scans = 0
+        self.cells_nulled = 0
+
+    # -- reading ------------------------------------------------------------
+
+    def _raw_rows(self) -> list[list]:
+        if self.file_format == "csv":
+            header, rows = read_csv(self.fs, self.path)
+            index = {h.upper(): i for i, h in enumerate(header)}
+            ordered = []
+            for row in rows:
+                ordered.append(
+                    [
+                        row[index[c]] if c in index and index[c] < len(row) else None
+                        for c, _ in self.columns
+                    ]
+                )
+            return ordered
+        if self.file_format == "jsonl":
+            records = read_json_lines(self.fs, self.path)
+            return [
+                [_json_cell(record, c) for c, _ in self.columns]
+                for record in records
+            ]
+        pq = read_parquet_lite(self.fs, self.path)
+        wanted = [c for c, _ in self.columns]
+        return [list(r) for r in pq.read_rows(wanted)]
+
+    def _apply_schema(self, raw_rows: list[list]) -> list[list]:
+        """The read-time schema application (the 'schema on read' moment)."""
+        typed = []
+        for row in raw_rows:
+            out = []
+            for value, (cname, dtype) in zip(row, self.columns):
+                if value is None:
+                    out.append(None)
+                    continue
+                try:
+                    out.append(cast_value(value, dtype))
+                except ConversionError:
+                    if self.on_error == "fail":
+                        raise
+                    self.cells_nulled += 1
+                    out.append(None)
+            typed.append(out)
+        return typed
+
+    def read_typed_rows(self) -> list[list]:
+        self.scans += 1
+        return self._apply_schema(self._raw_rows())
+
+    # -- planner integration (same contract as federation connectors) -----------
+
+    def fetch_batch(self, remote_table: str, alias: str):
+        rows = self.read_typed_rows()
+        columns = {}
+        scope_columns = []
+        for i, (cname, dtype) in enumerate(self.columns):
+            key = "%s.%s" % (alias, cname)
+            columns[key] = ColumnVector.from_boundary([r[i] for r in rows], dtype)
+            scope_columns.append(ScopeColumn(key, cname, alias, dtype))
+        return Batch.from_columns(columns), scope_columns
+
+    def table_names(self) -> list[str]:
+        return [self.name]
+
+
+def _json_cell(record: dict, column: str):
+    """Case-insensitive top-level field lookup."""
+    if column in record:
+        return record[column]
+    lowered = column.lower()
+    for key, value in record.items():
+        if key.lower() == lowered:
+            return value
+    return None
+
+
+def register_external_table(database, table: ExternalTable):
+    """Expose an external table to SQL: SELECT ... FROM <name>.
+
+    Uses the nickname machinery (the planner already knows how to turn a
+    connector fetch into a relation), which matches how real systems expose
+    Hadoop-format externals through their federation layer.
+    """
+    return database.catalog.create_nickname(table.name, table, table.name)

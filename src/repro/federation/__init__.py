@@ -1,0 +1,10 @@
+"""Fluid Query federation: nicknames over remote data stores (II.C.6)."""
+
+from repro.federation.connectors import (
+    CONNECTOR_TYPES,
+    RemoteStore,
+    make_connector,
+)
+from repro.federation.nickname import add_nickname
+
+__all__ = ["CONNECTOR_TYPES", "RemoteStore", "add_nickname", "make_connector"]

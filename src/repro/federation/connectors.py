@@ -1,0 +1,96 @@
+"""Connectors to simulated remote data stores.
+
+Paper II.C.6 / Fig. 5: "Multiple built in connectors allow you to quickly
+create a table nickname to access and query remote database objects from
+Hadoop data repositories such as Cloudera Impala or structured database
+objects such as SQL Server, DB2, Netezza, or Oracle."
+
+A :class:`RemoteStore` is the remote system: it holds tables as rows plus a
+schema, and serves fetches through a connector that models each source's
+access latency.  Fetched data lands in the planner as an ordinary relation,
+so nicknames join freely with local tables ("unification of Hadoop and
+structured data stores").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expression import Batch
+from repro.errors import FederationError
+from repro.sql.binder import ScopeColumn
+from repro.storage.column import ColumnVector
+from repro.types.datatypes import DataType
+
+#: Supported remote source families and their per-fetch latency (sim s/MB).
+CONNECTOR_TYPES = {
+    "oracle": 0.08,
+    "sqlserver": 0.08,
+    "db2": 0.06,
+    "netezza": 0.05,
+    "impala": 0.20,  # Hadoop repositories are slower per byte
+    "hive": 0.25,
+}
+
+
+@dataclass
+class RemoteTable:
+    columns: tuple[tuple[str, DataType], ...]
+    rows: list[tuple] = field(default_factory=list)
+
+
+class RemoteStore:
+    """A simulated remote database reachable through a connector."""
+
+    def __init__(self, name: str, kind: str, clock=None):
+        if kind not in CONNECTOR_TYPES:
+            raise FederationError("unknown remote source type %r" % kind)
+        self.name = name
+        self.kind = kind
+        self.clock = clock
+        self._tables: dict[str, RemoteTable] = {}
+        self.fetch_count = 0
+        self.rows_served = 0
+
+    def create_table(self, name: str, columns, rows=None) -> None:
+        self._tables[name.upper()] = RemoteTable(
+            columns=tuple((c.upper(), dt) for c, dt in columns),
+            rows=list(rows or []),
+        )
+
+    def insert(self, name: str, rows) -> None:
+        table = self._table(name)
+        table.rows.extend(rows)
+
+    def _table(self, name: str) -> RemoteTable:
+        table = self._tables.get(name.upper())
+        if table is None:
+            raise FederationError(
+                "remote table %s not found on %s" % (name.upper(), self.name)
+            )
+        return table
+
+    def fetch_batch(self, remote_table: str, alias: str):
+        """Connector entry point used by the planner for nicknames."""
+        table = self._table(remote_table)
+        self.fetch_count += 1
+        self.rows_served += len(table.rows)
+        if self.clock is not None:
+            mb = max(len(table.rows) * 64, 1) / 1e6
+            self.clock.advance(0.01 + CONNECTOR_TYPES[self.kind] * mb)
+        columns = {}
+        scope_columns = []
+        for i, (cname, dtype) in enumerate(table.columns):
+            key = "%s.%s" % (alias, cname)
+            values = [row[i] for row in table.rows]
+            columns[key] = ColumnVector.from_boundary(values, dtype)
+            scope_columns.append(ScopeColumn(key, cname, alias, dtype))
+        return Batch.from_columns(columns), scope_columns
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+
+def make_connector(name: str, kind: str, clock=None) -> RemoteStore:
+    """Create a connector to a (simulated) remote source."""
+    return RemoteStore(name, kind, clock)

@@ -1,0 +1,28 @@
+"""Nickname creation: the "Add Nickname" flow of paper Fig. 5."""
+
+from __future__ import annotations
+
+from repro.database.database import Database
+from repro.errors import FederationError
+from repro.federation.connectors import RemoteStore
+
+
+def add_nickname(
+    database: Database,
+    nickname: str,
+    store: RemoteStore,
+    remote_table: str,
+    schema: str | None = None,
+):
+    """Register a local nickname for a remote table.
+
+    Afterwards ``SELECT ... FROM <nickname>`` transparently fetches from
+    the remote store and joins with local tables.
+    """
+    if remote_table.upper() not in [t.upper() for t in store.table_names()]:
+        raise FederationError(
+            "remote table %s does not exist on %s" % (remote_table, store.name)
+        )
+    return database.catalog.create_nickname(
+        nickname, store, remote_table.upper(), schema
+    )

@@ -1,0 +1,19 @@
+"""Geospatial types and SQL/MM functions (paper II.C.5)."""
+
+from repro.geospatial.geometry import (
+    Geometry,
+    LineString,
+    Point,
+    Polygon,
+    parse_wkt,
+)
+from repro.geospatial.functions import register_geospatial
+
+__all__ = [
+    "Geometry",
+    "LineString",
+    "Point",
+    "Polygon",
+    "parse_wkt",
+    "register_geospatial",
+]

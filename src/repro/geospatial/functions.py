@@ -1,0 +1,148 @@
+"""SQL/MM ST_* functions, installable into any dialect registry.
+
+Geometries travel through SQL as WKT VARCHAR values (the ST_ASTEXT
+convention); constructors parse, predicates/metrics compute on the parsed
+forms.  ``register_geospatial`` adds the function set to a registry — the
+shared ANSI registry by default, so every dialect sees them (paper II.C.5:
+usable "either through your own SQL statements or through the ... R and
+Python language APIs").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConversionError
+from repro.geospatial.geometry import LineString, Point, Polygon, parse_wkt
+from repro.sql.functions import FunctionRegistry, simple
+from repro.types.datatypes import BOOLEAN, DOUBLE, varchar_type
+
+_WKT = varchar_type()
+
+
+def _geom(value):
+    if value is None:
+        return None
+    return parse_wkt(str(value))
+
+
+def _st_point(values, dtypes):
+    if values[0] is None or values[1] is None:
+        return None
+    return Point(float(values[0]), float(values[1])).wkt()
+
+
+def _st_linestring(values, dtypes):
+    if values[0] is None:
+        return None
+    geometry = _geom(values[0])
+    if not isinstance(geometry, LineString):
+        raise ConversionError("ST_LINESTRING expects LINESTRING WKT")
+    return geometry.wkt()
+
+
+def _st_polygon(values, dtypes):
+    if values[0] is None:
+        return None
+    geometry = _geom(values[0])
+    if not isinstance(geometry, Polygon):
+        raise ConversionError("ST_POLYGON expects POLYGON WKT")
+    return geometry.wkt()
+
+
+def _st_x(values, dtypes):
+    geometry = _geom(values[0])
+    if geometry is None:
+        return None
+    if not isinstance(geometry, Point):
+        raise ConversionError("ST_X expects a POINT")
+    return geometry.x
+
+
+def _st_y(values, dtypes):
+    geometry = _geom(values[0])
+    if geometry is None:
+        return None
+    if not isinstance(geometry, Point):
+        raise ConversionError("ST_Y expects a POINT")
+    return geometry.y
+
+
+def _st_distance(values, dtypes):
+    a, b = _geom(values[0]), _geom(values[1])
+    if a is None or b is None:
+        return None
+    return a.distance(b)
+
+
+def _st_contains(values, dtypes):
+    container, item = _geom(values[0]), _geom(values[1])
+    if container is None or item is None:
+        return None
+    if isinstance(container, Polygon) and isinstance(item, Point):
+        return int(container.contains(item))
+    if isinstance(container, Polygon) and isinstance(item, Polygon):
+        return int(all(container.contains(p) for p in item.ring))
+    if isinstance(container, Polygon) and isinstance(item, LineString):
+        return int(all(container.contains(p) for p in item.points))
+    return 0
+
+
+def _st_within(values, dtypes):
+    return _st_contains([values[1], values[0]], dtypes)
+
+
+def _st_area(values, dtypes):
+    geometry = _geom(values[0])
+    if geometry is None:
+        return None
+    if isinstance(geometry, Polygon):
+        return geometry.area()
+    return 0.0
+
+
+def _st_length(values, dtypes):
+    geometry = _geom(values[0])
+    if geometry is None:
+        return None
+    if isinstance(geometry, LineString):
+        return geometry.length()
+    if isinstance(geometry, Polygon):
+        return geometry.perimeter()
+    return 0.0
+
+
+def _st_astext(values, dtypes):
+    geometry = _geom(values[0])
+    return None if geometry is None else geometry.wkt()
+
+
+def _st_srid(values, dtypes):
+    # Planar SRID 0 throughout this reproduction.
+    return None if values[0] is None else 0
+
+
+def register_geospatial(registry: FunctionRegistry) -> None:
+    """Install the ST_* function set into a registry."""
+    r = registry.register
+    r("ST_POINT", simple("ST_POINT", 2, 2, _WKT, _st_point))
+    r("ST_LINESTRING", simple("ST_LINESTRING", 1, 1, _WKT, _st_linestring))
+    r("ST_POLYGON", simple("ST_POLYGON", 1, 1, _WKT, _st_polygon))
+    r("ST_X", simple("ST_X", 1, 1, DOUBLE, _st_x))
+    r("ST_Y", simple("ST_Y", 1, 1, DOUBLE, _st_y))
+    r("ST_DISTANCE", simple("ST_DISTANCE", 2, 2, DOUBLE, _st_distance))
+    r("ST_CONTAINS", simple("ST_CONTAINS", 2, 2, BOOLEAN, _st_contains))
+    r("ST_WITHIN", simple("ST_WITHIN", 2, 2, BOOLEAN, _st_within))
+    r("ST_AREA", simple("ST_AREA", 1, 1, DOUBLE, _st_area))
+    r("ST_LENGTH", simple("ST_LENGTH", 1, 1, DOUBLE, _st_length))
+    r("ST_ASTEXT", simple("ST_ASTEXT", 1, 1, _WKT, _st_astext))
+    r("ST_SRID", simple("ST_SRID", 1, 1, DOUBLE, _st_srid))
+
+
+def install_default() -> None:
+    """Install ST_* into the shared ANSI registry (visible to all dialects)."""
+    from repro.sql.dialects import _ANSI_FNS
+
+    register_geospatial(_ANSI_FNS)
+
+
+# Geospatial support is part of the engine (paper II.C.5) — install eagerly.
+install_default()

@@ -1,0 +1,167 @@
+"""Geometry types: points, line strings, polygons (SQL/MM subset).
+
+Paper II.C.5: "complete coverage of location data types such as points,
+line strings and polygons along with the full set of geospatial computation
+and analytic functions as defined by the SQL/MM standard".  Geometries are
+stored in columns as WKT strings and materialised on demand.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConversionError
+
+
+class Geometry:
+    """Base class; subclasses implement WKT and the metric operations."""
+
+    def wkt(self) -> str:
+        raise NotImplementedError
+
+    def distance(self, other: "Geometry") -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Point(Geometry):
+    x: float
+    y: float
+
+    def wkt(self) -> str:
+        return "POINT (%s %s)" % (_num(self.x), _num(self.y))
+
+    def distance(self, other: Geometry) -> float:
+        if isinstance(other, Point):
+            return math.hypot(self.x - other.x, self.y - other.y)
+        return other.distance(self)
+
+
+@dataclass(frozen=True)
+class LineString(Geometry):
+    points: tuple[Point, ...]
+
+    def __post_init__(self):
+        if len(self.points) < 2:
+            raise ConversionError("a LINESTRING needs at least two points")
+
+    def wkt(self) -> str:
+        return "LINESTRING (%s)" % ", ".join(
+            "%s %s" % (_num(p.x), _num(p.y)) for p in self.points
+        )
+
+    def length(self) -> float:
+        return sum(
+            self.points[i].distance(self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        )
+
+    def distance(self, other: Geometry) -> float:
+        if isinstance(other, Point):
+            return min(
+                _point_segment_distance(other, a, b)
+                for a, b in zip(self.points, self.points[1:])
+            )
+        if isinstance(other, LineString):
+            return min(self.distance(p) for p in other.points)
+        return other.distance(self)
+
+
+@dataclass(frozen=True)
+class Polygon(Geometry):
+    ring: tuple[Point, ...]  # closed exterior ring (first == last)
+
+    def __post_init__(self):
+        if len(self.ring) < 4 or self.ring[0] != self.ring[-1]:
+            raise ConversionError(
+                "a POLYGON ring needs >= 4 points and must close on itself"
+            )
+
+    def wkt(self) -> str:
+        return "POLYGON ((%s))" % ", ".join(
+            "%s %s" % (_num(p.x), _num(p.y)) for p in self.ring
+        )
+
+    def area(self) -> float:
+        total = 0.0
+        for a, b in zip(self.ring, self.ring[1:]):
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2.0
+
+    def perimeter(self) -> float:
+        return sum(a.distance(b) for a, b in zip(self.ring, self.ring[1:]))
+
+    def contains(self, point: Point) -> bool:
+        """Ray casting; boundary points count as contained."""
+        inside = False
+        for a, b in zip(self.ring, self.ring[1:]):
+            if _point_segment_distance(point, a, b) < 1e-12:
+                return True
+            if (a.y > point.y) != (b.y > point.y):
+                x_cross = a.x + (point.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if point.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def distance(self, other: Geometry) -> float:
+        if isinstance(other, Point):
+            if self.contains(other):
+                return 0.0
+            return min(
+                _point_segment_distance(other, a, b)
+                for a, b in zip(self.ring, self.ring[1:])
+            )
+        if isinstance(other, (LineString, Polygon)):
+            pts = other.points if isinstance(other, LineString) else other.ring
+            return min(self.distance(p) for p in pts)
+        return other.distance(self)
+
+
+def _num(value: float) -> str:
+    if float(value).is_integer():
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    dx, dy = bx - ax, by - ay
+    if dx == dy == 0:
+        return p.distance(a)
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / (dx * dx + dy * dy)
+    t = max(0.0, min(1.0, t))
+    closest = Point(ax + t * dx, ay + t * dy)
+    return p.distance(closest)
+
+
+_POINT_RE = re.compile(r"^\s*POINT\s*\(\s*(\S+)\s+(\S+)\s*\)\s*$", re.I)
+_LINESTRING_RE = re.compile(r"^\s*LINESTRING\s*\((.*)\)\s*$", re.I)
+_POLYGON_RE = re.compile(r"^\s*POLYGON\s*\(\s*\((.*)\)\s*\)\s*$", re.I)
+
+
+def _coords(text: str) -> tuple[Point, ...]:
+    points = []
+    for pair in text.split(","):
+        parts = pair.split()
+        if len(parts) != 2:
+            raise ConversionError("bad coordinate pair %r" % pair)
+        points.append(Point(float(parts[0]), float(parts[1])))
+    return tuple(points)
+
+
+def parse_wkt(text: str) -> Geometry:
+    """Parse the SQL/MM well-known-text forms used by this library."""
+    if not isinstance(text, str):
+        raise ConversionError("WKT must be a string, got %r" % (text,))
+    match = _POINT_RE.match(text)
+    if match:
+        return Point(float(match.group(1)), float(match.group(2)))
+    match = _LINESTRING_RE.match(text)
+    if match:
+        return LineString(_coords(match.group(1)))
+    match = _POLYGON_RE.match(text)
+    if match:
+        return Polygon(_coords(match.group(1)))
+    raise ConversionError("unsupported WKT %r" % text[:50])

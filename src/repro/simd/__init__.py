@@ -1,0 +1,24 @@
+"""Software-SIMD predicate evaluation over bit-packed codes.
+
+Implements paper section II.B.6: predicates are applied simultaneously to
+all codes packed in a 64-bit word, for any code size, using fieldwise
+(SWAR) arithmetic.  The word layout (one spare bit per field) comes from
+:mod:`repro.util.bitpack`.
+"""
+
+from repro.simd.packed import replicate_constant, result_bit_positions
+from repro.simd.predicates import (
+    eval_compare,
+    eval_compare_scalar,
+    eval_in_ranges,
+    eval_range,
+)
+
+__all__ = [
+    "eval_compare",
+    "eval_compare_scalar",
+    "eval_in_ranges",
+    "eval_range",
+    "replicate_constant",
+    "result_bit_positions",
+]

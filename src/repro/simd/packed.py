@@ -1,0 +1,60 @@
+"""Word-level helpers for fieldwise (SWAR) arithmetic on packed codes.
+
+For a code width ``w`` the packed layout uses fields of ``w + 1`` bits; the
+top bit of each field (the *result bit*) is spare so that fieldwise add and
+subtract never borrow across fields.  These helpers build the replicated
+constants the predicate kernels need.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+_WORD_BITS = 64
+
+
+@lru_cache(maxsize=None)
+def _lane_geometry(width: int) -> tuple[int, int, np.ndarray]:
+    """Return (field_bits, codes_per_word, lane shift vector)."""
+    field = width + 1
+    cpw = _WORD_BITS // field
+    shifts = (np.arange(cpw, dtype=np.uint64) * np.uint64(field))
+    return field, cpw, shifts
+
+
+@lru_cache(maxsize=None)
+def _lane_pattern(width: int) -> int:
+    """Word with bit 0 of every field set (the fieldwise '1' constant)."""
+    field, cpw, _ = _lane_geometry(width)
+    pattern = 0
+    for lane in range(cpw):
+        pattern |= 1 << (lane * field)
+    return pattern
+
+
+@lru_cache(maxsize=None)
+def high_bit_mask(width: int) -> int:
+    """Word with the result (top) bit of every field set."""
+    return _lane_pattern(width) << width
+
+
+def replicate_constant(value: int, width: int) -> int:
+    """Replicate a ``width``-bit constant into every field of a word."""
+    if not 0 <= value < (1 << width):
+        raise ValueError("constant %d does not fit in %d bits" % (value, width))
+    return _lane_pattern(width) * value
+
+
+def result_bit_positions(width: int) -> np.ndarray:
+    """Bit positions of the per-field result bits, one per lane."""
+    field, cpw, shifts = _lane_geometry(width)
+    return shifts + np.uint64(width)
+
+
+def extract_result_bits(result_words: np.ndarray, width: int, n: int) -> np.ndarray:
+    """Turn per-field result bits into a boolean array of length ``n``."""
+    positions = result_bit_positions(width)[None, :]
+    lanes = (result_words[:, None] >> positions) & np.uint64(1)
+    return lanes.reshape(-1)[:n].astype(bool)

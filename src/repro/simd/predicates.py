@@ -1,0 +1,150 @@
+"""Predicate kernels that evaluate comparisons on packed codes.
+
+Each kernel touches only whole 64-bit words: with ``c`` codes per word a
+single numpy word operation evaluates the predicate for ``c`` values at once
+(paper section II.B.6).  All comparisons treat codes as unsigned integers,
+which is sufficient because both dictionary and minus encodings produce
+non-negative, order-preserving codes.
+
+The arithmetic identities (fields of ``w + 1`` bits, code ``x``, constant
+``k``, result bit ``H = 2**w`` per field):
+
+* ``x >= k``:  ``((x | H) - k_rep) & H``  — the borrow out of ``x - k`` is
+  absorbed by the spare bit, which survives exactly when ``x >= k``.
+* ``x <= k``:  ``((k_rep | H) - x) & H``.
+* ``x == k``:  ``(H_rep - (x ^ k_rep)) & H`` — the XOR is zero only on
+  equality, and only then does the subtraction leave the spare bit set.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+
+from repro.simd.packed import extract_result_bits, high_bit_mask, replicate_constant
+from repro.util.bitpack import PackedArray
+
+_PY_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _clamp(value: int, width: int) -> int | None:
+    """Clamp a constant into the representable code domain.
+
+    Returns None when the comparison is decided for all codes (caller
+    handles the all-true / all-false result).
+    """
+    if 0 <= value < (1 << width):
+        return value
+    return None
+
+
+def _ge_words(words: np.ndarray, k: int, width: int) -> np.ndarray:
+    h = np.uint64(high_bit_mask(width))
+    krep = np.uint64(replicate_constant(k, width))
+    return ((words | h) - krep) & h
+
+
+def _le_words(words: np.ndarray, k: int, width: int) -> np.ndarray:
+    h = np.uint64(high_bit_mask(width))
+    krep = np.uint64(replicate_constant(k, width))
+    return ((krep | h) - words) & h
+
+
+def _eq_words(words: np.ndarray, k: int, width: int) -> np.ndarray:
+    h = np.uint64(high_bit_mask(width))
+    krep = np.uint64(replicate_constant(k, width))
+    return (h - (words ^ krep)) & h
+
+
+def eval_compare(packed: PackedArray, op: str, value: int) -> np.ndarray:
+    """Evaluate ``code <op> value`` over all codes, one word at a time.
+
+    Args:
+        packed: the packed code vector.
+        op: one of ``=``, ``<>``, ``<``, ``<=``, ``>``, ``>=``.
+        value: unsigned comparison constant (need not be representable).
+
+    Returns:
+        Boolean numpy array of length ``len(packed)``.
+    """
+    n, width = packed.n, packed.width
+    if op not in _PY_OPS:
+        raise ValueError("unknown comparison operator %r" % op)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    # Out-of-domain constants decide the predicate wholesale.
+    if value < 0:
+        verdict = op in (">", ">=", "<>")
+        return np.full(n, verdict, dtype=bool)
+    if value >= (1 << width):
+        verdict = op in ("<", "<=", "<>")
+        return np.full(n, verdict, dtype=bool)
+
+    words = packed.words
+    if op == ">=":
+        bits = _ge_words(words, value, width)
+    elif op == "<=":
+        bits = _le_words(words, value, width)
+    elif op == "=":
+        bits = _eq_words(words, value, width)
+    elif op == "<":
+        bits = _ge_words(words, value, width)
+        return ~extract_result_bits(bits, width, n)
+    elif op == ">":
+        bits = _le_words(words, value, width)
+        return ~extract_result_bits(bits, width, n)
+    else:  # <>
+        bits = _eq_words(words, value, width)
+        return ~extract_result_bits(bits, width, n)
+    return extract_result_bits(bits, width, n)
+
+
+def eval_range(packed: PackedArray, lo: int, hi: int) -> np.ndarray:
+    """Evaluate ``lo <= code <= hi`` (an inclusive BETWEEN on codes)."""
+    n, width = packed.n, packed.width
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if hi < lo or hi < 0 or lo >= (1 << width):
+        return np.zeros(n, dtype=bool)
+    lo = max(lo, 0)
+    hi = min(hi, (1 << width) - 1)
+    if lo == 0 and hi == (1 << width) - 1:
+        return np.ones(n, dtype=bool)
+    ge = _ge_words(packed.words, lo, width)
+    le = _le_words(packed.words, hi, width)
+    # Both kernels put their verdict in the same per-field result bit, so a
+    # single AND combines the two range sides without unpacking.
+    return extract_result_bits(ge & le, width, n)
+
+
+def eval_in_ranges(packed: PackedArray, ranges) -> np.ndarray:
+    """OR of several inclusive code ranges ``[(lo, hi), ...]``.
+
+    Frequency encoding maps one value range to one code range per frequency
+    partition; this evaluates the whole disjunction on compressed data.
+    """
+    result = np.zeros(packed.n, dtype=bool)
+    for lo, hi in ranges:
+        result |= eval_range(packed, lo, hi)
+    return result
+
+
+def eval_compare_scalar(packed: PackedArray, op: str, value: int) -> np.ndarray:
+    """Reference per-value implementation (no word parallelism).
+
+    Used in tests as ground truth and in benchmarks as the non-SIMD
+    baseline the paper's technique is compared against.
+    """
+    py_op = _PY_OPS[op]
+    out = np.empty(packed.n, dtype=bool)
+    for i in range(packed.n):
+        out[i] = py_op(packed.get(i), value)
+    return out

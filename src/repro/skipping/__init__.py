@@ -1,0 +1,5 @@
+"""Data skipping via per-extent synopsis metadata (paper section II.B.4)."""
+
+from repro.skipping.synopsis import SYNOPSIS_STRIDE, Synopsis
+
+__all__ = ["SYNOPSIS_STRIDE", "Synopsis"]

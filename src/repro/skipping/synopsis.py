@@ -1,0 +1,156 @@
+"""Per-extent synopsis metadata for data skipping.
+
+Paper section II.B.4: "metadata is collected and stored on every column for
+(approximately) 1K tuples ... the metadata is generally three orders of
+magnitude smaller than the user data" and is itself kept in the compressed
+columnar representation.
+
+A :class:`Synopsis` keeps, for each extent of ``stride`` rows, the minimum,
+maximum, and null count of a column.  Before scanning, the engine consults
+the synopsis to discard extents that cannot satisfy a predicate; only
+surviving extents are fetched and scanned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default extent size ("approximately 1K tuples" in the paper).
+SYNOPSIS_STRIDE = 1024
+
+
+class Synopsis:
+    """Min/max/null-count metadata over fixed-size extents of one column."""
+
+    def __init__(
+        self,
+        mins: np.ndarray,
+        maxs: np.ndarray,
+        null_counts: np.ndarray,
+        row_counts: np.ndarray,
+        stride: int,
+    ):
+        self.mins = mins
+        self.maxs = maxs
+        self.null_counts = null_counts
+        self.row_counts = row_counts
+        self.stride = stride
+
+    @classmethod
+    def build(
+        cls,
+        values: np.ndarray,
+        nulls: np.ndarray | None = None,
+        stride: int = SYNOPSIS_STRIDE,
+    ) -> "Synopsis":
+        """Collect synopsis metadata for a column region.
+
+        Args:
+            values: physical values; NULL slots may hold any filler.
+            nulls: optional boolean NULL mask.
+            stride: rows per extent.
+        """
+        values = np.asarray(values)
+        n = values.size
+        n_extents = -(-n // stride) if n else 0
+        object_domain = values.dtype == object
+        mins = np.empty(n_extents, dtype=values.dtype)
+        maxs = np.empty(n_extents, dtype=values.dtype)
+        null_counts = np.zeros(n_extents, dtype=np.int64)
+        row_counts = np.zeros(n_extents, dtype=np.int64)
+        for e in range(n_extents):
+            chunk = values[e * stride : (e + 1) * stride]
+            row_counts[e] = chunk.size
+            if nulls is not None:
+                mask = nulls[e * stride : (e + 1) * stride]
+                null_counts[e] = int(mask.sum())
+                live = chunk[~mask]
+            else:
+                live = chunk
+            if live.size == 0:
+                # All-null extent: store a self-inverting sentinel range so
+                # no predicate can match it (min > max).
+                mins[e] = _max_sentinel(object_domain)
+                maxs[e] = _min_sentinel(object_domain)
+            else:
+                mins[e] = live.min()
+                maxs[e] = live.max()
+        return cls(mins, maxs, null_counts, row_counts, stride)
+
+    @property
+    def n_extents(self) -> int:
+        return int(self.mins.size)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.row_counts.sum())
+
+    def nbytes(self) -> int:
+        """Physical footprint of the synopsis itself."""
+        if self.mins.dtype == object:
+            payload = sum(len(str(v)) for v in self.mins) + sum(
+                len(str(v)) for v in self.maxs
+            )
+        else:
+            payload = int(self.mins.nbytes + self.maxs.nbytes)
+        return payload + int(self.null_counts.nbytes + self.row_counts.nbytes)
+
+    # -- extent elimination --------------------------------------------------
+
+    def candidates_compare(self, op: str, value) -> np.ndarray:
+        """Boolean mask of extents that *may* contain rows matching
+        ``column <op> value``.  A False entry is a proven skip."""
+        if value is None:
+            return np.zeros(self.n_extents, dtype=bool)
+        mins, maxs = self.mins, self.maxs
+        if op == "=":
+            keep = (mins <= value) & (value <= maxs)
+        elif op == "<>":
+            # Only an extent where every row equals `value` can be skipped.
+            keep = ~((mins == value) & (maxs == value))
+        elif op == "<":
+            keep = mins < value
+        elif op == "<=":
+            keep = mins <= value
+        elif op == ">":
+            keep = maxs > value
+        elif op == ">=":
+            keep = maxs >= value
+        else:
+            raise ValueError("unknown comparison operator %r" % op)
+        return np.asarray(keep, dtype=bool)
+
+    def candidates_between(self, lo, hi) -> np.ndarray:
+        """Extents that may contain rows in ``[lo, hi]``."""
+        if lo is None or hi is None:
+            return np.zeros(self.n_extents, dtype=bool)
+        keep = (self.maxs >= lo) & (self.mins <= hi)
+        return np.asarray(keep, dtype=bool)
+
+    def candidates_in(self, values) -> np.ndarray:
+        """Extents that may contain any of ``values``."""
+        keep = np.zeros(self.n_extents, dtype=bool)
+        for v in values:
+            if v is not None:
+                keep |= (self.mins <= v) & (v <= self.maxs)
+        return keep
+
+    def candidates_is_null(self) -> np.ndarray:
+        return self.null_counts > 0
+
+    def candidates_is_not_null(self) -> np.ndarray:
+        return self.null_counts < self.row_counts
+
+    def skip_fraction(self, candidates: np.ndarray) -> float:
+        """Fraction of extents eliminated by a candidates mask."""
+        if self.n_extents == 0:
+            return 0.0
+        return 1.0 - float(candidates.sum()) / self.n_extents
+
+
+def _max_sentinel(object_domain: bool):
+    return "￿" * 4 if object_domain else np.iinfo(np.int64).max
+
+
+def _min_sentinel(object_domain: bool):
+    return "" if object_domain else np.iinfo(np.int64).min

@@ -1,0 +1,33 @@
+"""Mini-Spark: the integrated analytics engine of paper section II.D.
+
+A faithful-in-structure reimplementation of the Spark execution model
+(partitioned RDDs, lazy transformations, narrow/wide dependencies, stage
+splitting at shuffle boundaries) plus the dashDB-specific integration the
+paper contributes: a per-user Dispatcher, collocated per-shard data fetch
+with predicate pushdown, stored-procedure / REST-style submission, and
+prepackaged analytics (GLM).
+"""
+
+from repro.spark.dataframe import SparkDataFrame
+from repro.spark.dispatcher import SparkApp, SparkClusterManager, SparkDispatcher
+from repro.spark.integration import DashDBSparkContext, TransferStats
+from repro.spark.mllib import GLM, KMeansModel, train_glm, train_kmeans
+from repro.spark.rdd import RDD, SparkContext
+from repro.spark.scheduler import DAGScheduler, JobMetrics
+
+__all__ = [
+    "DAGScheduler",
+    "DashDBSparkContext",
+    "GLM",
+    "JobMetrics",
+    "KMeansModel",
+    "RDD",
+    "SparkApp",
+    "SparkClusterManager",
+    "SparkContext",
+    "SparkDataFrame",
+    "SparkDispatcher",
+    "TransferStats",
+    "train_glm",
+    "train_kmeans",
+]

@@ -1,0 +1,133 @@
+"""The Spark Dispatcher: per-user cluster managers and app submission.
+
+Paper II.D.1 / Fig. 6: "The main controller for each request to Spark is
+the Spark Dispatcher.  The Dispatcher takes care that for each user a
+different Spark Cluster Manager gets created and that Spark only gets the
+memory configured" — user isolation without extra security configuration,
+because "the Spark jobs of different users could only get the data
+according to the database privileges".
+
+Submission interfaces (paper list): a REST-style API (``rest_request``),
+SQL stored procedures (installed by :mod:`repro.spark.procedures`), and the
+``spark_submit`` client wrapper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SparkSubmitError
+from repro.spark.rdd import SparkContext
+
+_app_ids = itertools.count(1)
+
+
+@dataclass
+class SparkApp:
+    """One submitted application."""
+
+    app_id: str
+    name: str
+    user: str
+    state: str = "RUNNING"  # RUNNING -> FINISHED | FAILED | KILLED
+    result: object = None
+    error: str = ""
+
+
+class SparkClusterManager:
+    """One user's private cluster manager with a fixed memory budget."""
+
+    def __init__(self, user: str, memory_limit_bytes: int, default_parallelism: int):
+        self.user = user
+        self.memory_limit_bytes = memory_limit_bytes
+        self.default_parallelism = default_parallelism
+        self.apps: dict[str, SparkApp] = {}
+
+    def new_context(self, app_name: str) -> SparkContext:
+        return SparkContext(app_name, self.default_parallelism)
+
+    def run(self, app_name: str, main_fn) -> SparkApp:
+        """Execute ``main_fn(spark_context)`` as an application."""
+        app = SparkApp(app_id="app-%04d" % next(_app_ids), name=app_name, user=self.user)
+        self.apps[app.app_id] = app
+        context = self.new_context(app_name)
+        try:
+            app.result = main_fn(context)
+            app.state = "FINISHED"
+        except Exception as exc:  # the driver reports failures, not raises
+            app.state = "FAILED"
+            app.error = str(exc)
+        return app
+
+    def kill(self, app_id: str) -> None:
+        app = self.apps.get(app_id)
+        if app is None:
+            raise SparkSubmitError("no application %s" % app_id)
+        if app.state == "RUNNING":
+            app.state = "KILLED"
+
+
+class SparkDispatcher:
+    """Routes requests to per-user cluster managers (creating on demand)."""
+
+    def __init__(self, total_memory_bytes: int, default_parallelism: int = 4,
+                 per_user_fraction: float = 0.25):
+        self.total_memory_bytes = total_memory_bytes
+        self.default_parallelism = default_parallelism
+        self.per_user_fraction = per_user_fraction
+        self.managers: dict[str, SparkClusterManager] = {}
+
+    def manager_for(self, user: str) -> SparkClusterManager:
+        if user not in self.managers:
+            self.managers[user] = SparkClusterManager(
+                user,
+                int(self.total_memory_bytes * self.per_user_fraction),
+                self.default_parallelism,
+            )
+        return self.managers[user]
+
+    def submit(self, user: str, app_name: str, main_fn) -> SparkApp:
+        return self.manager_for(user).run(app_name, main_fn)
+
+    def cancel(self, user: str, app_id: str) -> None:
+        self.manager_for(user).kill(app_id)
+
+    def status(self, user: str, app_id: str) -> str:
+        app = self.manager_for(user).apps.get(app_id)
+        if app is None:
+            raise SparkSubmitError("no application %s for user %s" % (app_id, user))
+        return app.state
+
+    def apps_of(self, user: str) -> list[SparkApp]:
+        """Isolation: a user can only ever see their own applications."""
+        return list(self.manager_for(user).apps.values())
+
+    # -- REST-style interface ----------------------------------------------------
+
+    def rest_request(self, method: str, path: str, user: str, body: dict | None = None) -> dict:
+        """A miniature of the dashDB Spark REST API (paper II.D.1)."""
+        body = body or {}
+        if method == "POST" and path == "/apps":
+            main_fn = body.get("main_fn")
+            if main_fn is None:
+                raise SparkSubmitError("POST /apps requires a main_fn")
+            app = self.submit(user, body.get("name", "rest-app"), main_fn)
+            return {"app_id": app.app_id, "state": app.state, "result": app.result}
+        if method == "GET" and path.startswith("/apps/"):
+            return {"state": self.status(user, path.split("/")[-1])}
+        if method == "DELETE" and path.startswith("/apps/"):
+            self.cancel(user, path.split("/")[-1])
+            return {"state": "KILLED"}
+        if method == "GET" and path == "/apps":
+            return {"apps": [a.app_id for a in self.apps_of(user)]}
+        raise SparkSubmitError("unsupported request %s %s" % (method, path))
+
+
+def spark_submit(dispatcher: SparkDispatcher, user: str, app_name: str, main_fn) -> SparkApp:
+    """The ``spark_submit`` client wrapper over the REST interface."""
+    response = dispatcher.rest_request(
+        "POST", "/apps", user, {"name": app_name, "main_fn": main_fn}
+    )
+    app = dispatcher.manager_for(user).apps[response["app_id"]]
+    return app

@@ -1,0 +1,128 @@
+"""MLlib-style algorithms over RDDs (paper II.D: MLlib, GLM).
+
+GLM covers the gaussian (identity link) and binomial (logit link) families
+via iteratively reweighted least squares; k-means is Lloyd's algorithm.
+Both consume RDDs of ``(features, label)`` / feature vectors, so they run
+over collocated dashDB data through the integration layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnalyticsError
+
+
+@dataclass
+class GLM:
+    """A fitted generalised linear model."""
+
+    family: str
+    coefficients: np.ndarray  # [intercept, w1, ..., wk]
+    iterations: int
+    converged: bool
+
+    def predict(self, features) -> np.ndarray:
+        x = _design_matrix(np.asarray(features, dtype=float))
+        eta = x @ self.coefficients
+        if self.family == "binomial":
+            return 1.0 / (1.0 + np.exp(-eta))
+        return eta
+
+    def classify(self, features) -> np.ndarray:
+        if self.family != "binomial":
+            raise AnalyticsError("classify requires the binomial family")
+        return (self.predict(features) >= 0.5).astype(int)
+
+
+def _design_matrix(x: np.ndarray) -> np.ndarray:
+    if x.ndim == 1:
+        x = x[:, None]
+    return np.hstack([np.ones((x.shape[0], 1)), x])
+
+
+def train_glm(
+    data,
+    family: str = "gaussian",
+    max_iterations: int = 50,
+    tolerance: float = 1e-8,
+) -> GLM:
+    """Fit a GLM from an RDD (or list) of ``(features, label)`` pairs."""
+    pairs = data.collect() if hasattr(data, "collect") else list(data)
+    if not pairs:
+        raise AnalyticsError("GLM needs at least one observation")
+    x = _design_matrix(np.asarray([p[0] for p in pairs], dtype=float))
+    y = np.asarray([p[1] for p in pairs], dtype=float)
+    if family == "gaussian":
+        beta, *_ = np.linalg.lstsq(x, y, rcond=None)
+        return GLM("gaussian", beta, iterations=1, converged=True)
+    if family != "binomial":
+        raise AnalyticsError("unsupported GLM family %r" % family)
+    beta = np.zeros(x.shape[1])
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        eta = np.clip(x @ beta, -30.0, 30.0)  # separable data would overflow
+        mu = 1.0 / (1.0 + np.exp(-eta))
+        w = np.clip(mu * (1.0 - mu), 1e-9, None)
+        z = eta + (y - mu) / w
+        wx = x * w[:, None]
+        try:
+            new_beta = np.linalg.solve(x.T @ wx, x.T @ (w * z))
+        except np.linalg.LinAlgError as exc:
+            raise AnalyticsError("IRLS normal equations are singular") from exc
+        if np.max(np.abs(new_beta - beta)) < tolerance:
+            beta = new_beta
+            converged = True
+            break
+        beta = new_beta
+    return GLM("binomial", beta, iterations=iteration, converged=converged)
+
+
+@dataclass
+class KMeansModel:
+    centers: np.ndarray
+    iterations: int
+    inertia: float
+
+    def predict(self, points) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[:, None]
+        distances = ((pts[:, None, :] - self.centers[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+
+def train_kmeans(
+    data,
+    k: int,
+    max_iterations: int = 50,
+    seed: int = 7,
+) -> KMeansModel:
+    """Lloyd's algorithm over an RDD (or list) of feature vectors."""
+    points = data.collect() if hasattr(data, "collect") else list(data)
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    if len(pts) < k:
+        raise AnalyticsError("k=%d exceeds the number of points %d" % (k, len(pts)))
+    rng = np.random.default_rng(seed)
+    centers = pts[rng.choice(len(pts), size=k, replace=False)].astype(float)
+    assignment = np.zeros(len(pts), dtype=int)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_assignment = distances.argmin(axis=1)
+        if iteration > 1 and np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for center_index in range(k):
+            members = pts[assignment == center_index]
+            if len(members):
+                centers[center_index] = members.mean(axis=0)
+    inertia = float(
+        ((pts - centers[assignment]) ** 2).sum()
+    )
+    return KMeansModel(centers=centers, iterations=iteration, inertia=inertia)

@@ -1,0 +1,159 @@
+"""RDDs: partitioned, lazily evaluated, lineage-tracked collections.
+
+The execution model follows Spark's published semantics: transformations
+build a lineage graph without computing anything; actions hand the graph to
+the :class:`~repro.spark.scheduler.DAGScheduler`, which splits it into
+stages at shuffle (wide-dependency) boundaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import SparkJobError
+
+_rdd_ids = itertools.count(1)
+
+
+class RDD:
+    """A resilient distributed dataset (lineage node)."""
+
+    def __init__(self, context, dep=None, op=None, fn=None, n_partitions=None, data=None):
+        self.rdd_id = next(_rdd_ids)
+        self.context = context
+        self.dep = dep  # parent RDD or None for sources
+        self.op = op or "source"
+        self.fn = fn
+        self.data = data  # source only: list of partitions
+        if n_partitions is not None:
+            self.n_partitions = n_partitions
+        elif dep is not None:
+            self.n_partitions = dep.n_partitions
+        elif data is not None:
+            self.n_partitions = len(data)
+        else:
+            raise SparkJobError("RDD needs a source or a parent")
+
+    # -- narrow transformations ----------------------------------------------
+
+    def map(self, fn) -> "RDD":
+        return RDD(self.context, dep=self, op="map", fn=fn)
+
+    def flat_map(self, fn) -> "RDD":
+        return RDD(self.context, dep=self, op="flat_map", fn=fn)
+
+    def filter(self, fn) -> "RDD":
+        return RDD(self.context, dep=self, op="filter", fn=fn)
+
+    def map_partitions(self, fn) -> "RDD":
+        return RDD(self.context, dep=self, op="map_partitions", fn=fn)
+
+    # -- wide transformations (shuffles) -----------------------------------------
+
+    def group_by_key(self, n_partitions: int | None = None) -> "RDD":
+        return RDD(
+            self.context,
+            dep=self,
+            op="group_by_key",
+            n_partitions=n_partitions or self.n_partitions,
+        )
+
+    def reduce_by_key(self, fn, n_partitions: int | None = None) -> "RDD":
+        return RDD(
+            self.context,
+            dep=self,
+            op="reduce_by_key",
+            fn=fn,
+            n_partitions=n_partitions or self.n_partitions,
+        )
+
+    def repartition(self, n_partitions: int) -> "RDD":
+        return RDD(self.context, dep=self, op="repartition", n_partitions=n_partitions)
+
+    def distinct(self) -> "RDD":
+        return (
+            self.map(lambda x: (x, None))
+            .reduce_by_key(lambda a, b: a)
+            .map(lambda kv: kv[0])
+        )
+
+    def join(self, other: "RDD") -> "RDD":
+        """Inner join of two key-value RDDs (a wide co-group)."""
+        left = self.map(lambda kv: (kv[0], ("L", kv[1])))
+        right = other.map(lambda kv: (kv[0], ("R", kv[1])))
+        tagged = left.union(right)
+
+        def emit(kv):
+            key, values = kv
+            lefts = [v for tag, v in values if tag == "L"]
+            rights = [v for tag, v in values if tag == "R"]
+            return [(key, (l, r)) for l in lefts for r in rights]
+
+        return tagged.group_by_key().flat_map(emit)
+
+    def union(self, other: "RDD") -> "RDD":
+        return _UnionRDD(self.context, self, other)
+
+    # -- actions -----------------------------------------------------------------
+
+    def collect(self) -> list:
+        partitions = self.context.scheduler.run(self)
+        return [item for part in partitions for item in part]
+
+    def count(self) -> int:
+        return len(self.collect())
+
+    def take(self, n: int) -> list:
+        return self.collect()[:n]
+
+    def reduce(self, fn):
+        items = self.collect()
+        if not items:
+            raise SparkJobError("reduce of an empty RDD")
+        out = items[0]
+        for item in items[1:]:
+            out = fn(out, item)
+        return out
+
+    def sum(self):
+        return sum(self.collect())
+
+    def collect_partitions(self) -> list[list]:
+        return self.context.scheduler.run(self)
+
+
+class _UnionRDD(RDD):
+    """Union keeps both parents (the only multi-parent lineage node)."""
+
+    def __init__(self, context, left: RDD, right: RDD):
+        self.rdd_id = next(_rdd_ids)
+        self.context = context
+        self.dep = left
+        self.dep2 = right
+        self.op = "union"
+        self.fn = None
+        self.data = None
+        self.n_partitions = left.n_partitions + right.n_partitions
+
+
+class SparkContext:
+    """Entry point: creates source RDDs and owns the scheduler."""
+
+    def __init__(self, app_name: str = "app", default_parallelism: int = 4):
+        from repro.spark.scheduler import DAGScheduler
+
+        self.app_name = app_name
+        self.default_parallelism = default_parallelism
+        self.scheduler = DAGScheduler()
+
+    def parallelize(self, items, n_partitions: int | None = None) -> RDD:
+        items = list(items)
+        n = n_partitions or self.default_parallelism
+        n = max(1, min(n, max(len(items), 1)))
+        size = -(-len(items) // n) if items else 1
+        partitions = [items[i * size : (i + 1) * size] for i in range(n)]
+        return RDD(self, data=partitions)
+
+    def from_partitions(self, partitions: list[list]) -> RDD:
+        return RDD(self, data=[list(p) for p in partitions])

@@ -1,0 +1,107 @@
+"""The DAG scheduler: stage splitting at shuffle boundaries.
+
+Walks an RDD's lineage, groups consecutive narrow transformations into
+stages, and materialises a shuffle (hash partitioning by key) between
+stages — Spark's execution model in miniature.  Metrics (stages, tasks,
+shuffled records) are recorded for tests and the locality benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SparkJobError
+
+_WIDE_OPS = {"group_by_key", "reduce_by_key", "repartition"}
+
+
+@dataclass
+class JobMetrics:
+    stages: int = 0
+    tasks: int = 0
+    shuffled_records: int = 0
+    input_records: int = 0
+
+
+class DAGScheduler:
+    """Executes lineage graphs; one instance per SparkContext."""
+
+    def __init__(self):
+        self.last_metrics = JobMetrics()
+
+    def run(self, rdd) -> list[list]:
+        self.last_metrics = JobMetrics()
+        result = self._compute(rdd)
+        return result
+
+    # -- recursive lineage evaluation ------------------------------------------
+
+    def _compute(self, rdd) -> list[list]:
+        op = rdd.op
+        if op == "source":
+            self.last_metrics.stages += 1
+            self.last_metrics.tasks += rdd.n_partitions
+            self.last_metrics.input_records += sum(len(p) for p in rdd.data)
+            return [list(p) for p in rdd.data]
+        if op == "union":
+            left = self._compute(rdd.dep)
+            right = self._compute(rdd.dep2)
+            return left + right
+        parent = self._compute(rdd.dep)
+        if op in _WIDE_OPS:
+            return self._shuffle(rdd, parent)
+        # Narrow op: per-partition tasks, pipelined within the parent stage.
+        self.last_metrics.tasks += len(parent)
+        if op == "map":
+            return [[rdd.fn(x) for x in part] for part in parent]
+        if op == "filter":
+            return [[x for x in part if rdd.fn(x)] for part in parent]
+        if op == "flat_map":
+            return [
+                [y for x in part for y in rdd.fn(x)] for part in parent
+            ]
+        if op == "map_partitions":
+            return [list(rdd.fn(part)) for part in parent]
+        raise SparkJobError("unknown RDD op %r" % op)
+
+    def _shuffle(self, rdd, parent: list[list]) -> list[list]:
+        """Hash-partition parent output by key into the child's partitions."""
+        self.last_metrics.stages += 1
+        n_out = rdd.n_partitions
+        buckets: list[list] = [[] for _ in range(n_out)]
+        records = 0
+        if rdd.op == "repartition":
+            i = 0
+            for part in parent:
+                for item in part:
+                    buckets[i % n_out].append(item)
+                    i += 1
+            records = i
+        else:
+            for part in parent:
+                for key, value in part:
+                    buckets[hash(key) % n_out].append((key, value))
+                    records += 1
+        self.last_metrics.shuffled_records += records
+        self.last_metrics.tasks += n_out
+        if rdd.op == "repartition":
+            return buckets
+        if rdd.op == "group_by_key":
+            out = []
+            for bucket in buckets:
+                groups: dict = {}
+                for key, value in bucket:
+                    groups.setdefault(key, []).append(value)
+                out.append(list(groups.items()))
+            return out
+        # reduce_by_key
+        out = []
+        for bucket in buckets:
+            groups: dict = {}
+            for key, value in bucket:
+                if key in groups:
+                    groups[key] = rdd.fn(groups[key], value)
+                else:
+                    groups[key] = value
+            out.append(list(groups.items()))
+        return out

@@ -1,0 +1,225 @@
+"""Dialect definitions and the session dialect mechanism (paper II.C).
+
+dashDB "began with an ANSI standard compliant SQL compiler, and added
+extensions for Oracle, PostgreSQL, Netezza, and DB2".  Where extensions can
+coexist they are simply part of the superset; where syntax *collides
+semantically* (II.C.2) the active session dialect decides behaviour:
+
+* integer division: DB2/ANSI/Netezza truncate, Oracle produces a decimal;
+* empty-string handling: Oracle's VARCHAR2 treats '' as NULL (enabled by
+  the Oracle-compatibility deployment image, modelled as a database flag);
+* feature gates: ROWNUM/DUAL/CONNECT BY/(+) are Oracle; LIMIT/OFFSET and
+  ``::`` casts are Netezza/PostgreSQL; top-level VALUES is DB2.
+
+Views record the dialect of the session that created them and always
+recompile under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DialectError
+from repro.sql.functions import FunctionRegistry, build_ansi_registry
+from repro.sql.functions_db2 import register_db2
+from repro.sql.functions_netezza import register_netezza
+from repro.sql.functions_oracle import register_oracle
+from repro.types.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DECFLOAT,
+    DOUBLE,
+    INTEGER,
+    REAL,
+    SMALLINT,
+    TIME,
+    TIMESTAMP,
+    DataType,
+    char_type,
+    decimal_type,
+    graphic_type,
+    varchar_type,
+)
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """One SQL language variant and its semantic switches."""
+
+    name: str
+    functions: FunctionRegistry
+    aggregate_map: dict[str, tuple[str, ...]]  # spelled name -> (engine func,)
+    allows_limit: bool = False
+    allows_rownum: bool = False
+    allows_dual: bool = False
+    allows_connect_by: bool = False
+    allows_outer_marker: bool = False
+    allows_double_colon_cast: bool = False
+    allows_top_level_values: bool = False
+    allows_group_by_alias: bool = False
+    allows_group_by_ordinal: bool = True
+    integer_division_exact: bool = True  # False: Oracle-style decimal result
+    empty_string_is_null: bool = False
+
+    def resolve_aggregate(self, name: str) -> str | None:
+        """Map a dialect aggregate spelling to the engine function name."""
+        entry = self.aggregate_map.get(name.upper())
+        return entry[0] if entry else None
+
+    def lookup_function(self, name: str):
+        return self.functions.lookup(name)
+
+
+_BASE_AGGREGATES = {
+    "COUNT": ("COUNT",),
+    "SUM": ("SUM",),
+    "AVG": ("AVG",),
+    "MIN": ("MIN",),
+    "MAX": ("MAX",),
+    "MEAN": ("AVG",),
+    "VAR_POP": ("VAR_POP",),
+    "VAR_SAMP": ("VAR_SAMP",),
+    "STDDEV_POP": ("STDDEV_POP",),
+    "STDDEV_SAMP": ("STDDEV_SAMP",),
+    "COVAR_POP": ("COVAR_POP",),
+    "COVAR_SAMP": ("COVAR_SAMP",),
+    "MEDIAN": ("MEDIAN",),
+}
+
+_ORACLE_AGGREGATES = {
+    **_BASE_AGGREGATES,
+    # Paper lists (with its own typos): PRECENTILE_DISC, PRECENTILE_CONT,
+    # CUME_DIST, MEDIAN, VAR_POP, COVAR_POP, STDDEV_POP.
+    "PERCENTILE_DISC": ("PERCENTILE_DISC",),
+    "PERCENTILE_CONT": ("PERCENTILE_CONT",),
+    "CUME_DIST": ("CUME_DIST",),
+    "STDDEV": ("STDDEV_SAMP",),  # Oracle STDDEV is the sample form
+    "VARIANCE": ("VAR_SAMP",),
+}
+
+_NETEZZA_AGGREGATES = {
+    **_BASE_AGGREGATES,
+    "STDDEV": ("STDDEV_SAMP",),
+    "VARIANCE": ("VAR_SAMP",),
+}
+
+_DB2_AGGREGATES = {
+    **_BASE_AGGREGATES,
+    # DB2: COVARIANCE, COVARIANCE_SAMP, VARIANCE, STDDEV (population forms).
+    "COVARIANCE": ("COVAR_POP",),
+    "COVARIANCE_SAMP": ("COVAR_SAMP",),
+    "VARIANCE": ("VAR_POP",),
+    "VARIANCE_SAMP": ("VAR_SAMP",),
+    "STDDEV": ("STDDEV_POP",),
+}
+
+
+def _build_registries():
+    ansi = build_ansi_registry()
+    oracle = FunctionRegistry(parent=ansi)
+    register_oracle(oracle)
+    netezza = FunctionRegistry(parent=ansi)
+    register_netezza(netezza)
+    db2 = FunctionRegistry(parent=ansi)
+    register_db2(db2)
+    return ansi, oracle, netezza, db2
+
+
+_ANSI_FNS, _ORACLE_FNS, _NETEZZA_FNS, _DB2_FNS = _build_registries()
+
+ANSI = Dialect(
+    name="ansi",
+    functions=_ANSI_FNS,
+    aggregate_map=_BASE_AGGREGATES,
+)
+
+ORACLE = Dialect(
+    name="oracle",
+    functions=_ORACLE_FNS,
+    aggregate_map=_ORACLE_AGGREGATES,
+    allows_rownum=True,
+    allows_dual=True,
+    allows_connect_by=True,
+    allows_outer_marker=True,
+    integer_division_exact=False,
+    empty_string_is_null=True,
+)
+
+NETEZZA = Dialect(
+    name="netezza",
+    functions=_NETEZZA_FNS,
+    aggregate_map=_NETEZZA_AGGREGATES,
+    allows_limit=True,
+    allows_double_colon_cast=True,
+    allows_group_by_alias=True,
+)
+
+DB2 = Dialect(
+    name="db2",
+    functions=_DB2_FNS,
+    aggregate_map=_DB2_AGGREGATES,
+    allows_top_level_values=True,
+)
+
+DIALECTS: dict[str, Dialect] = {
+    "ansi": ANSI,
+    "oracle": ORACLE,
+    "netezza": NETEZZA,
+    "postgresql": NETEZZA,  # the paper groups Netezza with PostgreSQL
+    "nps": NETEZZA,
+    "db2": DB2,
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    key = name.strip().strip("'").lower()
+    if key not in DIALECTS:
+        raise DialectError("unknown SQL dialect %r" % name)
+    return DIALECTS[key]
+
+
+# --------------------------------------------------------------------------
+# Type-name resolution (shared across dialects; the union of the paper's
+# dialect type lists maps onto the canonical kinds).
+# --------------------------------------------------------------------------
+
+
+def resolve_type(name: str, length: int, precision: int, scale: int) -> DataType:
+    """Map a parsed type name to a concrete :class:`DataType`."""
+    key = name.upper()
+    if key in ("INT", "INTEGER", "INT4"):
+        return INTEGER
+    if key in ("SMALLINT", "INT2"):
+        return SMALLINT
+    if key in ("BIGINT", "INT8"):
+        return BIGINT
+    if key in ("REAL", "FLOAT4"):
+        return REAL
+    if key in ("DOUBLE", "FLOAT8", "FLOAT"):
+        return DOUBLE
+    if key in ("DECIMAL", "NUMERIC", "DEC"):
+        return decimal_type(precision or 31, scale)
+    if key == "NUMBER":
+        # Oracle NUMBER: with a declared shape it is an exact decimal,
+        # without one it is arbitrary precision — mapped to DECFLOAT.
+        if precision:
+            return decimal_type(precision, scale)
+        return DECFLOAT
+    if key == "DECFLOAT":
+        return DECFLOAT
+    if key in ("VARCHAR", "VARCHAR2", "TEXT", "CLOB", "VARGRAPHIC"):
+        return varchar_type(length)
+    if key in ("CHAR", "CHARACTER", "BPCHAR"):
+        return char_type(length or 1)
+    if key == "GRAPHIC":
+        return graphic_type(length or 1)
+    if key in ("BOOLEAN", "BOOL"):
+        return BOOLEAN
+    if key == "DATE":
+        return DATE
+    if key == "TIME":
+        return TIME
+    if key == "TIMESTAMP":
+        return TIMESTAMP
+    raise DialectError("unknown data type %s" % key)

@@ -1,0 +1,56 @@
+"""DB2 dialect scalar functions (paper II.C.1.c).
+
+NORMALIZE_DECFLOAT, COMPARE_DECFLOAT, plus common DB2 scalar spellings the
+base registry does not already cover.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sql.functions import FunctionRegistry, simple, string_fn
+from repro.types.datatypes import BIGINT, DECFLOAT, INTEGER, varchar_type
+
+
+def _normalize_decfloat(values, dtypes):
+    if values[0] is None:
+        return None
+    value = float(values[0])
+    if math.isnan(value) or math.isinf(value):
+        return value
+    # Physical DECFLOAT is a float64 — normalisation (removing trailing
+    # zero coefficients) is an identity here, matching DB2 semantics where
+    # NORMALIZE_DECFLOAT(2.00) = 2.
+    return float(value)
+
+
+def _compare_decfloat(values, dtypes):
+    """DB2 COMPARE_DECFLOAT: -1 / 0 / 1 / 2 (2 = unordered, e.g. NaN)."""
+    if values[0] is None or values[1] is None:
+        return None
+    a, b = float(values[0]), float(values[1])
+    if math.isnan(a) or math.isnan(b):
+        return 2
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def _hex(values, dtypes):
+    if values[0] is None:
+        return None
+    value = values[0]
+    if isinstance(value, str):
+        return value.encode().hex().upper()
+    return ("%016X" % (int(value) & 0xFFFFFFFFFFFFFFFF))
+
+
+def register_db2(registry: FunctionRegistry) -> None:
+    r = registry.register
+    r("NORMALIZE_DECFLOAT", simple("NORMALIZE_DECFLOAT", 1, 1, DECFLOAT, _normalize_decfloat))
+    r("COMPARE_DECFLOAT", simple("COMPARE_DECFLOAT", 2, 2, INTEGER, _compare_decfloat))
+    r("HEX", string_fn("HEX", 1, 1, _hex))
+    r("BIGINT", simple("BIGINT", 1, 1, BIGINT, lambda v, d: None if v[0] is None else int(float(v[0]))))
+    r("DIGITS", string_fn("DIGITS", 1, 1, lambda v, d: None if v[0] is None else str(abs(int(v[0]))).zfill(10)))

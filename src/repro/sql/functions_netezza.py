@@ -1,0 +1,193 @@
+"""Netezza / PostgreSQL dialect scalar functions (paper II.C.1.b).
+
+NOW, DATE_PART, POW, HASH, HASH4, HASH8, BTRIM, TO_HEX, intNand/or/nor/not
+bit operations, STRLEFT (a.k.a. STRLFT), STRRIGHT, STRPOS, AGE, NEXT_MONTH,
+DAYS_BETWEEN, HOURS_BETWEEN, SECONDS_BETWEEN, WEEKS_BETWEEN.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+
+from repro.engine.expression import FuncCall, Literal
+from repro.errors import TypeCheckError
+from repro.sql.functions import (
+    BuildContext,
+    FunctionRegistry,
+    check_arity,
+    simple,
+    string_fn,
+)
+from repro.types.datatypes import BIGINT, DATE, DOUBLE, INTEGER, TIMESTAMP, TypeKind, varchar_type
+from repro.types.values import (
+    date_to_days,
+    days_to_date,
+    micros_to_timestamp,
+    timestamp_to_micros,
+)
+
+
+def _as_timestamp(value, dt):
+    """Physical temporal -> datetime for interval math."""
+    if dt.kind is TypeKind.TIMESTAMP:
+        return micros_to_timestamp(int(value))
+    if dt.kind is TypeKind.DATE:
+        return datetime.datetime.combine(days_to_date(int(value)), datetime.time())
+    raise TypeCheckError("expected a DATE or TIMESTAMP argument")
+
+
+def _date_part(values, dtypes):
+    if values[0] is None or values[1] is None:
+        return None
+    field = str(values[0]).strip().lower()
+    moment = _as_timestamp(values[1], dtypes[1])
+    parts = {
+        "year": moment.year,
+        "month": moment.month,
+        "day": moment.day,
+        "dow": moment.isoweekday() % 7,
+        "doy": moment.timetuple().tm_yday,
+        "week": moment.isocalendar()[1],
+        "quarter": (moment.month - 1) // 3 + 1,
+        "hour": moment.hour,
+        "minute": moment.minute,
+        "second": moment.second,
+        "epoch": int(moment.timestamp()) if moment.year >= 1970 else int((moment - datetime.datetime(1970, 1, 1)).total_seconds()),
+    }
+    if field not in parts:
+        raise TypeCheckError("DATE_PART: unknown field %r" % field)
+    return parts[field]
+
+
+def _hash_impl(bits: int):
+    mask = (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+
+    def impl(values, dtypes):
+        if values[0] is None:
+            return None
+        digest = hashlib.sha1(str(values[0]).encode()).digest()
+        raw = int.from_bytes(digest[: bits // 8], "little") & mask
+        return raw - (1 << bits) if raw & sign_bit else raw
+
+    return impl
+
+
+def _bitop(op: str):
+    def impl(values, dtypes):
+        if values[0] is None or (op != "not" and values[1] is None):
+            return None
+        a = int(values[0])
+        if op == "not":
+            return ~a
+        b = int(values[1])
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        return ~(a | b)  # nor
+
+    return impl
+
+
+def _age(values, dtypes):
+    """AGE(ts[, ts2]) -> textual interval like '1 years 2 mons 3 days'."""
+    if values[0] is None:
+        return None
+    later = _as_timestamp(values[0], dtypes[0])
+    if len(values) > 1 and values[1] is not None:
+        earlier = _as_timestamp(values[1], dtypes[1])
+    else:
+        earlier = later
+        later = datetime.datetime.now()
+    if earlier > later:
+        later, earlier = earlier, later
+        negate = "-"
+    else:
+        negate = ""
+    years = later.year - earlier.year
+    months = later.month - earlier.month
+    days = later.day - earlier.day
+    if days < 0:
+        months -= 1
+        prev_month_end = later.replace(day=1) - datetime.timedelta(days=1)
+        days += prev_month_end.day
+    if months < 0:
+        years -= 1
+        months += 12
+    return "%s%d years %d mons %d days" % (negate, years, months, days)
+
+
+def _interval_fn(unit_seconds: float, name: str):
+    def impl(values, dtypes):
+        if values[0] is None or values[1] is None:
+            return None
+        a = _as_timestamp(values[0], dtypes[0])
+        b = _as_timestamp(values[1], dtypes[1])
+        return abs((a - b).total_seconds()) / unit_seconds
+
+    return impl
+
+
+def _next_month(values, dtypes):
+    if values[0] is None:
+        return None
+    d = days_to_date(int(values[0]))
+    year, month = (d.year, d.month + 1) if d.month < 12 else (d.year + 1, 1)
+    return date_to_days(datetime.date(year, month, 1))
+
+
+def _overlaps(values, dtypes):
+    """OVERLAPS(s1, e1, s2, e2): do the two periods share any time?
+
+    SQL semantics: each period is normalised so start <= end, and the
+    comparison is start1 < end2 AND start2 < end1.
+    """
+    if any(v is None for v in values):
+        return None
+    s1, e1, s2, e2 = (int(v) for v in values)
+    if s1 > e1:
+        s1, e1 = e1, s1
+    if s2 > e2:
+        s2, e2 = e2, s2
+    return int(s1 < e2 and s2 < e1)
+
+
+def _build_now(args, ctx):
+    check_arity("NOW", args, 0, 0)
+    if ctx.database is not None:
+        now = ctx.database.current_timestamp()
+    else:
+        now = datetime.datetime.now()
+    return Literal(timestamp_to_micros(now), TIMESTAMP)
+
+
+def register_netezza(registry: FunctionRegistry) -> None:
+    r = registry.register
+    r("NOW", _build_now)
+    r("DATE_PART", simple("DATE_PART", 2, 2, INTEGER, _date_part))
+    r("POW", simple("POW", 2, 2, DOUBLE, lambda v, d: None if None in v else float(v[0]) ** float(v[1])))
+    r("HASH", simple("HASH", 1, 1, BIGINT, _hash_impl(64)))
+    r("HASH4", simple("HASH4", 1, 1, INTEGER, _hash_impl(32)))
+    r("HASH8", simple("HASH8", 1, 1, BIGINT, _hash_impl(64)))
+    r("BTRIM", string_fn("BTRIM", 1, 2, lambda v, d: None if v[0] is None else str(v[0]).strip(str(v[1]) if len(v) > 1 and v[1] is not None else None)))
+    r("TO_HEX", string_fn("TO_HEX", 1, 1, lambda v, d: None if v[0] is None else "%x" % int(v[0])))
+    for width in ("1", "2", "4", "8"):
+        r("INT%sAND" % width, simple("INT%sAND" % width, 2, 2, BIGINT, _bitop("and")))
+        r("INT%sOR" % width, simple("INT%sOR" % width, 2, 2, BIGINT, _bitop("or")))
+        r("INT%sNOR" % width, simple("INT%sNOR" % width, 2, 2, BIGINT, _bitop("nor")))
+        r("INT%sNOT" % width, simple("INT%sNOT" % width, 1, 1, BIGINT, _bitop("not")))
+    r("STRLFT", string_fn("STRLFT", 2, 2, lambda v, d: None if None in v else str(v[0])[: int(v[1])]))
+    r("STRLEFT", string_fn("STRLEFT", 2, 2, lambda v, d: None if None in v else str(v[0])[: int(v[1])]))
+    r("STRRIGHT", string_fn("STRRIGHT", 2, 2, lambda v, d: None if None in v else (str(v[0])[-int(v[1]):] if int(v[1]) > 0 else "")))
+    r("STRPOS", simple("STRPOS", 2, 2, BIGINT, lambda v, d: None if None in v else str(v[0]).find(str(v[1])) + 1))
+    r("AGE", string_fn("AGE", 1, 2, _age))
+    r("NEXT_MONTH", simple("NEXT_MONTH", 1, 1, DATE, _next_month))
+    r("DAYS_BETWEEN", simple("DAYS_BETWEEN", 2, 2, DOUBLE, _interval_fn(86400.0, "DAYS_BETWEEN")))
+    r("HOURS_BETWEEN", simple("HOURS_BETWEEN", 2, 2, DOUBLE, _interval_fn(3600.0, "HOURS_BETWEEN")))
+    r("SECONDS_BETWEEN", simple("SECONDS_BETWEEN", 2, 2, DOUBLE, _interval_fn(1.0, "SECONDS_BETWEEN")))
+    r("WEEKS_BETWEEN", simple("WEEKS_BETWEEN", 2, 2, DOUBLE, _interval_fn(604800.0, "WEEKS_BETWEEN")))
+    from repro.types.datatypes import BOOLEAN
+
+    r("OVERLAPS", simple("OVERLAPS", 4, 4, BOOLEAN, _overlaps))

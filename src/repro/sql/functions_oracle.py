@@ -1,0 +1,218 @@
+"""Oracle-dialect scalar functions (paper II.C.1.a).
+
+SUBSTR2/SUBSTR4/SUBSTRB, NVL, NVL2, INSTR, LPAD, RPAD, INITCAP, HEXTORAW,
+RAWTOHEX, LEAST, GREATEST, DECODE, TO_CHAR, TO_DATE, TO_NUMBER.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.engine.expression import CaseExpr, Cast, Compare, Expr, FuncCall, IsNull, Literal, Logical
+from repro.errors import ConversionError, TypeCheckError
+from repro.sql.functions import (
+    BuildContext,
+    FunctionRegistry,
+    _numeric_value,
+    _substr,
+    check_arity,
+    simple,
+    string_fn,
+)
+from repro.types.datatypes import DATE, DOUBLE, DataType, TypeKind, promote, varchar_type
+from repro.types.values import days_to_date, date_to_days, micros_to_timestamp
+
+
+def _initcap(values, dtypes):
+    if values[0] is None:
+        return None
+    out = []
+    capitalize = True
+    for ch in str(values[0]):
+        if ch.isalnum():
+            out.append(ch.upper() if capitalize else ch.lower())
+            capitalize = False
+        else:
+            out.append(ch)
+            capitalize = True
+    return "".join(out)
+
+
+def _hextoraw(values, dtypes):
+    if values[0] is None:
+        return None
+    text = str(values[0]).strip()
+    try:
+        bytes.fromhex(text)
+    except ValueError as exc:
+        raise ConversionError("HEXTORAW: invalid hex string %r" % text) from exc
+    return text.upper()
+
+
+def _rawtohex(values, dtypes):
+    if values[0] is None:
+        return None
+    value = values[0]
+    if isinstance(value, str):
+        return value.encode().hex().upper()
+    return ("%x" % int(value)).upper()
+
+
+# Supported TO_CHAR / TO_DATE format model elements.
+_FMT_MAP = [
+    ("YYYY", "%Y"),
+    ("YY", "%y"),
+    ("MONTH", "%B"),
+    ("MON", "%b"),
+    ("MM", "%m"),
+    ("DDD", "%j"),
+    ("DD", "%d"),
+    ("DY", "%a"),
+    ("DAY", "%A"),
+    ("HH24", "%H"),
+    ("HH12", "%I"),
+    ("HH", "%I"),
+    ("MI", "%M"),
+    ("SS", "%S"),
+    ("AM", "%p"),
+    ("PM", "%p"),
+]
+
+
+def _oracle_format_to_strftime(fmt: str) -> str:
+    out = []
+    i = 0
+    upper = fmt.upper()
+    while i < len(fmt):
+        for element, replacement in _FMT_MAP:
+            if upper.startswith(element, i):
+                out.append(replacement)
+                i += len(element)
+                break
+        else:
+            out.append(fmt[i])
+            i += 1
+    return "".join(out)
+
+
+def _to_char(values, dtypes):
+    if values[0] is None:
+        return None
+    dt = dtypes[0]
+    fmt = str(values[1]) if len(values) > 1 and values[1] is not None else None
+    if dt.kind is TypeKind.DATE:
+        moment = datetime.datetime.combine(days_to_date(int(values[0])), datetime.time())
+    elif dt.kind is TypeKind.TIMESTAMP:
+        moment = micros_to_timestamp(int(values[0]))
+    else:
+        value = _numeric_value(values[0], dt)
+        if fmt is None:
+            if isinstance(value, float) and value == int(value):
+                return str(int(value))
+            return str(value)
+        # Numeric format models ('999', '0000', 'FM...') — minimal support.
+        digits = fmt.count("9") + fmt.count("0")
+        decimals = 0
+        if "." in fmt:
+            decimals = len(fmt.split(".")[1])
+        text = "%.*f" % (decimals, value)
+        return text.rjust(digits + (1 if decimals else 0))
+    if fmt is None:
+        fmt = "DD-MON-YY"
+    return moment.strftime(_oracle_format_to_strftime(fmt)).upper()
+
+
+def _to_date(values, dtypes):
+    if values[0] is None:
+        return None
+    text = str(values[0]).strip()
+    fmt = str(values[1]) if len(values) > 1 and values[1] is not None else "YYYY-MM-DD"
+    strftime_fmt = _oracle_format_to_strftime(fmt)
+    try:
+        moment = datetime.datetime.strptime(text, strftime_fmt)
+    except ValueError:
+        # Month names are emitted upper-case by TO_CHAR; retry titled.
+        try:
+            moment = datetime.datetime.strptime(text.title(), strftime_fmt)
+        except ValueError as exc:
+            raise ConversionError(
+                "TO_DATE: %r does not match format %r" % (text, fmt)
+            ) from exc
+    return date_to_days(moment.date())
+
+
+def _to_number(values, dtypes):
+    if values[0] is None:
+        return None
+    text = str(values[0]).strip().replace(",", "")
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ConversionError("TO_NUMBER: invalid number %r" % text) from exc
+
+
+def _build_nvl(args, ctx):
+    check_arity("NVL", args, 2, 2)
+    from repro.sql.functions import _build_coalesce
+
+    return _build_coalesce(args, ctx)
+
+
+def _build_nvl2(args, ctx):
+    """NVL2(x, not_null_result, null_result)."""
+    check_arity("NVL2", args, 3, 3)
+    dtype = promote(args[1].dtype, args[2].dtype)
+    value = Cast(args[1], dtype) if args[1].dtype != dtype else args[1]
+    fallback = Cast(args[2], dtype) if args[2].dtype != dtype else args[2]
+    return CaseExpr(
+        whens=[(IsNull(args[0], negated=True), value)],
+        default=fallback,
+        dtype=dtype,
+    )
+
+
+def _build_decode(args, ctx):
+    """DECODE(expr, search1, result1, ..., [default]).
+
+    Oracle quirk: DECODE treats NULL = NULL as a match.
+    """
+    check_arity("DECODE", args, 3, None)
+    operand = args[0]
+    pairs = args[1:]
+    default = None
+    if len(pairs) % 2 == 1:
+        default = pairs[-1]
+        pairs = pairs[:-1]
+    result_dtype = pairs[1].dtype
+    for i in range(3, len(pairs), 2):
+        result_dtype = promote(result_dtype, pairs[i].dtype)
+    if default is not None:
+        result_dtype = promote(result_dtype, default.dtype)
+    whens = []
+    for i in range(0, len(pairs), 2):
+        search, result = pairs[i], pairs[i + 1]
+        both_null = Logical("AND", [IsNull(operand), IsNull(search)])
+        condition = Logical("OR", [Compare("=", operand, search), both_null])
+        if result.dtype != result_dtype:
+            result = Cast(result, result_dtype)
+        whens.append((condition, result))
+    if default is not None and default.dtype != result_dtype:
+        default = Cast(default, result_dtype)
+    return CaseExpr(whens=whens, default=default, dtype=result_dtype)
+
+
+def register_oracle(registry: FunctionRegistry) -> None:
+    r = registry.register
+    substr_like = string_fn("SUBSTR", 2, 3, _substr)
+    r("SUBSTR2", substr_like)
+    r("SUBSTR4", substr_like)
+    r("SUBSTRB", substr_like)
+    r("NVL", _build_nvl)
+    r("NVL2", _build_nvl2)
+    r("DECODE", _build_decode)
+    r("INITCAP", string_fn("INITCAP", 1, 1, _initcap))
+    r("HEXTORAW", string_fn("HEXTORAW", 1, 1, _hextoraw))
+    r("RAWTOHEX", string_fn("RAWTOHEX", 1, 1, _rawtohex))
+    r("TO_CHAR", simple("TO_CHAR", 1, 2, varchar_type(), _to_char))
+    r("TO_DATE", simple("TO_DATE", 1, 2, DATE, _to_date))
+    r("TO_NUMBER", simple("TO_NUMBER", 1, 2, DOUBLE, _to_number))

@@ -1,0 +1,35 @@
+"""Storage layer: columnar tables, pages, the row-store baseline, and the
+simulated clustered filesystem.
+
+* :mod:`repro.storage.column` — physical/boundary value conversion and the
+  runtime column vector.
+* :mod:`repro.storage.page` — the page abstraction the buffer pool caches.
+* :mod:`repro.storage.table` — column-organised tables (paper II.B.3):
+  compressed regions with synopses, plus an uncompressed insert tail.
+* :mod:`repro.storage.rowtable` / :mod:`repro.storage.btree` — the
+  row-organised baseline with secondary B-tree indexes used for the paper's
+  10-50x row-vs-column comparison.
+* :mod:`repro.storage.filesystem` — the POSIX-like clustered filesystem all
+  hosts share (mounted at a virtual ``/mnt/clusterfs``), which is what makes
+  HA and elasticity pure shard reassociation.
+"""
+
+from repro.storage.btree import BTree
+from repro.storage.column import ColumnVector, to_boundary, to_physical
+from repro.storage.filesystem import ClusterFileSystem
+from repro.storage.page import Page, PageId
+from repro.storage.rowtable import RowTable
+from repro.storage.table import ColumnTable, TableSchema
+
+__all__ = [
+    "BTree",
+    "ClusterFileSystem",
+    "ColumnTable",
+    "ColumnVector",
+    "Page",
+    "PageId",
+    "RowTable",
+    "TableSchema",
+    "to_boundary",
+    "to_physical",
+]

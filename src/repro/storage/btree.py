@@ -1,0 +1,176 @@
+"""A B-tree for the row-store baseline's secondary indexes.
+
+The paper's 10-50x claim (II.B.7) compares column-organised processing
+against "row-organized tables with secondary indexing"; this B-tree is that
+secondary index.  Keys map to lists of row ids (duplicates allowed).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "is_leaf", "next_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.keys: list = []
+        self.children: list[_Node] = []
+        self.values: list[list[int]] = []  # leaf only: row-id lists per key
+        self.is_leaf = is_leaf
+        self.next_leaf: _Node | None = None
+
+
+class BTree:
+    """A B+-tree mapping keys to lists of row ids."""
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise ValueError("B-tree order must be at least 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._n_entries = 0
+        self.height = 1
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, key, row_id: int) -> None:
+        """Add (key, row_id); duplicate keys accumulate row ids."""
+        root = self._root
+        if len(root.keys) >= self.order:
+            new_root = _Node(is_leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            self.height += 1
+        self._insert_nonfull(self._root, key, row_id)
+        self._n_entries += 1
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        mid = len(child.keys) // 2
+        sibling = _Node(is_leaf=child.is_leaf)
+        if child.is_leaf:
+            sibling.keys = child.keys[mid:]
+            sibling.values = child.values[mid:]
+            child.keys = child.keys[:mid]
+            child.values = child.values[:mid]
+            sibling.next_leaf = child.next_leaf
+            child.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = child.keys[mid]
+            sibling.keys = child.keys[mid + 1 :]
+            sibling.children = child.children[mid + 1 :]
+            child.keys = child.keys[:mid]
+            child.children = child.children[: mid + 1]
+        parent.keys.insert(index, separator)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key, row_id: int) -> None:
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            child = node.children[index]
+            if len(child.keys) >= self.order:
+                self._split_child(node, index)
+                if key >= node.keys[index]:
+                    index += 1
+                child = node.children[index]
+            node = child
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            node.values[index].append(row_id)
+        else:
+            node.keys.insert(index, key)
+            node.values.insert(index, [row_id])
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def search(self, key) -> list[int]:
+        """Row ids for an exact key (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def range_search(
+        self,
+        lo=None,
+        hi=None,
+        *,
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> list[int]:
+        """Row ids for keys in the interval; None bounds are unbounded."""
+        out: list[int] = []
+        if lo is None:
+            leaf = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf = self._find_leaf(lo)
+            if lo_open:
+                index = bisect.bisect_right(leaf.keys, lo)
+            else:
+                index = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if hi is not None:
+                    if hi_open and key >= hi:
+                        return out
+                    if not hi_open and key > hi:
+                        return out
+                out.extend(leaf.values[index])
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+        return out
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def remove(self, key, row_id: int) -> bool:
+        """Remove one (key, row_id) pair; returns True when found.
+
+        Underflow is tolerated (nodes may shrink below half-full); for an
+        analytic workload index this keeps the structure simple while
+        remaining correct.
+        """
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        ids = leaf.values[index]
+        if row_id not in ids:
+            return False
+        ids.remove(row_id)
+        if not ids:
+            leaf.keys.pop(index)
+            leaf.values.pop(index)
+        self._n_entries -= 1
+        return True
+
+    def keys(self) -> list:
+        """All keys in ascending order (testing aid)."""
+        out = []
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            out.extend(leaf.keys)
+            leaf = leaf.next_leaf
+        return out

@@ -1,0 +1,180 @@
+"""Physical column representation and boundary/physical conversion.
+
+Columns hold values physically as numpy arrays (int64 for exact numerics,
+temporals, and booleans; float64 for approximate numerics; object for
+strings).  The functions here convert between that physical form and the
+boundary (Python) form defined in :mod:`repro.types.values`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from decimal import Decimal
+
+import numpy as np
+
+from repro.errors import ConversionError
+from repro.types.datatypes import DataType, TypeKind
+from repro.types.values import (
+    cast_value,
+    date_to_days,
+    days_to_date,
+    micros_to_timestamp,
+    seconds_to_time,
+    time_to_seconds,
+    timestamp_to_micros,
+)
+
+
+def physical_dtype(dt: DataType):
+    """numpy dtype of the physical array for a SQL type."""
+    return dt.numpy_dtype
+
+
+def to_physical_scalar(value, dt: DataType):
+    """Convert one boundary value to its physical form (None stays None)."""
+    if value is None:
+        return None
+    kind = dt.kind
+    if kind is TypeKind.DECIMAL:
+        quantized = cast_value(value, dt)
+        return int(quantized.scaleb(dt.scale))
+    if kind is TypeKind.DATE:
+        return date_to_days(cast_value(value, dt))
+    if kind is TypeKind.TIME:
+        return time_to_seconds(cast_value(value, dt))
+    if kind is TypeKind.TIMESTAMP:
+        return timestamp_to_micros(cast_value(value, dt))
+    if kind is TypeKind.BOOLEAN:
+        return int(cast_value(value, dt))
+    if dt.is_string:
+        return cast_value(value, dt)
+    if dt.is_integer:
+        return cast_value(value, dt)
+    if dt.is_approximate:
+        return cast_value(value, dt)
+    raise ConversionError("cannot store values of type %s" % dt)
+
+
+def to_boundary_scalar(value, dt: DataType):
+    """Convert one physical value back to its boundary form."""
+    if value is None:
+        return None
+    kind = dt.kind
+    if kind is TypeKind.DECIMAL:
+        return Decimal(int(value)).scaleb(-dt.scale)
+    if kind is TypeKind.DATE:
+        return days_to_date(int(value))
+    if kind is TypeKind.TIME:
+        return seconds_to_time(int(value))
+    if kind is TypeKind.TIMESTAMP:
+        return micros_to_timestamp(int(value))
+    if kind is TypeKind.BOOLEAN:
+        return bool(value)
+    if dt.is_integer:
+        return int(value)
+    if dt.is_approximate:
+        return float(value)
+    return value
+
+
+def to_physical(values, dt: DataType) -> tuple[np.ndarray, np.ndarray | None]:
+    """Convert a sequence of boundary values into ``(array, null_mask)``.
+
+    NULL slots hold 0 (or "" for strings) in the array; the mask is None
+    when there are no NULLs.
+    """
+    values = list(values)
+    n = len(values)
+    nulls = np.fromiter((v is None for v in values), dtype=bool, count=n)
+    dtype = physical_dtype(dt)
+    filler = "" if dtype == object else 0
+    converted = [
+        filler if v is None else to_physical_scalar(v, dt) for v in values
+    ]
+    if dtype == object:
+        array = np.empty(n, dtype=object)
+        array[:] = converted
+    else:
+        array = np.array(converted, dtype=dtype)
+    return array, (nulls if nulls.any() else None)
+
+
+def to_boundary(array: np.ndarray, nulls: np.ndarray | None, dt: DataType) -> list:
+    """Convert a physical array (+ null mask) back to boundary values."""
+    out = []
+    for i, v in enumerate(array.tolist()):
+        if nulls is not None and nulls[i]:
+            out.append(None)
+        else:
+            out.append(to_boundary_scalar(v, dt))
+    return out
+
+
+@dataclass
+class ColumnVector:
+    """A runtime vector of physical values with an optional null mask.
+
+    This is the unit that flows between query operators: operators work on
+    physical numpy arrays and only convert to boundary values at the result
+    set edge.
+    """
+
+    dtype: DataType
+    values: np.ndarray
+    nulls: np.ndarray | None = None
+
+    def __post_init__(self):
+        if self.nulls is not None and not self.nulls.any():
+            self.nulls = None
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @classmethod
+    def from_boundary(cls, values, dt: DataType) -> "ColumnVector":
+        array, nulls = to_physical(values, dt)
+        return cls(dtype=dt, values=array, nulls=nulls)
+
+    def to_boundary(self) -> list:
+        return to_boundary(self.values, self.nulls, self.dtype)
+
+    def take(self, indices: np.ndarray) -> "ColumnVector":
+        """Gather rows by position."""
+        values = self.values[indices]
+        nulls = self.nulls[indices] if self.nulls is not None else None
+        return ColumnVector(self.dtype, values, nulls)
+
+    def filter(self, mask: np.ndarray) -> "ColumnVector":
+        """Keep rows where mask is True."""
+        values = self.values[mask]
+        nulls = self.nulls[mask] if self.nulls is not None else None
+        return ColumnVector(self.dtype, values, nulls)
+
+    def null_mask(self) -> np.ndarray:
+        """Boolean mask of NULL rows (materialised even when None)."""
+        if self.nulls is None:
+            return np.zeros(len(self), dtype=bool)
+        return self.nulls
+
+    @classmethod
+    def concat(cls, vectors: list["ColumnVector"]) -> "ColumnVector":
+        """Concatenate several vectors of the same type."""
+        if not vectors:
+            raise ValueError("cannot concatenate zero vectors")
+        dt = vectors[0].dtype
+        values = np.concatenate([v.values for v in vectors])
+        if any(v.nulls is not None for v in vectors):
+            nulls = np.concatenate([v.null_mask() for v in vectors])
+        else:
+            nulls = None
+        return cls(dt, values, nulls)
+
+    def datetime_fields(self) -> np.ndarray | None:
+        """For temporal columns, decode to numpy datetime64 for calculations."""
+        if self.dtype.kind is TypeKind.DATE:
+            return self.values.astype("datetime64[D]")
+        if self.dtype.kind is TypeKind.TIMESTAMP:
+            return self.values.astype("datetime64[us]")
+        return None

@@ -1,0 +1,167 @@
+"""Simulated POSIX-compliant clustered filesystem.
+
+The paper (II.A, II.E) requires "a POSIX compliant clustered file system for
+MPP" mounted at ``/mnt/clusterfs``: every host can open every shard's
+fileset, which is what makes failover and elasticity pure *reassociation* of
+shards rather than data movement.  This module models that contract: a
+single shared namespace of files with size accounting, visible to all
+simulated hosts that mount it.
+
+Files store arbitrary Python payloads plus an explicit byte size, so the
+deployment and cost models can reason about capacity without serialising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FileSystemError
+
+MOUNT_POINT = "/mnt/clusterfs"
+
+
+@dataclass
+class _FileEntry:
+    payload: object
+    nbytes: int
+
+
+class ClusterFileSystem:
+    """An in-memory shared filesystem namespace with POSIX-like paths."""
+
+    def __init__(self, mount_point: str = MOUNT_POINT, capacity_bytes: int | None = None):
+        self.mount_point = mount_point.rstrip("/")
+        self.capacity_bytes = capacity_bytes
+        self._files: dict[str, _FileEntry] = {}
+        self._dirs: set[str] = {self.mount_point}
+
+    # -- path helpers -------------------------------------------------------
+
+    def _normalise(self, path: str) -> str:
+        if not path.startswith("/"):
+            path = "%s/%s" % (self.mount_point, path)
+        while "//" in path:
+            path = path.replace("//", "/")
+        path = path.rstrip("/")
+        if not path.startswith(self.mount_point):
+            raise FileSystemError(
+                "path %r is outside the cluster mount %r" % (path, self.mount_point)
+            )
+        return path
+
+    # -- directories --------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (parents included, like mkdir -p)."""
+        path = self._normalise(path)
+        parts = path[len(self.mount_point):].strip("/").split("/")
+        current = self.mount_point
+        for part in parts:
+            if not part:
+                continue
+            current = "%s/%s" % (current, part)
+            self._dirs.add(current)
+
+    def is_dir(self, path: str) -> bool:
+        return self._normalise(path) in self._dirs
+
+    def listdir(self, path: str) -> list[str]:
+        """Immediate children (names, not full paths) of a directory."""
+        path = self._normalise(path)
+        if path not in self._dirs:
+            raise FileSystemError("no such directory: %s" % path)
+        prefix = path + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate.startswith(prefix):
+                names.add(candidate[len(prefix):].split("/")[0])
+        return sorted(names)
+
+    # -- files ---------------------------------------------------------------
+
+    def write_file(self, path: str, payload: object, nbytes: int) -> None:
+        """Create or replace a file."""
+        path = self._normalise(path)
+        if nbytes < 0:
+            raise FileSystemError("file size cannot be negative")
+        new_total = self.used_bytes() - self._size_of(path) + nbytes
+        if self.capacity_bytes is not None and new_total > self.capacity_bytes:
+            raise FileSystemError(
+                "filesystem full: %d bytes needed, %d available"
+                % (nbytes, self.capacity_bytes - self.used_bytes())
+            )
+        parent = path.rsplit("/", 1)[0]
+        self.mkdir(parent)
+        self._files[path] = _FileEntry(payload=payload, nbytes=nbytes)
+
+    def read_file(self, path: str) -> object:
+        path = self._normalise(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise FileSystemError("no such file: %s" % path)
+        return entry.payload
+
+    def exists(self, path: str) -> bool:
+        path = self._normalise(path)
+        return path in self._files or path in self._dirs
+
+    def delete(self, path: str) -> None:
+        """Delete a file or an entire directory subtree."""
+        path = self._normalise(path)
+        if path in self._files:
+            del self._files[path]
+            return
+        if path in self._dirs:
+            prefix = path + "/"
+            for f in [f for f in self._files if f.startswith(prefix)]:
+                del self._files[f]
+            for d in [d for d in self._dirs if d == path or d.startswith(prefix)]:
+                self._dirs.discard(d)
+            return
+        raise FileSystemError("no such file or directory: %s" % path)
+
+    def move(self, src: str, dst: str) -> None:
+        """Rename a file or directory subtree (metadata-only, like GPFS)."""
+        src = self._normalise(src)
+        dst = self._normalise(dst)
+        if src in self._files:
+            self._files[dst] = self._files.pop(src)
+            self.mkdir(dst.rsplit("/", 1)[0])
+            return
+        if src in self._dirs:
+            prefix = src + "/"
+            moves = [(f, dst + f[len(src):]) for f in self._files if f.startswith(prefix)]
+            for old, new in moves:
+                self._files[new] = self._files.pop(old)
+            dir_moves = [
+                (d, dst + d[len(src):])
+                for d in self._dirs
+                if d == src or d.startswith(prefix)
+            ]
+            for old, new in dir_moves:
+                self._dirs.discard(old)
+                self._dirs.add(new)
+            self._dirs.add(dst)
+            return
+        raise FileSystemError("no such file or directory: %s" % src)
+
+    # -- accounting -----------------------------------------------------------
+
+    def _size_of(self, path: str) -> int:
+        entry = self._files.get(path)
+        return entry.nbytes if entry else 0
+
+    def used_bytes(self) -> int:
+        """Total bytes across all files."""
+        return sum(e.nbytes for e in self._files.values())
+
+    def file_count(self) -> int:
+        return len(self._files)
+
+    def tree_bytes(self, path: str) -> int:
+        """Bytes used by a directory subtree (or a single file)."""
+        path = self._normalise(path)
+        if path in self._files:
+            return self._files[path].nbytes
+        prefix = path + "/"
+        return sum(e.nbytes for p, e in self._files.items() if p.startswith(prefix))

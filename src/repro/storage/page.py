@@ -1,0 +1,40 @@
+"""Pages: the unit of disk I/O and buffer-pool caching.
+
+A page holds one column's compressed codes for one extent of rows (paper
+II.B.3: "within any storage page only values of a single table column are
+represented").  The buffer pool (:mod:`repro.bufferpool`) caches pages; the
+cost model charges disk reads per page miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.codec import CompressedColumn
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Stable identity of a page: (table, column, extent ordinal)."""
+
+    table: str
+    column: str
+    extent: int
+
+    def __str__(self) -> str:
+        return "%s.%s#%d" % (self.table, self.column, self.extent)
+
+
+@dataclass
+class Page:
+    """One column extent in compressed form."""
+
+    page_id: PageId
+    data: CompressedColumn
+
+    @property
+    def n_rows(self) -> int:
+        return self.data.n
+
+    def nbytes(self) -> int:
+        return self.data.nbytes()

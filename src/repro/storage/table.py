@@ -1,0 +1,326 @@
+"""Column-organised tables: compressed regions plus an insert tail.
+
+Layout (paper II.B.3-4): rows are appended to an uncompressed *tail*; when
+the tail reaches ``region_rows`` (or on :meth:`ColumnTable.flush`) it is
+sealed into a *region*, where every column is independently compressed
+(:mod:`repro.compression.codec`) and covered by a data-skipping synopsis
+every ~1K tuples (:mod:`repro.skipping`).  DELETE marks tombstones; UPDATE
+is delete + re-insert, the usual strategy for analytic column stores.
+
+The query engine scans region by region: it consults the synopsis first
+(data skipping), evaluates predicates on compressed codes (operating on
+compressed data), and only decodes surviving columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.codec import CompressedColumn, compress_column
+from repro.errors import ConstraintViolationError, SQLError
+from repro.skipping.synopsis import SYNOPSIS_STRIDE, Synopsis
+from repro.storage.column import ColumnVector, to_physical, to_physical_scalar
+from repro.types.datatypes import DataType, TypeKind
+
+DEFAULT_REGION_ROWS = 65_536
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered column names and types for one table."""
+
+    name: str
+    columns: tuple[tuple[str, DataType], ...]
+
+    def __post_init__(self):
+        names = [c for c, _ in self.columns]
+        if len(set(names)) != len(names):
+            raise SQLError("duplicate column name in table %s" % self.name)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c for c, _ in self.columns]
+
+    def column_index(self, name: str) -> int:
+        for i, (c, _) in enumerate(self.columns):
+            if c == name:
+                return i
+        raise KeyError("no column %r in table %s" % (name, self.name))
+
+    def column_type(self, name: str) -> DataType:
+        return self.columns[self.column_index(name)][1]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+@dataclass
+class Region:
+    """A sealed, immutable run of rows in compressed columnar form."""
+
+    n_rows: int
+    columns: dict[str, CompressedColumn]
+    synopses: dict[str, Synopsis]
+    deleted: np.ndarray | None = None
+    raw_nbytes: int = 0
+    column_raw_nbytes: dict[str, int] = field(default_factory=dict)
+
+    def live_mask(self) -> np.ndarray | None:
+        """Mask of non-deleted rows, or None when nothing is deleted."""
+        if self.deleted is None or not self.deleted.any():
+            return None
+        return ~self.deleted
+
+    def live_count(self) -> int:
+        if self.deleted is None:
+            return self.n_rows
+        return self.n_rows - int(self.deleted.sum())
+
+    def mark_deleted(self, mask: np.ndarray) -> int:
+        """Tombstone rows where mask is True; returns newly deleted count."""
+        if self.deleted is None:
+            self.deleted = np.zeros(self.n_rows, dtype=bool)
+        fresh = mask & ~self.deleted
+        self.deleted |= mask
+        return int(fresh.sum())
+
+    def nbytes(self) -> int:
+        return sum(col.nbytes() for col in self.columns.values())
+
+    def synopsis_nbytes(self) -> int:
+        return sum(s.nbytes() for s in self.synopses.values())
+
+
+class ColumnTable:
+    """A column-organised table with compressed regions and an insert tail."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        region_rows: int = DEFAULT_REGION_ROWS,
+        synopsis_stride: int = SYNOPSIS_STRIDE,
+        unique_columns: tuple[str, ...] = (),
+        not_null_columns: tuple[str, ...] = (),
+    ):
+        self.schema = schema
+        self.region_rows = region_rows
+        self.synopsis_stride = synopsis_stride
+        self.regions: list[Region] = []
+        self.unique_columns = tuple(unique_columns)
+        self.not_null_columns = tuple(not_null_columns)
+        self._tail: list[list] = [[] for _ in schema.columns]
+        self._tail_rows = 0
+        self._unique_seen: dict[str, set] = {c: set() for c in self.unique_columns}
+
+    # -- inserts -------------------------------------------------------------
+
+    def insert_rows(self, rows) -> int:
+        """Append boundary-value rows (sequences matching the schema).
+
+        Values are validated and converted to physical form per column.
+        Returns the number of rows inserted.
+        """
+        count = 0
+        names = self.schema.column_names
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise SQLError(
+                    "row has %d values, table %s has %d columns"
+                    % (len(row), self.schema.name, len(self.schema))
+                )
+            physical = []
+            for (name, dt), value in zip(self.schema.columns, row):
+                if value is None and name in self.not_null_columns:
+                    raise ConstraintViolationError(
+                        "column %s does not accept NULL" % name
+                    )
+                physical.append(
+                    None if value is None else to_physical_scalar(value, dt)
+                )
+            for name in self.unique_columns:
+                value = physical[names.index(name)]
+                if value is not None:
+                    if value in self._unique_seen[name]:
+                        raise ConstraintViolationError(
+                            "duplicate value %r for unique column %s" % (value, name)
+                        )
+                    self._unique_seen[name].add(value)
+            for i, value in enumerate(physical):
+                self._tail[i].append(value)
+            self._tail_rows += 1
+            count += 1
+            if self._tail_rows >= self.region_rows:
+                self._seal_tail()
+        return count
+
+    def flush(self) -> None:
+        """Seal any buffered tail rows into a compressed region."""
+        if self._tail_rows:
+            self._seal_tail()
+
+    def _seal_tail(self) -> None:
+        columns: dict[str, CompressedColumn] = {}
+        synopses: dict[str, Synopsis] = {}
+        column_raw: dict[str, int] = {}
+        raw_nbytes = 0
+        for (name, dt), raw in zip(self.schema.columns, self._tail):
+            nulls = np.fromiter((v is None for v in raw), dtype=bool, count=len(raw))
+            dtype = dt.numpy_dtype
+            filler = "" if dtype == object else 0
+            cleaned = [filler if v is None else v for v in raw]
+            if dtype == object:
+                array = np.empty(len(raw), dtype=object)
+                array[:] = cleaned
+            else:
+                array = np.array(cleaned, dtype=dtype)
+            mask = nulls if nulls.any() else None
+            columns[name] = compress_column(array, mask)
+            synopses[name] = Synopsis.build(array, mask, stride=self.synopsis_stride)
+            column_raw[name] = _raw_size(array, dt)
+            raw_nbytes += column_raw[name]
+        self.regions.append(
+            Region(
+                n_rows=self._tail_rows,
+                columns=columns,
+                synopses=synopses,
+                raw_nbytes=raw_nbytes,
+                column_raw_nbytes=column_raw,
+            )
+        )
+        self._tail = [[] for _ in self.schema.columns]
+        self._tail_rows = 0
+
+    # -- deletes / truncation --------------------------------------------------
+
+    def apply_deletes(self, global_mask: np.ndarray) -> int:
+        """Tombstone rows selected by a mask over the logical scan order.
+
+        The logical order is: region 0 rows, region 1 rows, ..., tail rows.
+        Tail rows are physically removed; region rows are tombstoned.
+        """
+        expected = self.n_rows_physical()
+        if global_mask.size != expected:
+            raise SQLError(
+                "delete mask covers %d rows, table has %d" % (global_mask.size, expected)
+            )
+        deleted = 0
+        offset = 0
+        for region in self.regions:
+            chunk = global_mask[offset : offset + region.n_rows]
+            if chunk.any():
+                deleted += region.mark_deleted(chunk)
+            offset += region.n_rows
+        tail_mask = global_mask[offset:]
+        if tail_mask.any():
+            keep = ~tail_mask
+            for i in range(len(self._tail)):
+                self._tail[i] = [v for v, k in zip(self._tail[i], keep) if k]
+            removed = int(tail_mask.sum())
+            self._tail_rows -= removed
+            deleted += removed
+        if deleted and self.unique_columns:
+            self._rebuild_unique_sets()
+        return deleted
+
+    def truncate(self) -> None:
+        """Remove all rows, keeping the definition (TRUNCATE TABLE)."""
+        self.regions = []
+        self._tail = [[] for _ in self.schema.columns]
+        self._tail_rows = 0
+        self._unique_seen = {c: set() for c in self.unique_columns}
+
+    def _rebuild_unique_sets(self) -> None:
+        live_mask = self.live_mask()
+        for name in self.unique_columns:
+            vector = self.column_vector(name)
+            keep = live_mask if vector.nulls is None else (live_mask & ~vector.nulls)
+            self._unique_seen[name] = set(vector.values[keep].tolist())
+
+    # -- scan surface -----------------------------------------------------------
+
+    def n_rows_physical(self) -> int:
+        """All rows including tombstoned ones (mask coordinate space)."""
+        return sum(r.n_rows for r in self.regions) + self._tail_rows
+
+    @property
+    def n_rows(self) -> int:
+        """Live (visible) rows."""
+        return sum(r.live_count() for r in self.regions) + self._tail_rows
+
+    @property
+    def tail_rows(self) -> int:
+        return self._tail_rows
+
+    def tail_vector(self, name: str) -> ColumnVector:
+        """The uncompressed tail of one column as a runtime vector."""
+        idx = self.schema.column_index(name)
+        dt = self.schema.columns[idx][1]
+        raw = self._tail[idx]
+        nulls = np.fromiter((v is None for v in raw), dtype=bool, count=len(raw))
+        dtype = dt.numpy_dtype
+        filler = "" if dtype == object else 0
+        cleaned = [filler if v is None else v for v in raw]
+        if dtype == object:
+            array = np.empty(len(raw), dtype=object)
+            array[:] = cleaned
+        else:
+            array = np.array(cleaned, dtype=dtype)
+        return ColumnVector(dt, array, nulls if nulls.any() else None)
+
+    def column_vector(self, name: str) -> ColumnVector:
+        """Materialise one whole column (all live and tombstoned rows).
+
+        Tombstones are *not* removed here; callers that need only live rows
+        combine this with :meth:`live_mask`.
+        """
+        dt = self.schema.column_type(name)
+        parts: list[ColumnVector] = []
+        for region in self.regions:
+            values, nulls = region.columns[name].decode()
+            parts.append(ColumnVector(dt, values, nulls))
+        parts.append(self.tail_vector(name))
+        return ColumnVector.concat(parts)
+
+    def live_mask(self) -> np.ndarray:
+        """Mask of live rows over the logical scan order."""
+        parts = []
+        for region in self.regions:
+            if region.deleted is None:
+                parts.append(np.ones(region.n_rows, dtype=bool))
+            else:
+                parts.append(~region.deleted)
+        parts.append(np.ones(self._tail_rows, dtype=bool))
+        if not parts:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(parts)
+
+    # -- size accounting -----------------------------------------------------------
+
+    def compressed_nbytes(self) -> int:
+        """Bytes of compressed regions plus synopses."""
+        return sum(r.nbytes() + r.synopsis_nbytes() for r in self.regions)
+
+    def raw_nbytes(self) -> int:
+        """Uncompressed footprint of the sealed regions."""
+        return sum(r.raw_nbytes for r in self.regions)
+
+    def compression_ratio(self) -> float:
+        """raw / compressed for the sealed part of the table."""
+        compressed = self.compressed_nbytes()
+        if compressed == 0:
+            return 1.0
+        return self.raw_nbytes() / compressed
+
+
+def _raw_size(array: np.ndarray, dt: DataType) -> int:
+    if array.dtype == object:
+        return sum(len(str(v)) for v in array.tolist()) + array.size
+    if dt.kind in (TypeKind.SMALLINT,):
+        return 2 * array.size
+    if dt.kind in (TypeKind.INTEGER, TypeKind.DATE, TypeKind.TIME, TypeKind.REAL):
+        return 4 * array.size
+    if dt.kind is TypeKind.BOOLEAN:
+        return array.size
+    return 8 * array.size

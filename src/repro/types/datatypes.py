@@ -1,0 +1,222 @@
+"""SQL data types supported by the engine.
+
+The set covers ANSI SQL plus the dialect-specific types the paper lists in
+section II.C.1: Oracle ``NUMBER``/``DATE``/``VARCHAR2``, Netezza/PostgreSQL
+``BOOLEAN``/``INT2``/``INT4``/``INT8``/``FLOAT4``/``FLOAT8``/``BPCHAR``, and
+DB2 ``DECFLOAT``/``GRAPHIC``.  Dialect names are resolved to these canonical
+types by the SQL compiler (:mod:`repro.sql.dialects`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class TypeKind(enum.Enum):
+    """Canonical kinds; dialect type names map onto these."""
+
+    SMALLINT = "SMALLINT"
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DECIMAL = "DECIMAL"
+    REAL = "REAL"
+    DOUBLE = "DOUBLE"
+    DECFLOAT = "DECFLOAT"
+    VARCHAR = "VARCHAR"
+    CHAR = "CHAR"
+    GRAPHIC = "GRAPHIC"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+    TIME = "TIME"
+    TIMESTAMP = "TIMESTAMP"
+    NULL = "NULL"  # the type of a bare NULL literal, coercible to anything
+
+
+_INTEGER_KINDS = {TypeKind.SMALLINT, TypeKind.INTEGER, TypeKind.BIGINT}
+_APPROX_KINDS = {TypeKind.REAL, TypeKind.DOUBLE, TypeKind.DECFLOAT}
+_STRING_KINDS = {TypeKind.VARCHAR, TypeKind.CHAR, TypeKind.GRAPHIC}
+_TEMPORAL_KINDS = {TypeKind.DATE, TypeKind.TIME, TypeKind.TIMESTAMP}
+
+# numpy physical representation per kind (strings use object arrays).
+_NUMPY_DTYPES = {
+    TypeKind.SMALLINT: np.int64,
+    TypeKind.INTEGER: np.int64,
+    TypeKind.BIGINT: np.int64,
+    TypeKind.DECIMAL: np.int64,  # scaled integer: value * 10**scale
+    TypeKind.REAL: np.float64,
+    TypeKind.DOUBLE: np.float64,
+    TypeKind.DECFLOAT: np.float64,
+    TypeKind.BOOLEAN: np.int64,  # 0 / 1
+    TypeKind.DATE: np.int64,  # days since 1970-01-01
+    TypeKind.TIME: np.int64,  # seconds since midnight
+    TypeKind.TIMESTAMP: np.int64,  # microseconds since epoch
+    TypeKind.VARCHAR: object,
+    TypeKind.CHAR: object,
+    TypeKind.GRAPHIC: object,
+    TypeKind.NULL: object,
+}
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A concrete SQL type: a kind plus its parameters.
+
+    Attributes:
+        kind: the canonical :class:`TypeKind`.
+        length: declared length for character types (0 = unbounded).
+        precision: total digits for DECIMAL.
+        scale: fractional digits for DECIMAL.
+    """
+
+    kind: TypeKind
+    length: int = 0
+    precision: int = 0
+    scale: int = 0
+
+    @property
+    def is_numeric(self) -> bool:
+        return (
+            self.kind in _INTEGER_KINDS
+            or self.kind in _APPROX_KINDS
+            or self.kind is TypeKind.DECIMAL
+        )
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in _INTEGER_KINDS
+
+    @property
+    def is_approximate(self) -> bool:
+        return self.kind in _APPROX_KINDS
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind in _STRING_KINDS
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.kind in _TEMPORAL_KINDS
+
+    @property
+    def numpy_dtype(self):
+        """The numpy dtype used to hold this type's non-null values."""
+        return _NUMPY_DTYPES[self.kind]
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.DECIMAL:
+            return "DECIMAL(%d,%d)" % (self.precision, self.scale)
+        if self.is_string and self.length:
+            return "%s(%d)" % (self.kind.value, self.length)
+        return self.kind.value
+
+
+SMALLINT = DataType(TypeKind.SMALLINT)
+INTEGER = DataType(TypeKind.INTEGER)
+BIGINT = DataType(TypeKind.BIGINT)
+REAL = DataType(TypeKind.REAL)
+DOUBLE = DataType(TypeKind.DOUBLE)
+DECFLOAT = DataType(TypeKind.DECFLOAT)
+BOOLEAN = DataType(TypeKind.BOOLEAN)
+DATE = DataType(TypeKind.DATE)
+TIME = DataType(TypeKind.TIME)
+TIMESTAMP = DataType(TypeKind.TIMESTAMP)
+NULLTYPE = DataType(TypeKind.NULL)
+
+
+def decimal_type(precision: int = 31, scale: int = 0) -> DataType:
+    """Build a DECIMAL type (also Oracle ``NUMBER(p, s)``)."""
+    if not 1 <= precision <= 31:
+        raise ValueError("DECIMAL precision must be in [1, 31]")
+    if not 0 <= scale <= precision:
+        raise ValueError("DECIMAL scale must be in [0, precision]")
+    return DataType(TypeKind.DECIMAL, precision=precision, scale=scale)
+
+
+def varchar_type(length: int = 0) -> DataType:
+    """Build a VARCHAR (also Oracle ``VARCHAR2``, PG ``TEXT``)."""
+    return DataType(TypeKind.VARCHAR, length=length)
+
+
+def char_type(length: int = 1) -> DataType:
+    """Build a fixed-length CHAR (also ``BPCHAR`` as a cast target)."""
+    return DataType(TypeKind.CHAR, length=length)
+
+
+def graphic_type(length: int = 1) -> DataType:
+    """Build a DB2 GRAPHIC (double-byte character) type."""
+    return DataType(TypeKind.GRAPHIC, length=length)
+
+
+_NUMERIC_RANK = {
+    TypeKind.SMALLINT: 0,
+    TypeKind.INTEGER: 1,
+    TypeKind.BIGINT: 2,
+    TypeKind.DECIMAL: 3,
+    TypeKind.REAL: 4,
+    TypeKind.DOUBLE: 5,
+    TypeKind.DECFLOAT: 6,
+}
+
+
+def promote(left: DataType, right: DataType) -> DataType:
+    """Return the result type for a binary operation over two types.
+
+    Follows the usual SQL ladder: integers promote upward, any approximate
+    operand makes the result DOUBLE, DECIMAL pairs take max precision/scale,
+    strings unify to VARCHAR, and NULL coerces to the other operand.
+    """
+    if left.kind is TypeKind.NULL:
+        return right
+    if right.kind is TypeKind.NULL:
+        return left
+    if left.kind == right.kind and left.kind is not TypeKind.DECIMAL:
+        if left.is_string:
+            return varchar_type(max(left.length, right.length))
+        return left
+    if left.is_numeric and right.is_numeric:
+        rank = max(_NUMERIC_RANK[left.kind], _NUMERIC_RANK[right.kind])
+        if rank >= _NUMERIC_RANK[TypeKind.REAL]:
+            kind = (
+                TypeKind.DECFLOAT
+                if TypeKind.DECFLOAT in (left.kind, right.kind)
+                else TypeKind.DOUBLE
+            )
+            return DataType(kind)
+        if TypeKind.DECIMAL in (left.kind, right.kind):
+            lp, ls = _decimal_shape(left)
+            rp, rs = _decimal_shape(right)
+            scale = max(ls, rs)
+            precision = min(31, max(lp - ls, rp - rs) + scale + 1)
+            return decimal_type(precision, scale)
+        for kind, value in _NUMERIC_RANK.items():
+            if value == rank:
+                return DataType(kind)
+    if left.is_string and right.is_string:
+        return varchar_type(max(left.length, right.length))
+    if left.is_temporal and right.kind == left.kind:
+        return left
+    raise TypeError("no common type for %s and %s" % (left, right))
+
+
+def _decimal_shape(dt: DataType) -> tuple[int, int]:
+    """Return (precision, scale) treating integer kinds as scale-0 decimals."""
+    if dt.kind is TypeKind.DECIMAL:
+        return dt.precision, dt.scale
+    widths = {TypeKind.SMALLINT: 5, TypeKind.INTEGER: 10, TypeKind.BIGINT: 19}
+    return widths[dt.kind], 0
+
+
+def comparable(left: DataType, right: DataType) -> bool:
+    """True if values of the two types may be compared directly."""
+    if TypeKind.NULL in (left.kind, right.kind):
+        return True
+    if left.is_numeric and right.is_numeric:
+        return True
+    if left.is_string and right.is_string:
+        return True
+    if left.kind is TypeKind.BOOLEAN and right.kind is TypeKind.BOOLEAN:
+        return True
+    return left.is_temporal and left.kind == right.kind

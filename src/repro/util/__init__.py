@@ -1,0 +1,19 @@
+"""Shared utilities: bit packing, simulated time, deterministic RNG."""
+
+from repro.util.bitpack import (
+    PackedArray,
+    bits_needed,
+    pack_codes,
+    unpack_codes,
+)
+from repro.util.rng import derive_rng
+from repro.util.timer import SimClock
+
+__all__ = [
+    "PackedArray",
+    "SimClock",
+    "bits_needed",
+    "derive_rng",
+    "pack_codes",
+    "unpack_codes",
+]

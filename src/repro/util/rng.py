@@ -1,0 +1,27 @@
+"""Deterministic random-number-generator helpers.
+
+Everything in this library that needs randomness (workload generators, the
+randomized buffer-pool policy, synthetic data) derives its generator from a
+caller-supplied seed through :func:`derive_rng`, so runs are reproducible and
+independent components do not share RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_rng(seed: int, *scope: object) -> np.random.Generator:
+    """Return a generator derived from ``seed`` and a scope path.
+
+    The scope is any sequence of hashable labels (strings, ints) naming the
+    consumer, e.g. ``derive_rng(42, "tpcds", "store_sales", shard_id)``.
+    Distinct scopes yield independent streams; identical scopes yield
+    identical streams.
+    """
+    digest = hashlib.sha256(
+        ("%d|" % seed + "|".join(str(part) for part in scope)).encode()
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,27 @@
+"""Workload generators for the paper's four evaluations (section III).
+
+* :mod:`repro.workloads.customer` — the 25 TB financial customer workload
+  of Tests 1-2, scaled down but preserving the statement mix and the
+  long-tail query structure.
+* :mod:`repro.workloads.tpcds` — the TPC-DS-shaped star schema and query
+  set of Test 3.
+* :mod:`repro.workloads.bdinsight` — the BD-Insight-style reporting pool
+  of Test 4.
+* :mod:`repro.workloads.streams` — multi-stream throughput harness.
+"""
+
+from repro.workloads.bdinsight import BDINSIGHT_QUERIES
+from repro.workloads.customer import CustomerWorkload, PAPER_STATEMENT_MIX
+from repro.workloads.streams import measure_pool, run_multistream
+from repro.workloads.tpcds import TPCDS_QUERIES, TpcdsData, load_into
+
+__all__ = [
+    "BDINSIGHT_QUERIES",
+    "CustomerWorkload",
+    "PAPER_STATEMENT_MIX",
+    "TPCDS_QUERIES",
+    "TpcdsData",
+    "load_into",
+    "measure_pool",
+    "run_multistream",
+]

@@ -1,0 +1,73 @@
+"""The BD-Insight-style reporting pool (Table 1, Test 4).
+
+The paper runs a 5-stream throughput test of "IBM BD Insight workload" on
+AWS against an unnamed cloud warehouse.  BD Insight is a BI/reporting
+benchmark: dashboard-style queries mixing selective filters, star joins,
+and rollups.  This pool runs over the TPC-DS-shaped schema
+(:mod:`repro.workloads.tpcds`), which both systems under test load
+identically.
+"""
+
+from __future__ import annotations
+
+#: (query id, SQL) — dashboard/report shapes for the throughput test.
+BDINSIGHT_QUERIES: list[tuple[str, str]] = [
+    (
+        "b01_kpi_revenue",
+        "SELECT SUM(ss_sales_price * ss_quantity) AS revenue,"
+        " SUM(ss_net_profit) AS profit FROM store_sales"
+        " WHERE ss_sold_date_sk >= 700",
+    ),
+    (
+        "b02_trend",
+        "SELECT d_year, d_moy, SUM(ss_sales_price) AS sales"
+        " FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk"
+        " GROUP BY d_year, d_moy ORDER BY 1, 2",
+    ),
+    (
+        "b03_category_share",
+        "SELECT i_category, SUM(ss_sales_price) AS sales"
+        " FROM store_sales, item WHERE ss_item_sk = i_item_sk"
+        " GROUP BY i_category ORDER BY sales DESC",
+    ),
+    (
+        "b04_state_heatmap",
+        "SELECT s_state, COUNT(*) AS n FROM store_sales, store"
+        " WHERE ss_store_sk = s_store_sk GROUP BY s_state ORDER BY n DESC",
+    ),
+    (
+        "b05_top_brands",
+        "SELECT i_brand, SUM(ss_quantity) AS units FROM store_sales, item"
+        " WHERE ss_item_sk = i_item_sk GROUP BY i_brand"
+        " ORDER BY units DESC FETCH FIRST 10 ROWS ONLY",
+    ),
+    (
+        "b06_recent_buyers",
+        "SELECT COUNT(DISTINCT ss_customer_sk) AS buyers FROM store_sales"
+        " WHERE ss_sold_date_sk >= 715",
+    ),
+    (
+        "b07_discount_band",
+        "SELECT CASE WHEN ss_sales_price < 20 THEN 'budget'"
+        " WHEN ss_sales_price < 70 THEN 'core' ELSE 'premium' END AS band,"
+        " SUM(ss_net_profit) AS profit FROM store_sales GROUP BY 1 ORDER BY 1",
+    ),
+    (
+        "b08_weekday_mix",
+        "SELECT d_dom, COUNT(*) AS n FROM store_sales, date_dim"
+        " WHERE ss_sold_date_sk = d_date_sk AND d_year = 2016"
+        " GROUP BY d_dom ORDER BY d_dom",
+    ),
+    (
+        "b09_store_efficiency",
+        "SELECT s_store_sk, SUM(ss_net_profit) / COUNT(*) AS per_txn"
+        " FROM store_sales, store WHERE ss_store_sk = s_store_sk"
+        " GROUP BY s_store_sk ORDER BY per_txn DESC FETCH FIRST 5 ROWS ONLY",
+    ),
+    (
+        "b10_premium_recent",
+        "SELECT i_category, COUNT(*) AS n FROM store_sales, item"
+        " WHERE ss_item_sk = i_item_sk AND ss_sales_price > 80"
+        " AND ss_sold_date_sk >= 650 GROUP BY i_category ORDER BY n DESC",
+    ),
+]

@@ -1,0 +1,299 @@
+"""A scaled-down TPC-DS-shaped workload (Table 1, Test 3).
+
+The schema is the classic retail star: a ``store_sales`` fact surrounded by
+``date_dim``, ``item``, ``store``, and ``customer`` dimensions.  The query
+set covers the shapes that dominate TPC-DS — date-restricted scans, star
+joins with grouping, category rollups, top-N reports — expressed in the
+SQL surface both the columnar engine and the row-store baseline support,
+so the same text runs on every system under test.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_rng
+
+_BASE_DATE = datetime.date(2015, 1, 1)
+_N_DAYS = 730  # two years of dates
+
+_CATEGORIES = ["electronics", "apparel", "grocery", "sports", "home", "books"]
+_STATES = ["ca", "ny", "tx", "wa", "il", "fl", "ma", "ga"]
+
+DDL = [
+    (
+        "CREATE TABLE date_dim (d_date_sk INT PRIMARY KEY, d_date DATE,"
+        " d_year INT, d_moy INT, d_dom INT) DISTRIBUTE BY REPLICATION"
+    ),
+    (
+        "CREATE TABLE item (i_item_sk INT PRIMARY KEY, i_category VARCHAR(12),"
+        " i_brand VARCHAR(16), i_current_price DECIMAL(7,2))"
+        " DISTRIBUTE BY REPLICATION"
+    ),
+    (
+        "CREATE TABLE store (s_store_sk INT PRIMARY KEY, s_state VARCHAR(2),"
+        " s_floor_space INT) DISTRIBUTE BY REPLICATION"
+    ),
+    (
+        "CREATE TABLE customer (c_customer_sk INT PRIMARY KEY, c_birth_year INT,"
+        " c_preferred INT) DISTRIBUTE BY REPLICATION"
+    ),
+    (
+        "CREATE TABLE store_sales (ss_sold_date_sk INT, ss_item_sk INT,"
+        " ss_store_sk INT, ss_customer_sk INT, ss_quantity INT,"
+        " ss_sales_price DECIMAL(7,2), ss_net_profit DECIMAL(7,2))"
+        " DISTRIBUTE BY HASH (ss_item_sk)"
+    ),
+]
+
+
+@dataclass
+class TpcdsData:
+    """Generated rows per table (boundary values)."""
+
+    date_dim: list[tuple] = field(default_factory=list)
+    item: list[tuple] = field(default_factory=list)
+    store: list[tuple] = field(default_factory=list)
+    customer: list[tuple] = field(default_factory=list)
+    store_sales: list[tuple] = field(default_factory=list)
+
+    def tables(self) -> dict[str, list[tuple]]:
+        return {
+            "DATE_DIM": self.date_dim,
+            "ITEM": self.item,
+            "STORE": self.store,
+            "CUSTOMER": self.customer,
+            "STORE_SALES": self.store_sales,
+        }
+
+
+def generate(scale: float = 1.0, seed: int = 42) -> TpcdsData:
+    """Generate deterministic data; ``scale`` multiplies the fact size."""
+    rng = derive_rng(seed, "tpcds")
+    data = TpcdsData()
+    for sk in range(_N_DAYS):
+        d = _BASE_DATE + datetime.timedelta(days=sk)
+        data.date_dim.append((sk, d, d.year, d.month, d.day))
+    n_items = 200
+    for sk in range(n_items):
+        data.item.append(
+            (
+                sk,
+                _CATEGORIES[sk % len(_CATEGORIES)],
+                "brand_%02d" % (sk % 25),
+                round(1.0 + float(rng.random()) * 99.0, 2),
+            )
+        )
+    n_stores = 10
+    for sk in range(n_stores):
+        data.store.append((sk, _STATES[sk % len(_STATES)], int(rng.integers(5_000, 50_000))))
+    n_customers = 500
+    for sk in range(n_customers):
+        data.customer.append(
+            (sk, int(rng.integers(1940, 2000)), int(rng.integers(0, 2)))
+        )
+    n_sales = int(20_000 * scale)
+    # Sales skew toward recent dates (paper II.B.4: most queries hit the
+    # recent window, so recency skew makes skipping observable).
+    date_weights = rng.random(_N_DAYS) * (1 + (rng.random(_N_DAYS) * 3) ** 2)
+    date_weights = date_weights / date_weights.sum()
+    dates = rng.choice(_N_DAYS, size=n_sales, p=date_weights)
+    items = rng.zipf(1.3, size=n_sales) % n_items
+    stores = rng.integers(0, n_stores, size=n_sales)
+    customers = rng.integers(0, n_customers, size=n_sales)
+    quantities = rng.integers(1, 20, size=n_sales)
+    prices = rng.integers(100, 10_000, size=n_sales)
+    profits = rng.integers(-2_000, 5_000, size=n_sales)
+    from decimal import Decimal
+
+    for i in range(n_sales):
+        data.store_sales.append(
+            (
+                int(dates[i]),
+                int(items[i]),
+                int(stores[i]),
+                int(customers[i]),
+                int(quantities[i]),
+                Decimal(int(prices[i])) / 100,
+                Decimal(int(profits[i])) / 100,
+            )
+        )
+    # Sort the fact by date (clustered load order): the synopsis becomes
+    # selective on the date column, as in a warehouse loaded by day.
+    data.store_sales.sort(key=lambda r: r[0])
+    return data
+
+
+def load_into(system, data: TpcdsData, insert_batch: int = 2000) -> None:
+    """Load DDL + data into anything with ``execute(sql)`` (Database
+    session, ClusterSession, RowDatabase, baseline wrappers)."""
+    execute = _executor(system)
+    for ddl in DDL:
+        execute(ddl)
+    for table, rows in data.tables().items():
+        bulk_insert(system, table, rows, insert_batch)
+    flush_tables(system)
+
+
+def bulk_insert(system, table: str, rows: list[tuple], insert_batch: int = 2000) -> None:
+    """Load rows through the fastest path the system exposes.
+
+    Single-node engines take the direct storage path (a LOAD utility);
+    anything else (clusters, wrappers) goes through INSERT statements.
+    """
+    target = _direct_table(system, table)
+    if target is not None:
+        target.insert_rows(rows)
+        return
+    execute = _executor(system)
+    for start in range(0, len(rows), insert_batch):
+        chunk = rows[start : start + insert_batch]
+        values = ", ".join(_render_row(r) for r in chunk)
+        execute("INSERT INTO %s VALUES %s" % (table, values))
+
+
+def _direct_table(system, table: str):
+    """The storage-level table behind a system, when reachable."""
+    from repro.errors import ReproError
+
+    database = getattr(system, "database", None) or (
+        system if hasattr(system, "catalog") else None
+    )
+    if database is not None and hasattr(database, "catalog"):
+        try:
+            return database.catalog.get_table(table).table
+        except ReproError:
+            return None
+    tables = getattr(system, "tables", None)  # RowDatabase
+    if isinstance(tables, dict):
+        return tables.get(table.upper())
+    engine = getattr(system, "engine", None)  # ApplianceSystem
+    if engine is not None and engine is not system:
+        return _direct_table(engine, table)
+    return None
+
+
+def flush_tables(system) -> None:
+    """Seal loaded tail rows into compressed regions (post-load organise).
+
+    Columnar systems build their compressed extents and synopses at load
+    time; this is that step for every system flavour that has one.
+    """
+    database = getattr(system, "database", None) or (
+        system if hasattr(system, "catalog") else None
+    )
+    if database is not None and hasattr(database, "catalog"):
+        from repro.catalog.catalog import TableInfo
+
+        for name in database.catalog.objects():
+            info = database.catalog.try_resolve(name)
+            if isinstance(info, TableInfo):
+                info.table.flush()
+        return
+    cluster = getattr(system, "cluster", None)
+    if cluster is not None:
+        for shard in cluster.shards.values():
+            flush_tables(shard.engine)
+
+
+def _executor(system):
+    execute = getattr(system, "execute", None)
+    if execute is None:
+        raise TypeError("system %r has no execute()" % (system,))
+    return execute
+
+
+def _render_row(row) -> str:
+    parts = []
+    for value in row:
+        if value is None:
+            parts.append("NULL")
+        elif isinstance(value, str):
+            parts.append("'%s'" % value.replace("'", "''"))
+        elif isinstance(value, datetime.date):
+            parts.append("DATE '%s'" % value.isoformat())
+        else:
+            parts.append(str(value))
+    return "(%s)" % ", ".join(parts)
+
+
+#: Representative query set: (query id, SQL).  Date literals target the
+#: recent window so data skipping has an effect (paper II.B.4).
+TPCDS_QUERIES: list[tuple[str, str]] = [
+    (
+        "q01_recent_revenue",
+        "SELECT SUM(ss_sales_price * ss_quantity) AS revenue"
+        " FROM store_sales, date_dim"
+        " WHERE ss_sold_date_sk = d_date_sk AND d_date >= DATE '2016-10-01'",
+    ),
+    (
+        "q02_monthly_rollup",
+        "SELECT d_year, d_moy, SUM(ss_net_profit) AS profit, COUNT(*) AS n"
+        " FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk"
+        " GROUP BY d_year, d_moy ORDER BY d_year, d_moy",
+    ),
+    (
+        "q03_category_report",
+        "SELECT i_category, SUM(ss_sales_price) AS sales, AVG(ss_quantity) AS avg_q"
+        " FROM store_sales, item WHERE ss_item_sk = i_item_sk"
+        " AND ss_sold_date_sk >= 640 GROUP BY i_category ORDER BY sales DESC",
+    ),
+    (
+        "q04_store_state",
+        "SELECT s_state, COUNT(*) AS transactions, SUM(ss_net_profit) AS profit"
+        " FROM store_sales, store WHERE ss_store_sk = s_store_sk"
+        " GROUP BY s_state ORDER BY profit DESC",
+    ),
+    (
+        "q05_star_3way",
+        "SELECT i_category, s_state, SUM(ss_sales_price) AS sales"
+        " FROM store_sales, item, store"
+        " WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk"
+        " AND ss_sold_date_sk BETWEEN 600 AND 730"
+        " GROUP BY i_category, s_state ORDER BY sales DESC FETCH FIRST 10 ROWS ONLY",
+    ),
+    (
+        "q06_big_tickets",
+        "SELECT COUNT(*) AS n, MAX(ss_sales_price) AS top_price"
+        " FROM store_sales WHERE ss_sales_price > 95 AND ss_quantity >= 10",
+    ),
+    (
+        "q07_brand_topn",
+        "SELECT i_brand, SUM(ss_quantity) AS units FROM store_sales, item"
+        " WHERE ss_item_sk = i_item_sk AND i_category = 'electronics'"
+        " GROUP BY i_brand ORDER BY units DESC FETCH FIRST 5 ROWS ONLY",
+    ),
+    (
+        "q08_customer_cohort",
+        "SELECT c_birth_year, AVG(ss_sales_price) AS avg_ticket"
+        " FROM store_sales, customer WHERE ss_customer_sk = c_customer_sk"
+        " AND c_preferred = 1 GROUP BY c_birth_year ORDER BY 1",
+    ),
+    (
+        "q09_quarter_window",
+        "SELECT d_moy, SUM(ss_sales_price) AS sales FROM store_sales, date_dim"
+        " WHERE ss_sold_date_sk = d_date_sk AND d_year = 2016"
+        " AND d_moy BETWEEN 7 AND 9 GROUP BY d_moy ORDER BY d_moy",
+    ),
+    (
+        "q10_profitability",
+        "SELECT i_category, SUM(ss_net_profit) AS profit,"
+        " SUM(ss_sales_price * ss_quantity) AS revenue"
+        " FROM store_sales, item, date_dim"
+        " WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk"
+        " AND d_date >= DATE '2016-06-01'"
+        " GROUP BY i_category HAVING SUM(ss_net_profit) > 0 ORDER BY profit DESC",
+    ),
+    (
+        "q11_price_bands",
+        "SELECT CASE WHEN ss_sales_price < 25 THEN 'low'"
+        " WHEN ss_sales_price < 60 THEN 'mid' ELSE 'high' END AS band,"
+        " COUNT(*) AS n FROM store_sales GROUP BY 1 ORDER BY n DESC",
+    ),
+    (
+        "q12_distinct_buyers",
+        "SELECT COUNT(DISTINCT ss_customer_sk) AS buyers FROM store_sales"
+        " WHERE ss_sold_date_sk >= 700",
+    ),
+]

@@ -1,0 +1,146 @@
+"""Hardware detection, automatic configuration, workload management."""
+
+import pytest
+
+from repro.cluster.autoconfig import (
+    InstanceConfig,
+    auto_configure,
+    reconfigure_for_shards,
+    shards_for_cluster,
+)
+from repro.cluster.hardware import HARDWARE_PRESETS, HardwareSpec, detect_hardware
+from repro.cluster.wlm import Job, WorkloadManager, schedule_streams
+from repro.errors import AdmissionError
+from repro.util.timer import SimClock
+
+
+class TestHardware:
+    def test_presets_match_paper_table1(self):
+        t1 = HARDWARE_PRESETS["dashdb-test1-node"]
+        assert (t1.cores, t1.ram_gb) == (20, 256)
+        appliance = HARDWARE_PRESETS["appliance-test1-node"]
+        assert appliance.fpga_count == 2
+        assert appliance.storage_type == "hdd"
+        aws = HARDWARE_PRESETS["aws-test4"]
+        assert (aws.cores, aws.ram_gb, aws.storage_iops) == (32, 244, 1_800)
+
+    def test_laptop_entry_level(self):
+        laptop = HARDWARE_PRESETS["laptop"]
+        assert laptop.ram_gb == 8  # paper: entry level starts at 8 GB RAM
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(cores=0, ram_gb=8, storage_tb=1)
+        with pytest.raises(ValueError):
+            HardwareSpec(cores=4, ram_gb=8, storage_tb=1, storage_type="tape")
+
+    def test_detection_charges_time(self):
+        clock = SimClock()
+        spec = detect_hardware(HARDWARE_PRESETS["laptop"], clock)
+        assert spec.cores == 4
+        assert clock.now > 0
+
+    def test_scaled(self):
+        half = HARDWARE_PRESETS["xeon-e7-72way"].scaled(0.5)
+        assert half.cores == 36
+        assert half.ram_gb == 3072
+
+
+class TestAutoConfigure:
+    def test_memory_split_sums_below_ram(self):
+        config = auto_configure(HARDWARE_PRESETS["dashdb-test1-node"])
+        consumed = (
+            config.bufferpool_bytes
+            + config.sort_heap_bytes
+            + config.hash_join_bytes
+            + config.lock_list_bytes
+            + config.log_buffer_bytes
+            + config.utility_heap_bytes
+        )
+        assert consumed < config.instance_memory_bytes
+        assert config.instance_memory_bytes < HARDWARE_PRESETS["dashdb-test1-node"].ram_bytes
+
+    def test_scales_with_hardware(self):
+        small = auto_configure(HARDWARE_PRESETS["laptop"])
+        big = auto_configure(HARDWARE_PRESETS["xeon-e7-72way"])
+        assert big.bufferpool_pages > small.bufferpool_pages * 100
+        assert big.wlm_concurrency >= small.wlm_concurrency
+        assert big.query_parallelism >= small.query_parallelism
+
+    def test_shards_rule(self):
+        assert shards_for_cluster(4, 20) == 24
+        assert shards_for_cluster(4, 2) == 8
+        assert shards_for_cluster(1, 1) == 1
+
+    def test_reconfigure_after_reassociation(self):
+        hw = HARDWARE_PRESETS["dashdb-test1-node"]
+        config = auto_configure(hw, n_nodes=4)
+        more_shards = reconfigure_for_shards(config, hw, config.shards_per_node + 2)
+        assert more_shards.query_parallelism <= config.query_parallelism
+
+    def test_explain_text(self):
+        config = auto_configure(HARDWARE_PRESETS["laptop"])
+        text = config.explain()
+        assert "bufferpool" in text
+        assert "parallelism" in text
+        assert "WLM" in text
+
+
+class TestWorkloadManager:
+    def test_serial_execution(self):
+        wlm = WorkloadManager(concurrency=1)
+        jobs = [Job(i, 2.0) for i in range(3)]
+        result = wlm.schedule(jobs)
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_parallel_slots(self):
+        wlm = WorkloadManager(concurrency=3)
+        jobs = [Job(i, 2.0) for i in range(3)]
+        assert wlm.schedule(jobs).makespan == pytest.approx(2.0)
+
+    def test_queueing(self):
+        wlm = WorkloadManager(concurrency=2)
+        jobs = [Job(i, 4.0) for i in range(4)]
+        result = wlm.schedule(jobs)
+        assert result.makespan == pytest.approx(8.0)
+        assert max(j.queue_wait for j in result.jobs) == pytest.approx(4.0)
+
+    def test_arrivals(self):
+        wlm = WorkloadManager(concurrency=1)
+        jobs = [Job("a", 1.0, arrival=0.0), Job("b", 1.0, arrival=10.0)]
+        result = wlm.schedule(jobs)
+        assert result.makespan == pytest.approx(11.0)
+
+    def test_queue_limit(self):
+        wlm = WorkloadManager(concurrency=1, queue_limit=1)
+        jobs = [Job(i, 5.0) for i in range(5)]
+        with pytest.raises(AdmissionError):
+            wlm.schedule(jobs)
+
+    def test_throughput_metric(self):
+        wlm = WorkloadManager(concurrency=2)
+        result = wlm.schedule([Job(i, 1.0) for i in range(10)])
+        assert result.throughput_per_hour == pytest.approx(10 * 3600 / result.makespan)
+
+    def test_concurrency_validation(self):
+        with pytest.raises(AdmissionError):
+            WorkloadManager(concurrency=0)
+
+
+class TestStreamScheduling:
+    def test_streams_run_serially_within(self):
+        result = schedule_streams([[1.0, 1.0, 1.0]], concurrency=4)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_streams_run_concurrently_across(self):
+        result = schedule_streams([[2.0]] * 4, concurrency=4)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_concurrency_bound(self):
+        result = schedule_streams([[2.0]] * 4, concurrency=2)
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_mixed_lengths(self):
+        result = schedule_streams([[5.0], [1.0, 1.0, 1.0]], concurrency=2)
+        assert result.makespan == pytest.approx(5.0)
+        assert result.total_service == pytest.approx(8.0)

@@ -1,0 +1,178 @@
+"""Baseline systems: the row database, appliance, cloud warehouse, cost model."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.baselines import ApplianceSystem, CloudWarehouse, RowDatabase
+from repro.baselines.costmodel import (
+    APPLIANCE_PROFILE,
+    CLOUDWH_PROFILE,
+    DASHDB_PROFILE,
+    SystemProfile,
+    speedup_stats,
+)
+from repro.errors import (
+    DuplicateObjectError,
+    UnknownObjectError,
+    UnsupportedFeatureError,
+)
+
+
+@pytest.fixture()
+def rowdb():
+    db = RowDatabase()
+    db.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(20), dept VARCHAR(10),"
+        " sal DECIMAL(10,2))"
+    )
+    db.execute(
+        "INSERT INTO emp VALUES (1,'a','eng',10.00),(2,'b','eng',20.00),"
+        "(3,'c','sales',30.00),(4,'d','sales',40.00)"
+    )
+    return db
+
+
+class TestRowDatabase:
+    def test_point_lookup_uses_pk_index(self, rowdb):
+        before = rowdb.rows_examined
+        assert rowdb.execute("SELECT name FROM emp WHERE id = 3").rows == [("c",)]
+        assert rowdb.rows_examined - before == 1  # index, not a scan
+
+    def test_scan_counts_rows(self, rowdb):
+        before = rowdb.rows_examined
+        rowdb.execute("SELECT COUNT(*) FROM emp WHERE sal > 15")
+        assert rowdb.rows_examined - before == 4
+
+    def test_group_by(self, rowdb):
+        rows = rowdb.execute(
+            "SELECT dept, COUNT(*), SUM(sal), AVG(sal) FROM emp GROUP BY dept ORDER BY dept"
+        ).rows
+        assert rows == [
+            ("eng", 2, Decimal("30.00"), 15.0),
+            ("sales", 2, Decimal("70.00"), 35.0),
+        ]
+
+    def test_join_on_and_comma(self, rowdb):
+        rowdb.execute("CREATE TABLE d (dept VARCHAR(10) PRIMARY KEY, zone INT)")
+        rowdb.execute("INSERT INTO d VALUES ('eng',1),('sales',2)")
+        a = rowdb.execute(
+            "SELECT e.name FROM emp e JOIN d ON e.dept = d.dept WHERE d.zone = 1 ORDER BY 1"
+        ).rows
+        b = rowdb.execute(
+            "SELECT e.name FROM emp e, d WHERE e.dept = d.dept AND d.zone = 1 ORDER BY 1"
+        ).rows
+        assert a == b == [("a",), ("b",)]
+
+    def test_dml_roundtrip(self, rowdb):
+        rowdb.execute("UPDATE emp SET sal = sal * 2 WHERE dept = 'eng'")
+        assert rowdb.execute("SELECT SUM(sal) FROM emp").scalar() == Decimal("130.00")
+        assert rowdb.execute("DELETE FROM emp WHERE id = 4").rowcount == 1
+        rowdb.execute("TRUNCATE TABLE emp")
+        assert rowdb.execute("SELECT COUNT(*) FROM emp").scalar() == 0
+
+    def test_ddl_guards(self, rowdb):
+        with pytest.raises(DuplicateObjectError):
+            rowdb.execute("CREATE TABLE emp (a INT)")
+        with pytest.raises(UnknownObjectError):
+            rowdb.execute("DROP TABLE missing")
+        rowdb.execute("DROP TABLE IF EXISTS missing")
+
+    def test_ctes_materialise(self, rowdb):
+        value = rowdb.execute(
+            "WITH rich AS (SELECT id, sal FROM emp WHERE sal >= 30)"
+            " SELECT COUNT(*) FROM rich"
+        ).scalar()
+        assert value == 2
+        # CTE temp table cleaned up afterwards
+        with pytest.raises(UnknownObjectError):
+            rowdb.execute("SELECT * FROM rich")
+
+    def test_distinct_order_limit(self, rowdb):
+        rows = rowdb.execute(
+            "SELECT DISTINCT dept FROM emp ORDER BY dept DESC FETCH FIRST 1 ROWS ONLY"
+        ).rows
+        assert rows == [("sales",)]
+
+    def test_unsupported_shapes_rejected(self, rowdb):
+        with pytest.raises(UnsupportedFeatureError):
+            rowdb.execute("SELECT 1 FROM emp UNION SELECT 2 FROM emp")
+        with pytest.raises(UnsupportedFeatureError):
+            rowdb.execute("SELECT name FROM emp ORDER BY sal * -1")
+
+    def test_insert_from_select(self, rowdb):
+        rowdb.execute("CREATE TABLE copy (id INT, name VARCHAR(20))")
+        rowdb.execute("INSERT INTO copy SELECT id, name FROM emp WHERE dept = 'eng'")
+        assert rowdb.execute("SELECT COUNT(*) FROM copy").scalar() == 2
+
+
+class TestApplianceAndCloud:
+    def test_appliance_charges_simulated_time(self):
+        appliance = ApplianceSystem()
+        appliance.execute("CREATE TABLE t (x INT)")
+        appliance.execute("INSERT INTO t VALUES " + ", ".join("(%d)" % i for i in range(500)))
+        timed = appliance.execute("SELECT SUM(x) FROM t")
+        assert timed.result.scalar() == sum(range(500))
+        assert timed.seconds > 0
+        assert appliance.total_seconds >= timed.seconds
+
+    def test_appliance_io_term_scales_with_rows(self):
+        small = ApplianceSystem()
+        small.execute("CREATE TABLE t (x INT)")
+        small.execute("INSERT INTO t VALUES (1)")
+        a = small.execute("SELECT COUNT(*) FROM t WHERE x >= 0").seconds
+
+        big = ApplianceSystem()
+        big.execute("CREATE TABLE t (x INT)")
+        big.execute("INSERT INTO t VALUES " + ", ".join("(%d)" % i for i in range(5000)))
+        b = big.execute("SELECT COUNT(*) FROM t WHERE x >= 0").seconds
+        assert b > a
+
+    def test_cloudwh_disables_techniques(self):
+        warehouse = CloudWarehouse()
+        assert warehouse.database.scan_options == {
+            "use_skipping": False,
+            "use_compressed_eval": False,
+        }
+        assert warehouse.database.bufferpool.policy.name == "lru"
+
+    def test_cloudwh_charges_raw_bytes(self):
+        warehouse = CloudWarehouse()
+        warehouse.execute("CREATE TABLE t (x INT)")
+        warehouse.execute(
+            "INSERT INTO t VALUES " + ", ".join("(%d)" % i for i in range(9000))
+        )
+        from repro.workloads.tpcds import flush_tables
+
+        flush_tables(warehouse.database)
+        timed = warehouse.execute("SELECT COUNT(*) FROM t WHERE x > 100")
+        assert timed.result.scalar() == 8899
+        # The raw-bytes charge dominates the tiny Python wall time here.
+        assert timed.seconds > 0.01
+
+
+class TestCostModel:
+    def test_profile_terms(self):
+        profile = SystemProfile("x", scan_speedup=2.0, io_seconds_per_mb=0.01,
+                                per_query_overhead_s=0.5)
+        assert profile.query_seconds(2.0, scanned_mb=100) == pytest.approx(
+            0.5 + 1.0 + 1.0
+        )
+
+    def test_known_profiles(self):
+        assert APPLIANCE_PROFILE.scan_speedup > DASHDB_PROFILE.scan_speedup
+        assert APPLIANCE_PROFILE.io_seconds_per_mb > DASHDB_PROFILE.io_seconds_per_mb
+        assert CLOUDWH_PROFILE.scan_speedup == 1.0
+
+    def test_speedup_stats(self):
+        stats = speedup_stats([1.0, 1.0, 1.0, 1.0], [2.0, 4.0, 8.0, 100.0])
+        assert stats["avg"] == pytest.approx(28.5)
+        assert stats["median"] == pytest.approx(6.0)
+        assert stats["min"] == 2.0
+        assert stats["max"] == 100.0
+
+    def test_speedup_stats_validation(self):
+        with pytest.raises(ValueError):
+            speedup_stats([], [])
+        with pytest.raises(ValueError):
+            speedup_stats([1.0], [1.0, 2.0])

@@ -1,0 +1,132 @@
+"""B-tree secondary index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BTree
+
+
+class TestInsertSearch:
+    def test_single(self):
+        t = BTree()
+        t.insert(5, 100)
+        assert t.search(5) == [100]
+        assert t.search(6) == []
+
+    def test_duplicates_accumulate(self):
+        t = BTree()
+        t.insert(5, 1)
+        t.insert(5, 2)
+        assert sorted(t.search(5)) == [1, 2]
+        assert len(t) == 2
+
+    def test_many_keys_split_nodes(self):
+        t = BTree(order=4)
+        for i in range(1000):
+            t.insert(i, i)
+        assert t.height > 1
+        for probe in (0, 1, 499, 998, 999):
+            assert t.search(probe) == [probe]
+
+    def test_reverse_insertion_order(self):
+        t = BTree(order=4)
+        for i in reversed(range(500)):
+            t.insert(i, i)
+        assert t.keys() == list(range(500))
+
+    def test_random_insertion_keeps_sorted_keys(self):
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(2000)
+        t = BTree(order=8)
+        for k in keys:
+            t.insert(int(k), int(k))
+        assert t.keys() == sorted(int(k) for k in keys)
+
+    def test_order_too_small(self):
+        with pytest.raises(ValueError):
+            BTree(order=2)
+
+    def test_string_keys(self):
+        t = BTree()
+        for s in ["pear", "apple", "fig"]:
+            t.insert(s, hash(s) % 100)
+        assert t.keys() == ["apple", "fig", "pear"]
+
+
+class TestRangeSearch:
+    @pytest.fixture()
+    def tree(self):
+        t = BTree(order=4)
+        for i in range(0, 100, 2):  # even keys 0..98
+            t.insert(i, i)
+        return t
+
+    def test_closed_range(self, tree):
+        assert sorted(tree.range_search(10, 20)) == [10, 12, 14, 16, 18, 20]
+
+    def test_open_bounds(self, tree):
+        got = sorted(tree.range_search(10, 20, lo_open=True, hi_open=True))
+        assert got == [12, 14, 16, 18]
+
+    def test_unbounded_low(self, tree):
+        assert sorted(tree.range_search(None, 4)) == [0, 2, 4]
+
+    def test_unbounded_high(self, tree):
+        assert sorted(tree.range_search(94, None)) == [94, 96, 98]
+
+    def test_full_scan(self, tree):
+        assert len(tree.range_search(None, None)) == 50
+
+    def test_empty_range(self, tree):
+        assert tree.range_search(11, 11) == []
+
+    def test_range_spanning_leaf_boundaries(self):
+        t = BTree(order=4)
+        for i in range(200):
+            t.insert(i, i)
+        assert sorted(t.range_search(37, 163)) == list(range(37, 164))
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        t = BTree()
+        t.insert(1, 10)
+        assert t.remove(1, 10)
+        assert t.search(1) == []
+        assert len(t) == 0
+
+    def test_remove_one_of_duplicates(self):
+        t = BTree()
+        t.insert(1, 10)
+        t.insert(1, 11)
+        assert t.remove(1, 10)
+        assert t.search(1) == [11]
+
+    def test_remove_missing(self):
+        t = BTree()
+        t.insert(1, 10)
+        assert not t.remove(2, 10)
+        assert not t.remove(1, 99)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(-1000, 1000), min_size=0, max_size=300),
+    probes=st.lists(st.integers(-1000, 1000), min_size=1, max_size=20),
+)
+def test_property_btree_matches_dict(keys, probes):
+    t = BTree(order=6)
+    reference: dict[int, list[int]] = {}
+    for row_id, key in enumerate(keys):
+        t.insert(key, row_id)
+        reference.setdefault(key, []).append(row_id)
+    for probe in probes:
+        assert sorted(t.search(probe)) == sorted(reference.get(probe, []))
+    assert t.keys() == sorted(reference.keys())
+    lo, hi = -100, 100
+    expected = sorted(
+        rid for k, rids in reference.items() if lo <= k <= hi for rid in rids
+    )
+    assert sorted(t.range_search(lo, hi)) == expected

@@ -1,0 +1,169 @@
+"""Catalog, sequences, sessions, buffer-pool integration."""
+
+import pytest
+
+from repro.catalog import Catalog, Sequence
+from repro.database import Database
+from repro.errors import DuplicateObjectError, SQLError, UnknownObjectError
+from repro.storage.table import TableSchema
+from repro.types import INTEGER, varchar_type
+
+
+class TestCatalog:
+    def test_schemas(self):
+        catalog = Catalog()
+        catalog.create_schema("finance")
+        assert "FINANCE" in catalog.schema_names()
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_schema("finance")
+        catalog.drop_schema("finance")
+        with pytest.raises(UnknownObjectError):
+            catalog.drop_schema("finance")
+        with pytest.raises(UnknownObjectError):
+            catalog.drop_schema("PUBLIC")
+
+    def test_schema_scoped_tables(self):
+        catalog = Catalog()
+        catalog.create_schema("s1")
+        schema = TableSchema("T", (("a", INTEGER),))
+        catalog.create_table(schema, schema="s1")
+        assert catalog.get_table("t", "s1") is not None
+        with pytest.raises(UnknownObjectError):
+            catalog.get_table("t")  # not in PUBLIC
+
+    def test_alias_chain(self):
+        catalog = Catalog()
+        schema = TableSchema("BASE", (("a", INTEGER),))
+        catalog.create_table(schema)
+        catalog.create_alias("A1", "BASE")
+        catalog.create_alias("A2", "A1")
+        assert catalog.get_table("A2").name == "BASE"
+
+    def test_case_insensitive_lookup(self):
+        catalog = Catalog()
+        catalog.create_table(TableSchema("MixedCase".upper(), (("a", INTEGER),)))
+        assert catalog.try_resolve("mixedcase") is not None
+
+    def test_view_records_dialect(self):
+        catalog = Catalog()
+        info = catalog.create_view("v", "SELECT 1 FROM t", dialect="oracle")
+        assert info.dialect == "oracle"
+        with pytest.raises(DuplicateObjectError):
+            catalog.create_view("v", "SELECT 2 FROM t", dialect="db2")
+        catalog.create_view("v", "SELECT 2 FROM t", dialect="db2", replace=True)
+        assert catalog.resolve("v").dialect == "db2"
+
+    def test_objects_listing(self):
+        catalog = Catalog()
+        catalog.create_table(TableSchema("B", (("a", INTEGER),)))
+        catalog.create_table(TableSchema("A", (("a", INTEGER),)))
+        assert catalog.objects() == ["A", "B"]
+
+
+class TestSequence:
+    def test_basic_progression(self):
+        seq = Sequence("s", start=10, increment=5)
+        assert seq.nextval() == 10
+        assert seq.nextval() == 15
+        assert seq.currval() == 15
+
+    def test_currval_before_nextval(self):
+        with pytest.raises(SQLError):
+            Sequence("s").currval()
+
+    def test_maxvalue_and_cycle(self):
+        seq = Sequence("s", start=1, increment=1, maxvalue=2, minvalue=1, cycle=True)
+        assert [seq.nextval() for _ in range(4)] == [1, 2, 1, 2]
+        capped = Sequence("c", start=1, increment=1, maxvalue=1)
+        capped.nextval()
+        with pytest.raises(SQLError):
+            capped.nextval()
+
+    def test_descending(self):
+        seq = Sequence("d", start=0, increment=-2, minvalue=-4, cycle=False)
+        assert [seq.nextval() for _ in range(3)] == [0, -2, -4]
+        with pytest.raises(SQLError):
+            seq.nextval()
+
+    def test_zero_increment_rejected(self):
+        with pytest.raises(SQLError):
+            Sequence("z", increment=0)
+
+
+class TestSessions:
+    def test_temp_tables_isolated_and_dropped(self):
+        db = Database()
+        s1 = db.connect()
+        s1.execute("DECLARE GLOBAL TEMPORARY TABLE scratch (a INT)")
+        assert s1.temp_table_names() == ["SCRATCH"]
+        s1.execute("DROP TABLE scratch")
+        assert s1.temp_table_names() == []
+
+    def test_temp_shadows_catalog_table(self):
+        db = Database()
+        s = db.connect()
+        s.execute("CREATE TABLE x (a INT)")
+        s.execute("INSERT INTO x VALUES (1)")
+        s.execute("DECLARE GLOBAL TEMPORARY TABLE x (a INT)")
+        # Planner resolves the session temp first.
+        assert s.execute("SELECT COUNT(*) FROM x").scalar() == 0
+        s.execute("DROP TABLE x")  # drops the temp first
+        assert s.execute("SELECT COUNT(*) FROM x").scalar() == 1
+
+    def test_close_clears_temps(self):
+        db = Database()
+        s = db.connect()
+        s.execute("CREATE TEMP TABLE t (a INT)")
+        s.close()
+        assert s.temp_table_names() == []
+
+    def test_session_variables(self):
+        s = Database().connect()
+        s.execute("SET MY_FLAG = 'on'")
+        assert s.variables["MY_FLAG"] == "on"
+
+
+class TestBufferPoolIntegration:
+    def test_repeated_queries_hit_the_pool(self):
+        db = Database(bufferpool_pages=64)
+        s = db.connect()
+        s.execute("CREATE TABLE t (a INT, b INT)")
+        s.execute("INSERT INTO t VALUES " + ", ".join("(%d, %d)" % (i, i) for i in range(5000)))
+        from repro.workloads.tpcds import flush_tables
+
+        flush_tables(db)
+        s.execute("SELECT SUM(b) FROM t WHERE a > 100")
+        misses_after_first = db.bufferpool.stats.misses
+        assert misses_after_first > 0
+        for _ in range(5):
+            s.execute("SELECT SUM(b) FROM t WHERE a > 100")
+        assert db.bufferpool.stats.misses == misses_after_first  # all hits
+        assert db.bufferpool.stats.hit_ratio > 0.5
+
+    def test_drop_invalidates_pages(self):
+        db = Database(bufferpool_pages=64)
+        s = db.connect()
+        s.execute("CREATE TABLE t (a INT)")
+        s.execute("INSERT INTO t VALUES (1), (2)")
+        from repro.workloads.tpcds import flush_tables
+
+        flush_tables(db)
+        s.execute("SELECT COUNT(*) FROM t WHERE a > 0")
+        assert len(db.bufferpool) > 0
+        s.execute("DROP TABLE t")
+        assert all(
+            getattr(pid, "table", None) != "T" for pid in db.bufferpool.resident_pages()
+        )
+
+    def test_update_invalidates_stale_pages(self):
+        db = Database(bufferpool_pages=64)
+        s = db.connect()
+        s.execute("CREATE TABLE t (a INT)")
+        s.execute("INSERT INTO t VALUES " + ", ".join("(%d)" % i for i in range(3000)))
+        from repro.workloads.tpcds import flush_tables
+
+        flush_tables(db)
+        before = s.execute("SELECT SUM(a) FROM t WHERE a >= 0").scalar()
+        s.execute("UPDATE t SET a = a + 1 WHERE a < 10")
+        after = s.execute("SELECT SUM(a) FROM t WHERE a >= 0").scalar()
+        assert after == before + 10  # no stale cached pages served

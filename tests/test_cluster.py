@@ -1,0 +1,272 @@
+"""MPP cluster: sharding, distributed SQL, HA (Fig. 9), elasticity."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    HardwareSpec,
+    fail_node,
+    reinstate_node,
+    scale_in,
+    scale_out,
+)
+from repro.cluster.autoconfig import shards_for_cluster
+from repro.cluster.shard import hash_value_to_shard
+from repro.errors import ClusterError, NoSurvivorsError, UnknownObjectError
+from repro.util.timer import SimClock
+
+HW = HardwareSpec(cores=8, ram_gb=64, storage_tb=1.0)
+
+
+def make_cluster(n_nodes=4, clock=None, rows=200):
+    cluster = Cluster([HW] * n_nodes, clock=clock)
+    s = cluster.connect("db2")
+    s.execute(
+        "CREATE TABLE sales (id INT, region VARCHAR(10), amt DECIMAL(10,2))"
+        " DISTRIBUTE BY HASH (id)"
+    )
+    if rows:
+        values = ", ".join(
+            "(%d, '%s', %d.25)" % (i, ["east", "west"][i % 2], i) for i in range(rows)
+        )
+        s.execute("INSERT INTO sales VALUES " + values)
+    return cluster, s
+
+
+class TestShardPlacement:
+    def test_shard_count_rule(self):
+        # Paper: several factors more shards than servers, at most total cores.
+        assert shards_for_cluster(4, 8) == 24
+        assert shards_for_cluster(4, 4) == 16  # capped by cumulative cores
+        assert shards_for_cluster(2, 1) == 2
+
+    def test_initial_balance(self):
+        cluster, _ = make_cluster(rows=0)
+        assert cluster.n_shards == 24
+        assert set(cluster.shard_counts().values()) == {6}
+        assert cluster.is_balanced()
+
+    def test_hash_partitioning_is_deterministic(self):
+        assert hash_value_to_shard(42, 24) == hash_value_to_shard(42, 24)
+        assert hash_value_to_shard(None, 24) == 0
+
+    def test_rows_spread_across_shards(self):
+        cluster, _ = make_cluster()
+        populated = sum(
+            1 for shard in cluster.shards.values() if shard.n_rows("SALES") > 0
+        )
+        assert populated > cluster.n_shards // 2
+        assert cluster.total_rows("sales") == 200
+
+    def test_replicated_table_on_every_shard(self):
+        cluster, s = make_cluster(rows=0)
+        s.execute("CREATE TABLE dim (k INT, v VARCHAR(5)) DISTRIBUTE BY REPLICATION")
+        s.execute("INSERT INTO dim VALUES (1,'a'), (2,'b')")
+        assert all(
+            shard.n_rows("DIM") == 2 for shard in cluster.shards.values()
+        )
+
+
+class TestDistributedQueries:
+    @pytest.fixture(scope="class")
+    def cs(self):
+        return make_cluster()
+
+    def test_count(self, cs):
+        _, s = cs
+        assert s.execute("SELECT COUNT(*) FROM sales").scalar() == 200
+
+    def test_two_phase_aggregates(self, cs):
+        cluster, s = cs
+        rows = s.execute(
+            "SELECT region, COUNT(*), SUM(amt), AVG(amt), MIN(id), MAX(id)"
+            " FROM sales GROUP BY region ORDER BY region"
+        ).rows
+        assert cluster.last_stats.mode == "two-phase"
+        east = rows[0]
+        assert east[0] == "east"
+        assert east[1] == 100
+        assert float(east[2]) == pytest.approx(9925.0)
+        assert east[3] == pytest.approx(99.25)
+        assert (east[4], east[5]) == (0, 198)
+
+    def test_scatter_filter(self, cs):
+        cluster, s = cs
+        rows = s.execute("SELECT id FROM sales WHERE id BETWEEN 10 AND 14 ORDER BY id").rows
+        assert rows == [(10,), (11,), (12,), (13,), (14,)]
+        assert cluster.last_stats.mode == "scatter"
+
+    def test_global_order_and_limit(self, cs):
+        _, s = cs
+        rows = s.execute("SELECT id FROM sales ORDER BY id DESC FETCH FIRST 3 ROWS ONLY").rows
+        assert rows == [(199,), (198,), (197,)]
+
+    def test_median_falls_back_to_gather(self, cs):
+        cluster, s = cs
+        value = s.execute("SELECT MEDIAN(amt) FROM sales").scalar()
+        assert cluster.last_stats.mode == "gather-fallback"
+        assert value == pytest.approx(99.75)
+
+    def test_count_distinct_gathers(self, cs):
+        cluster, s = cs
+        assert s.execute("SELECT COUNT(DISTINCT region) FROM sales").scalar() == 2
+        assert cluster.last_stats.mode == "gather-fallback"
+
+    def test_group_without_aggregates_dedups(self, cs):
+        _, s = cs
+        rows = s.execute("SELECT region FROM sales GROUP BY region ORDER BY region").rows
+        assert rows == [("east",), ("west",)]
+
+    def test_distinct(self, cs):
+        _, s = cs
+        rows = s.execute("SELECT DISTINCT region FROM sales ORDER BY region").rows
+        assert rows == [("east",), ("west",)]
+
+    def test_having(self, cs):
+        _, s = cs
+        rows = s.execute(
+            "SELECT region, COUNT(*) c FROM sales GROUP BY region"
+            " HAVING COUNT(*) > 150 ORDER BY region"
+        ).rows
+        assert rows == []
+
+    def test_collocated_join_with_replicated_dim(self, cs):
+        cluster, s = cs
+        s.execute("CREATE TABLE rdim (region VARCHAR(10), zone VARCHAR(5)) DISTRIBUTE BY REPLICATION")
+        s.execute("INSERT INTO rdim VALUES ('east','z1'), ('west','z2')")
+        rows = s.execute(
+            "SELECT d.zone, SUM(f.amt) FROM sales f JOIN rdim d ON f.region = d.region"
+            " GROUP BY d.zone ORDER BY d.zone"
+        ).rows
+        assert [r[0] for r in rows] == ["z1", "z2"]
+
+    def test_subquery_uses_fallback(self, cs):
+        cluster, s = cs
+        value = s.execute(
+            "SELECT COUNT(*) FROM sales WHERE amt > (SELECT AVG(amt) FROM sales)"
+        ).scalar()
+        assert cluster.last_stats.mode == "gather-fallback"
+        assert value == 100
+
+    def test_unknown_table(self, cs):
+        _, s = cs
+        with pytest.raises(UnknownObjectError):
+            s.execute("SELECT * FROM nothere")
+
+
+class TestDistributedDml:
+    def test_insert_then_update_delete(self):
+        cluster, s = make_cluster(rows=50)
+        assert s.execute("UPDATE sales SET amt = 0 WHERE id < 10").rowcount == 10
+        assert s.execute("SELECT COUNT(*) FROM sales WHERE amt = 0").scalar() == 10
+        assert s.execute("DELETE FROM sales WHERE id >= 40").rowcount == 10
+        assert s.execute("SELECT COUNT(*) FROM sales").scalar() == 40
+
+    def test_insert_from_select(self):
+        cluster, s = make_cluster(rows=20)
+        s.execute("CREATE TABLE sales2 (id INT, region VARCHAR(10), amt DECIMAL(10,2)) DISTRIBUTE BY HASH (id)")
+        s.execute("INSERT INTO sales2 SELECT * FROM sales WHERE id < 5")
+        assert cluster.total_rows("sales2") == 5
+
+    def test_truncate_and_drop(self):
+        cluster, s = make_cluster(rows=10)
+        s.execute("TRUNCATE TABLE sales")
+        assert s.execute("SELECT COUNT(*) FROM sales").scalar() == 0
+        s.execute("DROP TABLE sales")
+        assert "SALES" not in cluster.tables
+
+    def test_round_robin_distribution(self):
+        cluster = Cluster([HW] * 2)
+        s = cluster.connect("netezza")
+        s.execute("CREATE TABLE rr (a INT) DISTRIBUTE ON RANDOM")
+        s.execute("INSERT INTO rr VALUES " + ", ".join("(%d)" % i for i in range(24)))
+        counts = [shard.n_rows("RR") for shard in cluster.shards.values()]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestHighAvailability:
+    def test_figure9_failover(self):
+        """The exact Fig. 9 scenario: 4 servers x 6 shards; server D fails;
+        A, B, C now serve 8 shards each and the cluster stays balanced."""
+        cluster, s = make_cluster(n_nodes=4)
+        assert set(cluster.shard_counts().values()) == {6}
+        moves = fail_node(cluster, "node3")
+        assert len(moves) == 6
+        counts = cluster.shard_counts()
+        assert counts == {"node0": 8, "node1": 8, "node2": 8}
+        assert cluster.is_balanced()
+
+    def test_queries_survive_failover(self):
+        cluster, s = make_cluster()
+        before = s.execute("SELECT SUM(amt) FROM sales").scalar()
+        fail_node(cluster, "node1")
+        after = s.execute("SELECT SUM(amt) FROM sales").scalar()
+        assert before == after
+
+    def test_parallelism_and_memory_reduced(self):
+        cluster, _ = make_cluster()
+        node0 = cluster.node_by_id("node0")
+        memory_before = node0.memory_per_shard_bytes
+        fail_node(cluster, "node3")
+        assert node0.memory_per_shard_bytes < memory_before
+        assert len(node0.shard_ids) == 8
+
+    def test_reinstate_rebalances(self):
+        cluster, _ = make_cluster()
+        fail_node(cluster, "node2")
+        reinstate_node(cluster, "node2")
+        assert set(cluster.shard_counts().values()) == {6}
+
+    def test_double_failure(self):
+        cluster, s = make_cluster()
+        fail_node(cluster, "node3")
+        fail_node(cluster, "node2")
+        assert cluster.is_balanced()
+        assert s.execute("SELECT COUNT(*) FROM sales").scalar() == 200
+
+    def test_no_survivors(self):
+        cluster, _ = make_cluster(n_nodes=1)
+        with pytest.raises(NoSurvivorsError):
+            fail_node(cluster, "node0")
+
+    def test_fail_twice_rejected(self):
+        cluster, _ = make_cluster()
+        fail_node(cluster, "node0")
+        with pytest.raises(ClusterError):
+            fail_node(cluster, "node0")
+
+    def test_failover_charges_simulated_time(self):
+        clock = SimClock()
+        cluster, _ = make_cluster(clock=clock, rows=0)
+        t0 = clock.now
+        fail_node(cluster, "node0")
+        assert clock.now > t0
+
+
+class TestElasticity:
+    def test_scale_out_rebalances(self):
+        cluster, s = make_cluster()
+        scale_out(cluster, HW)
+        counts = cluster.shard_counts()
+        assert len(counts) == 5
+        assert cluster.is_balanced()
+        assert s.execute("SELECT COUNT(*) FROM sales").scalar() == 200
+
+    def test_scale_in_preserves_data(self):
+        cluster, s = make_cluster()
+        scale_in(cluster, "node3")
+        assert len(cluster.nodes) == 3
+        assert cluster.is_balanced()
+        assert s.execute("SELECT COUNT(*) FROM sales").scalar() == 200
+
+    def test_cannot_remove_last_node(self):
+        cluster, _ = make_cluster(n_nodes=1, rows=0)
+        with pytest.raises(ClusterError):
+            scale_in(cluster, "node0")
+
+    def test_full_cycle(self):
+        cluster, s = make_cluster()
+        node = scale_out(cluster, HW)
+        scale_in(cluster, node.node_id)
+        assert set(cluster.shard_counts().values()) == {6}
+        assert s.execute("SELECT SUM(amt) FROM sales").scalar() is not None

@@ -1,0 +1,113 @@
+"""The DashDBLocal facade and top-level package API."""
+
+import pytest
+
+import repro
+from repro import DashDBLocal, Database, SimClock, connect
+from repro.cluster.hardware import HARDWARE_PRESETS
+
+
+class TestPackageApi:
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_connect_helper(self):
+        session = connect()
+        session.execute("CREATE TABLE t (a INT)")
+        session.execute("INSERT INTO t VALUES (1)")
+        assert session.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_connect_to_existing(self):
+        db = Database()
+        a = connect(db)
+        b = connect(db, dialect="oracle")
+        a.execute("CREATE TABLE shared (x INT)")
+        b.execute("INSERT INTO shared VALUES (7)")
+        assert a.execute("SELECT x FROM shared").scalar() == 7
+        assert b.dialect.name == "oracle"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestDashDBLocal:
+    @pytest.fixture()
+    def dash(self):
+        return DashDBLocal(hardware="laptop", clock=SimClock())
+
+    def test_auto_configuration_applied(self, dash):
+        assert dash.config.bufferpool_pages > 0
+        summary = dash.configuration_summary()
+        assert "bufferpool" in summary
+
+    def test_hardware_presets_accepted(self):
+        big = DashDBLocal(hardware="xeon-e7-72way")
+        small = DashDBLocal(hardware="laptop")
+        assert big.config.bufferpool_bytes > small.config.bufferpool_bytes
+        custom = DashDBLocal(hardware=HARDWARE_PRESETS["aws-test4"])
+        assert custom.hardware.cores == 32
+
+    def test_sql_and_dialects(self, dash):
+        session = dash.connect()
+        session.execute("CREATE TABLE t (a INT, b VARCHAR(5))")
+        session.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        oracle = dash.connect("oracle")
+        assert oracle.execute("SELECT COUNT(*) FROM t WHERE ROWNUM <= 1").scalar() == 1
+
+    def test_oracle_compatibility_image(self):
+        dash = DashDBLocal(hardware="laptop", compatibility="oracle")
+        session = dash.connect()
+        assert session.dialect.name == "oracle"
+        session.execute("CREATE TABLE t (v VARCHAR2(5))")
+        session.execute("INSERT INTO t VALUES ('')")
+        assert session.execute("SELECT COUNT(*) FROM t WHERE v IS NULL").scalar() == 1
+
+    def test_spark_submission(self, dash):
+        app = dash.submit_spark("u", "sum", lambda sc: sc.parallelize(range(5)).sum())
+        assert app.state == "FINISHED"
+        assert app.result == 10
+
+    def test_spark_procedures_installed(self, dash):
+        dash.deploy_spark_app("hello", lambda sc: "hi")
+        session = dash.connect()
+        result = session.execute("CALL SPARK_SUBMIT('hello', 'u')")
+        assert result.rows[0][1] == "FINISHED"
+
+    def test_ida_api(self, dash):
+        session = dash.connect()
+        session.execute("CREATE TABLE m (v DOUBLE)")
+        session.execute("INSERT INTO m VALUES (1.0), (3.0)")
+        ida = dash.ida("m")
+        assert ida.mean("v") == 2.0
+
+    def test_nickname_integration(self, dash):
+        from repro.federation import make_connector
+        from repro.types import INTEGER
+
+        store = make_connector("r", "oracle")
+        store.create_table("t", [("a", INTEGER)], rows=[(5,)])
+        dash.add_nickname("remote_t", store, "t")
+        assert dash.connect().execute("SELECT a FROM remote_t").scalar() == 5
+
+    def test_simulated_clock_drives_time_functions(self):
+        import datetime
+
+        clock = SimClock()
+        dash = DashDBLocal(hardware="laptop", clock=clock)
+        session = dash.connect()
+        session.execute("CREATE TABLE one (a INT)")
+        session.execute("INSERT INTO one VALUES (1)")
+        first = session.execute("SELECT CURRENT_DATE FROM one").scalar()
+        assert first == datetime.date(2016, 1, 1)
+        clock.advance(3 * 86_400)
+        later = session.execute("SELECT CURRENT_DATE FROM one").scalar()
+        assert later == datetime.date(2016, 1, 4)
+
+    def test_geospatial_available(self, dash):
+        session = dash.connect()
+        session.execute("CREATE TABLE g (p VARCHAR(30))")
+        session.execute("INSERT INTO g VALUES ('POINT (3 4)')")
+        assert session.execute(
+            "SELECT ST_DISTANCE(p, ST_POINT(0,0)) FROM g"
+        ).scalar() == 5.0

@@ -1,0 +1,366 @@
+"""End-to-end SQL execution through the Database."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.database import Database
+from repro.errors import (
+    ConstraintViolationError,
+    DialectError,
+    DuplicateObjectError,
+    SQLError,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    s = database.connect("db2")
+    s.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(20), dept VARCHAR(10),"
+        " sal DECIMAL(10,2), mgr INT, hired DATE)"
+    )
+    s.execute(
+        "INSERT INTO emp VALUES"
+        " (1,'alice','eng',100.50,NULL,DATE '2015-01-02'),"
+        " (2,'bob','eng',90.00,1,DATE '2015-02-03'),"
+        " (3,'carol','sales',80.25,1,DATE '2016-03-04'),"
+        " (4,'dan','sales',70.00,3,DATE '2016-04-05')"
+    )
+    return database
+
+
+@pytest.fixture()
+def s(db):
+    return db.connect("db2")
+
+
+class TestSelectBasics:
+    def test_projection_and_filter(self, s):
+        rows = s.execute("SELECT name FROM emp WHERE dept = 'eng' ORDER BY id").rows
+        assert rows == [("alice",), ("bob",)]
+
+    def test_expression_output(self, s):
+        rows = s.execute("SELECT id * 10 + 1 FROM emp WHERE id = 2").rows
+        assert rows == [(21,)]
+
+    def test_star(self, s):
+        r = s.execute("SELECT * FROM emp WHERE id = 1")
+        assert r.columns == ["ID", "NAME", "DEPT", "SAL", "MGR", "HIRED"]
+        assert r.rows[0][5] == datetime.date(2015, 1, 2)
+
+    def test_distinct(self, s):
+        rows = s.execute("SELECT DISTINCT dept FROM emp ORDER BY dept").rows
+        assert rows == [("eng",), ("sales",)]
+
+    def test_order_by_expression(self, s):
+        rows = s.execute("SELECT name FROM emp ORDER BY sal * -1").rows
+        assert rows[0] == ("alice",)
+
+    def test_fetch_first(self, s):
+        rows = s.execute("SELECT id FROM emp ORDER BY id FETCH FIRST 2 ROWS ONLY").rows
+        assert rows == [(1,), (2,)]
+
+    def test_date_predicate(self, s):
+        rows = s.execute(
+            "SELECT name FROM emp WHERE hired >= DATE '2016-01-01' ORDER BY id"
+        ).rows
+        assert rows == [("carol",), ("dan",)]
+
+    def test_decimal_arithmetic_exact(self, s):
+        value = s.execute("SELECT sal + 0.25 FROM emp WHERE id = 3").scalar()
+        assert value == Decimal("80.50")
+
+    def test_between_and_in(self, s):
+        assert s.execute("SELECT COUNT(*) FROM emp WHERE sal BETWEEN 75 AND 95").scalar() == 2
+        assert s.execute("SELECT COUNT(*) FROM emp WHERE dept IN ('eng','hr')").scalar() == 2
+
+    def test_null_handling(self, s):
+        assert s.execute("SELECT COUNT(*) FROM emp WHERE mgr IS NULL").scalar() == 1
+        assert s.execute("SELECT COUNT(mgr) FROM emp").scalar() == 3
+        assert s.execute("SELECT COUNT(*) FROM emp WHERE mgr = NULL").scalar() == 0
+
+    def test_like(self, s):
+        rows = s.execute("SELECT name FROM emp WHERE name LIKE '_a%' ORDER BY 1").rows
+        assert rows == [("carol",), ("dan",)]
+
+    def test_scalar_functions(self, s):
+        row = s.execute(
+            "SELECT UPPER(name), LENGTH(name), SUBSTR(name, 1, 3) FROM emp WHERE id=1"
+        ).rows[0]
+        assert row == ("ALICE", 5, "ali")
+
+    def test_coalesce(self, s):
+        rows = s.execute("SELECT COALESCE(mgr, -1) FROM emp ORDER BY id").rows
+        assert rows == [(-1,), (1,), (1,), (3,)]
+
+    def test_year_month(self, s):
+        row = s.execute("SELECT YEAR(hired), MONTH(hired) FROM emp WHERE id=4").rows[0]
+        assert row == (2016, 4)
+
+
+class TestAggregation:
+    def test_group_by(self, s):
+        rows = s.execute(
+            "SELECT dept, COUNT(*), SUM(sal), MIN(sal), MAX(sal) FROM emp"
+            " GROUP BY dept ORDER BY dept"
+        ).rows
+        assert rows[0] == ("eng", 2, Decimal("190.50"), Decimal("90.00"), Decimal("100.50"))
+        by_dept = {r[0]: r for r in rows}
+        assert by_dept["eng"][3] == Decimal("90.00")
+        assert by_dept["sales"][2] == Decimal("150.25")
+
+    def test_avg_descaled(self, s):
+        assert s.execute("SELECT AVG(sal) FROM emp WHERE dept='eng'").scalar() == pytest.approx(95.25)
+
+    def test_having(self, s):
+        rows = s.execute(
+            "SELECT dept FROM emp GROUP BY dept HAVING SUM(sal) > 160 ORDER BY 1"
+        ).rows
+        assert rows == [("eng",)]
+
+    def test_expression_over_aggregates(self, s):
+        value = s.execute("SELECT SUM(sal) / COUNT(*) FROM emp").scalar()
+        assert float(value) == pytest.approx(85.1875)
+
+    def test_group_by_expression(self, s):
+        rows = s.execute(
+            "SELECT YEAR(hired), COUNT(*) FROM emp GROUP BY YEAR(hired) ORDER BY 1"
+        ).rows
+        assert rows == [(2015, 2), (2016, 2)]
+
+    def test_group_by_ordinal(self, s):
+        rows = s.execute("SELECT dept, COUNT(*) FROM emp GROUP BY 1 ORDER BY 1").rows
+        assert rows == [("eng", 2), ("sales", 2)]
+
+    def test_count_distinct(self, s):
+        assert s.execute("SELECT COUNT(DISTINCT dept) FROM emp").scalar() == 2
+
+    def test_statistics(self, s):
+        row = s.execute(
+            "SELECT VARIANCE(sal), STDDEV(sal) FROM emp WHERE dept='sales'"
+        ).rows[0]
+        # DB2 VARIANCE/STDDEV are the population forms.
+        assert row[0] == pytest.approx(26.265625)
+        assert row[1] == pytest.approx(5.125)
+
+    def test_grouped_column_must_be_in_group_by(self, s):
+        with pytest.raises(SQLError):
+            s.execute("SELECT name, COUNT(*) FROM emp GROUP BY dept")
+
+
+class TestJoinsAndSubqueries:
+    def test_inner_join(self, s):
+        rows = s.execute(
+            "SELECT e.name, m.name FROM emp e JOIN emp m ON e.mgr = m.id ORDER BY e.id"
+        ).rows
+        assert rows == [("bob", "alice"), ("carol", "alice"), ("dan", "carol")]
+
+    def test_left_join(self, s):
+        rows = s.execute(
+            "SELECT e.name, m.name FROM emp e LEFT JOIN emp m ON e.mgr = m.id"
+            " ORDER BY e.id"
+        ).rows
+        assert rows[0] == ("alice", None)
+
+    def test_comma_join_with_where(self, s):
+        rows = s.execute(
+            "SELECT e.name, m.name FROM emp e, emp m WHERE e.mgr = m.id ORDER BY e.id"
+        ).rows
+        assert len(rows) == 3
+
+    def test_join_using(self, s):
+        s.execute("CREATE TABLE dept_info (dept VARCHAR(10), head VARCHAR(20))")
+        s.execute("INSERT INTO dept_info VALUES ('eng','alice'), ('sales','carol')")
+        rows = s.execute(
+            "SELECT e.name, d.head FROM emp e JOIN dept_info d USING (dept) ORDER BY e.id"
+        ).rows
+        assert rows[0] == ("alice", "alice")
+        assert len(rows) == 4
+
+    def test_scalar_subquery(self, s):
+        rows = s.execute("SELECT name FROM emp WHERE sal = (SELECT MAX(sal) FROM emp)").rows
+        assert rows == [("alice",)]
+
+    def test_in_subquery(self, s):
+        rows = s.execute(
+            "SELECT name FROM emp WHERE id IN (SELECT mgr FROM emp WHERE mgr IS NOT NULL)"
+            " ORDER BY 1"
+        ).rows
+        assert rows == [("alice",), ("carol",)]
+
+    def test_exists(self, s):
+        assert s.execute(
+            "SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT 1 FROM emp WHERE sal > 100)"
+        ).scalar() == 4
+        assert s.execute(
+            "SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT 1 FROM emp WHERE sal > 999)"
+        ).scalar() == 0
+
+    def test_from_subquery(self, s):
+        rows = s.execute(
+            "SELECT d, total FROM (SELECT dept AS d, SUM(sal) AS total FROM emp"
+            " GROUP BY dept) t WHERE total > 160"
+        ).rows
+        assert rows == [("eng", Decimal("190.50"))]
+
+    def test_cte(self, s):
+        value = s.execute(
+            "WITH seniors AS (SELECT * FROM emp WHERE hired < DATE '2016-01-01')"
+            " SELECT COUNT(*) FROM seniors"
+        ).scalar()
+        assert value == 2
+
+    def test_union_and_except(self, s):
+        rows = s.execute(
+            "SELECT dept FROM emp UNION SELECT 'hr' FROM emp ORDER BY 1"
+        ).rows
+        assert rows == [("eng",), ("hr",), ("sales",)]
+        rows = s.execute(
+            "SELECT dept FROM emp EXCEPT SELECT 'eng' FROM emp"
+        ).rows
+        assert rows == [("sales",)]
+
+    def test_intersect(self, s):
+        rows = s.execute(
+            "SELECT dept FROM emp INTERSECT SELECT 'eng' FROM emp"
+        ).rows
+        assert rows == [("eng",)]
+
+
+class TestDml:
+    def test_insert_column_subset(self, s):
+        s.execute("INSERT INTO emp (id, name) VALUES (9, 'zed')")
+        row = s.execute("SELECT dept, sal FROM emp WHERE id = 9").rows[0]
+        assert row == (None, None)
+
+    def test_insert_from_select(self, s):
+        s.execute("CREATE TABLE emp2 (id INT, name VARCHAR(20))")
+        s.execute("INSERT INTO emp2 SELECT id, name FROM emp WHERE dept = 'eng'")
+        assert s.execute("SELECT COUNT(*) FROM emp2").scalar() == 2
+
+    def test_update(self, s):
+        s.execute("UPDATE emp SET sal = sal + 10 WHERE dept = 'sales'")
+        assert s.execute("SELECT SUM(sal) FROM emp").scalar() == Decimal("360.75")
+
+    def test_update_all_rows(self, s):
+        s.execute("UPDATE emp SET dept = 'all'")
+        assert s.execute("SELECT COUNT(DISTINCT dept) FROM emp").scalar() == 1
+
+    def test_delete(self, s):
+        r = s.execute("DELETE FROM emp WHERE sal < 85")
+        assert r.rowcount == 2
+        assert s.execute("SELECT COUNT(*) FROM emp").scalar() == 2
+
+    def test_delete_all(self, s):
+        assert s.execute("DELETE FROM emp").rowcount == 4
+
+    def test_truncate(self, s):
+        s.execute("TRUNCATE TABLE emp IMMEDIATE")
+        assert s.execute("SELECT COUNT(*) FROM emp").scalar() == 0
+
+    def test_primary_key_enforced(self, s):
+        with pytest.raises(ConstraintViolationError):
+            s.execute("INSERT INTO emp VALUES (1,'dup','x',0,NULL,NULL)")
+
+    def test_rowcounts(self, s):
+        assert s.execute("INSERT INTO emp (id,name) VALUES (100,'x')").rowcount == 1
+        assert s.execute("UPDATE emp SET name='y' WHERE id=100").rowcount == 1
+        assert s.execute("DELETE FROM emp WHERE id=100").rowcount == 1
+
+
+class TestDdl:
+    def test_create_drop(self, s):
+        s.execute("CREATE TABLE t1 (a INT)")
+        assert "T1" in s.database.table_names()
+        s.execute("DROP TABLE t1")
+        assert "T1" not in s.database.table_names()
+
+    def test_duplicate_create_rejected(self, s):
+        with pytest.raises(DuplicateObjectError):
+            s.execute("CREATE TABLE emp (a INT)")
+
+    def test_drop_missing(self, s):
+        with pytest.raises(UnknownObjectError):
+            s.execute("DROP TABLE missing")
+        s.execute("DROP TABLE IF EXISTS missing")  # tolerated
+
+    def test_create_table_as(self, s):
+        s.execute("CREATE TABLE eng AS (SELECT id, name FROM emp WHERE dept='eng') WITH DATA")
+        assert s.execute("SELECT COUNT(*) FROM eng").scalar() == 2
+
+    def test_temp_table_is_session_scoped(self, db):
+        s1 = db.connect("db2")
+        s2 = db.connect("db2")
+        s1.execute("DECLARE GLOBAL TEMPORARY TABLE tmp (a INT)")
+        s1.execute("INSERT INTO SESSION.tmp VALUES (1)")
+        assert s1.execute("SELECT COUNT(*) FROM tmp").scalar() == 1
+        with pytest.raises(UnknownObjectError):
+            s2.execute("SELECT COUNT(*) FROM tmp")
+
+    def test_views(self, s):
+        s.execute("CREATE VIEW eng_v AS SELECT name FROM emp WHERE dept = 'eng'")
+        assert s.execute("SELECT COUNT(*) FROM eng_v").scalar() == 2
+        s.execute("DROP VIEW eng_v")
+        with pytest.raises(UnknownObjectError):
+            s.execute("SELECT * FROM eng_v")
+
+    def test_view_with_column_names(self, s):
+        s.execute("CREATE VIEW v2 (who) AS SELECT name FROM emp WHERE id = 1")
+        assert s.execute("SELECT who FROM v2").rows == [("alice",)]
+
+    def test_alias(self, s):
+        s.execute("CREATE ALIAS staff FOR emp")
+        assert s.execute("SELECT COUNT(*) FROM staff").scalar() == 4
+
+    def test_sequences(self, s):
+        s.execute("CREATE SEQUENCE sq START WITH 100 INCREMENT BY 10")
+        assert s.execute("VALUES NEXT VALUE FOR sq").scalar() == 100
+        assert s.execute("VALUES NEXT VALUE FOR sq").scalar() == 110
+        assert s.execute("VALUES PREVIOUS VALUE FOR sq").scalar() == 110
+        s.execute("DROP SEQUENCE sq")
+        with pytest.raises(UnknownObjectError):
+            s.execute("VALUES NEXT VALUE FOR sq")
+
+
+class TestMisc:
+    def test_explain(self, s):
+        r = s.execute("EXPLAIN SELECT name FROM emp WHERE id = 1")
+        text = "\n".join(row[0] for row in r.rows)
+        assert "TableScanOp" in text
+        assert "WHERE ID =" in text
+
+    def test_anonymous_block(self, db):
+        o = db.connect("oracle")
+        o.execute("BEGIN INSERT INTO emp (id, name) VALUES (50, 'zz'); "
+                  "UPDATE emp SET dept = 'x' WHERE id = 50; END")
+        assert o.execute("SELECT dept FROM emp WHERE id = 50").scalar() == "x"
+
+    def test_execute_script(self, s):
+        results = s.execute_script(
+            "INSERT INTO emp (id, name) VALUES (60, 'a'); SELECT COUNT(*) FROM emp;"
+        )
+        assert results[1].scalar() == 5
+
+    def test_values_requires_db2(self, db):
+        n = db.connect("netezza")
+        with pytest.raises(DialectError):
+            n.execute("VALUES (1)")
+
+    def test_pretty_output(self, s):
+        text = s.execute("SELECT id, name FROM emp ORDER BY id").pretty(max_rows=2)
+        assert "ID" in text
+        assert "(4 rows total)" in text
+
+    def test_result_helpers(self, s):
+        r = s.execute("SELECT id, name FROM emp ORDER BY id")
+        assert r.column("NAME")[0] == "alice"
+        assert r.to_dicts()[0]["ID"] == 1
+
+    def test_statement_counter(self, db):
+        before = db.statement_count
+        db.connect("db2").execute("SELECT 1 FROM emp WHERE id = 1")
+        assert db.statement_count == before + 1

@@ -1,0 +1,196 @@
+"""Container deployment simulator: pull, run, auto-configure, update."""
+
+import pytest
+
+from repro.cluster.hardware import HARDWARE_PRESETS
+from repro.deploy import (
+    Container,
+    ContainerImage,
+    DASHDB_IMAGE,
+    Host,
+    ImageRegistry,
+    deploy_cluster,
+    deploy_single_node,
+    update_stack,
+)
+from repro.errors import DeploymentError
+from repro.util.timer import SimClock
+
+
+def make_hosts(n=4, preset="dashdb-test1-node"):
+    return [
+        Host(host_id="h%d" % i, hardware=HARDWARE_PRESETS[preset]) for i in range(n)
+    ]
+
+
+class TestRegistry:
+    def test_pull_requires_registration(self):
+        registry = ImageRegistry()
+        host = make_hosts(1)[0]
+        with pytest.raises(DeploymentError):
+            registry.pull(DASHDB_IMAGE.ref, host)
+        registry.register("alice")
+        image = registry.pull(DASHDB_IMAGE.ref, host, user="alice")
+        assert image.ref == "ibmdashdb/local:latest"
+        assert host.has_image(image.ref)
+
+    def test_missing_image(self):
+        registry = ImageRegistry()
+        registry.register("u")
+        with pytest.raises(DeploymentError):
+            registry.pull("nope:latest", make_hosts(1)[0], user="u")
+
+    def test_pull_charges_transfer_time(self):
+        registry = ImageRegistry()
+        registry.register("u")
+        clock = SimClock()
+        registry.pull(DASHDB_IMAGE.ref, make_hosts(1)[0], clock, user="u")
+        assert clock.now > 0
+
+    def test_repull_is_cached(self):
+        registry = ImageRegistry()
+        registry.register("u")
+        host = make_hosts(1)[0]
+        clock = SimClock()
+        registry.pull(DASHDB_IMAGE.ref, host, clock, user="u")
+        t1 = clock.now
+        registry.pull(DASHDB_IMAGE.ref, host, clock, user="u")
+        assert clock.now == t1
+
+
+class TestContainers:
+    def test_one_container_per_host(self):
+        host = make_hosts(1)[0]
+        host.pulled_images[DASHDB_IMAGE.ref] = DASHDB_IMAGE
+        host.run_container(DASHDB_IMAGE)
+        with pytest.raises(DeploymentError):
+            host.run_container(DASHDB_IMAGE)
+
+    def test_run_requires_pulled_image(self):
+        host = make_hosts(1)[0]
+        with pytest.raises(DeploymentError):
+            host.run_container(DASHDB_IMAGE)
+
+    def test_prerequisites(self):
+        host = Host("h", HARDWARE_PRESETS["laptop"], has_docker_engine=False)
+        with pytest.raises(DeploymentError):
+            host.check_prerequisites()
+        host2 = Host("h2", HARDWARE_PRESETS["laptop"], mounted_clusterfs=False)
+        with pytest.raises(DeploymentError):
+            host2.check_prerequisites()
+
+    def test_lifecycle(self):
+        host = make_hosts(1)[0]
+        host.pulled_images[DASHDB_IMAGE.ref] = DASHDB_IMAGE
+        container = host.run_container(DASHDB_IMAGE)
+        assert container.state == "running"
+        assert container.mounts["/mnt/clusterfs"] == "/mnt/bludata0"
+        container.stop()
+        with pytest.raises(DeploymentError):
+            container.stop()
+
+    def test_stack_contents(self):
+        # Fig. 1: the image packages engine + Spark + console + LDAP + DSM.
+        assert "apache-spark" in DASHDB_IMAGE.stack
+        assert "dashdb-engine" in DASHDB_IMAGE.stack
+        assert "web-console" in DASHDB_IMAGE.stack
+
+
+class TestDeployCluster:
+    def test_four_node_deployment_under_30_minutes(self):
+        clock = SimClock()
+        cluster, report = deploy_cluster(make_hosts(4), clock=clock)
+        assert report.n_nodes == 4
+        assert report.total_minutes < 30  # the paper's headline claim
+        assert len(cluster.live_nodes()) == 4
+
+    def test_large_cluster_still_under_30_minutes(self):
+        clock = SimClock()
+        cluster, report = deploy_cluster(make_hosts(24), clock=clock)
+        assert report.total_minutes < 30
+
+    def test_phases_present(self):
+        _, report = deploy_cluster(make_hosts(2), clock=SimClock())
+        phases = [p.phase for p in report.phases]
+        assert "image pull (parallel)" in phases
+        assert "detect + auto-configure" in phases
+        assert "engine start (parallel)" in phases
+
+    def test_cluster_is_functional_after_deploy(self):
+        cluster, _ = deploy_cluster(make_hosts(2), clock=SimClock())
+        s = cluster.connect("db2")
+        s.execute("CREATE TABLE t (a INT) DISTRIBUTE BY HASH (a)")
+        s.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert s.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_failed_prerequisite_aborts_early(self):
+        hosts = make_hosts(3)
+        hosts[1].mounted_clusterfs = False
+        with pytest.raises(DeploymentError):
+            deploy_cluster(hosts, clock=SimClock())
+
+    def test_single_node_laptop(self):
+        clock = SimClock()
+        cluster, report = deploy_single_node(
+            Host("laptop", HARDWARE_PRESETS["laptop"]), clock=clock
+        )
+        assert report.total_minutes < 10
+        assert cluster.n_shards >= 1
+
+    def test_big_memory_engine_start_is_minutes(self):
+        # Paper: "few minutes to start dashDB engine on large memory
+        # configurations" — the 6 TB box takes much longer than the laptop.
+        _, small_report = deploy_cluster(
+            [Host("s", HARDWARE_PRESETS["laptop"])], clock=SimClock()
+        )
+        _, big_report = deploy_cluster(
+            [Host("b", HARDWARE_PRESETS["xeon-e7-72way"])], clock=SimClock()
+        )
+        small_engine = [p for p in small_report.phases if "engine" in p.phase][0]
+        big_engine = [p for p in big_report.phases if "engine" in p.phase][0]
+        assert big_engine.seconds > small_engine.seconds * 3
+        assert big_engine.seconds > 120  # minutes, not seconds
+
+    def test_report_pretty(self):
+        _, report = deploy_cluster(make_hosts(1), clock=SimClock())
+        text = report.pretty()
+        assert "TOTAL" in text
+
+
+class TestStackUpdate:
+    def test_update_by_container_replacement(self):
+        clock = SimClock()
+        hosts = make_hosts(2)
+        registry = ImageRegistry()
+        cluster, _ = deploy_cluster(hosts, registry=registry, clock=clock)
+        new_image = ContainerImage("ibmdashdb/local", "v2", size_gb=4.6)
+        report = update_stack(cluster, hosts, new_image, registry=registry, clock=clock)
+        for host in hosts:
+            running = host.running_container()
+            assert running.image.tag == "v2"
+            old = [c for c in host.containers if c.state == "stopped"]
+            assert old and old[0].name.endswith("-old")
+        assert report.total_seconds > 0
+
+    def test_update_preserves_data(self):
+        clock = SimClock()
+        hosts = make_hosts(2)
+        registry = ImageRegistry()
+        cluster, _ = deploy_cluster(hosts, registry=registry, clock=clock)
+        s = cluster.connect("db2")
+        s.execute("CREATE TABLE keepme (a INT) DISTRIBUTE BY HASH (a)")
+        s.execute("INSERT INTO keepme VALUES (7)")
+        update_stack(cluster, hosts, ContainerImage("ibmdashdb/local", "v2", 4.6),
+                     registry=registry, clock=clock)
+        # Data lives on the clustered FS, not in the replaced container.
+        assert s.execute("SELECT COUNT(*) FROM keepme").scalar() == 1
+
+    def test_update_without_running_container(self):
+        host = make_hosts(1)[0]
+        registry = ImageRegistry()
+        clock = SimClock()
+        cluster, _ = deploy_cluster([host], registry=registry, clock=clock)
+        host.running_container().stop()
+        with pytest.raises(DeploymentError):
+            update_stack(cluster, [host], ContainerImage("ibmdashdb/local", "v2", 4.6),
+                         registry=registry, clock=clock)

@@ -1,0 +1,319 @@
+"""Dialect semantics: gates, collisions, session variable, view pinning."""
+
+import datetime
+
+import pytest
+
+from repro.database import Database
+from repro.errors import BindError, DialectError
+from repro.sql.dialects import DIALECTS, get_dialect, resolve_type
+from repro.types.datatypes import TypeKind
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    s = database.connect("db2")
+    s.execute(
+        "CREATE TABLE emp (id INT, name VARCHAR(20), dept VARCHAR(10), sal DECIMAL(10,2), mgr INT)"
+    )
+    s.execute(
+        "INSERT INTO emp VALUES (1,'alice','eng',100.50,NULL),(2,'bob','eng',90.00,1),"
+        "(3,'carol','sales',80.25,1),(4,'dan','sales',70.00,3)"
+    )
+    return database
+
+
+class TestDialectRegistry:
+    def test_known_dialects(self):
+        for name in ("ansi", "oracle", "netezza", "db2", "postgresql", "nps"):
+            assert get_dialect(name) is not None
+
+    def test_postgresql_groups_with_netezza(self):
+        assert get_dialect("postgresql") is get_dialect("netezza")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(DialectError):
+            get_dialect("mysql")
+
+    def test_type_resolution(self):
+        assert resolve_type("INT2", 0, 0, 0).kind is TypeKind.SMALLINT
+        assert resolve_type("INT8", 0, 0, 0).kind is TypeKind.BIGINT
+        assert resolve_type("FLOAT4", 0, 0, 0).kind is TypeKind.REAL
+        assert resolve_type("VARCHAR2", 30, 0, 0).length == 30
+        assert resolve_type("NUMBER", 0, 10, 2).scale == 2
+        assert resolve_type("NUMBER", 0, 0, 0).kind is TypeKind.DECFLOAT
+        assert resolve_type("BPCHAR", 5, 0, 0).kind is TypeKind.CHAR
+        assert resolve_type("BOOL", 0, 0, 0).kind is TypeKind.BOOLEAN
+        with pytest.raises(DialectError):
+            resolve_type("BLOB", 0, 0, 0)
+
+
+class TestOracle:
+    def test_rownum_and_dual(self, db):
+        o = db.connect("oracle")
+        assert o.execute("SELECT 2 * 3 FROM DUAL").scalar() == 6
+        assert len(o.execute("SELECT name FROM emp WHERE ROWNUM <= 3").rows) == 3
+        assert o.execute("SELECT name, ROWNUM FROM emp WHERE ROWNUM < 2").rows[0][1] == 1
+
+    def test_rownum_gated(self, db):
+        s = db.connect("db2")
+        with pytest.raises(DialectError):
+            s.execute("SELECT name FROM emp WHERE ROWNUM <= 2")
+        with pytest.raises(DialectError):
+            s.execute("SELECT 1 FROM DUAL")
+
+    def test_integer_division_is_inexact(self, db):
+        o = db.connect("oracle")
+        assert o.execute("SELECT 7 / 2 FROM DUAL").scalar() == 3.5
+        s = db.connect("db2")
+        assert s.execute("SELECT 7 / 2 FROM emp WHERE id=1").scalar() == 3
+
+    def test_nvl_nvl2_decode(self, db):
+        o = db.connect("oracle")
+        rows = o.execute(
+            "SELECT NVL(mgr, -1), NVL2(mgr, 'has', 'none'),"
+            " DECODE(dept, 'eng', 'E', 'S') FROM emp ORDER BY id"
+        ).rows
+        assert rows[0] == (-1, "none", "E")
+        assert rows[3] == (3, "has", "S")
+
+    def test_decode_null_matches_null(self, db):
+        o = db.connect("oracle")
+        rows = o.execute("SELECT DECODE(mgr, NULL, 'root', 'child') FROM emp ORDER BY id").rows
+        assert rows[0] == ("root",)
+        assert rows[1] == ("child",)
+
+    def test_oracle_string_functions(self, db):
+        o = db.connect("oracle")
+        row = o.execute(
+            "SELECT INITCAP('hello world'), LPAD('7', 3, '0'), RPAD('ab', 4, 'x'),"
+            " INSTR('hello', 'l'), SUBSTR2('abcdef', 2, 3) FROM DUAL"
+        ).rows[0]
+        assert row == ("Hello World", "007", "abxx", 3, "bcd")
+
+    def test_to_char_to_date(self, db):
+        o = db.connect("oracle")
+        assert o.execute(
+            "SELECT TO_CHAR(DATE '2016-07-04', 'YYYY/MM/DD') FROM DUAL"
+        ).scalar() == "2016/07/04"
+        assert o.execute(
+            "SELECT TO_DATE('2016-07-04', 'YYYY-MM-DD') FROM DUAL"
+        ).scalar() == datetime.date(2016, 7, 4)
+        assert o.execute("SELECT TO_NUMBER('1,234.5') FROM DUAL").scalar() == 1234.5
+
+    def test_outer_marker(self, db):
+        o = db.connect("oracle")
+        rows = o.execute(
+            "SELECT e.name, m.name FROM emp e, emp m WHERE e.mgr = m.id (+) ORDER BY e.id"
+        ).rows
+        assert rows[0] == ("alice", None)
+        assert len(rows) == 4
+
+    def test_outer_marker_gated(self, db):
+        s = db.connect("db2")
+        with pytest.raises(DialectError):
+            s.execute("SELECT e.name FROM emp e, emp m WHERE e.mgr = m.id (+)")
+
+    def test_connect_by(self, db):
+        o = db.connect("oracle")
+        rows = o.execute(
+            "SELECT name, LEVEL FROM emp START WITH mgr IS NULL"
+            " CONNECT BY PRIOR id = mgr ORDER BY LEVEL, name"
+        ).rows
+        assert rows == [("alice", 1), ("bob", 2), ("carol", 2), ("dan", 3)]
+
+    def test_connect_by_gated(self, db):
+        s = db.connect("db2")
+        with pytest.raises(DialectError):
+            s.execute("SELECT name FROM emp CONNECT BY PRIOR id = mgr")
+
+    def test_empty_string_is_null_literal(self, db):
+        o = db.connect("oracle")
+        assert o.execute("SELECT COUNT(*) FROM emp WHERE '' IS NULL").scalar() == 4
+        s = db.connect("db2")
+        assert s.execute("SELECT COUNT(*) FROM emp WHERE '' IS NULL").scalar() == 0
+
+    def test_oracle_aggregates(self, db):
+        o = db.connect("oracle")
+        med = o.execute("SELECT MEDIAN(sal) FROM emp").scalar()
+        assert med == pytest.approx(85.125)
+        pc = o.execute("SELECT PERCENTILE_CONT(0.5, sal) FROM emp").scalar()
+        assert pc == pytest.approx(85.125)
+
+    def test_within_group_syntax(self, db):
+        o = db.connect("oracle")
+        pc = o.execute(
+            "SELECT PERCENTILE_CONT(0.5) WITHIN GROUP (ORDER BY sal) FROM emp"
+        ).scalar()
+        assert pc == pytest.approx(85.125)
+        pd = o.execute(
+            "SELECT PERCENTILE_DISC(0.5) WITHIN GROUP (ORDER BY sal) FROM emp"
+        ).scalar()
+        assert pd == pytest.approx(80.25)
+
+    def test_cume_dist(self, db):
+        o = db.connect("oracle")
+        # sals 70, 80.25, 90, 100.50: hypothetical 85 ranks 3rd of 5 -> 0.6
+        cd = o.execute(
+            "SELECT CUME_DIST(85) WITHIN GROUP (ORDER BY sal) FROM emp"
+        ).scalar()
+        assert cd == pytest.approx(0.6)
+
+    def test_netezza_overlaps(self, db):
+        n = db.connect("netezza")
+        assert n.execute(
+            "SELECT OVERLAPS(DATE '2016-01-01', DATE '2016-03-01',"
+            " DATE '2016-02-01', DATE '2016-04-01') FROM emp WHERE id = 1"
+        ).scalar() is True
+        assert n.execute(
+            "SELECT OVERLAPS(DATE '2016-03-01', DATE '2016-01-01',"
+            " DATE '2016-03-15', DATE '2016-04-01') FROM emp WHERE id = 1"
+        ).scalar() is False  # reversed period normalised, still disjoint
+
+
+class TestNetezza:
+    def test_limit_offset(self, db):
+        n = db.connect("netezza")
+        rows = n.execute("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 1").rows
+        assert rows == [(2,), (3,)]
+
+    def test_double_colon_cast(self, db):
+        n = db.connect("netezza")
+        assert n.execute("SELECT '42'::int8 + 1 FROM emp WHERE id = 1").scalar() == 43
+
+    def test_isnull_notnull(self, db):
+        n = db.connect("netezza")
+        assert n.execute("SELECT COUNT(*) FROM emp WHERE mgr ISNULL").scalar() == 1
+        assert n.execute("SELECT COUNT(*) FROM emp WHERE mgr NOTNULL").scalar() == 3
+
+    def test_group_by_output_name(self, db):
+        n = db.connect("netezza")
+        rows = n.execute(
+            "SELECT dept AS d, COUNT(*) FROM emp GROUP BY d ORDER BY d"
+        ).rows
+        assert rows == [("eng", 2), ("sales", 2)]
+
+    def test_group_by_output_name_gated_elsewhere(self, db):
+        s = db.connect("db2")
+        with pytest.raises(DialectError):
+            s.execute("SELECT dept || 'x' AS d, COUNT(*) FROM emp GROUP BY d")
+
+    def test_netezza_functions(self, db):
+        n = db.connect("netezza")
+        row = n.execute(
+            "SELECT POW(2, 10), BTRIM('  hi  '), TO_HEX(255), STRPOS('hello', 'll'),"
+            " STRLEFT('hello', 2), STRRIGHT('hello', 2) FROM emp WHERE id = 1"
+        ).rows[0]
+        assert row == (1024.0, "hi", "ff", 3, "he", "lo")
+
+    def test_hash_functions_deterministic(self, db):
+        n = db.connect("netezza")
+        a = n.execute("SELECT HASH('abc') FROM emp WHERE id=1").scalar()
+        b = n.execute("SELECT HASH('abc') FROM emp WHERE id=1").scalar()
+        assert a == b
+        assert n.execute("SELECT HASH4('abc') FROM emp WHERE id=1").scalar() is not None
+
+    def test_bit_operations(self, db):
+        n = db.connect("netezza")
+        row = n.execute(
+            "SELECT INT4AND(12, 10), INT4OR(12, 10), INT4NOT(0) FROM emp WHERE id=1"
+        ).rows[0]
+        assert row == (8, 14, -1)
+
+    def test_interval_functions(self, db):
+        n = db.connect("netezza")
+        days = n.execute(
+            "SELECT DAYS_BETWEEN(DATE '2016-01-10', DATE '2016-01-01') FROM emp WHERE id=1"
+        ).scalar()
+        assert days == 9.0
+        weeks = n.execute(
+            "SELECT WEEKS_BETWEEN(DATE '2016-01-15', DATE '2016-01-01') FROM emp WHERE id=1"
+        ).scalar()
+        assert weeks == pytest.approx(2.0)
+
+    def test_next_month_and_date_part(self, db):
+        n = db.connect("netezza")
+        assert n.execute(
+            "SELECT NEXT_MONTH(DATE '2016-12-15') FROM emp WHERE id=1"
+        ).scalar() == datetime.date(2017, 1, 1)
+        assert n.execute(
+            "SELECT DATE_PART('month', DATE '2016-07-04') FROM emp WHERE id=1"
+        ).scalar() == 7
+
+    def test_age(self, db):
+        n = db.connect("netezza")
+        text = n.execute(
+            "SELECT AGE(TIMESTAMP '2016-03-15 00:00:00', TIMESTAMP '2015-01-10 00:00:00')"
+            " FROM emp WHERE id=1"
+        ).scalar()
+        assert text == "1 years 2 mons 5 days"
+
+
+class TestDb2:
+    def test_values(self, db):
+        s = db.connect("db2")
+        assert s.execute("VALUES (1, 'a'), (2, 'b')").rows == [(1, "a"), (2, "b")]
+        assert s.execute("VALUES 1 + 1").scalar() == 2
+
+    def test_decfloat_functions(self, db):
+        s = db.connect("db2")
+        assert s.execute("SELECT COMPARE_DECFLOAT(1.5, 2.5) FROM emp WHERE id=1").scalar() == -1
+        assert s.execute("SELECT NORMALIZE_DECFLOAT(CAST(2.0 AS DECFLOAT)) FROM emp WHERE id=1").scalar() == 2.0
+
+    def test_db2_population_statistics(self, db):
+        s = db.connect("db2")
+        import numpy as np
+
+        got = s.execute("SELECT VARIANCE(sal) FROM emp").scalar()
+        sals = [100.50, 90.00, 80.25, 70.00]
+        assert got == pytest.approx(np.var(sals))
+
+    def test_stddev_differs_between_dialects(self, db):
+        import numpy as np
+
+        sals = [100.50, 90.00, 80.25, 70.00]
+        db2_value = db.connect("db2").execute("SELECT STDDEV(sal) FROM emp").scalar()
+        ora_value = db.connect("oracle").execute("SELECT STDDEV(sal) FROM emp").scalar()
+        assert db2_value == pytest.approx(np.std(sals))
+        assert ora_value == pytest.approx(np.std(sals, ddof=1))
+        assert db2_value != ora_value
+
+    def test_session_dialect_variable(self, db):
+        s = db.connect("db2")
+        with pytest.raises(DialectError):
+            s.execute("SELECT id FROM emp ORDER BY id LIMIT 1")
+        s.execute("SET SQL_COMPAT = 'NPS'")
+        assert s.execute("SELECT id FROM emp ORDER BY id LIMIT 1").rows == [(1,)]
+
+
+class TestViewDialectPinning:
+    def test_view_compiles_under_creation_dialect(self, db):
+        o = db.connect("oracle")
+        o.execute("CREATE VIEW top2 AS SELECT name FROM emp WHERE ROWNUM <= 2")
+        s = db.connect("db2")
+        # The DB2 session can read the view even though ROWNUM is Oracle-only.
+        assert len(s.execute("SELECT * FROM top2").rows) == 2
+
+    def test_view_keeps_dialect_after_session_switch(self, db):
+        n = db.connect("netezza")
+        n.execute("CREATE VIEW lim AS SELECT id FROM emp ORDER BY id LIMIT 1")
+        n.execute("SET SQL_COMPAT = 'DB2'")
+        assert n.execute("SELECT * FROM lim").rows == [(1,)]
+
+
+class TestOracleCompatibilityImage:
+    def test_empty_string_insert_becomes_null(self):
+        database = Database(compatibility="oracle")
+        o = database.connect()
+        assert o.dialect.name == "oracle"
+        o.execute("CREATE TABLE t (v VARCHAR2(10))")
+        o.execute("INSERT INTO t VALUES ('')")
+        assert o.execute("SELECT COUNT(*) FROM t WHERE v IS NULL").scalar() == 1
+
+    def test_standard_image_keeps_empty_string(self):
+        database = Database()
+        s = database.connect("db2")
+        s.execute("CREATE TABLE t (v VARCHAR(10))")
+        s.execute("INSERT INTO t VALUES ('')")
+        assert s.execute("SELECT COUNT(*) FROM t WHERE v IS NULL").scalar() == 0

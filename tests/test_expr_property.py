@@ -1,0 +1,170 @@
+"""Property tests: vector evaluation == row-at-a-time evaluation.
+
+Random expression trees over random data must produce identical results
+through ``Expr.eval`` (numpy batches) and ``Expr.eval_row`` (Python
+scalars) — the two engines' shared contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expression import (
+    Arith,
+    Batch,
+    Between,
+    CaseExpr,
+    ColumnRef,
+    Compare,
+    InList,
+    IsNull,
+    Literal,
+    Logical,
+    Not,
+    make_arith,
+)
+from repro.errors import DivisionByZeroError
+from repro.storage.column import ColumnVector
+from repro.types import BOOLEAN, INTEGER
+
+_COLUMNS = ["A", "B"]
+
+
+def _expressions(depth: int):
+    """Strategy producing (expr, is_boolean) pairs."""
+    leaf_numeric = st.one_of(
+        st.sampled_from([ColumnRef("A", INTEGER), ColumnRef("B", INTEGER)]),
+        st.integers(-20, 20).map(lambda v: Literal(v, INTEGER)),
+    )
+    if depth == 0:
+        return leaf_numeric
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        leaf_numeric,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: make_arith(t[0], t[1], t[2])
+        ),
+    )
+
+
+def _predicates(depth: int):
+    numeric = _expressions(1)
+    base = st.one_of(
+        st.tuples(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]), numeric, numeric).map(
+            lambda t: Compare(t[0], t[1], t[2])
+        ),
+        numeric.map(lambda e: IsNull(e)),
+        st.tuples(numeric, st.lists(st.integers(-20, 20), min_size=1, max_size=4)).map(
+            lambda t: InList(t[0], t[1])
+        ),
+        st.tuples(numeric, st.integers(-20, 0), st.integers(0, 20)).map(
+            lambda t: Between(t[0], Literal(t[1], INTEGER), Literal(t[2], INTEGER))
+        ),
+    )
+    if depth == 0:
+        return base
+    sub = _predicates(depth - 1)
+    return st.one_of(
+        base,
+        sub.map(Not),
+        st.tuples(st.sampled_from(["AND", "OR"]), sub, sub).map(
+            lambda t: Logical(t[0], [t[1], t[2]])
+        ),
+    )
+
+
+def _batch_and_rows(data):
+    n = data.draw(st.integers(min_value=1, max_value=40))
+    columns = {}
+    rows = [dict() for _ in range(n)]
+    for name in _COLUMNS:
+        values = data.draw(
+            st.lists(
+                st.one_of(st.none(), st.integers(-20, 20)), min_size=n, max_size=n
+            )
+        )
+        columns[name] = ColumnVector.from_boundary(values, INTEGER)
+        for i, v in enumerate(values):
+            rows[i][name] = v
+    return Batch.from_columns(columns), rows
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_numeric_expressions_agree(data):
+    expr = data.draw(_expressions(2))
+    batch, rows = _batch_and_rows(data)
+    vector = expr.eval(batch)
+    for i, row in enumerate(rows):
+        scalar = expr.eval_row(row)
+        if vector.null_mask()[i]:
+            assert scalar is None
+        else:
+            assert scalar == vector.values[i]
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_predicates_agree(data):
+    pred = data.draw(_predicates(2))
+    batch, rows = _batch_and_rows(data)
+    vector = pred.eval(batch)
+    for i, row in enumerate(rows):
+        scalar = pred.eval_row(row)
+        if vector.null_mask()[i]:
+            assert scalar is None, "row %d: vector UNKNOWN, scalar %r" % (i, scalar)
+        else:
+            assert scalar == vector.values[i], "row %d" % i
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_case_expressions_agree(data):
+    condition = data.draw(_predicates(1))
+    then = data.draw(_expressions(1))
+    default = data.draw(st.one_of(st.none(), _expressions(1)))
+    expr = CaseExpr(whens=[(condition, then)], default=default, dtype=then.dtype)
+    batch, rows = _batch_and_rows(data)
+    vector = expr.eval(batch)
+    for i, row in enumerate(rows):
+        scalar = expr.eval_row(row)
+        if vector.null_mask()[i]:
+            assert scalar is None
+        else:
+            assert scalar == vector.values[i]
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_division_agrees_or_raises_identically(data):
+    expr = make_arith(
+        "/", data.draw(_expressions(1)), data.draw(_expressions(1))
+    )
+    batch, rows = _batch_and_rows(data)
+    try:
+        vector = expr.eval(batch)
+        vector_error = None
+    except DivisionByZeroError:
+        vector_error = DivisionByZeroError
+    if vector_error is not None:
+        # At least one live row must divide by zero in scalar mode too.
+        saw = False
+        for row in rows:
+            try:
+                expr.eval_row(row)
+            except DivisionByZeroError:
+                saw = True
+                break
+        assert saw
+        return
+    for i, row in enumerate(rows):
+        scalar = expr.eval_row(row)
+        if vector.null_mask()[i]:
+            assert scalar is None
+        else:
+            assert scalar == pytest.approx(vector.values[i])

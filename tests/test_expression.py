@@ -1,0 +1,312 @@
+"""Vectorised expression evaluation and three-valued logic."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Arith,
+    Batch,
+    Between,
+    CaseExpr,
+    Cast,
+    ColumnRef,
+    Compare,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Logical,
+    Not,
+)
+from repro.engine.expression import make_arith, selection_mask
+from repro.errors import DivisionByZeroError
+from repro.storage.column import ColumnVector
+from repro.types import BIGINT, BOOLEAN, DOUBLE, INTEGER, decimal_type, varchar_type
+from repro.types.datatypes import TypeKind
+
+
+def make_batch(**cols):
+    columns = {}
+    for name, (values, dt) in cols.items():
+        columns[name] = ColumnVector.from_boundary(values, dt)
+    return Batch.from_columns(columns)
+
+
+@pytest.fixture()
+def batch():
+    return make_batch(
+        a=([1, 2, None, 4], INTEGER),
+        b=([10, None, 30, 40], INTEGER),
+        s=(["apple", "pear", None, "plum"], varchar_type(10)),
+        x=([1.5, 2.5, 3.5, 4.5], DOUBLE),
+    )
+
+
+def col(name, dt=INTEGER):
+    return ColumnRef(name, dt)
+
+
+class TestColumnAndLiteral:
+    def test_column_ref(self, batch):
+        v = col("a").eval(batch)
+        assert v.to_boundary() == [1, 2, None, 4]
+
+    def test_literal_broadcast(self, batch):
+        v = Literal(7, INTEGER).eval(batch)
+        assert v.to_boundary() == [7, 7, 7, 7]
+
+    def test_null_literal(self, batch):
+        v = Literal(None, INTEGER).eval(batch)
+        assert v.to_boundary() == [None] * 4
+
+    def test_string_literal(self, batch):
+        v = Literal("hi", varchar_type(5)).eval(batch)
+        assert v.values[0] == "hi"
+
+    def test_missing_column(self, batch):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            col("zzz").eval(batch)
+
+
+class TestArith:
+    def test_add_with_null_propagation(self, batch):
+        e = Arith("+", col("a"), col("b"), INTEGER)
+        assert e.eval(batch).to_boundary() == [11, None, None, 44]
+
+    def test_subtract_multiply(self, batch):
+        assert Arith("-", col("b"), col("a"), INTEGER).eval(batch).to_boundary()[0] == 9
+        assert Arith("*", col("a"), col("a"), INTEGER).eval(batch).to_boundary()[3] == 16
+
+    def test_integer_division_truncates(self, batch):
+        e = Arith("/", Literal(7, INTEGER), Literal(2, INTEGER), INTEGER)
+        assert e.eval(batch).to_boundary()[0] == 3
+        e2 = Arith("/", Literal(-7, INTEGER), Literal(2, INTEGER), INTEGER)
+        assert e2.eval(batch).to_boundary()[0] == -3
+
+    def test_float_division(self, batch):
+        e = Arith("/", col("x", DOUBLE), Literal(2.0, DOUBLE), DOUBLE)
+        assert e.eval(batch).to_boundary()[0] == pytest.approx(0.75)
+
+    def test_division_by_zero_raises(self, batch):
+        e = Arith("/", col("a"), Literal(0, INTEGER), INTEGER)
+        with pytest.raises(DivisionByZeroError):
+            e.eval(batch)
+
+    def test_division_by_zero_in_null_rows_tolerated(self, batch):
+        # NULL / 0 never evaluates the division for that row.
+        e = Arith("/", col("a"), col("a"), INTEGER)
+        result = e.eval(batch).to_boundary()
+        assert result == [1, 1, None, 1]
+
+    def test_modulo(self, batch):
+        e = Arith("%", Literal(7, INTEGER), Literal(3, INTEGER), INTEGER)
+        assert e.eval(batch).to_boundary()[0] == 1
+        neg = Arith("%", Literal(-7, INTEGER), Literal(3, INTEGER), INTEGER)
+        assert neg.eval(batch).to_boundary()[0] == -1  # sign of dividend
+
+    def test_concat(self, batch):
+        e = Arith("||", col("s", varchar_type(10)), Literal("!", varchar_type(1)), varchar_type(11))
+        assert e.eval(batch).values[0] == "apple!"
+
+    def test_eval_row_matches_vector(self, batch):
+        e = Arith("+", col("a"), Literal(5, INTEGER), INTEGER)
+        assert e.eval_row({"a": 3}) == 8
+        assert e.eval_row({"a": None}) is None
+
+    def test_unknown_op_rejected(self):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            Arith("^", Literal(1, INTEGER), Literal(2, INTEGER), INTEGER)
+
+
+class TestMakeArith:
+    def test_decimal_alignment(self):
+        left = Literal(150, decimal_type(10, 2))   # 1.50 physical
+        right = Literal(2, decimal_type(10, 0))    # 2 physical
+        e = make_arith("+", left, right)
+        assert e.dtype.kind is TypeKind.DECIMAL
+        assert e.dtype.scale == 2
+        batch = make_batch(a=([0], INTEGER))
+        assert e.eval(batch).values[0] == 150 + 200
+
+    def test_decimal_division_goes_double(self):
+        e = make_arith("/", Literal(150, decimal_type(10, 2)), Literal(100, decimal_type(10, 2)))
+        assert e.dtype.kind is TypeKind.DOUBLE
+
+    def test_concat_result_type(self):
+        e = make_arith("||", Literal("a", varchar_type(1)), Literal("b", varchar_type(1)))
+        assert e.dtype.kind is TypeKind.VARCHAR
+
+
+class TestCompareAndLogic:
+    def test_compare_nulls_are_unknown(self, batch):
+        e = Compare(">", col("a"), Literal(1, INTEGER))
+        v = e.eval(batch)
+        assert list(v.values) == [0, 1, 0, 1]
+        assert list(v.null_mask()) == [False, False, True, False]
+
+    def test_mixed_dtype_compare(self, batch):
+        e = Compare("<", col("a"), col("x", DOUBLE))
+        # Row 2 has NULL a, so only the selection mask is defined there.
+        assert list(selection_mask(e, batch)) == [True, True, False, True]
+
+    def test_string_compare(self, batch):
+        e = Compare("=", col("s", varchar_type(10)), Literal("pear", varchar_type(10)))
+        assert list(e.eval(batch).values) == [0, 1, 0, 0]
+
+    def test_and_three_valued(self, batch):
+        # a > 1 AND b > 10 : [F&?, T&NULL, NULL&T, T&T]
+        e = Logical("AND", [Compare(">", col("a"), Literal(1, INTEGER)),
+                            Compare(">", col("b"), Literal(10, INTEGER))])
+        v = e.eval(batch)
+        mask = selection_mask(e, batch)
+        assert list(mask) == [False, False, False, True]
+        # row 0: a>1 is FALSE -> result FALSE (not null) even though b known
+        assert not v.null_mask()[0]
+        # row 1: TRUE AND NULL -> NULL
+        assert v.null_mask()[1]
+
+    def test_or_three_valued(self, batch):
+        e = Logical("OR", [Compare(">", col("a"), Literal(3, INTEGER)),
+                           Compare(">", col("b"), Literal(100, INTEGER))])
+        v = e.eval(batch)
+        # row 2: NULL OR FALSE -> NULL ; row 3: TRUE OR FALSE -> TRUE
+        assert v.null_mask()[2]
+        assert v.values[3] == 1
+
+    def test_false_dominates_null_in_and(self, batch):
+        e = Logical("AND", [Compare(">", col("b"), Literal(100, INTEGER)),
+                            Compare(">", col("a"), Literal(0, INTEGER))])
+        v = e.eval(batch)
+        # row 1: b NULL AND a>0 TRUE -> NULL; row 2: b=30>100 FALSE AND NULL -> FALSE
+        assert v.null_mask()[1]
+        assert not v.null_mask()[2]
+        assert v.values[2] == 0
+
+    def test_not(self, batch):
+        e = Not(Compare("=", col("a"), Literal(2, INTEGER)))
+        v = e.eval(batch)
+        assert list(selection_mask(e, batch)) == [True, False, False, True]
+        assert v.null_mask()[2]  # NOT NULL-comparison stays UNKNOWN
+
+    def test_row_mode_logic(self):
+        e = Logical("AND", [Literal(1, BOOLEAN), Literal(None, BOOLEAN)])
+        assert e.eval_row({}) is None
+        e2 = Logical("AND", [Literal(0, BOOLEAN), Literal(None, BOOLEAN)])
+        assert e2.eval_row({}) == 0
+        e3 = Logical("OR", [Literal(1, BOOLEAN), Literal(None, BOOLEAN)])
+        assert e3.eval_row({}) == 1
+
+
+class TestPredicateForms:
+    def test_is_null(self, batch):
+        assert list(IsNull(col("a")).eval(batch).values) == [0, 0, 1, 0]
+        assert list(IsNull(col("a"), negated=True).eval(batch).values) == [1, 1, 0, 1]
+
+    def test_between(self, batch):
+        e = Between(col("a"), Literal(2, INTEGER), Literal(4, INTEGER))
+        assert list(selection_mask(e, batch)) == [False, True, False, True]
+
+    def test_not_between(self, batch):
+        e = Between(col("a"), Literal(2, INTEGER), Literal(4, INTEGER), negated=True)
+        assert list(selection_mask(e, batch)) == [True, False, False, False]
+
+    def test_in_list(self, batch):
+        e = InList(col("a"), [1, 4])
+        assert list(selection_mask(e, batch)) == [True, False, False, True]
+
+    def test_not_in_with_null_item_matches_nothing_uncertainly(self, batch):
+        e = InList(col("a"), [1, None], negated=True)
+        # 2 NOT IN (1, NULL) is UNKNOWN -> filtered out
+        assert list(selection_mask(e, batch)) == [False, False, False, False]
+
+    def test_in_row_mode(self):
+        e = InList(ColumnRef("a", INTEGER), [1, 2])
+        assert e.eval_row({"a": 1}) == 1
+        assert e.eval_row({"a": 3}) == 0
+        assert e.eval_row({"a": None}) is None
+
+    def test_like(self, batch):
+        e = Like(col("s", varchar_type(10)), "p%")
+        assert list(e.eval(batch).values) == [0, 1, 0, 1]
+
+    def test_like_underscore_and_escape(self, batch):
+        e = Like(col("s", varchar_type(10)), "p_ar")
+        assert list(e.eval(batch).values) == [0, 1, 0, 0]
+        esc = Like(Literal("50%", varchar_type(3)), r"50\%", escape="\\")
+        assert esc.eval(batch).values[0] == 1
+
+    def test_like_row_mode(self):
+        e = Like(ColumnRef("s", varchar_type(5)), "%m")
+        assert e.eval_row({"s": "plum"}) == 1
+        assert e.eval_row({"s": None}) is None
+
+
+class TestCastAndCase:
+    def test_cast_int_to_double(self, batch):
+        e = Cast(col("a"), DOUBLE)
+        v = e.eval(batch)
+        assert v.values.dtype == np.float64
+        assert v.to_boundary() == [1.0, 2.0, None, 4.0]
+
+    def test_cast_double_to_int_truncates(self, batch):
+        e = Cast(col("x", DOUBLE), INTEGER)
+        assert e.eval(batch).to_boundary() == [1, 2, 3, 4]
+
+    def test_cast_string_to_int(self, batch):
+        e = Cast(Literal("42", varchar_type(2)), BIGINT)
+        assert e.eval(batch).to_boundary() == [42] * 4
+
+    def test_cast_int_to_string(self, batch):
+        e = Cast(col("a"), varchar_type(10))
+        assert e.eval(batch).values[0] == "1"
+
+    def test_decimal_rescale(self, batch):
+        e = Cast(Literal(150, decimal_type(10, 2)), decimal_type(10, 4), scale_shift=2)
+        assert e.eval(batch).values[0] == 15000
+
+    def test_case_expr(self, batch):
+        e = CaseExpr(
+            whens=[
+                (Compare("<", col("a"), Literal(2, INTEGER)), Literal("low", varchar_type(4))),
+                (Compare("<", col("a"), Literal(4, INTEGER)), Literal("mid", varchar_type(4))),
+            ],
+            default=Literal("high", varchar_type(4)),
+            dtype=varchar_type(4),
+        )
+        v = e.eval(batch)
+        got = [None if v.null_mask()[i] else v.values[i] for i in range(4)]
+        # NULL < 2 is UNKNOWN so row 2 falls to the default
+        assert got == ["low", "mid", "high", "high"]
+
+    def test_case_without_default_gives_null(self, batch):
+        e = CaseExpr(
+            whens=[(Compare("=", col("a"), Literal(1, INTEGER)), Literal(10, INTEGER))],
+            default=None,
+            dtype=INTEGER,
+        )
+        assert e.eval(batch).to_boundary() == [10, None, None, None]
+
+    def test_case_row_mode(self):
+        e = CaseExpr(
+            whens=[(Compare("=", ColumnRef("a", INTEGER), Literal(1, INTEGER)), Literal(10, INTEGER))],
+            default=Literal(0, INTEGER),
+            dtype=INTEGER,
+        )
+        assert e.eval_row({"a": 1}) == 10
+        assert e.eval_row({"a": 9}) == 0
+
+
+class TestReferences:
+    def test_reference_collection(self, batch):
+        e = Logical(
+            "AND",
+            [
+                Compare(">", col("a"), Literal(0, INTEGER)),
+                Between(col("b"), Literal(0, INTEGER), col("x", DOUBLE)),
+            ],
+        )
+        assert e.references() == {"a", "b", "x"}

@@ -1,0 +1,242 @@
+"""Schema-on-read external tables, parquet-lite, JSON analytics
+(the paper's Future Work, section VI)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+import repro.external.json_functions  # noqa: F401  (installs JSON_*)
+from repro.database import Database
+from repro.errors import ConversionError, FederationError
+from repro.external import (
+    ExternalTable,
+    read_csv,
+    read_json_lines,
+    register_external_table,
+    write_csv,
+    write_json_lines,
+    write_parquet_lite,
+)
+from repro.external.formats import ColumnChunk, read_parquet_lite
+from repro.storage.filesystem import ClusterFileSystem
+from repro.types import DATE, DOUBLE, INTEGER, decimal_type, varchar_type
+
+
+@pytest.fixture()
+def fs():
+    return ClusterFileSystem()
+
+
+class TestCsvFormat:
+    def test_roundtrip(self, fs):
+        rows = [(1, "hello", 2.5), (2, None, -1.0)]
+        write_csv(fs, "data/x.csv", rows, header=["a", "b", "c"])
+        header, got = read_csv(fs, "data/x.csv")
+        assert header == ["a", "b", "c"]
+        assert got == [["1", "hello", "2.5"], ["2", None, "-1.0"]]
+
+    def test_quoting(self, fs):
+        write_csv(fs, "q.csv", [('say "hi", ok', 1)], header=["t", "n"])
+        _, rows = read_csv(fs, "q.csv")
+        assert rows[0][0] == 'say "hi", ok'
+
+    def test_empty_file(self, fs):
+        fs.write_file("e.csv", "", 0)
+        assert read_csv(fs, "e.csv") == ([], [])
+
+
+class TestJsonLines:
+    def test_roundtrip(self, fs):
+        records = [{"a": 1, "b": [1, 2]}, {"a": None}]
+        write_json_lines(fs, "x.jsonl", records)
+        assert read_json_lines(fs, "x.jsonl") == records
+
+    def test_malformed_raises(self, fs):
+        fs.write_file("bad.jsonl", '{"ok": 1}\n{oops', 20)
+        with pytest.raises(ConversionError):
+            read_json_lines(fs, "bad.jsonl")
+
+
+class TestParquetLite:
+    def test_roundtrip_and_stats(self, fs):
+        rows = [(i, i * 10) for i in range(10_000)]
+        pq = write_parquet_lite(fs, "t.pq", ["k", "v"], rows, chunk_rows=1000)
+        assert pq.n_rows == 10_000
+        assert len(pq.row_groups) == 10
+        chunk = pq.row_groups[0]["K"]
+        assert (chunk.min_value, chunk.max_value) == (0, 999)
+        got = list(read_parquet_lite(fs, "t.pq").read_rows(["K"]))
+        assert len(got) == 10_000
+
+    def test_chunk_skipping(self, fs):
+        rows = [(i,) for i in range(10_000)]
+        pq = write_parquet_lite(fs, "s.pq", ["k"], rows, chunk_rows=1000)
+        assert pq.chunks_scanned(("K", 9_500, None)) == 1
+        assert pq.chunks_scanned(("K", None, 999)) == 1
+        assert pq.chunks_scanned(("K", 2_500, 3_200)) == 2
+        assert pq.chunks_scanned(None) == 10
+        survivors = list(pq.read_rows(["K"], range_filter=("K", 9_500, None)))
+        assert len(survivors) == 1000  # one chunk survives (coarse filter)
+
+    def test_all_null_chunk_never_matches(self):
+        chunk = ColumnChunk.build([None, None])
+        assert not chunk.may_match_range(0, 10)
+        assert chunk.null_count == 2
+
+
+class TestExternalTables:
+    def make_csv_table(self, fs, on_error="null"):
+        rows = [
+            (1, "2016-01-05", "19.99"),
+            (2, "2016-02-06", "5.00"),
+            (3, "not-a-date", "oops"),
+        ]
+        write_csv(fs, "orders.csv", rows, header=["id", "sold", "amount"])
+        return ExternalTable(
+            name="ext_orders",
+            fs=fs,
+            path="orders.csv",
+            file_format="csv",
+            columns=(("id", INTEGER), ("sold", DATE), ("amount", decimal_type(8, 2))),
+            on_error=on_error,
+        )
+
+    def test_schema_applied_at_read(self, fs):
+        table = self.make_csv_table(fs)
+        rows = table.read_typed_rows()
+        assert rows[0] == [1, datetime.date(2016, 1, 5), Decimal("19.99")]
+        # Malformed cells become NULL in permissive mode...
+        assert rows[2] == [3, None, None]
+        assert table.cells_nulled == 2
+
+    def test_fail_mode(self, fs):
+        table = self.make_csv_table(fs, on_error="fail")
+        with pytest.raises(ConversionError):
+            table.read_typed_rows()
+
+    def test_schema_changes_without_rewriting_data(self, fs):
+        """The schema-on-read property: same file, new schema, no rewrite."""
+        table = self.make_csv_table(fs)
+        table.read_typed_rows()
+        relaxed = ExternalTable(
+            name="ext_orders2",
+            fs=fs,
+            path="orders.csv",
+            file_format="csv",
+            columns=(("id", INTEGER), ("sold", varchar_type(12)), ("amount", varchar_type(8))),
+        )
+        rows = relaxed.read_typed_rows()
+        assert rows[2] == [3, "not-a-date", "oops"]  # now valid as strings
+
+    def test_sql_over_external_csv(self, fs):
+        db = Database()
+        register_external_table(db, self.make_csv_table(fs))
+        s = db.connect("db2")
+        total = s.execute(
+            "SELECT SUM(amount) FROM ext_orders WHERE sold >= DATE '2016-01-01'"
+        ).scalar()
+        assert total == Decimal("24.99")
+
+    def test_sql_join_external_with_internal(self, fs):
+        db = Database()
+        register_external_table(db, self.make_csv_table(fs))
+        s = db.connect("db2")
+        s.execute("CREATE TABLE cust (id INT, name VARCHAR(8))")
+        s.execute("INSERT INTO cust VALUES (1, 'ann'), (2, 'bo')")
+        rows = s.execute(
+            "SELECT c.name, e.amount FROM cust c JOIN ext_orders e ON c.id = e.id"
+            " ORDER BY c.id"
+        ).rows
+        assert rows == [("ann", Decimal("19.99")), ("bo", Decimal("5.00"))]
+
+    def test_jsonl_external(self, fs):
+        write_json_lines(
+            fs,
+            "events.jsonl",
+            [
+                {"user": "u1", "score": 10},
+                {"USER": "u2", "score": 3.5},
+                {"user": "u3"},
+            ],
+        )
+        table = ExternalTable(
+            name="ext_events",
+            fs=fs,
+            path="events.jsonl",
+            file_format="jsonl",
+            columns=(("user", varchar_type(8)), ("score", DOUBLE)),
+        )
+        rows = table.read_typed_rows()
+        assert rows[0] == ["u1", 10.0]
+        assert rows[1] == ["u2", 3.5]  # case-insensitive field match
+        assert rows[2] == ["u3", None]
+
+    def test_parquet_lite_external(self, fs):
+        rows = [(i, float(i) * 1.5) for i in range(500)]
+        write_parquet_lite(fs, "m.pq", ["k", "v"], rows, chunk_rows=100)
+        table = ExternalTable(
+            name="ext_m",
+            fs=fs,
+            path="m.pq",
+            file_format="parquet-lite",
+            columns=(("k", INTEGER), ("v", DOUBLE)),
+        )
+        db = Database()
+        register_external_table(db, table)
+        s = db.connect("db2")
+        assert s.execute("SELECT COUNT(*) FROM ext_m WHERE k >= 450").scalar() == 50
+
+    def test_unknown_format(self, fs):
+        with pytest.raises(FederationError):
+            ExternalTable("x", fs, "p", "orc", (("a", INTEGER),))
+
+
+class TestJsonFunctions:
+    @pytest.fixture()
+    def s(self):
+        db = Database()
+        s = db.connect("db2")
+        s.execute("CREATE TABLE docs (id INT, body VARCHAR(200))")
+        s.execute(
+            "INSERT INTO docs VALUES"
+            " (1, '{\"user\": {\"name\": \"ann\", \"age\": 33}, \"tags\": [\"a\",\"b\"]}'),"
+            " (2, '{\"user\": {\"name\": \"bo\"}}'),"
+            " (3, 'not json')"
+        )
+        return s
+
+    def test_json_value_nested(self, s):
+        rows = s.execute(
+            "SELECT id, JSON_VALUE(body, '$.user.name') FROM docs ORDER BY id"
+        ).rows
+        assert rows == [(1, "ann"), (2, "bo"), (3, None)]
+
+    def test_json_value_array_subscript(self, s):
+        assert s.execute(
+            "SELECT JSON_VALUE(body, '$.tags[1]') FROM docs WHERE id = 1"
+        ).scalar() == "b"
+
+    def test_json_exists_filter(self, s):
+        assert s.execute(
+            "SELECT COUNT(*) FROM docs WHERE JSON_EXISTS(body, '$.user.age') = TRUE"
+        ).scalar() == 1
+
+    def test_json_array_length(self, s):
+        assert s.execute(
+            "SELECT JSON_ARRAY_LENGTH(body, '$.tags') FROM docs WHERE id = 1"
+        ).scalar() == 2
+
+    def test_json_value_numeric_cast(self, s):
+        value = s.execute(
+            "SELECT CAST(JSON_VALUE(body, '$.user.age') AS INT) + 1 FROM docs WHERE id=1"
+        ).scalar()
+        assert value == 34
+
+    def test_aggregate_over_json(self, s):
+        # Analytics over JSON: group by an extracted field.
+        rows = s.execute(
+            "SELECT JSON_EXISTS(body, '$.user') AS has_user, COUNT(*)"
+            " FROM docs GROUP BY JSON_EXISTS(body, '$.user') ORDER BY 2"
+        ).rows
+        assert (True, 2) in [(bool(a), b) for a, b in rows if a is not None]

@@ -1,0 +1,280 @@
+"""Fluid Query federation, in-database analytics, geospatial SQL/MM."""
+
+import pytest
+
+from repro.analytics import (
+    IdaDataFrame,
+    glm_fit,
+    kmeans_fit,
+    linear_regression,
+    naive_bayes_fit,
+    register_udx,
+)
+from repro.database import Database
+from repro.errors import AnalyticsError, ConversionError, FederationError
+from repro.federation import add_nickname, make_connector
+from repro.geospatial import LineString, Point, Polygon, parse_wkt
+from repro.types import INTEGER, varchar_type
+from repro.util.timer import SimClock
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    s = database.connect("db2")
+    s.execute("CREATE TABLE local_orders (id INT, cust VARCHAR(10), total DOUBLE)")
+    s.execute(
+        "INSERT INTO local_orders VALUES (1,'acme',100.0),(2,'bxc',250.0),(3,'acme',50.0)"
+    )
+    return database
+
+
+class TestFederation:
+    def make_remote(self, clock=None):
+        store = make_connector("legacy-oracle", "oracle", clock)
+        store.create_table(
+            "customers",
+            [("cust", varchar_type(10)), ("tier", INTEGER)],
+            rows=[("acme", 1), ("bxc", 2)],
+        )
+        return store
+
+    def test_nickname_select(self, db):
+        store = self.make_remote()
+        add_nickname(db, "remote_cust", store, "customers")
+        s = db.connect("db2")
+        rows = s.execute("SELECT cust, tier FROM remote_cust ORDER BY cust").rows
+        assert rows == [("acme", 1), ("bxc", 2)]
+        assert store.fetch_count == 1
+
+    def test_join_remote_with_local(self, db):
+        # The headline Fluid Query use case: unify remote + local data.
+        add_nickname(db, "remote_cust", self.make_remote(), "customers")
+        s = db.connect("db2")
+        rows = s.execute(
+            "SELECT o.id, r.tier FROM local_orders o"
+            " JOIN remote_cust r ON o.cust = r.cust ORDER BY o.id"
+        ).rows
+        assert rows == [(1, 1), (2, 2), (3, 1)]
+
+    def test_aggregate_over_nickname(self, db):
+        add_nickname(db, "rc", self.make_remote(), "customers")
+        s = db.connect("db2")
+        assert s.execute("SELECT COUNT(*) FROM rc").scalar() == 2
+
+    def test_missing_remote_table(self, db):
+        with pytest.raises(FederationError):
+            add_nickname(db, "nope", self.make_remote(), "not_there")
+
+    def test_unknown_connector_type(self):
+        with pytest.raises(FederationError):
+            make_connector("x", "mongodb")
+
+    def test_connector_charges_latency(self, db):
+        clock = SimClock()
+        store = self.make_remote(clock)
+        add_nickname(db, "rc", store, "customers")
+        db.connect("db2").execute("SELECT * FROM rc")
+        assert clock.now > 0
+
+    def test_hadoop_connector_slower_than_rdbms(self):
+        from repro.federation.connectors import CONNECTOR_TYPES
+
+        assert CONNECTOR_TYPES["impala"] > CONNECTOR_TYPES["netezza"]
+
+
+class TestIdaDataFrame:
+    @pytest.fixture()
+    def ida(self, db):
+        s = db.connect("db2")
+        s.execute("CREATE TABLE metrics (grp VARCHAR(2), x DOUBLE, y DOUBLE)")
+        s.execute(
+            "INSERT INTO metrics VALUES "
+            + ", ".join("('g%d', %d.0, %d.0)" % (i % 2, i, 2 * i) for i in range(1, 11))
+        )
+        return IdaDataFrame(s, "metrics")
+
+    def test_validates_table_exists(self, db):
+        from repro.errors import UnknownObjectError
+
+        with pytest.raises(UnknownObjectError):
+            IdaDataFrame(db.connect("db2"), "missing")
+
+    def test_pushed_statistics(self, ida):
+        assert ida.count() == 10
+        assert ida.mean("x") == pytest.approx(5.5)
+        assert ida.min("x") == 1.0
+        assert ida.max("y") == 20.0
+        assert ida.median("x") == pytest.approx(5.5)
+
+    def test_corr_perfect(self, ida):
+        assert ida.corr("x", "y") == pytest.approx(1.0)
+
+    def test_describe(self, ida):
+        d = ida.describe("x")
+        assert d["count"] == 10
+        assert d["mean"] == pytest.approx(5.5)
+
+    def test_value_counts(self, ida):
+        assert ida.value_counts("grp") == {"g0": 5, "g1": 5}
+
+    def test_head(self, ida):
+        assert len(ida.head(3)) == 3
+
+    def test_udx_registration(self, db):
+        from repro.sql.dialects import get_dialect
+        from repro.types import DOUBLE
+
+        registry = get_dialect("db2").functions
+        register_udx(registry, "MY_TAX", lambda v: None if v is None else v * 0.13, 1, DOUBLE)
+        s = db.connect("db2")
+        got = s.execute("SELECT MY_TAX(total) FROM local_orders WHERE id = 1").scalar()
+        assert got == pytest.approx(13.0)
+
+
+class TestAnalyticsModels:
+    def test_linear_regression_in_db(self, db):
+        s = db.connect("db2")
+        s.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)")
+        s.execute("INSERT INTO pts VALUES " + ", ".join(
+            "(%d.0, %d.0)" % (i, 5 * i + 2) for i in range(20)
+        ))
+        fit = linear_regression(s, "pts", "x", "y")
+        assert fit.slope == pytest.approx(5.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(100) == pytest.approx(502.0)
+
+    def test_regression_validation(self, db):
+        s = db.connect("db2")
+        s.execute("CREATE TABLE flat (x DOUBLE, y DOUBLE)")
+        s.execute("INSERT INTO flat VALUES (1.0, 1.0), (1.0, 2.0)")
+        with pytest.raises(AnalyticsError):
+            linear_regression(s, "flat", "x", "y")
+
+    def test_glm_fit_wrapper(self, db):
+        s = db.connect("db2")
+        s.execute("CREATE TABLE g (x DOUBLE, y DOUBLE)")
+        s.execute("INSERT INTO g VALUES " + ", ".join(
+            "(%d.0, %d.0)" % (i, 4 * i) for i in range(10)
+        ))
+        model = glm_fit(s, "g", "y", ["x"])
+        assert model.coefficients[1] == pytest.approx(4.0, abs=1e-8)
+
+    def test_kmeans_fit_wrapper(self, db):
+        s = db.connect("db2")
+        s.execute("CREATE TABLE km (a DOUBLE, b DOUBLE)")
+        values = ["(%f, %f)" % (0.1 * i, 0.1 * i) for i in range(10)]
+        values += ["(%f, %f)" % (9 + 0.1 * i, 9 + 0.1 * i) for i in range(10)]
+        s.execute("INSERT INTO km VALUES " + ", ".join(values))
+        model = kmeans_fit(s, "km", ["a", "b"], k=2)
+        assert len(model.centers) == 2
+
+    def test_naive_bayes(self, db):
+        s = db.connect("db2")
+        s.execute("CREATE TABLE nb (weather VARCHAR(6), windy VARCHAR(3), play VARCHAR(3))")
+        rows = [
+            ("sunny", "no", "yes"), ("sunny", "no", "yes"), ("sunny", "yes", "no"),
+            ("rainy", "yes", "no"), ("rainy", "no", "no"), ("cloudy", "no", "yes"),
+            ("cloudy", "yes", "yes"), ("rainy", "yes", "no"),
+        ]
+        s.execute("INSERT INTO nb VALUES " + ", ".join(
+            "('%s','%s','%s')" % r for r in rows
+        ))
+        model = naive_bayes_fit(s, "nb", "play", ["weather", "windy"])
+        assert model.predict({"weather": "sunny", "windy": "no"}) == "yes"
+        assert model.predict({"weather": "rainy", "windy": "yes"}) == "no"
+
+
+class TestGeometry:
+    def test_wkt_roundtrip(self):
+        for text in (
+            "POINT (3 4)",
+            "LINESTRING (0 0, 3 4, 6 0)",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+        ):
+            assert parse_wkt(text).wkt() == text
+
+    def test_point_distance(self):
+        assert Point(0, 0).distance(Point(3, 4)) == 5.0
+
+    def test_linestring_length(self):
+        line = parse_wkt("LINESTRING (0 0, 3 4, 3 10)")
+        assert line.length() == pytest.approx(11.0)
+
+    def test_polygon_area_perimeter(self):
+        square = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert square.area() == 16.0
+        assert square.perimeter() == 16.0
+
+    def test_polygon_contains(self):
+        square = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert square.contains(Point(2, 2))
+        assert square.contains(Point(0, 2))  # boundary
+        assert not square.contains(Point(5, 5))
+
+    def test_point_to_polygon_distance(self):
+        square = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert square.distance(Point(2, 2)) == 0.0
+        assert square.distance(Point(7, 4)) == pytest.approx(3.0)
+
+    def test_bad_wkt(self):
+        with pytest.raises(ConversionError):
+            parse_wkt("CIRCLE (0 0, 5)")
+        with pytest.raises(ConversionError):
+            parse_wkt(None)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ConversionError):
+            LineString((Point(0, 0),))
+        with pytest.raises(ConversionError):
+            Polygon((Point(0, 0), Point(1, 0), Point(1, 1)))
+
+
+class TestGeospatialSql:
+    @pytest.fixture()
+    def s(self, db):
+        import repro.geospatial.functions  # noqa: F401 - installs ST_*
+
+        s = db.connect("db2")
+        s.execute("CREATE TABLE stores (id INT, loc VARCHAR(60))")
+        s.execute(
+            "INSERT INTO stores VALUES"
+            " (1, 'POINT (0 0)'), (2, 'POINT (3 4)'), (3, 'POINT (10 0)')"
+        )
+        return s
+
+    def test_st_point_constructor(self, s):
+        assert s.execute("SELECT ST_POINT(1, 2) FROM stores WHERE id=1").scalar() == "POINT (1 2)"
+
+    def test_st_distance_filter(self, s):
+        rows = s.execute(
+            "SELECT id FROM stores WHERE ST_DISTANCE(loc, ST_POINT(0, 0)) <= 5 ORDER BY id"
+        ).rows
+        assert rows == [(1,), (2,)]
+
+    def test_st_xy(self, s):
+        assert s.execute("SELECT ST_X(loc) FROM stores WHERE id=2").scalar() == 3.0
+        assert s.execute("SELECT ST_Y(loc) FROM stores WHERE id=2").scalar() == 4.0
+
+    def test_st_contains_in_where(self, s):
+        rows = s.execute(
+            "SELECT id FROM stores WHERE"
+            " ST_CONTAINS('POLYGON ((-1 -1, 5 -1, 5 5, -1 5, -1 -1))', loc)"
+            " ORDER BY id"
+        ).rows
+        assert rows == [(1,), (2,)]
+
+    def test_st_area_length(self, s):
+        assert s.execute(
+            "SELECT ST_AREA('POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))') FROM stores WHERE id=1"
+        ).scalar() == 4.0
+        assert s.execute(
+            "SELECT ST_LENGTH('LINESTRING (0 0, 3 4)') FROM stores WHERE id=1"
+        ).scalar() == 5.0
+
+    def test_works_in_all_dialects(self, db, s):
+        import repro.geospatial.functions  # noqa: F401
+
+        o = db.connect("oracle")
+        assert o.execute("SELECT ST_DISTANCE('POINT (0 0)', 'POINT (0 9)') FROM DUAL").scalar() == 9.0

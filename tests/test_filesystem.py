@@ -1,0 +1,110 @@
+"""Simulated clustered filesystem."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.storage import ClusterFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return ClusterFileSystem()
+
+
+class TestPaths:
+    def test_relative_paths_land_under_mount(self, fs):
+        fs.write_file("db/shard0/seg1", b"x", 10)
+        assert fs.exists("/mnt/clusterfs/db/shard0/seg1")
+
+    def test_outside_mount_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write_file("/etc/passwd", b"", 0)
+
+    def test_double_slashes_normalised(self, fs):
+        fs.write_file("a//b", 1, 1)
+        assert fs.exists("a/b")
+
+
+class TestFiles:
+    def test_write_read(self, fs):
+        fs.write_file("f", {"k": 1}, 100)
+        assert fs.read_file("f") == {"k": 1}
+
+    def test_overwrite_replaces_size(self, fs):
+        fs.write_file("f", "a", 100)
+        fs.write_file("f", "b", 40)
+        assert fs.used_bytes() == 40
+
+    def test_read_missing(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("missing")
+
+    def test_delete_file(self, fs):
+        fs.write_file("f", 1, 5)
+        fs.delete("f")
+        assert not fs.exists("f")
+        with pytest.raises(FileSystemError):
+            fs.delete("f")
+
+    def test_negative_size_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write_file("f", 1, -1)
+
+
+class TestDirectories:
+    def test_mkdir_p(self, fs):
+        fs.mkdir("a/b/c")
+        assert fs.is_dir("a")
+        assert fs.is_dir("a/b/c")
+
+    def test_listdir(self, fs):
+        fs.write_file("d/x", 1, 1)
+        fs.write_file("d/y", 1, 1)
+        fs.mkdir("d/sub")
+        assert fs.listdir("d") == ["sub", "x", "y"]
+
+    def test_listdir_missing(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.listdir("nope")
+
+    def test_delete_subtree(self, fs):
+        fs.write_file("d/x", 1, 3)
+        fs.write_file("d/e/y", 1, 4)
+        fs.delete("d")
+        assert not fs.exists("d/x")
+        assert fs.used_bytes() == 0
+
+
+class TestMoveAndAccounting:
+    def test_move_file(self, fs):
+        fs.write_file("a", "payload", 7)
+        fs.move("a", "b")
+        assert fs.read_file("b") == "payload"
+        assert not fs.exists("a")
+
+    def test_move_subtree_is_reassociation(self, fs):
+        # This is the mechanism behind HA shard reassociation (Fig. 9):
+        # moving a shard's fileset to another owner is metadata-only.
+        fs.write_file("shards/s1/data", "seg", 100)
+        fs.move("shards/s1", "nodeB/s1")
+        assert fs.read_file("nodeB/s1/data") == "seg"
+        assert fs.tree_bytes("nodeB/s1") == 100
+
+    def test_move_missing(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.move("nope", "dst")
+
+    def test_capacity_enforced(self):
+        fs = ClusterFileSystem(capacity_bytes=100)
+        fs.write_file("a", 1, 60)
+        with pytest.raises(FileSystemError):
+            fs.write_file("b", 1, 50)
+        fs.write_file("a", 1, 10)  # shrink in place is fine
+        fs.write_file("b", 1, 50)
+
+    def test_tree_bytes(self, fs):
+        fs.write_file("t/a", 1, 10)
+        fs.write_file("t/b/c", 1, 5)
+        fs.write_file("u", 1, 99)
+        assert fs.tree_bytes("t") == 15
+        assert fs.file_count() == 3

@@ -1,0 +1,203 @@
+"""Systematic coverage of the scalar function library (ANSI core).
+
+Each case runs through SQL end-to-end (parser -> binder -> engine) on a
+one-row table, checking value and NULL behaviour.
+"""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.database import Database
+from repro.errors import BindError, DivisionByZeroError, TypeCheckError
+
+
+@pytest.fixture(scope="module")
+def s():
+    db = Database()
+    session = db.connect("db2")
+    session.execute("CREATE TABLE one (x INT)")
+    session.execute("INSERT INTO one VALUES (1)")
+    return session
+
+
+def q(s, expr):
+    return s.execute("SELECT %s FROM one" % expr).scalar()
+
+
+class TestStringFunctions:
+    def test_case_functions(self, s):
+        assert q(s, "UPPER('MiXeD')") == "MIXED"
+        assert q(s, "LOWER('MiXeD')") == "mixed"
+        assert q(s, "LCASE('A')") == "a"
+
+    def test_length_family(self, s):
+        assert q(s, "LENGTH('hello')") == 5
+        assert q(s, "CHAR_LENGTH('')") == 0
+        assert q(s, "LENGTH(NULL)") is None
+
+    def test_substr_variants(self, s):
+        assert q(s, "SUBSTR('abcdef', 2)") == "bcdef"
+        assert q(s, "SUBSTR('abcdef', 2, 3)") == "bcd"
+        assert q(s, "SUBSTR('abcdef', -2)") == "ef"
+        assert q(s, "SUBSTRING('abcdef', 1, 2)") == "ab"
+
+    def test_trim_family(self, s):
+        assert q(s, "TRIM('  x  ')") == "x"
+        assert q(s, "LTRIM('  x ')") == "x "
+        assert q(s, "RTRIM(' x  ')") == " x"
+        assert q(s, "LTRIM('xxabxx', 'x')") == "abxx"
+
+    def test_replace_translate(self, s):
+        assert q(s, "REPLACE('banana', 'na', 'NA')") == "baNANA"
+        assert q(s, "TRANSLATE('abcabc', 'xy', 'ab')") == "xycxyc"
+
+    def test_pad_functions(self, s):
+        assert q(s, "LPAD('7', 3, '0')") == "007"
+        assert q(s, "RPAD('ab', 5, '-')") == "ab---"
+        assert q(s, "LPAD('long', 2)") == "lo"  # truncates to width
+
+    def test_position_functions(self, s):
+        assert q(s, "INSTR('hello world', 'o')") == 5
+        assert q(s, "INSTR('hello world', 'o', 6)") == 8
+        assert q(s, "INSTR('aXbXc', 'X', 1, 2)") == 4
+        assert q(s, "INSTR('abc', 'z')") == 0
+        assert q(s, "LOCATE('lo', 'hello')") == 4
+        assert q(s, "POSSTR('hello', 'll')") == 3
+
+    def test_concat_repeat_reverse(self, s):
+        assert q(s, "CONCAT('a', 'b', 'c')") == "abc"
+        assert q(s, "REPEAT('ab', 3)") == "ababab"
+        assert q(s, "REVERSE('abc')") == "cba"
+
+    def test_ascii_chr(self, s):
+        assert q(s, "ASCII('A')") == 65
+        assert q(s, "CHR(97)") == "a"
+
+
+class TestNullFunctions:
+    def test_coalesce(self, s):
+        assert q(s, "COALESCE(NULL, NULL, 7)") == 7
+        assert q(s, "COALESCE(NULL, 'x')") == "x"
+        assert q(s, "COALESCE(NULL, NULL)") is None
+        assert q(s, "VALUE(NULL, 3)") == 3
+        assert q(s, "IFNULL(NULL, 2)") == 2
+
+    def test_nullif(self, s):
+        assert q(s, "NULLIF(5, 5)") is None
+        assert q(s, "NULLIF(5, 6)") == 5
+        assert q(s, "NULLIF(NULL, 1)") is None
+
+
+class TestNumericFunctions:
+    def test_abs_sign_mod(self, s):
+        assert q(s, "ABS(-7)") == 7
+        assert q(s, "SIGN(-3)") == -1
+        assert q(s, "SIGN(0)") == 0
+        assert q(s, "MOD(10, 3)") == 1
+        assert q(s, "MOD(-10, 3)") == -1
+
+    def test_mod_by_zero(self, s):
+        with pytest.raises(DivisionByZeroError):
+            q(s, "MOD(1, 0)")
+
+    def test_rounding_family(self, s):
+        assert q(s, "ROUND(2.5)") == 3.0
+        assert q(s, "ROUND(-2.5)") == -3.0
+        assert q(s, "ROUND(3.14159, 2)") == pytest.approx(3.14)
+        assert q(s, "TRUNC(3.99)") == 3.0
+        assert q(s, "TRUNCATE(-3.99)") == -3.0
+        assert q(s, "FLOOR(2.7)") == 2.0
+        assert q(s, "CEIL(2.1)") == 3.0
+        assert q(s, "CEILING(-2.1)") == -2.0
+
+    def test_exponential_family(self, s):
+        assert q(s, "SQRT(16)") == 4.0
+        assert q(s, "EXP(0)") == 1.0
+        assert q(s, "LN(1)") == 0.0
+        assert q(s, "LOG10(100)") == 2.0
+        assert q(s, "POWER(2, 10)") == 1024.0
+
+    def test_domain_errors(self, s):
+        with pytest.raises(TypeCheckError):
+            q(s, "SQRT(-1)")
+        with pytest.raises(TypeCheckError):
+            q(s, "LN(0)")
+
+    def test_trig(self, s):
+        assert q(s, "SIN(0)") == 0.0
+        assert q(s, "COS(0)") == 1.0
+
+    def test_greatest_least(self, s):
+        assert q(s, "GREATEST(3, 9, 5)") == 9
+        assert q(s, "LEAST('b', 'a', 'c')") == "a"
+        assert q(s, "GREATEST(1, NULL)") is None  # Oracle semantics
+
+    def test_decimal_arguments_descale(self, s):
+        assert q(s, "ROUND(CAST(2.555 AS DECIMAL(6,3)), 2)") == pytest.approx(2.56)
+        assert q(s, "ABS(CAST(-1.50 AS DECIMAL(5,2)))") == Decimal("1.50")
+
+
+class TestTemporalFunctions:
+    def test_field_extraction(self, s):
+        assert q(s, "YEAR(DATE '2016-07-04')") == 2016
+        assert q(s, "MONTH(DATE '2016-07-04')") == 7
+        assert q(s, "DAY(DATE '2016-07-04')") == 4
+        assert q(s, "QUARTER(DATE '2016-07-04')") == 3
+        assert q(s, "DAYOFYEAR(DATE '2016-02-01')") == 32
+        assert q(s, "DAYOFWEEK(DATE '2016-07-03')") == 1  # a Sunday
+
+    def test_time_fields(self, s):
+        assert q(s, "HOUR(TIMESTAMP '2016-01-01 13:45:59')") == 13
+        assert q(s, "MINUTE(TIMESTAMP '2016-01-01 13:45:59')") == 45
+        assert q(s, "SECOND(TIMESTAMP '2016-01-01 13:45:59')") == 59
+
+    def test_add_months(self, s):
+        assert q(s, "ADD_MONTHS(DATE '2016-01-31', 1)") == datetime.date(2016, 2, 29)
+        assert q(s, "ADD_MONTHS(DATE '2016-03-15', -2)") == datetime.date(2016, 1, 15)
+
+    def test_months_between_last_day(self, s):
+        assert q(s, "MONTHS_BETWEEN(DATE '2016-03-01', DATE '2016-01-01')") == pytest.approx(2.0)
+        assert q(s, "LAST_DAY(DATE '2016-02-10')") == datetime.date(2016, 2, 29)
+
+    def test_trunc_on_dates(self, s):
+        assert q(s, "TRUNC(DATE '2016-07-19', 'MM')") == datetime.date(2016, 7, 1)
+        assert q(s, "TRUNC(DATE '2016-07-19', 'YYYY')") == datetime.date(2016, 1, 1)
+
+    def test_date_constructor(self, s):
+        assert q(s, "DATE('2016-05-06')") == datetime.date(2016, 5, 6)
+
+    def test_current_date_with_clock(self):
+        from repro import SimClock
+
+        db = Database(clock=SimClock())
+        session = db.connect("db2")
+        session.execute("CREATE TABLE one (x INT)")
+        session.execute("INSERT INTO one VALUES (1)")
+        assert session.execute("SELECT CURRENT_DATE FROM one").scalar() == datetime.date(2016, 1, 1)
+
+
+class TestFunctionResolution:
+    def test_unknown_function(self, s):
+        with pytest.raises(BindError):
+            q(s, "NO_SUCH_FN(1)")
+
+    def test_arity_checked(self, s):
+        with pytest.raises(TypeCheckError):
+            q(s, "SUBSTR('abc')")
+        with pytest.raises(TypeCheckError):
+            q(s, "ABS(1, 2)")
+
+    def test_dialect_scoping(self, s):
+        # NVL is Oracle-only; DB2 sessions do not see it.
+        with pytest.raises(BindError):
+            q(s, "NVL(NULL, 1)")
+
+    def test_nested_calls(self, s):
+        assert q(s, "UPPER(SUBSTR(REVERSE('dlrow olleh'), 1, 5))") == "HELLO"
+
+    def test_functions_in_predicates(self, s):
+        assert s.execute(
+            "SELECT COUNT(*) FROM one WHERE MOD(x, 2) = 1 AND LENGTH('ab') = 2"
+        ).scalar() == 1

@@ -1,0 +1,226 @@
+"""Scan (with skipping + compressed predicates), filter, project, limit."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Batch,
+    ColumnRef,
+    Compare,
+    FilterOp,
+    LimitOp,
+    Literal,
+    ProjectOp,
+    SimplePredicate,
+    TableScanOp,
+    VectorSourceOp,
+)
+from repro.engine.expression import make_arith
+from repro.storage import ColumnTable, TableSchema
+from repro.types import DATE, INTEGER, varchar_type
+from repro.types.values import date_to_days
+
+
+def build_table(n=5000, region_rows=2000, stride=100, flush=True):
+    schema = TableSchema(
+        "sales",
+        (
+            ("id", INTEGER),
+            ("day", DATE),
+            ("state", varchar_type(2)),
+            ("qty", INTEGER),
+        ),
+    )
+    t = ColumnTable(schema, region_rows=region_rows, synopsis_stride=stride)
+    base = datetime.date(2010, 1, 1)
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                i,
+                base + datetime.timedelta(days=i // 10),
+                ["ca", "ny", "tx", "wa"][i % 4],
+                i % 100,
+            )
+        )
+    t.insert_rows(rows)
+    if flush:
+        t.flush()
+    return t
+
+
+class TestTableScan:
+    def test_full_scan(self):
+        t = build_table(n=100, region_rows=40)
+        scan = TableScanOp(t, ["id"])
+        batch = scan.run()
+        assert batch.n == 100
+        assert sorted(batch.columns["id"].values.tolist()) == list(range(100))
+
+    def test_pushed_equality(self):
+        t = build_table()
+        scan = TableScanOp(t, ["id", "qty"], pushed=[SimplePredicate("id", "=", 4321)])
+        batch = scan.run()
+        assert batch.n == 1
+        assert batch.columns["qty"].values[0] == 4321 % 100
+
+    def test_data_skipping_on_date(self):
+        t = build_table()
+        # Last ~10 days of data only: most extents skippable on sorted day.
+        lo = date_to_days(datetime.date(2011, 5, 1))
+        scan = TableScanOp(t, ["id"], pushed=[SimplePredicate("day", ">=", lo)])
+        batch = scan.run()
+        expected = [i for i in range(5000) if i // 10 >= (datetime.date(2011, 5, 1) - datetime.date(2010, 1, 1)).days]
+        assert batch.n == len(expected)
+        assert scan.stats.extents_skipped > scan.stats.extents_total * 0.5
+
+    def test_skipping_disabled_scans_everything(self):
+        t = build_table()
+        lo = date_to_days(datetime.date(2011, 5, 1))
+        scan = TableScanOp(
+            t, ["id"], pushed=[SimplePredicate("day", ">=", lo)], use_skipping=False
+        )
+        scan.run()
+        assert scan.stats.extents_skipped == 0
+
+    def test_between_pushdown(self):
+        t = build_table()
+        scan = TableScanOp(
+            t, ["id"], pushed=[SimplePredicate("id", "BETWEEN", (100, 110))]
+        )
+        assert scan.run().n == 11
+
+    def test_in_pushdown(self):
+        t = build_table()
+        scan = TableScanOp(
+            t, ["id"], pushed=[SimplePredicate("state", "IN", ["ca", "tx"])]
+        )
+        assert scan.run().n == 2500
+
+    def test_conjunctive_pushdown(self):
+        t = build_table()
+        scan = TableScanOp(
+            t,
+            ["id"],
+            pushed=[
+                SimplePredicate("state", "=", "ca"),
+                SimplePredicate("qty", "<", 10),
+            ],
+        )
+        batch = scan.run()
+        expected = [i for i in range(5000) if i % 4 == 0 and i % 100 < 10]
+        assert sorted(batch.columns["id"].values.tolist()) == expected
+
+    def test_residual_predicate(self):
+        t = build_table(n=200, region_rows=100)
+        residual = Compare(
+            "=",
+            make_arith("%", ColumnRef("id", INTEGER), Literal(7, INTEGER)),
+            Literal(0, INTEGER),
+        )
+        scan = TableScanOp(t, ["id"], residual=residual)
+        batch = scan.run()
+        assert sorted(batch.columns["id"].values.tolist()) == [i for i in range(200) if i % 7 == 0]
+
+    def test_tail_rows_scanned(self):
+        t = build_table(n=100, region_rows=70, flush=False)  # 70 sealed + 30 tail
+        assert t.tail_rows == 30
+        scan = TableScanOp(t, ["id"], pushed=[SimplePredicate("id", ">=", 95)])
+        assert scan.run().n == 5
+
+    def test_deleted_rows_invisible(self):
+        t = build_table(n=100, region_rows=50)
+        mask = np.zeros(100, dtype=bool)
+        mask[10:20] = True
+        t.apply_deletes(mask)
+        scan = TableScanOp(t, ["id"])
+        ids = sorted(scan.run().columns["id"].values.tolist())
+        assert len(ids) == 90
+        assert 15 not in ids
+
+    def test_stride_emission(self):
+        t = build_table(n=1000, region_rows=1000)
+        scan = TableScanOp(t, ["id"], stride_rows=128)
+        batches = list(scan.execute())
+        assert all(b.n <= 128 for b in batches)
+        assert sum(b.n for b in batches) == 1000
+
+    def test_compressed_vs_decoded_eval_agree(self):
+        t = build_table()
+        pushed = [SimplePredicate("qty", ">=", 50)]
+        fast = TableScanOp(t, ["id"], pushed=pushed).run()
+        slow = TableScanOp(t, ["id"], pushed=pushed, use_compressed_eval=False).run()
+        assert sorted(fast.columns["id"].values.tolist()) == sorted(
+            slow.columns["id"].values.tolist()
+        )
+
+    def test_page_source_hook(self):
+        t = build_table(n=100, region_rows=50)
+        fetches = []
+
+        def page_source(table, column, region, loader):
+            fetches.append((table, column, region))
+            return loader()
+
+        TableScanOp(
+            t, ["id"], pushed=[SimplePredicate("qty", ">", -1)], page_source=page_source
+        ).run()
+        assert ("sales", "qty", 0) in fetches
+        assert ("sales", "id", 1) in fetches
+
+
+class TestFilterProjectLimit:
+    def make_source(self, n=10):
+        from repro.storage.column import ColumnVector
+
+        batch = Batch.from_columns(
+            {"v": ColumnVector.from_boundary(list(range(n)), INTEGER)}
+        )
+        return VectorSourceOp(batch)
+
+    def test_filter(self):
+        op = FilterOp(self.make_source(), Compare(">", ColumnRef("v", INTEGER), Literal(6, INTEGER)))
+        assert op.run().columns["v"].values.tolist() == [7, 8, 9]
+
+    def test_project(self):
+        op = ProjectOp(
+            self.make_source(3),
+            [("double_v", make_arith("*", ColumnRef("v", INTEGER), Literal(2, INTEGER)))],
+        )
+        batch = op.run()
+        assert list(batch.columns) == ["double_v"]
+        assert batch.columns["double_v"].values.tolist() == [0, 2, 4]
+
+    def test_limit(self):
+        op = LimitOp(self.make_source(10), limit=3)
+        assert op.run().columns["v"].values.tolist() == [0, 1, 2]
+
+    def test_limit_with_offset(self):
+        op = LimitOp(self.make_source(10), limit=3, offset=5)
+        assert op.run().columns["v"].values.tolist() == [5, 6, 7]
+
+    def test_offset_beyond_input(self):
+        op = LimitOp(self.make_source(5), limit=3, offset=10)
+        assert op.run().n == 0
+
+    def test_limit_none_means_offset_only(self):
+        op = LimitOp(self.make_source(5), limit=None, offset=2)
+        assert op.run().columns["v"].values.tolist() == [2, 3, 4]
+
+    def test_limit_across_batches(self):
+        t = build_table(n=300, region_rows=100)
+        op = LimitOp(TableScanOp(t, ["id"]), limit=150)
+        assert op.run().n == 150
+
+    def test_batch_validation(self):
+        from repro.storage.column import ColumnVector
+
+        with pytest.raises(ValueError):
+            Batch.from_columns(
+                {
+                    "a": ColumnVector.from_boundary([1], INTEGER),
+                    "b": ColumnVector.from_boundary([1, 2], INTEGER),
+                }
+            )

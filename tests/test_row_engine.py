@@ -1,0 +1,261 @@
+"""Row-at-a-time baseline engine."""
+
+import pytest
+
+from repro.engine import AggregateSpec, ColumnRef, Compare, Literal, SimplePredicate, SortKey
+from repro.engine.row_engine import (
+    RowFilter,
+    RowGroupBy,
+    RowHashJoin,
+    RowLimit,
+    RowNestedLoopJoin,
+    RowProject,
+    RowScan,
+    RowSort,
+    RowSource,
+)
+from repro.engine.expression import make_arith
+from repro.storage import RowTable, TableSchema
+from repro.types import DOUBLE, INTEGER, varchar_type
+
+
+def build_row_table(n=1000, index=True):
+    schema = TableSchema(
+        "orders",
+        (("id", INTEGER), ("cust", INTEGER), ("qty", INTEGER), ("state", varchar_type(2))),
+    )
+    t = RowTable(schema)
+    t.insert_rows(
+        [(i, i % 50, i % 10, ["ca", "ny"][i % 2]) for i in range(n)]
+    )
+    if index:
+        t.create_index("id")
+        t.create_index("cust")
+    return t
+
+
+class TestRowScan:
+    def test_full_scan(self):
+        t = build_row_table(100, index=False)
+        scan = RowScan(t)
+        assert len(scan.run()) == 100
+        assert scan.used_index is None
+
+    def test_index_point_lookup(self):
+        t = build_row_table(1000)
+        scan = RowScan(t, pushed=[SimplePredicate("id", "=", 77)])
+        rows = scan.run()
+        assert scan.used_index == "id"
+        assert scan.rows_examined == 1
+        assert rows[0]["cust"] == 77 % 50
+
+    def test_index_range(self):
+        t = build_row_table(1000)
+        scan = RowScan(t, pushed=[SimplePredicate("id", "BETWEEN", (10, 19))])
+        assert len(scan.run()) == 10
+        assert scan.rows_examined == 10
+
+    def test_index_open_ranges(self):
+        t = build_row_table(100)
+        assert len(RowScan(t, pushed=[SimplePredicate("id", "<", 5)]).run()) == 5
+        assert len(RowScan(t, pushed=[SimplePredicate("id", "<=", 5)]).run()) == 6
+        assert len(RowScan(t, pushed=[SimplePredicate("id", ">", 95)]).run()) == 4
+        assert len(RowScan(t, pushed=[SimplePredicate("id", ">=", 95)]).run()) == 5
+
+    def test_unindexed_predicate_scans(self):
+        t = build_row_table(200)
+        scan = RowScan(t, pushed=[SimplePredicate("qty", "=", 3)])
+        rows = scan.run()
+        assert scan.used_index is None
+        assert scan.rows_examined == 200
+        assert all(r["qty"] == 3 for r in rows)
+
+    def test_combined_index_and_filter(self):
+        t = build_row_table(1000)
+        scan = RowScan(
+            t,
+            pushed=[
+                SimplePredicate("cust", "=", 7),
+                SimplePredicate("state", "=", "ny"),
+            ],
+        )
+        rows = scan.run()
+        assert scan.used_index == "cust"
+        assert all(r["cust"] == 7 and r["state"] == "ny" for r in rows)
+
+    def test_residual(self):
+        t = build_row_table(100)
+        residual = Compare(">", ColumnRef("qty", INTEGER), Literal(7, INTEGER))
+        rows = RowScan(t, residual=residual).run()
+        assert all(r["qty"] > 7 for r in rows)
+
+    def test_deleted_rows_skipped_via_index(self):
+        t = build_row_table(100)
+        t.delete_ids([10])
+        scan = RowScan(t, pushed=[SimplePredicate("id", "=", 10)])
+        assert scan.run() == []
+
+
+class TestRowOps:
+    def test_filter_project(self):
+        src = RowSource([{"v": 1}, {"v": 5}])
+        out = RowProject(
+            RowFilter(src, Compare(">", ColumnRef("v", INTEGER), Literal(2, INTEGER))),
+            [("w", make_arith("*", ColumnRef("v", INTEGER), Literal(3, INTEGER)))],
+        ).run()
+        assert out == [{"w": 15}]
+
+    def test_limit_offset(self):
+        src = RowSource([{"v": i} for i in range(10)])
+        assert [r["v"] for r in RowLimit(src, 3, offset=2).run()] == [2, 3, 4]
+
+    def test_sort_multi_key_with_nulls(self):
+        rows = [{"a": 1, "b": None}, {"a": 1, "b": 5}, {"a": 0, "b": 9}]
+        out = RowSort(
+            RowSource(rows),
+            [SortKey(ColumnRef("a", INTEGER)), SortKey(ColumnRef("b", INTEGER))],
+        ).run()
+        assert out == [{"a": 0, "b": 9}, {"a": 1, "b": 5}, {"a": 1, "b": None}]
+
+    def test_sort_desc_nulls_first(self):
+        rows = [{"v": 2}, {"v": None}, {"v": 9}]
+        out = RowSort(RowSource(rows), [SortKey(ColumnRef("v", INTEGER), ascending=False)]).run()
+        assert [r["v"] for r in out] == [None, 9, 2]
+
+
+class TestRowJoins:
+    def test_nested_loop_with_index(self):
+        orders = build_row_table(100)
+        cust_rows = RowSource([{"cust_id": c, "tier": c % 3} for c in range(50)])
+        joined = RowNestedLoopJoin(
+            RowScan(orders, pushed=[SimplePredicate("id", "<", 10)]),
+            self._cust_table(),
+            "cust",
+            "cust_id",
+        ).run()
+        assert len(joined) == 10
+        assert all("tier" in r for r in joined)
+
+    def _cust_table(self):
+        schema = TableSchema("cust", (("cust_id", INTEGER), ("tier", INTEGER)))
+        t = RowTable(schema)
+        t.insert_rows([(c, c % 3) for c in range(50)])
+        t.create_index("cust_id")
+        return t
+
+    def test_nested_loop_left(self):
+        schema = TableSchema("d", (("cust_id", INTEGER), ("tier", INTEGER)))
+        inner = RowTable(schema)
+        inner.insert_rows([(1, 0)])
+        out = RowNestedLoopJoin(
+            RowSource([{"cust": 1}, {"cust": 99}]), inner, "cust", "cust_id", join_type="left"
+        ).run()
+        assert out[0]["tier"] == 0
+        assert out[1]["tier"] is None
+
+    def test_hash_join(self):
+        left = RowSource([{"k": 1, "l": 10}, {"k": 2, "l": 20}, {"k": None, "l": 0}])
+        right = RowSource([{"k2": 2, "r": 200}])
+        # align key names by projecting
+        out = RowHashJoin(left, RowProject(right, [("k", ColumnRef("k2", INTEGER)), ("r", ColumnRef("r", INTEGER))]), "k", "k").run()
+        assert out == [{"k": 2, "l": 20, "r": 200}]
+
+
+class TestRowGroupBy:
+    def test_sum_avg_count(self):
+        rows = [{"g": "a", "v": 1}, {"g": "a", "v": 3}, {"g": "b", "v": None}]
+        out = RowGroupBy(
+            RowSource(rows),
+            keys=[("g", ColumnRef("g", varchar_type(1)))],
+            aggregates=[
+                AggregateSpec("SUM", [ColumnRef("v", INTEGER)], "s"),
+                AggregateSpec("COUNT", [ColumnRef("v", INTEGER)], "c"),
+                AggregateSpec("COUNT", [], "star"),
+                AggregateSpec("AVG", [ColumnRef("v", INTEGER)], "m"),
+            ],
+        ).run()
+        by_g = {r["g"]: r for r in out}
+        assert by_g["a"]["s"] == 4
+        assert by_g["a"]["m"] == 2.0
+        assert by_g["b"]["s"] is None
+        assert by_g["b"]["c"] == 0
+        assert by_g["b"]["star"] == 1
+
+    def test_min_max_median(self):
+        rows = [{"v": x} for x in [5.0, 1.0, 9.0, 3.0]]
+        out = RowGroupBy(
+            RowSource(rows),
+            keys=[],
+            aggregates=[
+                AggregateSpec("MIN", [ColumnRef("v", DOUBLE)], "lo"),
+                AggregateSpec("MAX", [ColumnRef("v", DOUBLE)], "hi"),
+                AggregateSpec("MEDIAN", [ColumnRef("v", DOUBLE)], "med"),
+            ],
+        ).run()
+        assert out == [{"lo": 1.0, "hi": 9.0, "med": 4.0}]
+
+    def test_grand_total_on_empty_input(self):
+        out = RowGroupBy(RowSource([]), keys=[], aggregates=[AggregateSpec("COUNT", [], "c")]).run()
+        assert out == [{"c": 0}]
+
+    def test_distinct_count_and_sum(self):
+        rows = [{"v": 5}, {"v": 5}, {"v": 7}]
+        out = RowGroupBy(
+            RowSource(rows),
+            keys=[],
+            aggregates=[
+                AggregateSpec("COUNT", [ColumnRef("v", INTEGER)], "c", distinct=True),
+                AggregateSpec("SUM", [ColumnRef("v", INTEGER)], "s", distinct=True),
+            ],
+        ).run()
+        assert out == [{"c": 2, "s": 12}]
+
+    def test_variance_matches_vector_engine(self):
+        import numpy as np
+
+        values = [1.0, 4.0, 9.0, 16.0]
+        out = RowGroupBy(
+            RowSource([{"v": v} for v in values]),
+            keys=[],
+            aggregates=[
+                AggregateSpec("VAR_POP", [ColumnRef("v", DOUBLE)], "vp"),
+                AggregateSpec("STDDEV_SAMP", [ColumnRef("v", DOUBLE)], "sd"),
+            ],
+        ).run()
+        assert out[0]["vp"] == pytest.approx(np.var(values))
+        assert out[0]["sd"] == pytest.approx(np.std(values, ddof=1))
+
+
+class TestCrossEngineAgreement:
+    """The two engines must produce identical answers (different speeds)."""
+
+    def test_filtered_aggregate_agrees(self):
+        import datetime
+
+        from repro.engine import GroupByOp, TableScanOp
+        from repro.storage import ColumnTable
+
+        schema = TableSchema(
+            "t", (("id", INTEGER), ("grp", INTEGER), ("qty", INTEGER))
+        )
+        col_t = ColumnTable(schema, region_rows=500)
+        row_t = RowTable(schema)
+        rows = [(i, i % 7, (i * 13) % 101) for i in range(2000)]
+        col_t.insert_rows(rows)
+        col_t.flush()
+        row_t.insert_rows(rows)
+        pushed = [SimplePredicate("qty", ">=", 50)]
+        col_result = GroupByOp(
+            TableScanOp(col_t, ["grp", "qty"], pushed=pushed),
+            keys=[("grp", ColumnRef("grp", INTEGER))],
+            aggregates=[AggregateSpec("SUM", [ColumnRef("qty", INTEGER)], "s")],
+        ).run()
+        col_rows = dict(zip(col_result.columns["grp"].values.tolist(),
+                            col_result.columns["s"].values.tolist()))
+        row_result = RowGroupBy(
+            RowScan(row_t, pushed=pushed),
+            keys=[("grp", ColumnRef("grp", INTEGER))],
+            aggregates=[AggregateSpec("SUM", [ColumnRef("qty", INTEGER)], "s")],
+        ).run()
+        row_rows = {r["grp"]: r["s"] for r in row_result}
+        assert col_rows == row_rows

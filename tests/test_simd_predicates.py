@@ -1,0 +1,156 @@
+"""Software-SIMD predicate kernels vs. the per-value reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd.predicates import (
+    eval_compare,
+    eval_compare_scalar,
+    eval_in_ranges,
+    eval_range,
+)
+from repro.util.bitpack import pack_codes
+
+OPS = ["=", "<>", "<", "<=", ">", ">="]
+
+
+def _packed(width, n, seed=0):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 1 << width, size=n, dtype=np.uint64)
+    return codes, pack_codes(codes, width)
+
+
+class TestEvalCompare:
+    @pytest.mark.parametrize("width", [1, 3, 8, 13, 21])
+    @pytest.mark.parametrize("op", OPS)
+    def test_matches_numpy_ground_truth(self, width, op):
+        codes, packed = _packed(width, 777, seed=width)
+        k = int(codes[len(codes) // 2])
+        expected = {
+            "=": codes == k,
+            "<>": codes != k,
+            "<": codes < k,
+            "<=": codes <= k,
+            ">": codes > k,
+            ">=": codes >= k,
+        }[op]
+        assert np.array_equal(eval_compare(packed, op, k), expected)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_matches_scalar_reference(self, op):
+        _, packed = _packed(5, 100, seed=3)
+        assert np.array_equal(
+            eval_compare(packed, op, 11), eval_compare_scalar(packed, op, 11)
+        )
+
+    def test_constant_below_domain(self):
+        codes, packed = _packed(4, 50, seed=1)
+        assert eval_compare(packed, ">", -1).all()
+        assert eval_compare(packed, ">=", -5).all()
+        assert not eval_compare(packed, "<", -1).any()
+        assert not eval_compare(packed, "=", -1).any()
+        assert eval_compare(packed, "<>", -1).all()
+
+    def test_constant_above_domain(self):
+        codes, packed = _packed(4, 50, seed=2)
+        assert eval_compare(packed, "<", 16).all()
+        assert not eval_compare(packed, ">", 16).any()
+        assert not eval_compare(packed, "=", 99).any()
+
+    def test_boundary_constants(self):
+        codes, packed = _packed(6, 200, seed=4)
+        top = (1 << 6) - 1
+        assert np.array_equal(eval_compare(packed, "<=", top), np.ones(200, bool))
+        assert np.array_equal(eval_compare(packed, ">=", 0), np.ones(200, bool))
+        assert np.array_equal(eval_compare(packed, "=", 0), codes == 0)
+        assert np.array_equal(eval_compare(packed, "=", top), codes == top)
+
+    def test_empty_input(self):
+        packed = pack_codes(np.zeros(0, dtype=np.uint64), 4)
+        assert eval_compare(packed, "=", 1).size == 0
+
+    def test_unknown_operator(self):
+        _, packed = _packed(4, 10)
+        with pytest.raises(ValueError):
+            eval_compare(packed, "!!", 1)
+
+    def test_padding_lanes_do_not_leak(self):
+        # 61 codes of width 7 leave 3 padding lanes in the last word; the
+        # padding holds zeros, which must not appear in the result.
+        codes = np.full(61, 5, dtype=np.uint64)
+        packed = pack_codes(codes, 7)
+        eq0 = eval_compare(packed, "=", 0)
+        assert eq0.size == 61
+        assert not eq0.any()
+        lt6 = eval_compare(packed, "<", 6)
+        assert lt6.all()
+
+
+class TestEvalRange:
+    def test_between_inclusive(self):
+        codes, packed = _packed(8, 500, seed=5)
+        got = eval_range(packed, 50, 180)
+        assert np.array_equal(got, (codes >= 50) & (codes <= 180))
+
+    def test_empty_range(self):
+        _, packed = _packed(8, 100, seed=6)
+        assert not eval_range(packed, 90, 10).any()
+
+    def test_full_domain_range(self):
+        _, packed = _packed(4, 100, seed=7)
+        assert eval_range(packed, 0, 15).all()
+
+    def test_range_clamped_to_domain(self):
+        codes, packed = _packed(4, 100, seed=8)
+        got = eval_range(packed, -100, 7)
+        assert np.array_equal(got, codes <= 7)
+
+
+class TestEvalInRanges:
+    def test_disjunction_of_ranges(self):
+        codes, packed = _packed(8, 400, seed=9)
+        got = eval_in_ranges(packed, [(0, 10), (100, 110), (250, 255)])
+        expected = (
+            (codes <= 10)
+            | ((codes >= 100) & (codes <= 110))
+            | (codes >= 250)
+        )
+        assert np.array_equal(got, expected)
+
+    def test_no_ranges_matches_nothing(self):
+        _, packed = _packed(8, 50, seed=10)
+        assert not eval_in_ranges(packed, []).any()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=20),
+    op=st.sampled_from(OPS),
+    data=st.data(),
+)
+def test_property_simd_equals_numpy(width, op, data):
+    n = data.draw(st.integers(min_value=1, max_value=200))
+    codes = np.array(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << width) - 1),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.uint64,
+    )
+    k = data.draw(st.integers(min_value=-2, max_value=(1 << width) + 2))
+    packed = pack_codes(codes, width)
+    signed = codes.astype(np.int64)
+    expected = {
+        "=": signed == k,
+        "<>": signed != k,
+        "<": signed < k,
+        "<=": signed <= k,
+        ">": signed > k,
+        ">=": signed >= k,
+    }[op]
+    assert np.array_equal(eval_compare(packed, op, k), expected)

@@ -1,0 +1,325 @@
+"""Mini-Spark: RDDs, DAG scheduler, DataFrames, dispatcher, integration."""
+
+import pytest
+
+from repro.cluster import Cluster, HardwareSpec
+from repro.errors import SparkJobError, SparkSubmitError
+from repro.spark import (
+    DashDBSparkContext,
+    SparkContext,
+    SparkDataFrame,
+    SparkDispatcher,
+    train_glm,
+    train_kmeans,
+)
+from repro.spark.dispatcher import spark_submit
+from repro.spark.procedures import SparkAppRegistry, install_spark_procedures
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext("test", default_parallelism=4)
+
+
+class TestRDD:
+    def test_map_filter_collect(self, sc):
+        got = sc.parallelize(range(10)).map(lambda x: x * 2).filter(lambda x: x > 10).collect()
+        assert got == [12, 14, 16, 18]
+
+    def test_laziness(self, sc):
+        effects = []
+        rdd = sc.parallelize(range(3)).map(lambda x: effects.append(x) or x)
+        assert effects == []  # nothing ran yet
+        rdd.collect()
+        assert sorted(effects) == [0, 1, 2]
+
+    def test_flat_map(self, sc):
+        got = sc.parallelize(["a b", "c"]).flat_map(str.split).collect()
+        assert got == ["a", "b", "c"]
+
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        got = dict(sc.parallelize(pairs).reduce_by_key(lambda a, b: a + b).collect())
+        assert got == {"a": 4, "b": 6}
+
+    def test_group_by_key(self, sc):
+        pairs = [("x", 1), ("x", 2), ("y", 3)]
+        got = dict(sc.parallelize(pairs).group_by_key().collect())
+        assert sorted(got["x"]) == [1, 2]
+
+    def test_join(self, sc):
+        left = sc.parallelize([("k1", 1), ("k2", 2)])
+        right = sc.parallelize([("k1", "a"), ("k3", "c")])
+        got = left.join(right).collect()
+        assert got == [("k1", (1, "a"))]
+
+    def test_distinct_union(self, sc):
+        a = sc.parallelize([1, 2, 2])
+        b = sc.parallelize([2, 3])
+        assert sorted(a.union(b).distinct().collect()) == [1, 2, 3]
+
+    def test_actions(self, sc):
+        rdd = sc.parallelize(range(5))
+        assert rdd.count() == 5
+        assert rdd.sum() == 10
+        assert rdd.take(2) == [0, 1]
+        assert rdd.reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty(self, sc):
+        with pytest.raises(SparkJobError):
+            sc.parallelize([]).reduce(lambda a, b: a)
+
+    def test_repartition(self, sc):
+        rdd = sc.parallelize(range(8), n_partitions=2).repartition(4)
+        parts = rdd.collect_partitions()
+        assert len(parts) == 4
+        assert sorted(x for p in parts for x in p) == list(range(8))
+
+    def test_partition_count(self, sc):
+        assert sc.parallelize(range(100), n_partitions=5).n_partitions == 5
+
+
+class TestScheduler:
+    def test_stage_splitting_at_shuffles(self, sc):
+        rdd = (
+            sc.parallelize([("a", 1)] * 10, n_partitions=2)
+            .map(lambda kv: kv)                       # narrow (same stage)
+            .reduce_by_key(lambda a, b: a + b)        # shuffle -> new stage
+            .map(lambda kv: kv)                       # narrow
+        )
+        rdd.collect()
+        metrics = sc.scheduler.last_metrics
+        assert metrics.stages == 2  # source stage + shuffle stage
+        assert metrics.shuffled_records == 10
+
+    def test_narrow_only_single_stage(self, sc):
+        sc.parallelize(range(10)).map(lambda x: x).filter(bool).collect()
+        assert sc.scheduler.last_metrics.stages == 1
+        assert sc.scheduler.last_metrics.shuffled_records == 0
+
+    def test_input_records_counted(self, sc):
+        sc.parallelize(range(42)).collect()
+        assert sc.scheduler.last_metrics.input_records == 42
+
+
+class TestDataFrame:
+    def make_df(self, sc):
+        rows = [
+            {"region": "east", "amt": 10.0},
+            {"region": "west", "amt": 20.0},
+            {"region": "east", "amt": 30.0},
+        ]
+        return SparkDataFrame(sc.parallelize(rows), ["region", "amt"])
+
+    def test_select_where(self, sc):
+        df = self.make_df(sc)
+        got = df.where(lambda r: r["amt"] > 15).select("region").collect()
+        assert sorted(r["region"] for r in got) == ["east", "west"]
+
+    def test_group_agg(self, sc):
+        df = self.make_df(sc)
+        got = {
+            r["region"]: (r["total"], r["n"], r["m"])
+            for r in df.group_by("region").agg(total="sum:amt", n="count", m="avg:amt").collect()
+        }
+        assert got["east"] == (40.0, 2, 20.0)
+        assert got["west"] == (20.0, 1, 20.0)
+
+    def test_with_column_and_join(self, sc):
+        df = self.make_df(sc).with_column("double_amt", lambda r: r["amt"] * 2)
+        dims = SparkDataFrame(
+            sc.parallelize([{"region": "east", "zone": 1}, {"region": "west", "zone": 2}]),
+            ["region", "zone"],
+        )
+        joined = df.join(dims, on="region")
+        assert all("zone" in r for r in joined.collect())
+        assert joined.count() == 3
+
+    def test_unknown_column(self, sc):
+        with pytest.raises(SparkJobError):
+            self.make_df(sc).select("nope")
+
+    def test_min_max_agg(self, sc):
+        df = self.make_df(sc)
+        row = df.group_by().agg(lo="min:amt", hi="max:amt").collect()[0]
+        assert (row["lo"], row["hi"]) == (10.0, 30.0)
+
+
+class TestDispatcher:
+    def test_per_user_isolation(self):
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 30)
+        dispatcher.submit("alice", "a-app", lambda sc: sc.parallelize([1]).count())
+        dispatcher.submit("bob", "b-app", lambda sc: sc.parallelize([1, 2]).count())
+        # Paper: "different users could not see what other users are doing".
+        assert {a.name for a in dispatcher.apps_of("alice")} == {"a-app"}
+        assert {a.name for a in dispatcher.apps_of("bob")} == {"b-app"}
+        assert dispatcher.manager_for("alice") is not dispatcher.manager_for("bob")
+
+    def test_memory_budget(self):
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 30, per_user_fraction=0.25)
+        manager = dispatcher.manager_for("u")
+        assert manager.memory_limit_bytes == (1 << 30) // 4
+
+    def test_app_result_and_failure(self):
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 20)
+        ok = dispatcher.submit("u", "ok", lambda sc: 42)
+        assert (ok.state, ok.result) == ("FINISHED", 42)
+        bad = dispatcher.submit("u", "bad", lambda sc: 1 / 0)
+        assert bad.state == "FAILED"
+        assert "zero" in bad.error
+
+    def test_rest_interface(self):
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 20)
+        response = dispatcher.rest_request(
+            "POST", "/apps", "u", {"name": "r", "main_fn": lambda sc: "done"}
+        )
+        app_id = response["app_id"]
+        assert dispatcher.rest_request("GET", "/apps/%s" % app_id, "u")["state"] == "FINISHED"
+        assert app_id in dispatcher.rest_request("GET", "/apps", "u")["apps"]
+        with pytest.raises(SparkSubmitError):
+            dispatcher.rest_request("PATCH", "/apps", "u")
+
+    def test_spark_submit_wrapper(self):
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 20)
+        app = spark_submit(dispatcher, "u", "wrapped", lambda sc: 7)
+        assert app.result == 7
+
+    def test_status_unknown_app(self):
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 20)
+        with pytest.raises(SparkSubmitError):
+            dispatcher.status("u", "app-9999")
+
+
+class TestIntegration:
+    @pytest.fixture()
+    def cluster(self):
+        c = Cluster([HardwareSpec(cores=4, ram_gb=16, storage_tb=1)] * 2)
+        s = c.connect("db2")
+        s.execute("CREATE TABLE fact (id INT, grp VARCHAR(5), v INT) DISTRIBUTE BY HASH (id)")
+        values = ", ".join("(%d, 'g%d', %d)" % (i, i % 3, i) for i in range(60))
+        s.execute("INSERT INTO fact VALUES " + values)
+        return c
+
+    def test_collocated_partitions_match_shards(self, cluster):
+        dsc = DashDBSparkContext(cluster)
+        rdd = dsc.table_rdd("fact")
+        assert rdd.n_partitions == cluster.n_shards
+        assert rdd.count() == 60
+
+    def test_pushdown_where(self, cluster):
+        dsc = DashDBSparkContext(cluster)
+        rdd = dsc.table_rdd("fact", where="v >= 50")
+        assert rdd.count() == 10
+        # Pushdown shrinks the transfer.
+        assert dsc.transfer.rows_local == 10
+
+    def test_remote_costs_more(self, cluster):
+        local = DashDBSparkContext(cluster)
+        local.table_rdd("fact", collocated=True).count()
+        remote = DashDBSparkContext(cluster)
+        remote.table_rdd("fact", collocated=False).count()
+        assert remote.transfer.bytes_remote > local.transfer.bytes_local
+
+    def test_dataframe_aggregation_matches_sql(self, cluster):
+        dsc = DashDBSparkContext(cluster)
+        df = dsc.table_df("fact")
+        spark_rows = {
+            r["GRP"]: r["total"]
+            for r in df.group_by("GRP").agg(total="sum:V").collect()
+        }
+        sql_rows = dict(
+            cluster.connect("db2").execute(
+                "SELECT grp, SUM(v) FROM fact GROUP BY grp"
+            ).rows
+        )
+        assert spark_rows == sql_rows
+
+    def test_write_table(self, cluster):
+        dsc = DashDBSparkContext(cluster)
+        s = cluster.connect("db2")
+        s.execute("CREATE TABLE results (grp VARCHAR(5), total INT) DISTRIBUTE BY HASH (grp)")
+        df = dsc.table_df("fact").group_by("GRP").agg(TOTAL="sum:V")
+        df = SparkDataFrame(df.rdd.map(lambda r: {"GRP": r["GRP"], "TOTAL": r["TOTAL"]}), ["GRP", "TOTAL"])
+        written = dsc.write_table(df, "results")
+        assert written == 3
+        assert s.execute("SELECT COUNT(*) FROM results").scalar() == 3
+
+
+class TestProcedures:
+    def test_spark_submit_via_sql_call(self):
+        from repro.database import Database
+
+        db = Database()
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 20)
+        registry = SparkAppRegistry()
+        registry.deploy("wordcount", lambda sc: sc.parallelize(["a a b"]).flat_map(str.split).count())
+        install_spark_procedures(db, dispatcher, registry)
+        s = db.connect("db2")
+        result = s.execute("CALL SPARK_SUBMIT('wordcount', 'alice')")
+        assert result.rows[0][1] == "FINISHED"
+        app_id = result.rows[0][0]
+        assert s.execute("CALL SPARK_STATUS('%s', 'alice')" % app_id).scalar() == "FINISHED"
+
+    def test_idax_glm_procedure(self):
+        from repro.database import Database
+
+        db = Database()
+        dispatcher = SparkDispatcher(total_memory_bytes=1 << 20)
+        install_spark_procedures(db, dispatcher, SparkAppRegistry())
+        s = db.connect("db2")
+        s.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)")
+        s.execute("INSERT INTO pts VALUES " + ", ".join(
+            "(%d, %d)" % (i, 3 * i + 1) for i in range(20)
+        ))
+        result = s.execute("CALL IDAX_GLM('pts', 'y', 'x')")
+        coefficients = dict(result.rows)
+        assert coefficients["INTERCEPT"] == pytest.approx(1.0, abs=1e-6)
+        assert coefficients["X"] == pytest.approx(3.0, abs=1e-6)
+
+
+class TestMllib:
+    def test_gaussian_glm(self, sc):
+        data = sc.parallelize([([float(i)], 2.0 * i - 1.0) for i in range(30)])
+        model = train_glm(data, family="gaussian")
+        assert model.coefficients[0] == pytest.approx(-1.0, abs=1e-8)
+        assert model.coefficients[1] == pytest.approx(2.0, abs=1e-8)
+        assert model.predict([[10.0]])[0] == pytest.approx(19.0)
+
+    def test_logistic_glm(self, sc):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=400)
+        noise = rng.normal(scale=0.5, size=400)
+        labels = ((xs + noise) > 0.2).astype(float)  # noisy, not separable
+        data = [([float(x)], float(y)) for x, y in zip(xs, labels)]
+        model = train_glm(data, family="binomial")
+        predictions = model.classify([[x] for x in xs])
+        accuracy = (predictions == labels).mean()
+        assert accuracy > 0.8
+
+    def test_glm_validation(self):
+        from repro.errors import AnalyticsError
+
+        with pytest.raises(AnalyticsError):
+            train_glm([])
+        with pytest.raises(AnalyticsError):
+            train_glm([([1.0], 1.0)], family="poisson")
+
+    def test_kmeans(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        cloud_a = rng.normal(loc=(0, 0), scale=0.3, size=(50, 2))
+        cloud_b = rng.normal(loc=(10, 10), scale=0.3, size=(50, 2))
+        model = train_kmeans(list(cloud_a) + list(cloud_b), k=2)
+        labels_a = model.predict(cloud_a)
+        labels_b = model.predict(cloud_b)
+        assert len(set(labels_a.tolist())) == 1
+        assert set(labels_a.tolist()) != set(labels_b.tolist())
+
+    def test_kmeans_validation(self):
+        from repro.errors import AnalyticsError
+
+        with pytest.raises(AnalyticsError):
+            train_kmeans([[1.0]], k=5)

@@ -1,0 +1,187 @@
+"""SQL edge cases across the whole front end."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import (
+    BindError,
+    DivisionByZeroError,
+    SQLError,
+    SQLSyntaxError,
+    UnsupportedFeatureError,
+)
+
+
+@pytest.fixture()
+def s():
+    db = Database()
+    session = db.connect("db2")
+    session.execute("CREATE TABLE t (a INT, b INT, s VARCHAR(8))")
+    session.execute(
+        "INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), (3, NULL, NULL), (4, 40, 'x')"
+    )
+    return session
+
+
+class TestIdentifiers:
+    def test_quoted_identifiers_preserve_case(self, s):
+        s.execute('CREATE TABLE "CaseSensitive" ("Col" INT)')
+        s.execute('INSERT INTO "CaseSensitive" VALUES (1)')
+        # Catalog folds to the quoted spelling, which happens to be mixed.
+        assert s.execute('SELECT "Col" FROM "CaseSensitive"').scalar() == 1
+
+    def test_ambiguous_column(self, s):
+        s.execute("CREATE TABLE u (a INT)")
+        s.execute("INSERT INTO u VALUES (1)")
+        with pytest.raises(BindError):
+            s.execute("SELECT a FROM t, u")
+
+    def test_qualified_disambiguation(self, s):
+        s.execute("CREATE TABLE u2 (a INT)")
+        s.execute("INSERT INTO u2 VALUES (9)")
+        rows = s.execute("SELECT t.a, u2.a FROM t, u2 WHERE t.a = 1").rows
+        assert rows == [(1, 9)]
+
+    def test_duplicate_alias_rejected(self, s):
+        with pytest.raises(BindError):
+            s.execute("SELECT 1 FROM t x, t x")
+
+    def test_unknown_column_names_position(self, s):
+        with pytest.raises(BindError):
+            s.execute("SELECT zz FROM t")
+
+
+class TestExpressionsEdge:
+    def test_unary_minus_chains(self, s):
+        assert s.execute("SELECT - - a FROM t WHERE a = 2").scalar() == 2
+        assert s.execute("SELECT -(a + 1) FROM t WHERE a = 2").scalar() == -3
+
+    def test_division_by_zero_in_live_row(self, s):
+        with pytest.raises(DivisionByZeroError):
+            s.execute("SELECT 1 / (a - 1) FROM t")
+
+    def test_division_by_zero_avoided_by_filter(self, s):
+        rows = s.execute("SELECT 10 / a FROM t WHERE a > 1 ORDER BY 1").rows
+        assert rows == [(2,), (3,), (5,)]  # truncating integer division
+
+    def test_string_number_coercion_in_compare(self, s):
+        assert s.execute("SELECT COUNT(*) FROM t WHERE a = '2'").scalar() == 1
+
+    def test_arith_on_string_literal(self, s):
+        assert s.execute("SELECT '5' + 1 FROM t WHERE a = 1").scalar() == 6.0
+
+    def test_concat_mixed_types(self, s):
+        assert s.execute("SELECT s || a FROM t WHERE a = 1").scalar() == "x1"
+
+    def test_between_symmetric_nulls(self, s):
+        # NULL BETWEEN is UNKNOWN: filtered.
+        assert s.execute("SELECT COUNT(*) FROM t WHERE b BETWEEN 0 AND 100").scalar() == 3
+
+    def test_not_in_excludes_nothing_with_null_operand(self, s):
+        assert s.execute("SELECT COUNT(*) FROM t WHERE b NOT IN (10)").scalar() == 2
+
+    def test_case_with_null_branch(self, s):
+        rows = s.execute(
+            "SELECT a, CASE WHEN b IS NULL THEN 'missing' END FROM t ORDER BY a"
+        ).rows
+        assert rows[2] == (3, "missing")
+        assert rows[0] == (1, None)
+
+
+class TestSetOpsAndSubqueries:
+    def test_union_all_keeps_duplicates(self, s):
+        rows = s.execute(
+            "SELECT s FROM t WHERE s = 'x' UNION ALL SELECT s FROM t WHERE s = 'x'"
+        ).rows
+        assert len(rows) == 4
+
+    def test_union_column_count_mismatch(self, s):
+        with pytest.raises(SQLError):
+            s.execute("SELECT a FROM t UNION SELECT a, b FROM t")
+
+    def test_chained_set_ops(self, s):
+        rows = s.execute(
+            "SELECT a FROM t WHERE a <= 2 UNION SELECT a FROM t WHERE a = 3"
+            " UNION SELECT a FROM t WHERE a = 4 ORDER BY 1"
+        ).rows
+        assert rows == [(1,), (2,), (3,), (4,)]
+
+    def test_scalar_subquery_multiple_rows_rejected(self, s):
+        with pytest.raises(SQLError):
+            s.execute("SELECT (SELECT a FROM t) FROM t")
+
+    def test_scalar_subquery_empty_is_null(self, s):
+        assert s.execute(
+            "SELECT COUNT(*) FROM t WHERE a = (SELECT a FROM t WHERE a = 99)"
+        ).scalar() == 0
+
+    def test_nested_ctes(self, s):
+        value = s.execute(
+            "WITH x AS (SELECT a FROM t WHERE a > 1),"
+            " y AS (SELECT a FROM x WHERE a < 4)"
+            " SELECT COUNT(*) FROM y"
+        ).scalar()
+        assert value == 2
+
+    def test_in_subquery_with_nulls(self, s):
+        # b values: 10, 20, NULL, 40
+        assert s.execute(
+            "SELECT COUNT(*) FROM t WHERE b IN (SELECT b FROM t)"
+        ).scalar() == 3
+
+
+class TestErrorsAndSyntax:
+    def test_trailing_garbage(self, s):
+        with pytest.raises(SQLSyntaxError):
+            s.execute("SELECT a FROM t GARBAGE EXTRA TOKENS HERE (")
+
+    def test_empty_statement(self, s):
+        with pytest.raises(SQLSyntaxError):
+            s.execute("")
+
+    def test_insert_arity_mismatch(self, s):
+        with pytest.raises(SQLError):
+            s.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_unknown_column(self, s):
+        with pytest.raises(SQLError):
+            s.execute("INSERT INTO t (zz) VALUES (1)")
+
+    def test_order_by_ordinal_out_of_range(self, s):
+        with pytest.raises(BindError):
+            s.execute("SELECT a FROM t ORDER BY 9")
+
+    def test_group_by_ordinal_out_of_range(self, s):
+        with pytest.raises(BindError):
+            s.execute("SELECT a FROM t GROUP BY 9")
+
+    def test_aggregate_in_where_rejected(self, s):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            s.execute("SELECT a FROM t WHERE SUM(b) > 10")
+
+    def test_star_without_from(self, s):
+        with pytest.raises(BindError):
+            s.execute("SELECT *")
+
+
+class TestSparkSchedulerEdges:
+    def test_join_produces_two_shuffles(self):
+        from repro.spark import SparkContext
+
+        sc = SparkContext("j", default_parallelism=2)
+        left = sc.parallelize([("k", 1)] * 8)
+        right = sc.parallelize([("k", "v")] * 2)
+        joined = left.join(right)
+        assert joined.count() == 16
+        metrics = sc.scheduler.last_metrics
+        assert metrics.stages >= 3  # two sources + at least one shuffle stage
+        assert metrics.shuffled_records >= 10
+
+    def test_distinct_is_shuffle_based(self):
+        from repro.spark import SparkContext
+
+        sc = SparkContext("d")
+        assert sorted(sc.parallelize([3, 1, 3, 2, 1]).distinct().collect()) == [1, 2, 3]
+        assert sc.scheduler.last_metrics.shuffled_records == 5

@@ -1,0 +1,293 @@
+"""Lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import EOF, IDENT, NUMBER, OP, QIDENT, STRING, tokenize
+from repro.sql.parser import parse_statement, parse_statements
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 42 FROM t")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [IDENT, IDENT, OP, NUMBER, IDENT, IDENT, EOF]
+
+    def test_string_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"MixedCase"')
+        assert tokens[0].kind == QIDENT
+        assert tokens[0].value == "MixedCase"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 .5 1e3 1.5E-2") if t.kind == NUMBER]
+        assert values == ["1", "2.5", ".5", "1e3", "1.5E-2"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing\n/* block\ncomment */ + 2")
+        assert [t.value for t in tokens if t.kind != EOF] == ["SELECT", "1", "+", "2"]
+
+    def test_multichar_operators(self):
+        ops = [t.value for t in tokenize("a <= b <> c :: d || e >= f != g")
+               if t.kind == OP]
+        assert ops == ["<=", "<>", "::", "||", ">=", "!="]
+
+    def test_oracle_outer_marker(self):
+        ops = [t.value for t in tokenize("a.x = b.y (+)") if t.value == "(+)"]
+        assert ops == ["(+)"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* never ends")
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestParseSelect:
+    def test_simple(self):
+        node = parse_statement("SELECT a, b AS bee FROM t WHERE a > 1")
+        assert isinstance(node, ast.Select)
+        assert len(node.items) == 2
+        assert node.items[1].alias == "BEE"
+        assert isinstance(node.where, ast.BinaryOp)
+
+    def test_star_and_qualified_star(self):
+        node = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(node.items[0].expr, ast.Star)
+        assert node.items[1].expr.qualifier == "T"
+
+    def test_joins(self):
+        node = parse_statement(
+            "SELECT 1 FROM a INNER JOIN b ON a.x = b.x LEFT OUTER JOIN c USING (y)"
+        )
+        join = node.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "left"
+        assert join.using == ["Y"]
+        assert join.left.kind == "inner"
+
+    def test_comma_joins(self):
+        node = parse_statement("SELECT 1 FROM a, b, c")
+        assert len(node.from_items) == 3
+
+    def test_subquery_in_from(self):
+        node = parse_statement("SELECT x FROM (SELECT 1 AS x FROM t) sub")
+        assert isinstance(node.from_items[0], ast.SubqueryRef)
+        assert node.from_items[0].alias == "SUB"
+
+    def test_group_having_order(self):
+        node = parse_statement(
+            "SELECT d, COUNT(*) FROM t GROUP BY d HAVING COUNT(*) > 1 "
+            "ORDER BY 2 DESC NULLS FIRST"
+        )
+        assert len(node.group_by) == 1
+        assert node.having is not None
+        assert node.order_by[0].ascending is False
+        assert node.order_by[0].nulls_first is True
+
+    def test_limit_offset(self):
+        node = parse_statement("SELECT a FROM t LIMIT 5 OFFSET 10")
+        assert node.limit.text == "5"
+        assert node.offset.text == "10"
+
+    def test_fetch_first(self):
+        node = parse_statement("SELECT a FROM t FETCH FIRST 7 ROWS ONLY")
+        assert node.limit.text == "7"
+
+    def test_ctes(self):
+        node = parse_statement(
+            "WITH x AS (SELECT 1 FROM t), y (c) AS (SELECT 2 FROM t) SELECT * FROM x, y"
+        )
+        assert [c[0] for c in node.ctes] == ["X", "Y"]
+        assert node.ctes[1][2] == ["C"]
+
+    def test_set_operations(self):
+        node = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert node.set_op == "UNION ALL"
+        assert isinstance(node.set_right, ast.Select)
+
+    def test_minus_is_except(self):
+        node = parse_statement("SELECT a FROM t MINUS SELECT b FROM u")
+        assert node.set_op == "EXCEPT"
+
+    def test_connect_by(self):
+        node = parse_statement(
+            "SELECT name FROM emp START WITH mgr IS NULL CONNECT BY PRIOR id = mgr"
+        )
+        assert node.connect_by is not None
+        assert node.connect_by.start_with is not None
+
+    def test_case_forms(self):
+        node = parse_statement(
+            "SELECT CASE WHEN a=1 THEN 'x' ELSE 'y' END, CASE b WHEN 2 THEN 3 END FROM t"
+        )
+        searched = node.items[0].expr
+        simple = node.items[1].expr
+        assert searched.operand is None
+        assert simple.operand is not None
+
+    def test_predicates(self):
+        node = parse_statement(
+            "SELECT 1 FROM t WHERE a BETWEEN 1 AND 2 AND b NOT IN (1,2) "
+            "AND c LIKE 'x%' ESCAPE '!' AND d IS NOT NULL AND e ISNULL"
+        )
+        kinds = [type(c).__name__ for c in _conjuncts(node.where)]
+        assert "BetweenExpr" in kinds
+        assert "InExpr" in kinds
+        assert "LikeExpr" in kinds
+
+    def test_in_subquery(self):
+        node = parse_statement("SELECT 1 FROM t WHERE a IN (SELECT b FROM u)")
+        in_expr = node.where
+        assert in_expr.subquery is not None
+
+    def test_exists(self):
+        node = parse_statement("SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(node.where, ast.ExistsExpr)
+
+    def test_typed_literals(self):
+        node = parse_statement("SELECT DATE '2016-01-01', TIMESTAMP '2016-01-01 10:00:00' FROM t")
+        assert node.items[0].expr.type_name == "DATE"
+
+    def test_double_colon_cast(self):
+        node = parse_statement("SELECT x::bigint FROM t")
+        assert isinstance(node.items[0].expr, ast.CastExpr)
+
+    def test_sequence_refs(self):
+        node = parse_statement("SELECT seq.NEXTVAL, NEXT VALUE FOR seq2 FROM dual")
+        assert isinstance(node.items[0].expr, ast.SequenceRef)
+        assert node.items[1].expr.sequence == "SEQ2"
+
+    def test_operator_precedence(self):
+        node = parse_statement("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert node.where.op == "OR"
+        assert node.where.right.op == "AND"
+
+    def test_arith_precedence(self):
+        expr = parse_statement("SELECT 1 + 2 * 3 FROM t").items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_syntax_error_reported_with_location(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            parse_statement("SELECT FROM t")
+        assert err.value.sqlstate == "42601"
+
+
+class TestParseOtherStatements:
+    def test_insert_values(self):
+        node = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert node.columns == ["A", "B"]
+        assert len(node.rows) == 2
+
+    def test_insert_select(self):
+        node = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert node.select is not None
+
+    def test_update(self):
+        node = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE c = 2")
+        assert len(node.assignments) == 2
+        assert node.where is not None
+
+    def test_delete(self):
+        node = parse_statement("DELETE FROM t WHERE a = 1")
+        assert node.table.name == "T"
+
+    def test_create_table(self):
+        node = parse_statement(
+            "CREATE TABLE t (id INT NOT NULL PRIMARY KEY, v VARCHAR(10), "
+            "amt DECIMAL(10,2) DEFAULT 0, UNIQUE (v))"
+        )
+        assert node.columns[0].primary_key
+        assert node.columns[1].unique
+        assert node.columns[2].precision == 10
+
+    def test_create_table_as(self):
+        node = parse_statement("CREATE TABLE t AS (SELECT a FROM u) WITH DATA")
+        assert node.as_select is not None
+
+    def test_temp_tables(self):
+        node = parse_statement("CREATE TEMP TABLE t (a INT)")
+        assert node.temporary
+        node2 = parse_statement("DECLARE GLOBAL TEMPORARY TABLE gt (a INT)")
+        assert node2.global_temporary
+        node3 = parse_statement("CREATE GLOBAL TEMPORARY TABLE ot (a INT)")
+        assert node3.global_temporary
+
+    def test_create_view(self):
+        node = parse_statement("CREATE VIEW v (a) AS SELECT x FROM t")
+        assert node.column_names == ["A"]
+        assert "SELECT x FROM t" in node.select_text
+
+    def test_create_sequence(self):
+        node = parse_statement(
+            "CREATE SEQUENCE s START WITH 5 INCREMENT BY 2 MAXVALUE 100 CYCLE"
+        )
+        assert node.start == 5
+        assert node.increment == 2
+        assert node.maxvalue == 100
+        assert node.cycle
+
+    def test_create_alias(self):
+        node = parse_statement("CREATE ALIAS a FOR t")
+        assert node.target.name == "T"
+
+    def test_drop_variants(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+        assert isinstance(parse_statement("DROP SEQUENCE s"), ast.DropSequence)
+
+    def test_truncate(self):
+        node = parse_statement("TRUNCATE TABLE t IMMEDIATE")
+        assert node.name.name == "T"
+
+    def test_explain(self):
+        node = parse_statement("EXPLAIN SELECT 1 FROM t")
+        assert isinstance(node.statement, ast.Select)
+
+    def test_set(self):
+        node = parse_statement("SET SQL_COMPAT = 'NPS'")
+        assert node.name == "SQL_COMPAT"
+        assert node.value == "NPS"
+        node2 = parse_statement("SET CURRENT SCHEMA = FOO")
+        assert node2.name == "CURRENT SCHEMA"
+
+    def test_call(self):
+        node = parse_statement("CALL my_proc(1, 'x')")
+        assert node.name == "MY_PROC"
+        assert len(node.args) == 2
+
+    def test_values_statement(self):
+        node = parse_statement("VALUES (1, 2), (3, 4)")
+        assert len(node.rows) == 2
+
+    def test_anonymous_block(self):
+        node = parse_statement("BEGIN INSERT INTO t VALUES (1); DELETE FROM t; END")
+        assert len(node.statements) == 2
+
+    def test_script(self):
+        nodes = parse_statements("SELECT 1 FROM t; SELECT 2 FROM t;")
+        assert len(nodes) == 2
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("GRANT ALL TO bob")
+
+
+def _conjuncts(expr):
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]

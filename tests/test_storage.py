@@ -1,0 +1,245 @@
+"""Column tables, row tables, physical conversion."""
+
+import datetime
+from decimal import Decimal
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstraintViolationError, SQLError
+from repro.storage import ColumnTable, ColumnVector, RowTable, TableSchema
+from repro.storage.column import to_boundary, to_physical
+from repro.types import DATE, DOUBLE, INTEGER, decimal_type, varchar_type
+
+
+def make_schema(name="t"):
+    return TableSchema(
+        name=name,
+        columns=(
+            ("id", INTEGER),
+            ("amount", decimal_type(10, 2)),
+            ("day", DATE),
+            ("state", varchar_type(2)),
+        ),
+    )
+
+
+def sample_rows(n=10):
+    return [
+        (i, Decimal("1.50") * i, datetime.date(2016, 1, 1) + datetime.timedelta(days=i), "ca" if i % 2 else "ny")
+        for i in range(n)
+    ]
+
+
+class TestPhysicalConversion:
+    def test_roundtrip_integers(self):
+        arr, nulls = to_physical([1, None, 3], INTEGER)
+        assert list(arr) == [1, 0, 3]
+        assert list(nulls) == [False, True, False]
+        assert to_boundary(arr, nulls, INTEGER) == [1, None, 3]
+
+    def test_roundtrip_decimal_scaled(self):
+        dt = decimal_type(10, 2)
+        arr, nulls = to_physical([Decimal("12.34")], dt)
+        assert arr[0] == 1234
+        assert to_boundary(arr, None, dt) == [Decimal("12.34")]
+
+    def test_roundtrip_dates(self):
+        d = datetime.date(2016, 3, 1)
+        arr, _ = to_physical([d], DATE)
+        assert to_boundary(arr, None, DATE) == [d]
+
+    def test_strings_stay_objects(self):
+        arr, _ = to_physical(["ab", "cd"], varchar_type(5))
+        assert arr.dtype == object
+
+    def test_no_nulls_mask_is_none(self):
+        _, nulls = to_physical([1, 2], INTEGER)
+        assert nulls is None
+
+
+class TestColumnVector:
+    def test_take_and_filter(self):
+        v = ColumnVector.from_boundary([10, None, 30, 40], INTEGER)
+        taken = v.take(np.array([2, 0]))
+        assert taken.to_boundary() == [30, 10]
+        filtered = v.filter(np.array([True, True, False, False]))
+        assert filtered.to_boundary() == [10, None]
+
+    def test_concat(self):
+        a = ColumnVector.from_boundary([1, 2], INTEGER)
+        b = ColumnVector.from_boundary([None], INTEGER)
+        c = ColumnVector.concat([a, b])
+        assert c.to_boundary() == [1, 2, None]
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnVector.concat([])
+
+
+class TestColumnTable:
+    def test_insert_and_count(self):
+        t = ColumnTable(make_schema())
+        assert t.insert_rows(sample_rows(5)) == 5
+        assert t.n_rows == 5
+
+    def test_tail_seals_into_region(self):
+        t = ColumnTable(make_schema(), region_rows=4)
+        t.insert_rows(sample_rows(10))
+        assert len(t.regions) == 2
+        assert t.tail_rows == 2
+
+    def test_flush(self):
+        t = ColumnTable(make_schema())
+        t.insert_rows(sample_rows(3))
+        t.flush()
+        assert t.tail_rows == 0
+        assert len(t.regions) == 1
+
+    def test_column_vector_roundtrip(self):
+        t = ColumnTable(make_schema(), region_rows=4)
+        rows = sample_rows(10)
+        t.insert_rows(rows)
+        got = t.column_vector("id").to_boundary()
+        assert got == [r[0] for r in rows]
+        states = t.column_vector("state").to_boundary()
+        assert states == [r[3] for r in rows]
+
+    def test_nulls_roundtrip_through_region(self):
+        t = ColumnTable(make_schema(), region_rows=2)
+        t.insert_rows([(1, None, None, None), (2, Decimal("3.00"), datetime.date(2016, 1, 1), "tx")])
+        assert t.column_vector("amount").to_boundary() == [None, Decimal("3.00")]
+        assert t.column_vector("day").to_boundary()[0] is None
+
+    def test_wrong_arity_rejected(self):
+        t = ColumnTable(make_schema())
+        with pytest.raises(SQLError):
+            t.insert_rows([(1, 2)])
+
+    def test_deletes_region_and_tail(self):
+        t = ColumnTable(make_schema(), region_rows=4)
+        t.insert_rows(sample_rows(6))
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True   # region row
+        mask[5] = True   # tail row
+        assert t.apply_deletes(mask) == 2
+        assert t.n_rows == 4
+        live = t.live_mask()
+        ids = t.column_vector("id").filter(live).to_boundary()
+        assert ids == [1, 2, 3, 4]
+
+    def test_delete_mask_size_checked(self):
+        t = ColumnTable(make_schema())
+        t.insert_rows(sample_rows(3))
+        with pytest.raises(SQLError):
+            t.apply_deletes(np.zeros(2, dtype=bool))
+
+    def test_truncate(self):
+        t = ColumnTable(make_schema(), region_rows=2)
+        t.insert_rows(sample_rows(5))
+        t.truncate()
+        assert t.n_rows == 0
+        assert len(t.regions) == 0
+
+    def test_unique_constraint(self):
+        t = ColumnTable(make_schema(), unique_columns=("id",))
+        t.insert_rows(sample_rows(3))
+        with pytest.raises(ConstraintViolationError):
+            t.insert_rows([(1, Decimal("0.00"), datetime.date(2016, 1, 1), "ca")])
+
+    def test_unique_allows_reuse_after_delete(self):
+        t = ColumnTable(make_schema(), unique_columns=("id",))
+        t.insert_rows(sample_rows(3))
+        mask = np.array([True, False, False])
+        t.apply_deletes(mask)
+        t.insert_rows([(0, Decimal("0.00"), datetime.date(2016, 1, 1), "ca")])
+        assert t.n_rows == 3
+
+    def test_not_null_constraint(self):
+        t = ColumnTable(make_schema(), not_null_columns=("id",))
+        with pytest.raises(ConstraintViolationError):
+            t.insert_rows([(None, Decimal("1.00"), datetime.date(2016, 1, 1), "ca")])
+
+    def test_compression_ratio_reported(self):
+        t = ColumnTable(make_schema(), region_rows=1000)
+        rows = [
+            (i, Decimal("9.99"), datetime.date(2016, 1, 1), "ca")
+            for i in range(2000)
+        ]
+        t.insert_rows(rows)
+        assert t.compression_ratio() > 2.0
+
+    def test_schema_duplicate_column_rejected(self):
+        with pytest.raises(SQLError):
+            TableSchema("bad", (("a", INTEGER), ("a", DOUBLE)))
+
+
+class TestRowTable:
+    def test_insert_scan(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(4))
+        assert t.n_rows == 4
+        assert len(list(t.scan())) == 4
+
+    def test_index_lookup(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(100))
+        t.create_index("id")
+        assert t.index_lookup("id", 42) == [42]
+        assert t.index_lookup("id", 4242) == []
+
+    def test_index_range(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(50))
+        t.create_index("id")
+        assert sorted(t.index_range("id", 10, 12)) == [10, 11, 12]
+
+    def test_index_range_on_dates(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(30))
+        t.create_index("day")
+        got = t.index_range("day", datetime.date(2016, 1, 3), datetime.date(2016, 1, 5))
+        assert sorted(got) == [2, 3, 4]
+
+    def test_delete_maintains_index(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(10))
+        t.create_index("id")
+        assert t.delete_ids([3]) == 1
+        assert t.index_lookup("id", 3) == []
+        assert t.n_rows == 9
+
+    def test_update_in_place(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(5))
+        t.create_index("state")
+        t.update_row(0, {"state": "wa"})
+        assert 0 in t.index_lookup("state", "wa")
+        assert 0 not in t.index_lookup("state", "ny")
+
+    def test_duplicate_index_rejected(self):
+        t = RowTable(make_schema())
+        t.create_index("id")
+        with pytest.raises(SQLError):
+            t.create_index("id")
+
+    def test_truncate_resets_indexes(self):
+        t = RowTable(make_schema())
+        t.insert_rows(sample_rows(5))
+        t.create_index("id")
+        t.truncate()
+        assert t.n_rows == 0
+        assert t.index_lookup("id", 1) == []
+
+    def test_column_store_compresses_better_than_row_store(self):
+        # The multiplicative density effect from paper II.B.3.
+        rows = [
+            (i, Decimal("9.99"), datetime.date(2016, 1, 1), "ca")
+            for i in range(5000)
+        ]
+        col = ColumnTable(make_schema(), region_rows=5000)
+        col.insert_rows(rows)
+        col.flush()
+        row = RowTable(make_schema())
+        row.insert_rows(rows)
+        assert col.compressed_nbytes() < row.nbytes() / 5

@@ -1,0 +1,148 @@
+"""Data-skipping synopsis metadata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skipping import SYNOPSIS_STRIDE, Synopsis
+
+
+def _sorted_column(n=10_000, stride=100):
+    values = np.arange(n, dtype=np.int64)
+    return values, Synopsis.build(values, stride=stride)
+
+
+class TestBuild:
+    def test_extent_count(self):
+        _, syn = _sorted_column(n=1000, stride=100)
+        assert syn.n_extents == 10
+        assert syn.n_rows == 1000
+
+    def test_ragged_last_extent(self):
+        values = np.arange(250)
+        syn = Synopsis.build(values, stride=100)
+        assert syn.n_extents == 3
+        assert syn.row_counts[-1] == 50
+
+    def test_minmax_per_extent(self):
+        values, syn = _sorted_column(n=300, stride=100)
+        assert syn.mins[1] == 100
+        assert syn.maxs[1] == 199
+
+    def test_null_counts(self):
+        values = np.arange(200)
+        nulls = np.zeros(200, dtype=bool)
+        nulls[:150] = True
+        syn = Synopsis.build(values, nulls, stride=100)
+        assert list(syn.null_counts) == [100, 50]
+
+    def test_all_null_extent_never_matches(self):
+        values = np.zeros(100, dtype=np.int64)
+        nulls = np.ones(100, dtype=bool)
+        syn = Synopsis.build(values, nulls, stride=100)
+        assert not syn.candidates_compare("=", 0).any()
+        assert not syn.candidates_between(-10, 10).any()
+
+    def test_empty_column(self):
+        syn = Synopsis.build(np.array([], dtype=np.int64))
+        assert syn.n_extents == 0
+
+    def test_default_stride_is_about_1k(self):
+        assert SYNOPSIS_STRIDE == 1024
+
+
+class TestCandidates:
+    def test_equality_skips_disjoint_extents(self):
+        _, syn = _sorted_column(n=1000, stride=100)
+        keep = syn.candidates_compare("=", 250)
+        assert keep.sum() == 1
+        assert keep[2]
+
+    def test_range_ops(self):
+        values, syn = _sorted_column(n=1000, stride=100)
+        assert syn.candidates_compare("<", 150).sum() == 2
+        assert syn.candidates_compare("<=", 99).sum() == 1
+        assert syn.candidates_compare(">", 899).sum() == 1
+        assert syn.candidates_compare(">=", 900).sum() == 1
+
+    def test_not_equal_skips_constant_extents(self):
+        values = np.array([5] * 100 + [6] * 100)
+        syn = Synopsis.build(values, stride=100)
+        keep = syn.candidates_compare("<>", 5)
+        assert list(keep) == [False, True]
+
+    def test_between(self):
+        _, syn = _sorted_column(n=1000, stride=100)
+        keep = syn.candidates_between(250, 349)
+        assert keep.sum() == 2
+
+    def test_in(self):
+        _, syn = _sorted_column(n=1000, stride=100)
+        keep = syn.candidates_in([50, 950, None])
+        assert keep.sum() == 2
+
+    def test_null_candidates(self):
+        values = np.arange(200)
+        nulls = np.zeros(200, dtype=bool)
+        nulls[150] = True
+        syn = Synopsis.build(values, nulls, stride=100)
+        assert list(syn.candidates_is_null()) == [False, True]
+        assert syn.candidates_is_not_null().all()
+
+    def test_compare_to_null(self):
+        _, syn = _sorted_column(n=100, stride=10)
+        assert not syn.candidates_compare("=", None).any()
+
+    def test_unknown_op(self):
+        _, syn = _sorted_column(n=100, stride=10)
+        with pytest.raises(ValueError):
+            syn.candidates_compare("~", 5)
+
+    def test_skip_fraction(self):
+        _, syn = _sorted_column(n=1000, stride=100)
+        keep = syn.candidates_compare("=", 5)
+        assert syn.skip_fraction(keep) == pytest.approx(0.9)
+
+    def test_strings(self):
+        values = np.array(["ak", "al", "az", "ca", "co", "ct"], dtype=object)
+        syn = Synopsis.build(values, stride=3)
+        keep = syn.candidates_compare("=", "ca")
+        assert list(keep) == [False, True]
+
+
+class TestSizeClaim:
+    def test_synopsis_is_orders_of_magnitude_smaller(self):
+        # Paper: metadata every ~1K tuples is ~3 orders of magnitude smaller.
+        values = np.arange(1_000_000, dtype=np.int64)
+        syn = Synopsis.build(values)  # default 1024 stride
+        ratio = values.nbytes / syn.nbytes()
+        assert ratio > 200  # int64 min+max+counts per 1024 rows ≈ 256x
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_property_skipped_extents_truly_empty(data):
+    n = data.draw(st.integers(min_value=1, max_value=500))
+    values = np.array(
+        data.draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    stride = data.draw(st.sampled_from([7, 16, 64]))
+    op = data.draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    k = data.draw(st.integers(-120, 120))
+    syn = Synopsis.build(values, stride=stride)
+    keep = syn.candidates_compare(op, k)
+    matches = {
+        "=": values == k,
+        "<>": values != k,
+        "<": values < k,
+        "<=": values <= k,
+        ">": values > k,
+        ">=": values >= k,
+    }[op]
+    # Soundness: a skipped extent contains no matching row.
+    for e in range(syn.n_extents):
+        if not keep[e]:
+            chunk = matches[e * stride : (e + 1) * stride]
+            assert not chunk.any()

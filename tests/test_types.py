@@ -1,0 +1,208 @@
+"""Type system: promotion, casts, temporal encoding, formatting."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    NULLTYPE,
+    SMALLINT,
+    TIMESTAMP,
+    cast_value,
+    char_type,
+    date_to_days,
+    days_to_date,
+    decimal_type,
+    format_value,
+    promote,
+    varchar_type,
+)
+from repro.types.datatypes import DECFLOAT, TypeKind, comparable
+from repro.types.values import (
+    micros_to_timestamp,
+    parse_date,
+    parse_time,
+    parse_timestamp,
+    seconds_to_time,
+    time_to_seconds,
+    timestamp_to_micros,
+)
+
+
+class TestPromotion:
+    def test_integer_ladder(self):
+        assert promote(SMALLINT, INTEGER).kind is TypeKind.INTEGER
+        assert promote(INTEGER, BIGINT).kind is TypeKind.BIGINT
+        assert promote(SMALLINT, SMALLINT).kind is TypeKind.SMALLINT
+
+    def test_approximate_dominates(self):
+        assert promote(INTEGER, DOUBLE).kind is TypeKind.DOUBLE
+        assert promote(decimal_type(10, 2), DOUBLE).kind is TypeKind.DOUBLE
+
+    def test_decfloat_dominates_double(self):
+        assert promote(DECFLOAT, DOUBLE).kind is TypeKind.DECFLOAT
+
+    def test_decimal_shape(self):
+        got = promote(decimal_type(10, 2), decimal_type(8, 4))
+        assert got.kind is TypeKind.DECIMAL
+        assert got.scale == 4
+
+    def test_decimal_with_integer(self):
+        got = promote(decimal_type(10, 2), INTEGER)
+        assert got.kind is TypeKind.DECIMAL
+        assert got.scale == 2
+
+    def test_null_coerces(self):
+        assert promote(NULLTYPE, INTEGER) == INTEGER
+        assert promote(DATE, NULLTYPE) == DATE
+
+    def test_strings_unify_to_varchar(self):
+        got = promote(char_type(10), varchar_type(20))
+        assert got.kind is TypeKind.VARCHAR
+        assert got.length == 20
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeError):
+            promote(DATE, INTEGER)
+
+    def test_comparable(self):
+        assert comparable(INTEGER, DOUBLE)
+        assert comparable(varchar_type(5), char_type(5))
+        assert comparable(DATE, DATE)
+        assert not comparable(DATE, TIMESTAMP)
+        assert not comparable(INTEGER, varchar_type(5))
+        assert comparable(NULLTYPE, DATE)
+
+
+class TestCasts:
+    def test_int_from_string(self):
+        assert cast_value(" 42 ", INTEGER) == 42
+
+    def test_int_rounds_strings_half_up(self):
+        assert cast_value("2.5", INTEGER) == 3
+
+    def test_int_truncates_floats(self):
+        assert cast_value(2.9, INTEGER) == 2
+        assert cast_value(-2.9, INTEGER) == -2
+
+    def test_int_range_enforced(self):
+        with pytest.raises(ConversionError):
+            cast_value(40000, SMALLINT)
+        assert cast_value(32767, SMALLINT) == 32767
+
+    def test_decimal_quantizes(self):
+        got = cast_value("3.14159", decimal_type(10, 2))
+        assert got == Decimal("3.14")
+
+    def test_double_rejects_empty_string(self):
+        with pytest.raises(ConversionError):
+            cast_value("", DOUBLE)
+
+    def test_boolean_spellings(self):
+        assert cast_value("t", BOOLEAN) is True
+        assert cast_value("FALSE", BOOLEAN) is False
+        assert cast_value(1, BOOLEAN) is True
+        assert cast_value(0, BOOLEAN) is False
+        with pytest.raises(ConversionError):
+            cast_value("maybe", BOOLEAN)
+
+    def test_varchar_truncation_rules(self):
+        # trailing blanks may be silently dropped; data loss raises
+        assert cast_value("abc  ", varchar_type(3)) == "abc"
+        with pytest.raises(ConversionError):
+            cast_value("abcdef", varchar_type(3))
+
+    def test_char_pads(self):
+        assert cast_value("ab", char_type(4)) == "ab  "
+
+    def test_oracle_empty_string_is_null(self):
+        assert cast_value("", varchar_type(10), oracle_strings=True) is None
+        assert cast_value("", varchar_type(10)) == ""
+
+    def test_date_from_string(self):
+        assert cast_value("2016-07-01", DATE) == datetime.date(2016, 7, 1)
+
+    def test_date_from_timestamp(self):
+        ts = datetime.datetime(2016, 7, 1, 10, 30)
+        assert cast_value(ts, DATE) == datetime.date(2016, 7, 1)
+
+    def test_timestamp_from_date(self):
+        got = cast_value(datetime.date(2016, 7, 1), TIMESTAMP)
+        assert got == datetime.datetime(2016, 7, 1, 0, 0, 0)
+
+    def test_null_passes_through(self):
+        assert cast_value(None, INTEGER) is None
+
+    def test_bad_date_raises(self):
+        with pytest.raises(ConversionError):
+            cast_value("not-a-date", DATE)
+
+    def test_date_to_number_rejected(self):
+        with pytest.raises(ConversionError):
+            cast_value(datetime.date(2016, 1, 1), INTEGER)
+
+
+class TestTemporalEncoding:
+    def test_date_roundtrip(self):
+        d = datetime.date(2016, 2, 29)
+        assert days_to_date(date_to_days(d)) == d
+
+    def test_epoch_is_zero(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_pre_epoch_dates(self):
+        d = datetime.date(1969, 12, 31)
+        assert date_to_days(d) == -1
+        assert days_to_date(-1) == d
+
+    def test_time_roundtrip(self):
+        t = datetime.time(23, 59, 58)
+        assert seconds_to_time(time_to_seconds(t)) == t
+
+    def test_timestamp_roundtrip(self):
+        ts = datetime.datetime(2016, 7, 1, 12, 34, 56, 789000)
+        assert micros_to_timestamp(timestamp_to_micros(ts)) == ts
+
+    def test_parse_timestamp_db2_style(self):
+        got = parse_timestamp("2016-01-02-10.30.00")
+        assert got == datetime.datetime(2016, 1, 2, 10, 30, 0)
+
+    def test_parse_timestamp_iso(self):
+        got = parse_timestamp("2016-01-02 10:30:00.5")
+        assert got.microsecond == 500000
+
+    def test_parse_date_slash_form(self):
+        assert parse_date("2016/01/02") == datetime.date(2016, 1, 2)
+
+    def test_parse_time(self):
+        assert parse_time("10:30") == datetime.time(10, 30)
+        with pytest.raises(ConversionError):
+            parse_time("abc")
+
+
+class TestFormatting:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_boolean(self):
+        assert format_value(True) == "TRUE"
+
+    def test_whole_float(self):
+        assert format_value(3.0) == "3.0"
+
+    def test_decimal(self):
+        assert format_value(Decimal("12.50")) == "12.50"
+
+    def test_date(self):
+        assert format_value(datetime.date(2016, 1, 2)) == "2016-01-02"
+
+    def test_timestamp(self):
+        got = format_value(datetime.datetime(2016, 1, 2, 3, 4, 5))
+        assert got == "2016-01-02 03:04:05"

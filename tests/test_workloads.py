@@ -1,0 +1,165 @@
+"""Workload generators: statement mix fidelity, determinism, loaders."""
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines.rowdb import RowDatabase
+from repro.database import Database
+from repro.workloads import (
+    BDINSIGHT_QUERIES,
+    CustomerWorkload,
+    PAPER_STATEMENT_MIX,
+    TPCDS_QUERIES,
+    load_into,
+    measure_pool,
+    run_multistream,
+)
+from repro.workloads.tpcds import TpcdsData, flush_tables, generate
+
+
+class TestTpcdsGenerator:
+    def test_deterministic(self):
+        a = generate(scale=0.1, seed=5)
+        b = generate(scale=0.1, seed=5)
+        assert a.store_sales == b.store_sales
+        assert a.item == b.item
+
+    def test_scale_controls_fact_size(self):
+        small = generate(scale=0.1)
+        big = generate(scale=0.5)
+        assert len(big.store_sales) == 5 * len(small.store_sales)
+        assert len(big.date_dim) == len(small.date_dim)  # dims fixed
+
+    def test_fact_sorted_by_date(self):
+        data = generate(scale=0.1)
+        dates = [r[0] for r in data.store_sales]
+        assert dates == sorted(dates)
+
+    def test_recency_skew(self):
+        data = generate(scale=0.5)
+        dates = [r[0] for r in data.store_sales]
+        recent = sum(1 for d in dates if d >= 365)
+        assert recent > len(dates) * 0.5  # second year denser than first
+
+    def test_referential_integrity(self):
+        data = generate(scale=0.1)
+        item_keys = {r[0] for r in data.item}
+        store_keys = {r[0] for r in data.store}
+        for row in data.store_sales[:500]:
+            assert row[1] in item_keys
+            assert row[2] in store_keys
+
+    def test_load_and_query_roundtrip(self):
+        data = generate(scale=0.05)
+        session = Database().connect("db2")
+        load_into(session, data)
+        assert session.execute("SELECT COUNT(*) FROM store_sales").scalar() == len(
+            data.store_sales
+        )
+        # Loading sealed the tail (columnar organise step).
+        table = session.database.catalog.get_table("STORE_SALES").table
+        assert table.tail_rows == 0
+
+    def test_queries_run_on_both_engines(self):
+        data = generate(scale=0.05)
+        dash = Database().connect("db2")
+        load_into(dash, data)
+        rowdb = RowDatabase()
+        load_into(rowdb, data)
+        for query_id, sql in TPCDS_QUERIES:
+            a = sorted(map(repr, dash.execute(sql).rows))
+            b = sorted(map(repr, rowdb.execute(sql).rows))
+            assert a == b, query_id
+
+
+class TestCustomerWorkload:
+    def test_paper_mix_totals(self):
+        assert sum(PAPER_STATEMENT_MIX.values()) == 261_761
+        assert PAPER_STATEMENT_MIX["INSERT"] == 86_537
+        assert PAPER_STATEMENT_MIX["TRUNCATE"] == 5
+
+    def test_scaled_counts_preserve_proportions(self):
+        w = CustomerWorkload(scale=1 / 1000)
+        counts = w.counts()
+        assert counts["INSERT"] == 87
+        assert counts["UPDATE"] == 56
+        assert counts["WITH"] == 1  # minimum of one
+
+    def test_statement_stream_is_deterministic(self):
+        a = [s.sql for s in CustomerWorkload(scale=1 / 2000, seed=3).statements()]
+        b = [s.sql for s in CustomerWorkload(scale=1 / 2000, seed=3).statements()]
+        assert a == b
+
+    def test_stream_runs_on_dashdb(self):
+        w = CustomerWorkload(scale=1 / 3000, n_trades=2000)
+        session = Database().connect("db2")
+        w.load_base(session)
+        for statement in w.statements():
+            session.execute(statement.sql)
+        # Trailing cleanup dropped all staging tables.
+        staging = [t for t in session.database.table_names() if t.startswith("STG_")]
+        assert staging == []
+
+    def test_stream_runs_on_rowdb(self):
+        w = CustomerWorkload(scale=1 / 3000, n_trades=2000)
+        rowdb = RowDatabase()
+        w.load_base(rowdb)
+        for statement in w.statements():
+            rowdb.execute(statement.sql)
+
+    def test_long_tail_pool_composition(self):
+        w = CustomerWorkload(scale=1 / 1000, n_trades=2000)
+        pool = w.long_tail_pool(20)
+        assert len(pool) == 20
+        assert any("WITH" in sql for sql in pool)
+        assert any("BETWEEN DATE" in sql for sql in pool)
+
+    def test_heavy_pool_matches_across_engines(self):
+        w = CustomerWorkload(scale=1 / 3000, n_trades=3000, seed=11)
+        dash = Database().connect("db2")
+        w.load_base(dash)
+        flush_tables(dash)
+        rowdb = RowDatabase()
+        w.load_base(rowdb)
+        for sql in w.long_tail_pool(10):
+            a = sorted(map(repr, dash.execute(sql).rows))
+            b = sorted(map(repr, rowdb.execute(sql).rows))
+            assert a == b, sql
+
+
+class TestBdInsightAndStreams:
+    def test_pool_runs(self):
+        data = generate(scale=0.05)
+        session = Database().connect("db2")
+        load_into(session, data)
+        for query_id, sql in BDINSIGHT_QUERIES:
+            session.execute(sql)
+
+    def test_measure_pool(self):
+        data = generate(scale=0.05)
+        session = Database().connect("db2")
+        load_into(session, data)
+        measurement = measure_pool(session.execute, BDINSIGHT_QUERIES[:4])
+        assert len(measurement.query_ids) == 4
+        assert measurement.total > 0
+        assert all(v > 0 for v in measurement.seconds.values())
+
+    def test_multistream_scheduling(self):
+        from repro.workloads.streams import PoolMeasurement
+
+        measurement = PoolMeasurement(
+            query_ids=["a", "b"], seconds={"a": 1.0, "b": 2.0}, total=3.0
+        )
+        result = run_multistream(measurement, n_streams=4, concurrency=4)
+        assert result.makespan == pytest.approx(3.0)
+        serial = run_multistream(measurement, n_streams=4, concurrency=1)
+        assert serial.makespan == pytest.approx(12.0)
+
+    def test_cost_model_hook(self):
+        measurement = measure_pool(
+            lambda sql: "result",
+            [("q", "ignored")],
+            seconds_of=lambda result, wall: 42.0,
+        )
+        assert measurement.seconds["q"] == 42.0
