@@ -31,9 +31,19 @@ class PoolStats:
 
 
 class BufferPool:
-    """A page cache of ``capacity`` frames governed by a replacement policy."""
+    """A page cache of ``capacity`` frames governed by a replacement policy.
 
-    def __init__(self, capacity: int, policy: ReplacementPolicy):
+    Args:
+        capacity: number of page frames.
+        policy: replacement policy instance.
+        metrics: optional :class:`~repro.monitor.metrics.MetricsRegistry`;
+            when given, hits/misses/evictions also feed the shared registry
+            (``bufferpool.hits`` ...).  The default is None — the pool then
+            only maintains its local :class:`PoolStats`, adding no
+            per-access overhead.
+    """
+
+    def __init__(self, capacity: int, policy: ReplacementPolicy, metrics=None):
         if capacity < 1:
             raise BufferPoolError("buffer pool needs at least one frame")
         self.capacity = capacity
@@ -42,6 +52,12 @@ class BufferPool:
         self._pages: dict = {}
         self._tick = 0
         self.stats = PoolStats()
+        if metrics is not None:
+            self._hits = metrics.counter("bufferpool.hits")
+            self._misses = metrics.counter("bufferpool.misses")
+            self._evictions = metrics.counter("bufferpool.evictions")
+        else:
+            self._hits = self._misses = self._evictions = None
 
     def __contains__(self, page_id) -> bool:
         return page_id in self._frames
@@ -63,10 +79,14 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
+            if self._hits is not None:
+                self._hits.inc()
             frame.access_count += 1
             self.policy.on_access(frame, self._tick)
             return self._pages[page_id]
         self.stats.misses += 1
+        if self._misses is not None:
+            self._misses.inc()
         payload = loader()
         if len(self._frames) >= self.capacity:
             self._evict_one()
@@ -84,6 +104,8 @@ class BufferPool:
         self._pages.pop(victim, None)
         self.policy.on_evict(frame)
         self.stats.evictions += 1
+        if self._evictions is not None:
+            self._evictions.inc()
 
     def invalidate(self, page_id) -> None:
         """Drop a page (e.g. after its table is dropped or truncated)."""

@@ -73,6 +73,10 @@ class QueryStats:
     rows_gathered: int = 0
     mode: str = ""  # "scatter", "two-phase", "gather-fallback", "dml", ...
     elapsed_by_node: dict = field(default_factory=dict)
+    elapsed_by_shard: dict = field(default_factory=dict)
+    #: max shard time / mean shard time — 1.0 is perfectly balanced.
+    skew_ratio: float = 0.0
+    gather_seconds: float = 0.0
 
 
 class ClusterSession:
@@ -124,6 +128,10 @@ class Cluster:
         self.coordinator = Database(name="COORD", clock=clock)
         self.tables: dict[str, DistInfo] = {}
         self.last_stats = QueryStats()
+        #: Coordinator-phase statement of the last distributed SELECT (kept
+        #: so EXPLAIN ANALYZE can re-derive the global plan over the still
+        #: materialised gather table).
+        self._last_global_select: ast.Select | None = None
 
     # -- shard placement ------------------------------------------------------
 
@@ -180,6 +188,12 @@ class Cluster:
         self.last_stats = QueryStats()
         if isinstance(node, ast.Select):
             return self._execute_select(node, session)
+        if (
+            isinstance(node, ast.ExplainStatement)
+            and node.analyze
+            and isinstance(node.statement, ast.Select)
+        ):
+            return self._explain_analyze(node.statement, session)
         if isinstance(node, ast.CreateTable):
             return self._execute_create_table(node, session)
         if isinstance(node, ast.Insert):
@@ -313,6 +327,40 @@ class Cluster:
         force_distinct = bool(select.group_by)
         return self._scatter_concat(select, session, force_distinct=force_distinct)
 
+    def _explain_analyze(self, select: ast.Select, session) -> Result:
+        """Distributed EXPLAIN ANALYZE: run the statement, then report the
+        MPP shape (mode, shards, gather volume, skew) plus the coordinator's
+        annotated global plan over the gathered partials."""
+        self._execute_select(select, session)
+        stats = self.last_stats
+        lines = [
+            "MPP %s: shards=%d rows_gathered=%d gather=%.3fms skew=%.2f"
+            % (
+                stats.mode,
+                stats.shards_touched,
+                stats.rows_gathered,
+                stats.gather_seconds * 1e3,
+                stats.skew_ratio,
+            )
+        ]
+        for sid in sorted(stats.elapsed_by_shard):
+            lines.append(
+                "  shard %d (%s): %.3fms"
+                % (sid, self.assignment[sid], stats.elapsed_by_shard[sid] * 1e3)
+            )
+        if self._last_global_select is not None:
+            lines.append("  coordinator plan:")
+            explain = ast.ExplainStatement(self._last_global_select, analyze=True)
+            coord = self.coordinator.execute_ast(explain, session.inner)
+            lines.extend("    " + row[0] for row in coord.rows)
+        return Result(columns=["PLAN"], rows=[(l,) for l in lines], rowcount=len(lines))
+
+    def monreport(self) -> dict:
+        """Cluster MONREPORT analogue (topology, pools, last query)."""
+        from repro.monitor.report import cluster_report
+
+        return cluster_report(self)
+
     def _needs_gather_fallback(self, select: ast.Select) -> bool:
         if select.set_op is not None or select.ctes:
             return True
@@ -330,15 +378,24 @@ class Cluster:
     def _run_on_shards(self, select: ast.Select, session) -> list[Result]:
         results = []
         elapsed: dict[str, float] = {}
+        elapsed_shard: dict[int, float] = {}
         for shard in self.shards.values():
             self._check_owner_alive(shard.shard_id)
             node_id = self.assignment[shard.shard_id]
             t0 = time.perf_counter()
             shard_session = shard.engine.connect(session.dialect.name)
             results.append(shard.engine.execute_ast(select, shard_session))
-            elapsed[node_id] = elapsed.get(node_id, 0.0) + (time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            elapsed[node_id] = elapsed.get(node_id, 0.0) + dt
+            elapsed_shard[shard.shard_id] = elapsed_shard.get(shard.shard_id, 0.0) + dt
         self.last_stats.shards_touched = len(results)
         self.last_stats.elapsed_by_node = elapsed
+        self.last_stats.elapsed_by_shard = elapsed_shard
+        if elapsed_shard:
+            mean = sum(elapsed_shard.values()) / len(elapsed_shard)
+            self.last_stats.skew_ratio = (
+                max(elapsed_shard.values()) / mean if mean > 0 else 1.0
+            )
         if self.clock is not None and elapsed:
             # Nodes work in parallel; each node divides its work across its
             # shard slots.
@@ -354,6 +411,7 @@ class Cluster:
         self, session, results: list[Result], table_name: str = _GATHER_TABLE
     ) -> None:
         """Materialise gathered partial rows as a coordinator temp table."""
+        t0 = time.perf_counter()
         template = next((r for r in results if r.columns), results[0])
         columns = tuple(
             (c, dt) for c, dt in zip(template.columns, template.dtypes)
@@ -364,6 +422,7 @@ class Cluster:
             if result.rows:
                 table.insert_rows([list(r) for r in result.rows])
                 self.last_stats.rows_gathered += len(result.rows)
+        self.last_stats.gather_seconds += time.perf_counter() - t0
 
     def _scatter_concat(self, select: ast.Select, session, force_distinct=False) -> Result:
         """Non-aggregate scatter: shards run the body, coordinator finishes."""
@@ -395,6 +454,7 @@ class Cluster:
             limit_syntax="fetch" if select.limit is not None else None,
             offset=select.offset,
         )
+        self._last_global_select = global_select
         return self.coordinator.execute_ast(global_select, session.inner)
 
     def _two_phase(self, select: ast.Select, aggregates, session) -> Result:
@@ -451,6 +511,7 @@ class Cluster:
             offset=select.offset,
             distinct=select.distinct,
         )
+        self._last_global_select = global_select
         return self.coordinator.execute_ast(global_select, session.inner)
 
     def _gather_fallback(self, select: ast.Select, session) -> Result:
@@ -464,6 +525,7 @@ class Cluster:
             )
             results = self._run_on_shards(star, session)
             self._gather_into_temp(session, results, table_name=name)
+        self._last_global_select = select
         return self.coordinator.execute_ast(select, session.inner)
 
     def _tables_reachable(self, select: ast.Select) -> set[str]:

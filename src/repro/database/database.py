@@ -10,6 +10,7 @@ system in single-node deployments).
 from __future__ import annotations
 
 import datetime
+import time
 
 import numpy as np
 
@@ -24,6 +25,15 @@ from repro.errors import (
     UnknownObjectError,
     UnsupportedFeatureError,
 )
+from repro.monitor.instrument import (
+    annotated_plan_lines,
+    attach_operator_spans,
+    describe_plan,
+    instrument_plan,
+)
+from repro.monitor.metrics import MetricsRegistry
+from repro.monitor.report import database_report
+from repro.monitor.tracer import NULL_TRACER, Tracer
 from repro.sql import ast
 from repro.sql.binder import ExpressionBinder, Scope, ScopeColumn
 from repro.sql.dialects import get_dialect, resolve_type
@@ -50,6 +60,11 @@ class Database:
             randomized-weight policy).
         clock: optional SimClock; when set, CURRENT_DATE/TIMESTAMP are
             simulated (deterministic benchmarks).
+        tracer: optional :class:`~repro.monitor.tracer.Tracer`; the default
+            is the shared no-op tracer (zero instrumentation overhead).
+            With a real tracer, every statement produces a span tree
+            (parse -> plan -> execute -> per-operator) and the buffer pool
+            feeds the metrics registry.
     """
 
     def __init__(
@@ -61,11 +76,18 @@ class Database:
         clock: SimClock | None = None,
         region_rows: int = 65_536,
         scan_options: dict | None = None,
+        tracer: Tracer | None = None,
     ):
         self.name = name
         self.compatibility = compatibility
         self.catalog = Catalog()
-        self.bufferpool = BufferPool(bufferpool_pages, make_policy(bufferpool_policy))
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.bufferpool = BufferPool(
+            bufferpool_pages,
+            make_policy(bufferpool_policy),
+            metrics=self.metrics if self.tracer.enabled else None,
+        )
         self.clock = clock
         self.region_rows = region_rows
         #: Engine feature flags for scans (used by ablation baselines):
@@ -120,14 +142,15 @@ class Database:
 
     def execute_script(self, sql: str, session: Session | None = None) -> list[Result]:
         session = session or self.connect()
-        return [
-            self._execute_node(node, session) for node in parse_statements(sql)
-        ]
+        with self.tracer.span("parse", sql=sql):
+            nodes = parse_statements(sql)
+        return [self._execute_node(node, session, sql=sql) for node in nodes]
 
     def execute(self, sql: str, session: Session | None = None) -> Result:
         session = session or self.connect()
-        node = parse_statement(sql)
-        return self._execute_node(node, session)
+        with self.tracer.span("parse", sql=sql):
+            node = parse_statement(sql)
+        return self._execute_node(node, session, sql=sql)
 
     def execute_ast(self, node: ast.Node, session: Session | None = None) -> Result:
         """Execute a pre-parsed statement (used by the MPP layer, which
@@ -145,14 +168,40 @@ class Database:
             self, session.dialect, page_source=self.page_source, session=session
         )
 
-    def _execute_node(self, node: ast.Node, session: Session) -> Result:
-        self.statement_count += 1
-        if isinstance(node, ast.Select):
-            self.last_scans = []
+    def _execute_select(self, node: ast.Select, session: Session) -> Result:
+        self.last_scans = []
+        tracer = self.tracer
+        with tracer.span("plan"):
             planned = self._planner(session).plan(node)
+        if not tracer.enabled:
             return result_from_batch(
                 planned.run(), planned.names, planned.keys, planned.dtypes
             )
+        root = instrument_plan(planned.op, clock=self.clock)
+        with tracer.span("execute") as span:
+            batch = root.run()
+        attach_operator_spans(tracer, span, root)
+        return result_from_batch(batch, planned.names, planned.keys, planned.dtypes)
+
+    def _execute_node(
+        self, node: ast.Node, session: Session, sql: str | None = None
+    ) -> Result:
+        """Statement wrapper: spans, per-statement stats, query history."""
+        self.statement_count += 1
+        wall_start = time.perf_counter()
+        sim_start = self.clock.now if self.clock is not None else None
+        with self.tracer.span(
+            "statement", statement=type(node).__name__, sql=sql
+        ):
+            result = self._dispatch_node(node, session)
+        wall = time.perf_counter() - wall_start
+        sim = self.clock.now - sim_start if sim_start is not None else None
+        session.record_statement(node, result, wall, sim_seconds=sim, sql=sql)
+        return result
+
+    def _dispatch_node(self, node: ast.Node, session: Session) -> Result:
+        if isinstance(node, ast.Select):
+            return self._execute_select(node, session)
         if isinstance(node, ast.ValuesStatement):
             return self._execute_values(node, session)
         if isinstance(node, ast.Insert):
@@ -454,8 +503,14 @@ class Database:
     def _execute_explain(self, node: ast.ExplainStatement, session: Session) -> Result:
         if not isinstance(node.statement, ast.Select):
             return Result(columns=["PLAN"], rows=[("non-query statement",)], rowcount=1)
+        self.last_scans = []
         planned = self._planner(session).plan(node.statement)
-        lines = _describe_plan(planned.op)
+        if node.analyze:
+            root = instrument_plan(planned.op, clock=self.clock)
+            root.run()
+            lines = annotated_plan_lines(root)
+        else:
+            lines = describe_plan(planned.op)
         return Result(columns=["PLAN"], rows=[(l,) for l in lines], rowcount=len(lines))
 
     def _execute_call(self, node: ast.CallStatement, session: Session) -> Result:
@@ -491,6 +546,10 @@ class Database:
             total += self.catalog.get_table(name).table.compressed_nbytes()
         return total
 
+    def monreport(self) -> dict:
+        """MONREPORT analogue: a snapshot of the monitoring surfaces."""
+        return database_report(self)
+
 
 def _unwrap(value):
     if isinstance(value, np.generic):
@@ -516,27 +575,3 @@ def _coerce_assignment(physical, from_dt, to_dt):
     return physical
 
 
-def _describe_plan(op, depth: int = 0) -> list[str]:
-    name = type(op).__name__
-    details = ""
-    from repro.engine.operators import TableScanOp
-
-    if isinstance(op, TableScanOp):
-        preds = ", ".join(
-            "%s %s" % (p.column, p.op) for p in op.pushed
-        )
-        details = " %s(%s)%s" % (
-            op.table.schema.name,
-            ", ".join(op.columns),
-            (" WHERE " + preds) if preds else "",
-        )
-    lines = ["%s%s%s" % ("  " * depth, name, details)]
-    for attr in ("child", "left", "right"):
-        sub = getattr(op, attr, None)
-        if sub is not None and hasattr(sub, "execute"):
-            lines.extend(_describe_plan(sub, depth + 1))
-    children = getattr(op, "children", None)
-    if children:
-        for sub in children:
-            lines.extend(_describe_plan(sub, depth + 1))
-    return lines

@@ -2,15 +2,34 @@
 
 Each session carries its **dialect variable** (paper II.C.2: "a session
 variable is leveraged allowing individual sessions to decide the dialect to
-use when compiling SQL"), its declared temporary tables, and Oracle-style
-sequence CURRVAL state lives on the shared catalog sequences.
+use when compiling SQL"), its declared temporary tables, a bounded
+query-history ring with per-statement stats, and Oracle-style sequence
+CURRVAL state lives on the shared catalog sequences.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
+
 from repro.errors import SQLError
 from repro.sql.dialects import Dialect, get_dialect
 from repro.storage.table import ColumnTable, TableSchema
+
+#: Statements kept in a session's query-history ring.
+HISTORY_LIMIT = 128
+
+
+@dataclass
+class StatementStats:
+    """Per-statement execution record kept in the session history."""
+
+    index: int              # database-wide statement number
+    statement: str          # AST node class name (Select, Insert, ...)
+    sql: str | None         # original text when executed from SQL
+    rowcount: int           # rows returned (queries) or affected (DML)
+    wall_seconds: float
+    sim_seconds: float | None = None
 
 
 class Session:
@@ -22,6 +41,7 @@ class Session:
         self._temp_tables: dict[str, ColumnTable] = {}
         self.current_schema: str | None = None
         self.variables: dict[str, str] = {}
+        self.history: deque[StatementStats] = deque(maxlen=HISTORY_LIMIT)
 
     # -- dialect ---------------------------------------------------------------
 
@@ -61,5 +81,31 @@ class Session:
         """Run a query and return its rows."""
         return self.execute(sql).rows
 
+    # -- query history -----------------------------------------------------------
+
+    def record_statement(
+        self, node, result, wall_seconds: float,
+        sim_seconds: float | None = None, sql: str | None = None,
+    ) -> None:
+        """Called by the database after every statement it runs for us."""
+        rowcount = result.rowcount
+        if rowcount < 0 and result.is_query:
+            rowcount = len(result.rows)
+        self.history.append(
+            StatementStats(
+                index=self.database.statement_count,
+                statement=type(node).__name__,
+                sql=sql,
+                rowcount=rowcount,
+                wall_seconds=wall_seconds,
+                sim_seconds=sim_seconds,
+            )
+        )
+
+    def query_history(self) -> list[StatementStats]:
+        """The most recent statements (oldest first), with their stats."""
+        return list(self.history)
+
     def close(self) -> None:
         self._temp_tables.clear()
+        self.history.clear()

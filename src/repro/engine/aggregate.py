@@ -43,6 +43,14 @@ _TWO_ARG = {"COVAR_POP", "COVAR_SAMP"}
 
 
 @dataclass
+class GroupStats:
+    """Observability counters for one grouping execution (monitor layer)."""
+
+    input_rows: int = 0
+    groups: int = 0
+
+
+@dataclass
 class AggregateSpec:
     """One output aggregate: function, argument expression(s), alias."""
 
@@ -87,14 +95,17 @@ class GroupByOp(Operator):
         self.child = child
         self.keys = keys
         self.aggregates = aggregates
+        self.stats = GroupStats()
 
     def execute(self):
         batch = self.child.run()
+        self.stats = GroupStats(input_rows=batch.n)
         if batch.n == 0 and not batch.columns:
             # A drained-empty child lost its schema: rebuild typed empty
             # columns for every column reference the aggregates/keys read.
             batch = _synthesize_empty(self.keys, self.aggregates)
         if not self.keys:
+            self.stats.groups = 1
             yield self._grand_total(batch)
             return
         if batch.n == 0:
@@ -110,6 +121,7 @@ class GroupByOp(Operator):
             return
         key_vectors = [(alias, expr.eval(batch)) for alias, expr in self.keys]
         group_ids, representatives, n_groups = _group_ids(key_vectors, batch.n)
+        self.stats.groups = int(n_groups)
         columns: dict[str, ColumnVector] = {}
         for alias, vector in key_vectors:
             columns[alias] = vector.take(representatives)

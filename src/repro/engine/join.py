@@ -9,11 +9,23 @@ full, semi, anti.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.engine.expression import Batch, Expr, selection_mask
 from repro.engine.operators import Operator
 from repro.storage.column import ColumnVector
+
+
+@dataclass
+class JoinStats:
+    """Observability counters for one join execution (monitor layer)."""
+
+    build_rows: int = 0
+    probe_rows: int = 0
+    matched_pairs: int = 0
+    output_rows: int = 0
 
 #: Target build-partition size: rows per partition such that a small hash
 #: table stays cache-resident (an L2/L3-sized chunk in the paper's terms).
@@ -59,6 +71,7 @@ class HashJoinOp(Operator):
         self.join_type = join_type
         self.residual = residual
         self.partition_rows = partition_rows
+        self.stats = JoinStats()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -127,6 +140,7 @@ class HashJoinOp(Operator):
     def execute(self):
         build = self.right.run()
         probe = self.left.run()
+        self.stats = JoinStats(build_rows=build.n, probe_rows=probe.n)
         have_schemas = bool(probe.columns) and bool(build.columns)
         matched_left = np.zeros(probe.n, dtype=bool)
         matched_right = np.zeros(build.n, dtype=bool)
@@ -145,9 +159,11 @@ class HashJoinOp(Operator):
             li, ri = li[keep], ri[keep]
         if ri.size:
             matched_right[ri] = True
+        self.stats.matched_pairs = int(li.size)
 
         if self.join_type == "semi":
             result = probe.filter(matched_left)
+            self.stats.output_rows = result.n
             if result.n:
                 yield result
             return
@@ -155,6 +171,7 @@ class HashJoinOp(Operator):
             # NULL keys never match, and in NOT-IN-style anti joins they
             # still qualify here (planner handles NOT IN null semantics).
             result = probe.filter(~matched_left)
+            self.stats.output_rows = result.n
             if result.n:
                 yield result
             return
@@ -172,6 +189,7 @@ class HashJoinOp(Operator):
             if unmatched.any():
                 batches.append(self._null_extend(build.filter(unmatched), probe, right_null=False))
         merged = Batch.concat(batches) if batches else Batch(columns={}, n=0)
+        self.stats.output_rows = merged.n
         if merged.n:
             yield merged
 
@@ -244,10 +262,12 @@ class NestedLoopJoinOp(Operator):
         self.right = right
         self.condition = condition
         self.join_type = join_type
+        self.stats = JoinStats()
 
     def execute(self):
         left = self.left.run()
         right = self.right.run()
+        self.stats = JoinStats(build_rows=right.n, probe_rows=left.n)
         if left.n == 0 or (right.n == 0 and self.join_type != "left"):
             return
         li = np.repeat(np.arange(left.n), max(right.n, 1))
@@ -275,4 +295,6 @@ class NestedLoopJoinOp(Operator):
             if unmatched.any():
                 batches.append(null_extend(left.filter(unmatched), right, right_null=True))
         if batches:
-            yield Batch.concat(batches)
+            merged = Batch.concat(batches)
+            self.stats.output_rows = merged.n
+            yield merged

@@ -175,9 +175,8 @@ class TableScanOp(Operator):
         needed = set(self.columns)
         if self.residual is not None:
             needed |= self.residual.references()
-        pushed_columns = {p.column for p in self.pushed}
         for region_idx, region in enumerate(self.table.regions):
-            batch = self._scan_region(region_idx, region, needed, pushed_columns)
+            batch = self._scan_region(region_idx, region, needed)
             if batch is not None and batch.n:
                 yield from self._emit(batch)
         tail = self._scan_tail(needed)
@@ -192,7 +191,7 @@ class TableScanOp(Operator):
             idx = np.arange(start, min(start + self.stride_rows, batch.n))
             yield batch.take(idx)
 
-    def _scan_region(self, region_idx, region, needed, pushed_columns):
+    def _scan_region(self, region_idx, region, needed):
         self.stats.regions_scanned += 1
         n = region.n_rows
         stride = self.table.synopsis_stride
@@ -226,12 +225,28 @@ class TableScanOp(Operator):
             window = (first_extent * stride, min(last_extent * stride, n))
         else:
             window = None
+        # One buffer-pool request and one page/byte charge per (region,
+        # column), even when a column is both a pushed predicate and a
+        # projected output (or appears in several predicates).  Without the
+        # cache the scan issued a second pool request at decode time, so
+        # pool accesses could not be reconciled with ``stats.pages_read``.
+        fetched: dict[str, object] = {}
+
+        def fetch(name: str):
+            compressed = fetched.get(name)
+            if compressed is None:
+                compressed = self._fetch(region_idx, name)
+                fetched[name] = compressed
+                self.stats.pages_read += 1
+                self.stats.bytes_scanned += int(
+                    compressed.nbytes() * touched_fraction
+                )
+            return compressed
+
         # 2. Predicates on compressed data (no decode).
         selection = row_keep
         for pred in self.pushed:
-            compressed = self._fetch(region_idx, pred.column)
-            self.stats.pages_read += 1
-            self.stats.bytes_scanned += int(compressed.nbytes() * touched_fraction)
+            compressed = fetch(pred.column)
             if self.use_compressed_eval:
                 if window is not None:
                     col_slice, base = compressed.slice_rows(*window)
@@ -257,10 +272,7 @@ class TableScanOp(Operator):
         # the surviving extents when skipping applies).
         columns = {}
         for name in needed:
-            compressed = self._fetch(region_idx, name)
-            if name not in pushed_columns:
-                self.stats.pages_read += 1
-                self.stats.bytes_scanned += int(compressed.nbytes() * touched_fraction)
+            compressed = fetch(name)
             if window is not None:
                 col_slice, base = compressed.slice_rows(*window)
                 values, nulls = col_slice.decode()

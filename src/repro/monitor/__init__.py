@@ -1,0 +1,46 @@
+"""Query-lifecycle observability: tracing spans, metrics, EXPLAIN ANALYZE.
+
+The monitoring layer dashDB inherits from DB2 ("monitoring and workload
+management built in") reproduced for this engine:
+
+* :mod:`repro.monitor.tracer` — nestable spans over parse/plan/execute and
+  per-operator work, with a zero-overhead :data:`NULL_TRACER` default;
+* :mod:`repro.monitor.metrics` — a thread-safe registry of counters,
+  gauges, and histograms;
+* :mod:`repro.monitor.instrument` — the per-operator plan wrapper behind
+  ``EXPLAIN ANALYZE``;
+* :mod:`repro.monitor.report` — MONREPORT-style snapshots
+  (``Database.monreport()`` / ``Cluster.monreport()``).
+"""
+
+from repro.monitor.instrument import (
+    InstrumentedOp,
+    annotated_plan_lines,
+    attach_operator_spans,
+    describe_plan,
+    instrument_plan,
+    operator_detail,
+)
+from repro.monitor.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.monitor.report import bufferpool_report, cluster_report, database_report
+from repro.monitor.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "InstrumentedOp",
+    "annotated_plan_lines",
+    "attach_operator_spans",
+    "describe_plan",
+    "instrument_plan",
+    "operator_detail",
+    "bufferpool_report",
+    "cluster_report",
+    "database_report",
+]

@@ -1,0 +1,90 @@
+"""MONREPORT-style snapshots for a database or a whole MPP cluster.
+
+dashDB ships DB2's MONREPORT module ("simple to manage"); the analogue here
+is a plain dict snapshot of the monitoring surfaces: buffer-pool hit
+ratios, statement counts, per-shard/per-node timings of the last
+distributed statement, and the metrics registry.  Dicts keep the report
+assertable in tests and trivially JSON-serialisable.
+"""
+
+from __future__ import annotations
+
+
+def bufferpool_report(pool) -> dict:
+    """Snapshot one buffer pool's counters and occupancy."""
+    stats = pool.stats
+    return {
+        "capacity": pool.capacity,
+        "resident": len(pool),
+        "requests": stats.accesses,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "hit_ratio": stats.hit_ratio,
+    }
+
+
+def database_report(database) -> dict:
+    """Single-node MONREPORT: statements, buffer pool, tables, metrics."""
+    tables = {}
+    for name in database.table_names():
+        table = database.catalog.get_table(name).table
+        tables[name] = {
+            "rows": table.n_rows,
+            "compressed_bytes": table.compressed_nbytes(),
+        }
+    return {
+        "database": database.name,
+        "statements": database.statement_count,
+        "bufferpool": bufferpool_report(database.bufferpool),
+        "tables": tables,
+        "tracing_enabled": database.tracer.enabled,
+        "metrics": database.metrics.snapshot(),
+    }
+
+
+def cluster_report(cluster) -> dict:
+    """Cluster MONREPORT: topology, pooled buffer-pool stats, last query."""
+    hits = misses = evictions = 0
+    per_shard_pool = {}
+    for sid in sorted(cluster.shards):
+        stats = cluster.shards[sid].engine.bufferpool.stats
+        hits += stats.hits
+        misses += stats.misses
+        evictions += stats.evictions
+        per_shard_pool[sid] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_ratio": stats.hit_ratio,
+        }
+    requests = hits + misses
+    last = cluster.last_stats
+    return {
+        "cluster": {
+            "nodes": len(cluster.nodes),
+            "live_nodes": len(cluster.live_nodes()),
+            "shards": cluster.n_shards,
+            "balanced": cluster.is_balanced(),
+        },
+        "bufferpool": {
+            "requests": requests,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_ratio": hits / requests if requests else 0.0,
+            "per_shard": per_shard_pool,
+        },
+        "last_query": {
+            "mode": last.mode,
+            "shards_touched": last.shards_touched,
+            "rows_gathered": last.rows_gathered,
+            "elapsed_by_node": dict(last.elapsed_by_node),
+            "elapsed_by_shard": dict(last.elapsed_by_shard),
+            "skew_ratio": last.skew_ratio,
+            "gather_seconds": last.gather_seconds,
+        },
+        "tables": {
+            name: cluster.total_rows(name) for name in sorted(cluster.tables)
+        },
+        "coordinator": database_report(cluster.coordinator),
+    }

@@ -1,0 +1,198 @@
+"""Nestable tracing spans over the query lifecycle.
+
+A :class:`Tracer` records a tree of :class:`Span` objects per statement
+(parse -> plan -> execute -> per-operator).  Spans measure wall-clock time
+with ``time.perf_counter`` and, when the tracer is built with a
+:class:`~repro.util.timer.SimClock`, also the simulated seconds charged
+while the span was open — so cost-model time (cluster scatter, deployment)
+shows up alongside real time.
+
+The default tracer on every :class:`~repro.database.database.Database` is
+:data:`NULL_TRACER`, a shared no-op whose ``span()`` returns one
+preallocated context manager: tracing disabled costs one attribute lookup
+and an empty ``with`` block per call site, nothing more.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Span:
+    """One timed, attributed interval; spans nest into a tree.
+
+    Use as a context manager (``with tracer.span("plan") as s:``); call
+    :meth:`annotate` to attach attributes while the span is open.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attrs", "children", "depth",
+        "wall_start", "wall_elapsed", "sim_start", "sim_elapsed", "order",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.depth = 0
+        self.wall_start = 0.0
+        self.wall_elapsed = 0.0
+        self.sim_start: float | None = None
+        self.sim_elapsed: float | None = None
+        self.order = -1  # finish order across the whole tracer
+
+    def annotate(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __enter__(self) -> "Span":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.tracer._exit(self, failed=exc_type is not None)
+        return False
+
+    def __repr__(self) -> str:
+        return "Span(%r, wall=%.6fs, children=%d)" % (
+            self.name, self.wall_elapsed, len(self.children)
+        )
+
+
+class Tracer:
+    """Collects span trees; safe to use from multiple threads.
+
+    Each thread keeps its own open-span stack (spans nest per thread);
+    finished roots and the global finish order are guarded by a lock.
+
+    Args:
+        clock: optional :class:`~repro.util.timer.SimClock`; when set, every
+            span also records the simulated seconds charged while open.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self.clock = clock
+        self.roots: list[Span] = []
+        self.finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.depth = len(stack)
+        stack.append(span)
+        if self.clock is not None:
+            span.sim_start = self.clock.now
+        span.wall_start = time.perf_counter()
+
+    def _exit(self, span: Span, failed: bool = False) -> None:
+        span.wall_elapsed = time.perf_counter() - span.wall_start
+        if span.sim_start is not None:
+            span.sim_elapsed = self.clock.now - span.sim_start
+        if failed:
+            span.attrs["error"] = True
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            span.order = len(self.finished)
+            self.finished.append(span)
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+
+    def record(self, name: str, wall_elapsed: float, parent: Span | None = None,
+               sim_elapsed: float | None = None, **attrs) -> Span:
+        """Attach an already-measured interval as a finished span.
+
+        Used by the plan instrumentation layer, which measures operators
+        itself and reports them as children of the ``execute`` span.
+        """
+        span = Span(self, name, attrs)
+        span.wall_elapsed = wall_elapsed
+        span.sim_elapsed = sim_elapsed
+        with self._lock:
+            span.order = len(self.finished)
+            self.finished.append(span)
+            if parent is not None:
+                span.depth = parent.depth + 1
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+        return span
+
+    # -- inspection -------------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with this name, in finish order."""
+        with self._lock:
+            return [s for s in self.finished if s.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots = []
+            self.finished = []
+        self._local = threading.local()
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def annotate(self, **attrs):
+        return self
+
+
+class NullTracer:
+    """The zero-overhead default: every call is a no-op."""
+
+    enabled = False
+    roots: tuple = ()
+    finished: tuple = ()
+
+    _SPAN = _NullSpan()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return self._SPAN
+
+    def record(self, name, wall_elapsed, parent=None, sim_elapsed=None, **attrs):
+        return self._SPAN
+
+    def find(self, name: str) -> list:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide no-op tracer (the default everywhere).
+NULL_TRACER = NullTracer()

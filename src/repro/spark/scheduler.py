@@ -21,18 +21,44 @@ class JobMetrics:
     tasks: int = 0
     shuffled_records: int = 0
     input_records: int = 0
+    #: Per-stage records: {"kind": "narrow"|"shuffle"|"source", "op": ...,
+    #: "tasks": int, "records": int}, in execution order.
+    stage_metrics: list = field(default_factory=list)
 
 
 class DAGScheduler:
-    """Executes lineage graphs; one instance per SparkContext."""
+    """Executes lineage graphs; one instance per SparkContext.
 
-    def __init__(self):
+    Args:
+        tracer: optional :class:`~repro.monitor.tracer.Tracer`; when given
+            (and enabled), each job runs under a ``spark.job`` span with one
+            child span per stage.
+    """
+
+    def __init__(self, tracer=None):
         self.last_metrics = JobMetrics()
+        self.tracer = tracer
 
     def run(self, rdd) -> list[list]:
         self.last_metrics = JobMetrics()
-        result = self._compute(rdd)
-        return result
+        if self.tracer is not None and self.tracer.enabled:
+            with self.tracer.span("spark.job", op=rdd.op) as job:
+                result = self._compute(rdd)
+                self.tracer.record(
+                    "spark.stages",
+                    0.0,
+                    parent=job,
+                    stages=self.last_metrics.stages,
+                    tasks=self.last_metrics.tasks,
+                    shuffled_records=self.last_metrics.shuffled_records,
+                )
+            return result
+        return self._compute(rdd)
+
+    def _note_stage(self, kind: str, op: str, tasks: int, records: int) -> None:
+        self.last_metrics.stage_metrics.append(
+            {"kind": kind, "op": op, "tasks": tasks, "records": records}
+        )
 
     # -- recursive lineage evaluation ------------------------------------------
 
@@ -41,7 +67,9 @@ class DAGScheduler:
         if op == "source":
             self.last_metrics.stages += 1
             self.last_metrics.tasks += rdd.n_partitions
-            self.last_metrics.input_records += sum(len(p) for p in rdd.data)
+            records = sum(len(p) for p in rdd.data)
+            self.last_metrics.input_records += records
+            self._note_stage("source", op, rdd.n_partitions, records)
             return [list(p) for p in rdd.data]
         if op == "union":
             left = self._compute(rdd.dep)
@@ -52,6 +80,7 @@ class DAGScheduler:
             return self._shuffle(rdd, parent)
         # Narrow op: per-partition tasks, pipelined within the parent stage.
         self.last_metrics.tasks += len(parent)
+        self._note_stage("narrow", op, len(parent), sum(len(p) for p in parent))
         if op == "map":
             return [[rdd.fn(x) for x in part] for part in parent]
         if op == "filter":
@@ -84,6 +113,7 @@ class DAGScheduler:
                     records += 1
         self.last_metrics.shuffled_records += records
         self.last_metrics.tasks += n_out
+        self._note_stage("shuffle", rdd.op, n_out, records)
         if rdd.op == "repartition":
             return buckets
         if rdd.op == "group_by_key":

@@ -377,7 +377,14 @@ class ValuesStatement(Node):
 
 @dataclass
 class ExplainStatement(Node):
+    """EXPLAIN [PLAN FOR] / EXPLAIN ANALYZE <statement>.
+
+    ``analyze`` executes the statement and annotates the plan with actual
+    per-operator row counts and timings.
+    """
+
     statement: Node
+    analyze: bool = False
 
 
 @dataclass

@@ -159,9 +159,10 @@ class Parser:
             return self.parse_truncate()
         if keyword == "EXPLAIN":
             self._advance()
+            analyze = self._accept_keyword("ANALYZE")
             self._accept_keyword("PLAN")
             self._accept_keyword("FOR")
-            return ast.ExplainStatement(self.parse_one())
+            return ast.ExplainStatement(self.parse_one(), analyze=analyze)
         if keyword == "SET":
             return self.parse_set()
         if keyword == "CALL":

@@ -84,6 +84,20 @@ class TestPackRoundtrip:
         assert packed.nbytes() < codes.nbytes / 4
 
 
+def test_roundtrip_every_legal_width():
+    """Exhaustive width sweep: boundary codes (0, 1, max-1, max) plus a
+    random fill must round-trip at every width the packer accepts."""
+    rng = np.random.default_rng(0)
+    for width in range(1, 63):
+        top = (1 << width) - 1
+        edge = np.array([0, top, 1, max(top - 1, 0), 0, top], dtype=np.uint64)
+        fill = rng.integers(0, 1 << width, size=97, dtype=np.uint64)
+        codes = np.concatenate([edge, fill])
+        packed = pack_codes(codes, width)
+        assert np.array_equal(unpack_codes(packed), codes), "width=%d" % width
+        assert packed.get(1) == top
+
+
 @settings(max_examples=50, deadline=None)
 @given(
     width=st.integers(min_value=1, max_value=62),

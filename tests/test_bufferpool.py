@@ -59,6 +59,62 @@ class TestPoolMechanics:
         assert len(pool) == 0
 
 
+class TestScanReconciliation:
+    """Pool accounting must reconcile with scan-level page accounting.
+
+    Regression: a column that was both a pushed predicate and a projected
+    output used to be fetched from the pool twice per region (once in the
+    predicate loop, once at decode), so pool accesses could not be
+    reconciled with ``ScanStats.pages_read``.
+    """
+
+    def _loaded_db(self):
+        from repro.database import Database
+        from repro.workloads.tpcds import flush_tables
+
+        db = Database(bufferpool_pages=64, region_rows=100)
+        session = db.connect()
+        session.execute("CREATE TABLE R (ID INT, V INT, W INT)")
+        session.execute(
+            "INSERT INTO R VALUES " + ", ".join(
+                "(%d, %d, %d)" % (i, i % 37, i % 11) for i in range(500)
+            )
+        )
+        flush_tables(db)
+        return db, session
+
+    def test_pushed_and_projected_column_fetched_once(self):
+        db, session = self._loaded_db()
+        before = db.bufferpool.stats.accesses
+        # V is pushed (V > 5) AND projected: one pool request per region.
+        session.execute("SELECT V FROM R WHERE V > 5")
+        requests = db.bufferpool.stats.accesses - before
+        pages_read = sum(s.stats.pages_read for s in db.last_scans)
+        assert requests == pages_read
+        regions = len(db.catalog.get_table("R").table.regions)
+        assert pages_read == regions  # exactly one page per region for V
+
+    def test_requests_equal_hits_plus_misses_end_to_end(self):
+        db, session = self._loaded_db()
+        for _ in range(3):
+            session.execute("SELECT V, W FROM R WHERE V > 5 AND W < 9")
+        stats = db.bufferpool.stats
+        assert stats.accesses == stats.hits + stats.misses
+        report = db.monreport()["bufferpool"]
+        assert report["requests"] == report["hits"] + report["misses"]
+
+    def test_multi_predicate_same_column_single_charge(self):
+        db, session = self._loaded_db()
+        before = db.bufferpool.stats.accesses
+        session.execute("SELECT ID FROM R WHERE V > 5 AND V < 30")
+        requests = db.bufferpool.stats.accesses - before
+        pages_read = sum(s.stats.pages_read for s in db.last_scans)
+        assert requests == pages_read
+        regions = len(db.catalog.get_table("R").table.regions)
+        # Two distinct columns touched (V pushed twice, ID projected).
+        assert pages_read <= 2 * regions
+
+
 class TestLRU:
     def test_evicts_least_recent(self):
         pool = BufferPool(2, LRUPolicy())

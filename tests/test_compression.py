@@ -300,6 +300,57 @@ class TestCompressedColumnPredicates:
         assert _codes_to_ranges([4, 4, 5]) == [(4, 5)]
 
 
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_property_roundtrip_with_nulls(data):
+    """Every codec must decode back exactly what was stored, for any mix of
+    values and NULL positions (null slots are don't-care in the values)."""
+    n = data.draw(st.integers(min_value=1, max_value=300))
+    values = np.array(
+        data.draw(
+            st.lists(
+                st.integers(min_value=-5000, max_value=5000), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.int64,
+    )
+    nulls = np.array(
+        data.draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    force = data.draw(st.sampled_from([None, "dictionary", "minus", "raw"]))
+    col = compress_column(values, nulls if nulls.any() else None, force=force)
+    decoded, mask = col.decode()
+    if nulls.any():
+        assert np.array_equal(mask, nulls)
+        assert np.array_equal(decoded[~nulls], values[~nulls])
+    else:
+        assert mask is None
+        assert np.array_equal(decoded, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_property_string_dictionary_roundtrip(data):
+    n = data.draw(st.integers(min_value=1, max_value=200))
+    strings = data.draw(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=0,
+                max_size=12,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    values = np.array(strings, dtype=object)
+    col = compress_column(values)
+    assert col.codec.name == "dictionary"
+    decoded, mask = col.decode()
+    assert mask is None
+    assert list(decoded) == strings
+
+
 @settings(max_examples=40, deadline=None)
 @given(data=st.data())
 def test_property_compressed_predicates_match_numpy(data):

@@ -184,6 +184,44 @@ def test_mpp_agrees_with_single_node(mpp_engines, seed):
         assert a == b, "MPP disagrees (seed=%d, i=%d): %s" % (seed, i, sql)
 
 
+@pytest.fixture(scope="module")
+def traced_pair():
+    """The same data loaded into a traced and an untraced engine."""
+    from repro.monitor import Tracer
+
+    plain = Database().connect("db2")
+    traced = Database(tracer=Tracer()).connect("db2")
+    ddl = "CREATE TABLE t (a INT, b INT, c VARCHAR(4), d DECIMAL(8,2))"
+    dim = "CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)"
+    rows = _build_rows(1)
+    dims = ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
+    for system in (plain, traced):
+        system.execute(ddl)
+        system.execute(dim)
+        for start in range(0, len(rows), 1000):
+            system.execute(
+                "INSERT INTO t VALUES " + ", ".join(rows[start : start + 1000])
+            )
+        system.execute("INSERT INTO dim VALUES " + dims)
+        flush_tables(system.database)
+    return plain, traced
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_tracing_does_not_change_results(traced_pair, seed):
+    """Instrumented plans (EXPLAIN ANALYZE wrappers, span recording) must be
+    semantically invisible: identical answers with tracing on and off."""
+    plain, traced = traced_pair
+    rng = derive_rng(seed, "diff-tracing")
+    for i in range(20):
+        sql = _random_query(rng)
+        a = _normalise(plain.execute(sql).rows)
+        b = _normalise(traced.execute(sql).rows)
+        assert a == b, "tracing changed results (seed=%d, i=%d): %s" % (seed, i, sql)
+    assert traced.database.tracer.find("statement")
+    assert not plain.database.tracer.find("statement")
+
+
 def test_dml_divergence_check(engines):
     """After identical DML on both engines, aggregates still agree."""
     dash, rowdb = engines

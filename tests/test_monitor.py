@@ -1,0 +1,486 @@
+"""The observability layer: tracer spans, metrics, EXPLAIN ANALYZE, MONREPORT.
+
+The paper sells dashDB Local as "simple to manage" because DB2's monitoring
+is built in; the analogue here is the :mod:`repro.monitor` package.  These
+tests pin the span-tree semantics, the metric types, the zero-overhead
+no-op default, the EXPLAIN ANALYZE output shape, and the monreport payloads
+for a single node and for an MPP cluster.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.cluster import Cluster, HardwareSpec
+from repro.database import Database
+from repro.monitor import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+)
+from repro.util.timer import SimClock
+
+
+# --------------------------------------------------------------------------
+# Tracer
+# --------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("statement") as root:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("operator"):
+                    pass
+        assert [s.name for s in tracer.roots] == ["statement"]
+        assert [c.name for c in root.children] == ["parse", "execute"]
+        assert [c.name for c in root.children[1].children] == ["operator"]
+        assert root.depth == 0
+        assert root.children[1].children[0].depth == 2
+
+    def test_finish_order_is_innermost_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.finished]
+        assert names == ["inner", "outer"]
+        assert tracer.find("inner")[0].order < tracer.find("outer")[0].order
+
+    def test_elapsed_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            sum(range(1000))
+        assert span.wall_elapsed > 0.0
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        (root,) = tracer.roots
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_annotate_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("q", sql="SELECT 1") as span:
+            span.annotate(rows=3)
+        assert span.attrs == {"sql": "SELECT 1", "rows": 3}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.find("boom")
+        assert span.attrs.get("error") is True
+
+    def test_record_attaches_finished_children(self):
+        tracer = Tracer()
+        with tracer.span("execute") as parent:
+            pass
+        child = tracer.record("operator:Scan", 0.25, parent=parent, rows=10)
+        assert child in parent.children
+        assert child.wall_elapsed == 0.25
+        assert child.depth == parent.depth + 1
+
+    def test_sim_clock_awareness(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("scatter") as span:
+            clock.advance(2.5)
+        assert span.sim_elapsed == pytest.approx(2.5)
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots == [] and tracer.finished == []
+
+    def test_threads_keep_separate_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with tracer.span(name):
+                        with tracer.span(name + ".inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=("t%d" % i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tracer.roots) == 4 * 50
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [root.name + ".inner"]
+
+
+class TestNullTracer:
+    def test_disabled_and_stateless(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", sql="SELECT 1"):
+            pass
+        NULL_TRACER.record("op", 1.0)
+        assert NULL_TRACER.find("anything") == []
+        assert list(NULL_TRACER.roots) == []
+        assert list(NULL_TRACER.finished) == []
+
+    def test_span_is_one_shared_object(self):
+        # Zero allocation per call: every span() returns the same no-op.
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b", attr=1)
+        assert a is b
+        assert a.annotate(x=1) is a
+
+    def test_database_defaults_to_null_tracer(self):
+        db = Database()
+        assert isinstance(db.tracer, NullTracer)
+        assert db.tracer is NULL_TRACER
+
+
+# --------------------------------------------------------------------------
+# Metrics
+# --------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_semantics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reads")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_semantics(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("live_nodes")
+        g.set(3)
+        g.add(-1)
+        assert g.value == 2.0
+
+    def test_histogram_semantics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in (4.0, 1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.mean == pytest.approx(2.5)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_histogram_reservoir_bounded_but_totals_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("big")
+        for i in range(2000):
+            h.observe(float(i))
+        assert h.count == 2000
+        assert len(h.samples) == h.reservoir_size
+        assert h.max == 1999.0
+
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 4.0
+        assert reg.names() == ["c", "g", "h"]
+
+    def test_concurrent_increments_are_lossless(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+# --------------------------------------------------------------------------
+# Statement lifecycle: spans, EXPLAIN ANALYZE, history, monreport
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def traced_db():
+    db = Database(tracer=Tracer())
+    session = db.connect()
+    session.execute("CREATE TABLE T (ID INT, V INT, TAG VARCHAR(4))")
+    session.execute(
+        "INSERT INTO T VALUES " + ", ".join(
+            "(%d, %d, 'g%d')" % (i, i * 10, i % 3) for i in range(1, 21)
+        )
+    )
+    return db, session
+
+
+class TestStatementSpans:
+    def test_select_produces_lifecycle_spans(self, traced_db):
+        db, session = traced_db
+        db.tracer.reset()
+        session.execute("SELECT V FROM T WHERE ID > 5")
+        (statement,) = db.tracer.find("statement")
+        phases = [c.name for c in statement.children]
+        assert phases[:2] == ["plan", "execute"]
+        assert db.tracer.find("parse")  # root span from execute(sql)
+        execute = statement.children[1]
+        operator_names = [s.name for s in execute.walk() if s is not execute]
+        assert any(n.startswith("operator:") for n in operator_names)
+        scan = [s for s in execute.walk() if s.name == "operator:TableScanOp"]
+        assert scan and scan[0].attrs["rows"] == 15
+
+    def test_untraced_database_records_nothing(self):
+        db = Database()
+        session = db.connect()
+        session.execute("CREATE TABLE X (A INT)")
+        session.execute("INSERT INTO X VALUES (1)")
+        session.execute("SELECT * FROM X")
+        assert db.tracer.find("statement") == []
+
+
+class TestExplainAnalyze:
+    _LINE = re.compile(
+        r"^\s*\w+Op.* rows=\d+ batches=\d+ time=\d+\.\d{3}ms"
+    )
+
+    def test_annotated_plan_shape(self, traced_db):
+        _, session = traced_db
+        result = session.execute(
+            "EXPLAIN ANALYZE SELECT TAG, COUNT(*) FROM T WHERE ID > 5 GROUP BY TAG"
+        )
+        assert result.columns == ["PLAN"]
+        lines = [row[0] for row in result.rows]
+        assert all(self._LINE.match(line) for line in lines)
+        assert any("GroupByOp" in line for line in lines)
+        scan_lines = [l for l in lines if "TableScanOp" in l]
+        assert len(scan_lines) == 1
+        assert "WHERE ID >" in scan_lines[0]
+        assert re.search(r"rows=15\b", scan_lines[0])
+        # Children are indented under parents.
+        assert lines[0].startswith("ProjectOp") or not lines[0].startswith(" ")
+        assert scan_lines[0].startswith("  ")
+
+    def test_works_without_a_tracer(self):
+        db = Database()
+        session = db.connect()
+        session.execute("CREATE TABLE Y (A INT)")
+        session.execute("INSERT INTO Y VALUES (1), (2)")
+        result = session.execute("EXPLAIN ANALYZE SELECT * FROM Y")
+        lines = [row[0] for row in result.rows]
+        assert any("rows=2" in line for line in lines)
+
+    def test_plain_explain_has_no_timings(self, traced_db):
+        _, session = traced_db
+        result = session.execute("EXPLAIN SELECT * FROM T")
+        lines = [row[0] for row in result.rows]
+        assert not any("time=" in line for line in lines)
+        assert any("TableScanOp" in line for line in lines)
+
+
+class TestQueryHistory:
+    def test_history_records_each_statement(self, traced_db):
+        _, session = traced_db
+        session.execute("SELECT * FROM T WHERE ID <= 3")
+        history = session.query_history()
+        assert [h.statement for h in history] == [
+            "CreateTable", "Insert", "Select",
+        ]
+        select = history[-1]
+        assert select.rowcount == 3
+        assert select.sql == "SELECT * FROM T WHERE ID <= 3"
+        assert select.wall_seconds > 0.0
+        assert history[0].index < history[-1].index
+
+    def test_history_ring_is_bounded(self):
+        from repro.database.session import HISTORY_LIMIT
+
+        db = Database()
+        session = db.connect()
+        for i in range(HISTORY_LIMIT + 10):
+            session.execute("VALUES (%d)" % i)
+        history = session.query_history()
+        assert len(history) == HISTORY_LIMIT
+        assert history[-1].statement == "ValuesStatement"
+
+    def test_sim_seconds_recorded_with_clock(self):
+        clock = SimClock()
+        db = Database(clock=clock)
+        session = db.connect()
+        session.execute("VALUES (1)")
+        assert session.query_history()[-1].sim_seconds is not None
+
+
+class TestMonreport:
+    def test_single_node_keys(self, traced_db):
+        db, session = traced_db
+        session.execute("SELECT * FROM T")
+        report = db.monreport()
+        assert sorted(report) == [
+            "bufferpool", "database", "metrics", "statements",
+            "tables", "tracing_enabled",
+        ]
+        assert report["tracing_enabled"] is True
+        assert report["statements"] >= 3
+        assert report["tables"]["T"]["rows"] == 20
+        pool = report["bufferpool"]
+        assert pool["requests"] == pool["hits"] + pool["misses"]
+
+    def test_traced_pool_feeds_metrics(self, traced_db):
+        db, session = traced_db
+        from repro.workloads.tpcds import flush_tables
+
+        flush_tables(db)
+        session.execute("SELECT * FROM T WHERE V > 100")
+        report = db.monreport()
+        metrics = report["metrics"]
+        assert metrics["bufferpool.hits"] + metrics["bufferpool.misses"] > 0
+        assert metrics["bufferpool.hits"] == report["bufferpool"]["hits"]
+        assert metrics["bufferpool.misses"] == report["bufferpool"]["misses"]
+
+
+# --------------------------------------------------------------------------
+# MPP cluster observability
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    hw = HardwareSpec(cores=2, ram_gb=16, storage_tb=1)
+    cluster = Cluster([hw, hw])
+    session = cluster.connect()
+    session.execute("CREATE TABLE F (ID INT, AMT INT) DISTRIBUTE BY HASH (ID)")
+    session.execute(
+        "INSERT INTO F VALUES " + ", ".join(
+            "(%d, %d)" % (i, i * 2) for i in range(1, 41)
+        )
+    )
+    return cluster, session
+
+
+class TestClusterObservability:
+    def test_monreport_keys(self, cluster):
+        cl, session = cluster
+        session.execute("SELECT COUNT(*) FROM F")
+        report = cl.monreport()
+        assert sorted(report) == [
+            "bufferpool", "cluster", "coordinator", "last_query", "tables",
+        ]
+        assert report["cluster"]["shards"] == cl.n_shards
+        assert report["cluster"]["live_nodes"] == 2
+        assert report["tables"]["F"] == 40
+        last = report["last_query"]
+        assert last["mode"] == "two-phase"
+        assert last["shards_touched"] == cl.n_shards
+        assert last["rows_gathered"] >= 1
+        assert len(last["elapsed_by_shard"]) == cl.n_shards
+        assert last["skew_ratio"] >= 1.0
+        assert last["gather_seconds"] > 0.0
+
+    def test_per_node_and_per_shard_timings_reconcile(self, cluster):
+        cl, session = cluster
+        session.execute("SELECT * FROM F WHERE AMT > 10")
+        last = cl.last_stats
+        assert last.mode == "scatter"
+        per_node_sum = sum(last.elapsed_by_node.values())
+        per_shard_sum = sum(last.elapsed_by_shard.values())
+        assert per_node_sum == pytest.approx(per_shard_sum)
+
+    def test_cluster_explain_analyze(self, cluster):
+        _, session = cluster
+        result = session.execute(
+            "EXPLAIN ANALYZE SELECT COUNT(*), SUM(AMT) FROM F"
+        )
+        assert result.columns == ["PLAN"]
+        lines = [row[0] for row in result.rows]
+        assert lines[0].startswith("MPP two-phase:")
+        assert "skew=" in lines[0] and "rows_gathered=" in lines[0]
+        assert any(re.match(r"^  shard \d+ \(node\d+\): ", l) for l in lines)
+        assert "  coordinator plan:" in lines
+        assert any("__MPP_GATHER" in l and "rows=" in l for l in lines)
+
+    def test_plain_explain_still_coordinator_only(self, cluster):
+        _, session = cluster
+        result = session.execute("EXPLAIN SELECT COUNT(*) FROM F")
+        assert result.columns == ["PLAN"]
+        lines = [row[0] for row in result.rows]
+        assert not any(l.startswith("MPP") for l in lines)
+
+
+# --------------------------------------------------------------------------
+# Spark stage metrics
+# --------------------------------------------------------------------------
+
+
+class TestSparkStageMetrics:
+    def test_stage_records_cover_the_lineage(self):
+        from repro.spark import SparkContext
+
+        sc = SparkContext(default_parallelism=4)
+        (
+            sc.parallelize(range(100))
+            .map(lambda x: (x % 5, x))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        metrics = sc.scheduler.last_metrics
+        kinds = [s["kind"] for s in metrics.stage_metrics]
+        assert kinds == ["source", "narrow", "shuffle"]
+        shuffle = metrics.stage_metrics[-1]
+        assert shuffle["op"] == "reduce_by_key"
+        assert shuffle["records"] == 100
+        assert sum(s["tasks"] for s in metrics.stage_metrics) == metrics.tasks
+
+    def test_job_span_under_tracer(self):
+        from repro.spark import SparkContext
+
+        tracer = Tracer()
+        sc = SparkContext(default_parallelism=2, tracer=tracer)
+        sc.parallelize(range(10)).map(lambda x: x + 1).collect()
+        jobs = tracer.find("spark.job")
+        assert jobs and jobs[-1].children
