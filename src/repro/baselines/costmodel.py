@@ -33,12 +33,25 @@ class SystemProfile:
     io_seconds_per_mb: float = 0.0
     #: Fixed per-statement overhead (compile, dispatch).
     per_query_overhead_s: float = 0.002
+    #: Intra-query DOP the profiled system runs at: CPU work divides across
+    #: cores (ideal morsel scaling); I/O and startup do not.
+    parallelism: int = 1
 
-    def query_seconds(self, engine_wall_s: float, scanned_mb: float = 0.0) -> float:
-        """Simulated seconds for one statement."""
+    def query_seconds(
+        self,
+        engine_wall_s: float,
+        scanned_mb: float = 0.0,
+        parallelism: int | None = None,
+    ) -> float:
+        """Simulated seconds for one statement.
+
+        ``parallelism`` overrides the profile's DOP for one call (e.g. to
+        cost the same measurement at several configured widths).
+        """
+        dop = max(1, parallelism if parallelism is not None else self.parallelism)
         return (
             self.per_query_overhead_s
-            + engine_wall_s / self.scan_speedup
+            + engine_wall_s / self.scan_speedup / dop
             + scanned_mb * self.io_seconds_per_mb
         )
 

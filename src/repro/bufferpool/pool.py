@@ -7,6 +7,7 @@ the policy picks a victim when the pool is full.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.bufferpool.policies import Frame, OptimalPolicy, ReplacementPolicy
@@ -51,6 +52,9 @@ class BufferPool:
         self._frames: dict = {}
         self._pages: dict = {}
         self._tick = 0
+        # Parallel morsel workers share the pool; one reentrant lock keeps
+        # frame bookkeeping consistent (and a page loads exactly once).
+        self._lock = threading.RLock()
         self.stats = PoolStats()
         if metrics is not None:
             self._hits = metrics.counter("bufferpool.hits")
@@ -73,28 +77,29 @@ class BufferPool:
             loader: zero-argument callable producing the page payload; only
                 invoked on a miss.
         """
-        self._tick += 1
-        if isinstance(self.policy, OptimalPolicy):
-            self.policy.note_reference()
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            if self._hits is not None:
-                self._hits.inc()
-            frame.access_count += 1
-            self.policy.on_access(frame, self._tick)
-            return self._pages[page_id]
-        self.stats.misses += 1
-        if self._misses is not None:
-            self._misses.inc()
-        payload = loader()
-        if len(self._frames) >= self.capacity:
-            self._evict_one()
-        frame = Frame(page_id=page_id, last_access=self._tick, access_count=1)
-        self._frames[page_id] = frame
-        self._pages[page_id] = payload
-        self.policy.on_load(frame, self._tick)
-        return payload
+        with self._lock:
+            self._tick += 1
+            if isinstance(self.policy, OptimalPolicy):
+                self.policy.note_reference()
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                if self._hits is not None:
+                    self._hits.inc()
+                frame.access_count += 1
+                self.policy.on_access(frame, self._tick)
+                return self._pages[page_id]
+            self.stats.misses += 1
+            if self._misses is not None:
+                self._misses.inc()
+            payload = loader()
+            if len(self._frames) >= self.capacity:
+                self._evict_one()
+            frame = Frame(page_id=page_id, last_access=self._tick, access_count=1)
+            self._frames[page_id] = frame
+            self._pages[page_id] = payload
+            self.policy.on_load(frame, self._tick)
+            return payload
 
     def _evict_one(self) -> None:
         victim = self.policy.choose_victim(self._frames, self._tick)
@@ -109,23 +114,26 @@ class BufferPool:
 
     def invalidate(self, page_id) -> None:
         """Drop a page (e.g. after its table is dropped or truncated)."""
-        frame = self._frames.pop(page_id, None)
-        if frame is not None:
-            self._pages.pop(page_id, None)
-            self.policy.on_evict(frame)
+        with self._lock:
+            frame = self._frames.pop(page_id, None)
+            if frame is not None:
+                self._pages.pop(page_id, None)
+                self.policy.on_evict(frame)
 
     def invalidate_table(self, table_name: str) -> None:
         """Drop every cached page belonging to one table."""
-        victims = [
-            pid for pid in self._frames
-            if getattr(pid, "table", None) == table_name
-        ]
-        for pid in victims:
-            self.invalidate(pid)
+        with self._lock:
+            victims = [
+                pid for pid in self._frames
+                if getattr(pid, "table", None) == table_name
+            ]
+            for pid in victims:
+                self.invalidate(pid)
 
     def clear(self) -> None:
-        for pid in list(self._frames):
-            self.invalidate(pid)
+        with self._lock:
+            for pid in list(self._frames):
+                self.invalidate(pid)
 
     def resident_pages(self) -> list:
         return list(self._frames.keys())

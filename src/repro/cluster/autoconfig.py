@@ -72,6 +72,15 @@ class InstanceConfig:
         )
 
 
+def degree_of_parallelism(cores: int | None = None) -> int:
+    """Intra-query DOP rule: ``REPRO_PARALLELISM`` env override first, then
+    the detected core count, else serial.  This is the "query parallelism
+    degree" knob of paper II.A wired to the morsel worker pool."""
+    from repro.parallel import default_parallelism
+
+    return default_parallelism(cores)
+
+
 def shards_for_cluster(n_nodes: int, cores_per_node: int, factor: int = 6) -> int:
     """Shard count rule (paper II.E): "sharded ... onto a number of shards
     that is several factors larger than the number of servers, though not
@@ -104,7 +113,7 @@ def auto_configure(
         lock_list_bytes=int(instance_memory * LOCK_LIST_FRACTION),
         log_buffer_bytes=int(instance_memory * LOG_BUFFER_FRACTION),
         utility_heap_bytes=int(instance_memory * UTILITY_FRACTION),
-        query_parallelism=max(1, cores_per_shard),
+        query_parallelism=degree_of_parallelism(cores_per_shard),
         wlm_concurrency=_wlm_concurrency(hardware),
         shards_per_node=shards_per_node,
         cores_per_shard=cores_per_shard,
@@ -135,5 +144,5 @@ def reconfigure_for_shards(
         config,
         shards_per_node=shards_on_node,
         cores_per_shard=cores_per_shard,
-        query_parallelism=cores_per_shard,
+        query_parallelism=degree_of_parallelism(cores_per_shard),
     )

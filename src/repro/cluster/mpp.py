@@ -38,6 +38,7 @@ from repro.errors import (
     UnknownObjectError,
     UnsupportedFeatureError,
 )
+from repro.parallel import WorkerPool, default_parallelism, greedy_makespan
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.storage.filesystem import ClusterFileSystem
@@ -77,6 +78,9 @@ class QueryStats:
     #: max shard time / mean shard time — 1.0 is perfectly balanced.
     skew_ratio: float = 0.0
     gather_seconds: float = 0.0
+    #: Scatter degree of parallelism and per-worker busy seconds.
+    parallelism: int = 1
+    worker_busy: dict = field(default_factory=dict)
 
 
 class ClusterSession:
@@ -107,11 +111,18 @@ class Cluster:
         clock: SimClock | None = None,
         shard_factor: int = 6,
         shard_bufferpool_pages: int = 256,
+        parallelism: int | None = None,
     ):
         if not node_hardware:
             raise ClusterError("a cluster needs at least one node")
         self.filesystem = filesystem or ClusterFileSystem()
         self.clock = clock
+        #: Scatter DOP: per-shard statements dispatch concurrently on this
+        #: many workers; the gather still merges in shard-id order.
+        self.parallelism = (
+            parallelism if parallelism is not None else default_parallelism()
+        )
+        self.pool = WorkerPool(self.parallelism, name="mpp")
         self.nodes: list[Node] = []
         for i, hardware in enumerate(node_hardware):
             node = Node(node_id="node%d" % i, hardware=detect_hardware(hardware))
@@ -343,6 +354,17 @@ class Cluster:
                 stats.skew_ratio,
             )
         ]
+        if stats.worker_busy:
+            lines.append(
+                "  parallel: dop=%d workers=%d busy=[%s]ms"
+                % (
+                    stats.parallelism,
+                    len(stats.worker_busy),
+                    ", ".join(
+                        "%.3f" % (s * 1e3) for _, s in sorted(stats.worker_busy.items())
+                    ),
+                )
+            )
         for sid in sorted(stats.elapsed_by_shard):
             lines.append(
                 "  shard %d (%s): %.3fms"
@@ -376,34 +398,56 @@ class Cluster:
         return False
 
     def _run_on_shards(self, select: ast.Select, session) -> list[Result]:
-        results = []
+        """Scatter one statement to every shard, concurrently.
+
+        Shards dispatch onto the cluster worker pool in ascending shard-id
+        order and the pool gathers results in that same submission order,
+        so downstream combines (gather table inserts, two-phase global
+        aggregation) see a deterministic shard sequence at any DOP.
+        """
+        shard_ids = sorted(self.shards)
+        for sid in shard_ids:
+            self._check_owner_alive(sid)
+        dialect = session.dialect.name
+
+        def run_shard(sid: int) -> Result:
+            shard = self.shards[sid]
+            shard_session = shard.engine.connect(dialect)
+            return shard.engine.execute_ast(select, shard_session)
+
+        results = self.pool.map(run_shard, shard_ids, label="scatter")
+        run = self.pool.last_run
         elapsed: dict[str, float] = {}
         elapsed_shard: dict[int, float] = {}
-        for shard in self.shards.values():
-            self._check_owner_alive(shard.shard_id)
-            node_id = self.assignment[shard.shard_id]
-            t0 = time.perf_counter()
-            shard_session = shard.engine.connect(session.dialect.name)
-            results.append(shard.engine.execute_ast(select, shard_session))
-            dt = time.perf_counter() - t0
-            elapsed[node_id] = elapsed.get(node_id, 0.0) + dt
-            elapsed_shard[shard.shard_id] = elapsed_shard.get(shard.shard_id, 0.0) + dt
+        for span in run.spans:
+            sid = shard_ids[span.index]
+            node_id = self.assignment[sid]
+            elapsed[node_id] = elapsed.get(node_id, 0.0) + span.seconds
+            elapsed_shard[sid] = elapsed_shard.get(sid, 0.0) + span.seconds
         self.last_stats.shards_touched = len(results)
         self.last_stats.elapsed_by_node = elapsed
         self.last_stats.elapsed_by_shard = elapsed_shard
+        self.last_stats.parallelism = self.parallelism
+        self.last_stats.worker_busy = run.worker_busy()
         if elapsed_shard:
             mean = sum(elapsed_shard.values()) / len(elapsed_shard)
             self.last_stats.skew_ratio = (
                 max(elapsed_shard.values()) / mean if mean > 0 else 1.0
             )
         if self.clock is not None and elapsed:
-            # Nodes work in parallel; each node divides its work across its
-            # shard slots.
+            # Nodes work in parallel; within a node, its shards' spans run
+            # on the configured worker slots — simulated elapsed time is
+            # the slowest node's makespan (max over nodes), never a sum
+            # across nodes.  At parallelism=1 this is the plain per-node
+            # sum, the pre-parallel clock model.
             per_node = []
-            for node_id, seconds in elapsed.items():
-                node = self.node_by_id(node_id)
-                slots = max(1, len(node.shard_ids))
-                per_node.append(seconds * slots / max(slots, 1))
+            for node_id in elapsed:
+                spans = [
+                    elapsed_shard[sid]
+                    for sid in shard_ids
+                    if self.assignment[sid] == node_id and sid in elapsed_shard
+                ]
+                per_node.append(greedy_makespan(spans, self.parallelism))
             self.clock.advance(max(per_node))
         return results
 

@@ -38,10 +38,15 @@ class Shard:
     ):
         self.shard_id = shard_id
         self.filesystem = filesystem
+        # Shard engines run serial (parallelism=1): intra-query parallelism
+        # in the cluster comes from the scatter pool dispatching shards
+        # concurrently, and nesting per-shard worker pools under it would
+        # oversubscribe the host without adding real concurrency.
         self.engine = Database(
             name="SHARD%d" % shard_id,
             bufferpool_pages=bufferpool_pages,
             clock=clock,
+            parallelism=1,
         )
         self.fileset_path = "shards/s%04d" % shard_id
         filesystem.mkdir(self.fileset_path)

@@ -309,11 +309,15 @@ def compress_column(
         codec = MinusCodec(live)
     else:
         codec = DictionaryCodec(live)
-    filler = live[0] if live.size else (0 if values.dtype != object else "")
-    filled = values.copy()
-    if nulls is not None:
-        filled[nulls] = filler
-    packed = pack_codes(codec.encode(filled), codec.code_width)
+    # Only live slots pass through the codec (NULL slots may hold fillers
+    # the dictionary never saw — e.g. an all-NULL region); they pack as
+    # code 0, a don't-care the null mask hides.
+    if nulls is None:
+        codes = codec.encode(values)
+    else:
+        codes = np.zeros(n, dtype=np.uint64)
+        codes[~nulls] = codec.encode(live)
+    packed = pack_codes(codes, codec.code_width)
     return CompressedColumn(codec=codec, n=n, packed=packed, nulls=nulls)
 
 

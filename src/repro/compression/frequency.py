@@ -55,7 +55,17 @@ class FrequencyEncoding:
         self._cardinality = base
         self._width = bits_needed(max(0, base - 1))
         self._code_of = {}
-        decode = np.empty(base, dtype=values.dtype if values.size else object)
+        if base == 0:
+            # Degenerate dictionary (a region whose rows are all NULL):
+            # keep one don't-care slot so code 0 — the packed filler for
+            # NULL positions — decodes without faulting.
+            decode = (
+                np.array([""], dtype=object)
+                if values.dtype == object
+                else np.zeros(1, dtype=values.dtype)
+            )
+        else:
+            decode = np.empty(base, dtype=values.dtype if values.size else object)
         for members, pbase in zip(self._partitions, self._bases):
             for rank, value in enumerate(members.tolist()):
                 code = pbase + rank

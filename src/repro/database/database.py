@@ -10,6 +10,7 @@ system in single-node deployments).
 from __future__ import annotations
 
 import datetime
+import threading
 import time
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.monitor.instrument import (
 from repro.monitor.metrics import MetricsRegistry
 from repro.monitor.report import database_report
 from repro.monitor.tracer import NULL_TRACER, Tracer
+from repro.parallel import WorkerPool
 from repro.sql import ast
 from repro.sql.binder import ExpressionBinder, Scope, ScopeColumn
 from repro.sql.dialects import get_dialect, resolve_type
@@ -65,6 +67,14 @@ class Database:
             With a real tracer, every statement produces a span tree
             (parse -> plan -> execute -> per-operator) and the buffer pool
             feeds the metrics registry.
+        parallelism: intra-query degree of parallelism.  ``None`` resolves
+            via :func:`~repro.parallel.pool.default_parallelism`
+            (``REPRO_PARALLELISM`` env var, else 1 = serial).  Scans, hash
+            joins, and parallel-safe aggregates split into morsels on the
+            shared worker pool; at ``parallelism=1`` every operator runs
+            the unchanged serial code path.
+        morsel_rows: rows per aggregation morsel (default
+            :data:`~repro.parallel.morsel.DEFAULT_MORSEL_ROWS`).
     """
 
     def __init__(
@@ -77,6 +87,8 @@ class Database:
         region_rows: int = 65_536,
         scan_options: dict | None = None,
         tracer: Tracer | None = None,
+        parallelism: int | None = None,
+        morsel_rows: int | None = None,
     ):
         self.name = name
         self.compatibility = compatibility
@@ -93,8 +105,16 @@ class Database:
         #: Engine feature flags for scans (used by ablation baselines):
         #: {"use_skipping": bool, "use_compressed_eval": bool}.
         self.scan_options = scan_options
+        #: Shared morsel worker pool (serial/inline unless parallelism > 1).
+        self.pool = WorkerPool(
+            parallelism,
+            metrics=self.metrics if self.tracer.enabled else None,
+            name=name.lower(),
+        )
+        self.morsel_rows = morsel_rows
         self.procedures: dict[str, object] = {}
         self.statement_count = 0
+        self._statement_lock = threading.Lock()
         #: Scans created while planning the most recent statement.
         self.last_scans: list = []
 
@@ -187,7 +207,9 @@ class Database:
         self, node: ast.Node, session: Session, sql: str | None = None
     ) -> Result:
         """Statement wrapper: spans, per-statement stats, query history."""
-        self.statement_count += 1
+        with self._statement_lock:
+            self.statement_count += 1
+            index = self.statement_count
         wall_start = time.perf_counter()
         sim_start = self.clock.now if self.clock is not None else None
         with self.tracer.span(
@@ -196,7 +218,9 @@ class Database:
             result = self._dispatch_node(node, session)
         wall = time.perf_counter() - wall_start
         sim = self.clock.now - sim_start if sim_start is not None else None
-        session.record_statement(node, result, wall, sim_seconds=sim, sql=sql)
+        session.record_statement(
+            node, result, wall, sim_seconds=sim, sql=sql, index=index
+        )
         return result
 
     def _dispatch_node(self, node: ast.Node, session: Session) -> Result:

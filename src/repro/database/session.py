@@ -86,14 +86,20 @@ class Session:
     def record_statement(
         self, node, result, wall_seconds: float,
         sim_seconds: float | None = None, sql: str | None = None,
+        index: int | None = None,
     ) -> None:
-        """Called by the database after every statement it runs for us."""
+        """Called by the database after every statement it runs for us.
+
+        ``index`` is the statement's own database-wide number, captured
+        under the statement lock — concurrent sessions must not re-read
+        the shared counter here.
+        """
         rowcount = result.rowcount
         if rowcount < 0 and result.is_query:
             rowcount = len(result.rows)
         self.history.append(
             StatementStats(
-                index=self.database.statement_count,
+                index=index if index is not None else self.database.statement_count,
                 statement=type(node).__name__,
                 sql=sql,
                 rowcount=rowcount,

@@ -47,7 +47,14 @@ class HashJoinOp(Operator):
         partition_rows: advisory partition size.  The execution strategy
             (factorise keys, sort the build side, binary-search probes) is
             the vectorised analogue of cache-sized partitioning: the sort
-            clusters equal keys so each probe touches one dense run.
+            clusters equal keys so each probe touches one dense run.  With
+            a parallel ``pool`` it doubles as the probe morsel size.
+        pool: optional :class:`~repro.parallel.pool.WorkerPool`.  When
+            parallel, probe morsels binary-search the (shared, read-only)
+            sorted build side concurrently; per-morsel match lists
+            concatenate in morsel order, which reproduces the serial
+            probe's output exactly (each probe row's matches depend only
+            on that row).
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class HashJoinOp(Operator):
         join_type: str = "inner",
         residual: Expr | None = None,
         partition_rows: int = DEFAULT_PARTITION_ROWS,
+        pool=None,
     ):
         if join_type not in _JOIN_TYPES:
             raise ValueError("unknown join type %r" % join_type)
@@ -71,7 +79,9 @@ class HashJoinOp(Operator):
         self.join_type = join_type
         self.residual = residual
         self.partition_rows = partition_rows
+        self.pool = pool
         self.stats = JoinStats()
+        self.parallel_run = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -120,6 +130,16 @@ class HashJoinOp(Operator):
         sorted_build_rows = build_rows[order]
         probe_rows = np.nonzero(p_valid)[0]
         pk_live = pk[probe_rows]
+        pool = self.pool
+        if pool is not None and pool.is_parallel:
+            from repro.parallel.morsel import morsel_ranges
+
+            morsels = morsel_ranges(probe_rows.size, self.partition_rows)
+            if len(morsels) > 1:
+                return self._parallel_probe(
+                    pool, morsels, probe_rows, pk_live,
+                    sorted_bk, sorted_build_rows, matched_left,
+                )
         lo = np.searchsorted(sorted_bk, pk_live, side="left")
         hi = np.searchsorted(sorted_bk, pk_live, side="right")
         counts = hi - lo
@@ -134,6 +154,45 @@ class HashJoinOp(Operator):
         positions = starts + (np.arange(total) - cumulative)
         ri = sorted_build_rows[positions]
         return li.astype(np.int64), ri.astype(np.int64)
+
+    def _parallel_probe(self, pool, morsels, probe_rows, pk_live,
+                        sorted_bk, sorted_build_rows, matched_left):
+        """Probe morsels against the shared sorted build side in parallel.
+
+        Each probe row's matches are a function of that row alone
+        (``positions = lo[r] + 0..count[r]-1``), so concatenating the
+        per-morsel (li, ri) pairs in morsel order is byte-identical to the
+        single whole-column probe.  Workers only read the shared arrays and
+        write disjoint slices of nothing — ``matched_left`` updates happen
+        on the gather side.
+        """
+
+        def probe_morsel(rng):
+            start, stop = rng
+            rows = probe_rows[start:stop]
+            keys = pk_live[start:stop]
+            lo = np.searchsorted(sorted_bk, keys, side="left")
+            hi = np.searchsorted(sorted_bk, keys, side="right")
+            counts = hi - lo
+            hit_rows = rows[counts > 0]
+            total = int(counts.sum())
+            if total == 0:
+                empty = np.zeros(0, dtype=np.int64)
+                return hit_rows, empty, empty
+            li = np.repeat(rows, counts)
+            starts = np.repeat(lo, counts)
+            cumulative = np.repeat(np.cumsum(counts) - counts, counts)
+            positions = starts + (np.arange(total) - cumulative)
+            ri = sorted_build_rows[positions]
+            return hit_rows, li.astype(np.int64), ri.astype(np.int64)
+
+        parts = pool.map(probe_morsel, morsels, label="join-probe")
+        self.parallel_run = pool.last_run
+        for hit_rows, _, _ in parts:
+            matched_left[hit_rows] = True
+        li = np.concatenate([part[1] for part in parts])
+        ri = np.concatenate([part[2] for part in parts])
+        return li, ri
 
     # -- execution ---------------------------------------------------------------
 

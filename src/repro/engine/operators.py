@@ -31,6 +31,18 @@ class ScanStats:
     bytes_scanned: int = 0       # compressed bytes touched
     raw_bytes_scanned: int = 0   # uncompressed equivalent of touched data
 
+    def merge(self, other: "ScanStats") -> None:
+        """Fold another region's counters in (parallel scans merge their
+        per-task stats back in region order; all fields are sums)."""
+        self.regions_scanned += other.regions_scanned
+        self.extents_total += other.extents_total
+        self.extents_skipped += other.extents_skipped
+        self.rows_scanned += other.rows_scanned
+        self.rows_matched += other.rows_matched
+        self.pages_read += other.pages_read
+        self.bytes_scanned += other.bytes_scanned
+        self.raw_bytes_scanned += other.raw_bytes_scanned
+
 
 @dataclass
 class SimplePredicate:
@@ -137,6 +149,12 @@ class TableScanOp(Operator):
             loader) routing page fetches through a buffer pool.
         stride_rows: if set, emit batches of at most this many rows
             (stride-at-a-time processing, II.B.7).
+        pool: optional :class:`~repro.parallel.pool.WorkerPool`.  When the
+            pool is parallel, regions become independent morsel tasks whose
+            batches and stats gather back **in region order**, so the output
+            is identical to the serial scan.  With ``parallelism=1`` (or no
+            pool) the original incremental generator path runs untouched —
+            including its lazy early-exit behaviour under LIMIT.
     """
 
     def __init__(
@@ -149,6 +167,7 @@ class TableScanOp(Operator):
         stride_rows: int | None = None,
         use_skipping: bool = True,
         use_compressed_eval: bool = True,
+        pool=None,
     ):
         self.table = table
         self.columns = list(columns)
@@ -158,7 +177,10 @@ class TableScanOp(Operator):
         self.stride_rows = stride_rows
         self.use_skipping = use_skipping
         self.use_compressed_eval = use_compressed_eval
+        self.pool = pool
         self.stats = ScanStats()
+        #: PoolRun of the last parallel execution (EXPLAIN ANALYZE surface).
+        self.parallel_run = None
 
     def _fetch(self, region_idx: int, column: str):
         region = self.table.regions[region_idx]
@@ -175,8 +197,36 @@ class TableScanOp(Operator):
         needed = set(self.columns)
         if self.residual is not None:
             needed |= self.residual.references()
+        pool = self.pool
+        if pool is not None and pool.is_parallel and len(self.table.regions) > 1:
+            yield from self._execute_parallel(needed, pool)
+            return
         for region_idx, region in enumerate(self.table.regions):
-            batch = self._scan_region(region_idx, region, needed)
+            batch = self._scan_region(region_idx, region, needed, self.stats)
+            if batch is not None and batch.n:
+                yield from self._emit(batch)
+        tail = self._scan_tail(needed)
+        if tail is not None and tail.n:
+            yield from self._emit(tail)
+
+    def _execute_parallel(self, needed, pool):
+        """Morsel-parallel scan: one task per region, gathered in region
+        order (deterministic), per-task stats merged back in region order."""
+
+        def scan_one(indexed):
+            region_idx, region = indexed
+            stats = ScanStats()
+            batch = self._scan_region(region_idx, region, needed, stats)
+            return batch, stats
+
+        results = pool.map(
+            scan_one,
+            list(enumerate(self.table.regions)),
+            label="scan:%s" % self.table.schema.name,
+        )
+        self.parallel_run = pool.last_run
+        for batch, stats in results:
+            self.stats.merge(stats)
             if batch is not None and batch.n:
                 yield from self._emit(batch)
         tail = self._scan_tail(needed)
@@ -191,12 +241,12 @@ class TableScanOp(Operator):
             idx = np.arange(start, min(start + self.stride_rows, batch.n))
             yield batch.take(idx)
 
-    def _scan_region(self, region_idx, region, needed):
-        self.stats.regions_scanned += 1
+    def _scan_region(self, region_idx, region, needed, stats):
+        stats.regions_scanned += 1
         n = region.n_rows
         stride = self.table.synopsis_stride
         n_extents = -(-n // stride) if n else 0
-        self.stats.extents_total += n_extents
+        stats.extents_total += n_extents
         # 1. Data skipping: intersect synopsis candidates per predicate.
         extent_keep = np.ones(n_extents, dtype=bool)
         if self.use_skipping:
@@ -205,17 +255,17 @@ class TableScanOp(Operator):
                 if synopsis is not None:
                     extent_keep &= pred.synopsis_candidates(synopsis)
         skipped = int((~extent_keep).sum())
-        self.stats.extents_skipped += skipped
+        stats.extents_skipped += skipped
         if not extent_keep.any():
             return None
         row_keep = np.repeat(extent_keep, stride)[:n]
         rows_touched = int(row_keep.sum())
-        self.stats.rows_scanned += rows_touched
+        stats.rows_scanned += rows_touched
         # Uncompressed-equivalent bytes for the touched columns/rows.
         touched_columns = {p.column for p in self.pushed} | set(needed)
         for column in touched_columns:
             per_row = region.column_raw_nbytes.get(column, 8) / max(region.n_rows, 1)
-            self.stats.raw_bytes_scanned += int(per_row * rows_touched)
+            stats.raw_bytes_scanned += int(per_row * rows_touched)
         touched_fraction = rows_touched / max(n, 1)
         # Surviving-extent window: with skipping on, predicates evaluate
         # only over the word-aligned range covering surviving extents.
@@ -237,8 +287,8 @@ class TableScanOp(Operator):
             if compressed is None:
                 compressed = self._fetch(region_idx, name)
                 fetched[name] = compressed
-                self.stats.pages_read += 1
-                self.stats.bytes_scanned += int(
+                stats.pages_read += 1
+                stats.bytes_scanned += int(
                     compressed.nbytes() * touched_fraction
                 )
             return compressed
@@ -286,7 +336,7 @@ class TableScanOp(Operator):
                 columns[name] = vector.filter(selection)
         batch = Batch.from_columns(columns)
         batch = self._apply_residual(batch)
-        self.stats.rows_matched += batch.n
+        stats.rows_matched += batch.n
         return batch
 
     def _scan_tail(self, needed):

@@ -130,6 +130,14 @@ def _operator_line(wrapper: InstrumentedOp, depth: int) -> str:
         line += " [scanned=%d skipped_extents=%d pages=%d]" % (
             stats.rows_scanned, stats.extents_skipped, stats.pages_read
         )
+    run = getattr(op, "parallel_run", None)
+    if run is not None:
+        line += " [parallel tasks=%d workers=%d busy=%.3fms makespan=%.3fms]" % (
+            run.tasks,
+            len(run.worker_busy()),
+            run.total_seconds * 1e3,
+            run.makespan_seconds * 1e3,
+        )
     return line
 
 
@@ -159,6 +167,17 @@ def attach_operator_spans(tracer, parent_span, root: InstrumentedOp) -> None:
     stats = getattr(root.inner, "stats", None)
     if stats is not None:
         span.annotate(stats=stats)
+    run = getattr(root.inner, "parallel_run", None)
+    if run is not None:
+        span.annotate(
+            parallel={
+                "parallelism": run.parallelism,
+                "tasks": run.tasks,
+                "busy_seconds": run.total_seconds,
+                "makespan_seconds": run.makespan_seconds,
+                "worker_busy": run.worker_busy(),
+            }
+        )
     for child in _instrumented_children(root):
         attach_operator_spans(tracer, span, child)
 

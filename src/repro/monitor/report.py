@@ -40,6 +40,18 @@ def database_report(database) -> dict:
         "tables": tables,
         "tracing_enabled": database.tracer.enabled,
         "metrics": database.metrics.snapshot(),
+        "parallel": worker_pool_report(database.pool),
+    }
+
+
+def worker_pool_report(pool) -> dict:
+    """Snapshot one worker pool's lifetime accumulators."""
+    return {
+        "parallelism": pool.parallelism,
+        "runs": pool.runs_total,
+        "tasks": pool.tasks_total,
+        "busy_seconds": pool.busy_seconds_total,
+        "makespan_seconds": pool.makespan_seconds_total,
     }
 
 
@@ -82,7 +94,10 @@ def cluster_report(cluster) -> dict:
             "elapsed_by_shard": dict(last.elapsed_by_shard),
             "skew_ratio": last.skew_ratio,
             "gather_seconds": last.gather_seconds,
+            "parallelism": last.parallelism,
+            "worker_busy": dict(last.worker_busy),
         },
+        "parallel": worker_pool_report(cluster.pool),
         "tables": {
             name: cluster.total_rows(name) for name in sorted(cluster.tables)
         },

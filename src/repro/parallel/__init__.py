@@ -1,0 +1,33 @@
+"""Morsel-driven parallel execution: shared worker pool + combiners."""
+
+from repro.parallel.morsel import (
+    DEFAULT_MORSEL_ROWS,
+    MorselMerger,
+    PartialAgg,
+    merge_partials,
+    morsel_ranges,
+    partial_from_values,
+)
+from repro.parallel.pool import (
+    PARALLELISM_ENV_VAR,
+    PoolRun,
+    TaskSpan,
+    WorkerPool,
+    default_parallelism,
+    greedy_makespan,
+)
+
+__all__ = [
+    "DEFAULT_MORSEL_ROWS",
+    "MorselMerger",
+    "PARALLELISM_ENV_VAR",
+    "PartialAgg",
+    "PoolRun",
+    "TaskSpan",
+    "WorkerPool",
+    "default_parallelism",
+    "greedy_makespan",
+    "merge_partials",
+    "morsel_ranges",
+    "partial_from_values",
+]

@@ -45,7 +45,15 @@ class DashDBSparkContext(SparkContext):
     """A SparkContext wired to a dashDB Local cluster."""
 
     def __init__(self, cluster: Cluster, app_name: str = "dashdb-spark", user: str = "spark"):
-        super().__init__(app_name, default_parallelism=max(2, len(cluster.live_nodes())))
+        # Colocation (paper II.D): Spark tasks share the cluster's worker
+        # pool instead of competing with it.  Safe because table_rdd
+        # materialises shard SQL eagerly on the calling thread — Spark
+        # tasks themselves never re-enter the scatter path.
+        super().__init__(
+            app_name,
+            default_parallelism=max(2, len(cluster.live_nodes())),
+            pool=cluster.pool,
+        )
         self.cluster = cluster
         self.user = user
         self.transfer = TransferStats()

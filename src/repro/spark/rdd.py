@@ -141,12 +141,12 @@ class SparkContext:
     """Entry point: creates source RDDs and owns the scheduler."""
 
     def __init__(self, app_name: str = "app", default_parallelism: int = 4,
-                 tracer=None):
+                 tracer=None, pool=None):
         from repro.spark.scheduler import DAGScheduler
 
         self.app_name = app_name
         self.default_parallelism = default_parallelism
-        self.scheduler = DAGScheduler(tracer=tracer)
+        self.scheduler = DAGScheduler(tracer=tracer, pool=pool)
 
     def parallelize(self, items, n_partitions: int | None = None) -> RDD:
         items = list(items)

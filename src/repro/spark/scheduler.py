@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SparkJobError
+from repro.parallel import WorkerPool
 
 _WIDE_OPS = {"group_by_key", "reduce_by_key", "repartition"}
 
@@ -33,11 +34,19 @@ class DAGScheduler:
         tracer: optional :class:`~repro.monitor.tracer.Tracer`; when given
             (and enabled), each job runs under a ``spark.job`` span with one
             child span per stage.
+        pool: optional :class:`~repro.parallel.pool.WorkerPool` shared with
+            an embedding engine (the dashDB integration passes the cluster
+            scatter pool).  The default pool resolves its width from
+            ``REPRO_PARALLELISM`` and runs inline (serial) at width 1.
+            Ready tasks of a stage — one per partition — run concurrently;
+            partition results always gather in partition order, so job
+            output is identical at any width.
     """
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, pool: WorkerPool | None = None):
         self.last_metrics = JobMetrics()
         self.tracer = tracer
+        self.pool = pool if pool is not None else WorkerPool(name="spark")
 
     def run(self, rdd) -> list[list]:
         self.last_metrics = JobMetrics()
@@ -79,19 +88,22 @@ class DAGScheduler:
         if op in _WIDE_OPS:
             return self._shuffle(rdd, parent)
         # Narrow op: per-partition tasks, pipelined within the parent stage.
+        # All ready tasks dispatch onto the worker pool; gather order is
+        # partition order, so output is independent of the pool width.
         self.last_metrics.tasks += len(parent)
         self._note_stage("narrow", op, len(parent), sum(len(p) for p in parent))
+        fn = rdd.fn
         if op == "map":
-            return [[rdd.fn(x) for x in part] for part in parent]
-        if op == "filter":
-            return [[x for x in part if rdd.fn(x)] for part in parent]
-        if op == "flat_map":
-            return [
-                [y for x in part for y in rdd.fn(x)] for part in parent
-            ]
-        if op == "map_partitions":
-            return [list(rdd.fn(part)) for part in parent]
-        raise SparkJobError("unknown RDD op %r" % op)
+            task = lambda part: [fn(x) for x in part]
+        elif op == "filter":
+            task = lambda part: [x for x in part if fn(x)]
+        elif op == "flat_map":
+            task = lambda part: [y for x in part for y in fn(x)]
+        elif op == "map_partitions":
+            task = lambda part: list(fn(part))
+        else:
+            raise SparkJobError("unknown RDD op %r" % op)
+        return self.pool.map(task, parent, label="spark:%s" % op)
 
     def _shuffle(self, rdd, parent: list[list]) -> list[list]:
         """Hash-partition parent output by key into the child's partitions."""
@@ -116,22 +128,25 @@ class DAGScheduler:
         self._note_stage("shuffle", rdd.op, n_out, records)
         if rdd.op == "repartition":
             return buckets
+        # Reduce tasks (one per output partition) run on the worker pool;
+        # within a bucket the records keep their arrival order, so grouping
+        # and reduction are deterministic at any pool width.
         if rdd.op == "group_by_key":
-            out = []
-            for bucket in buckets:
+            def group_bucket(bucket):
                 groups: dict = {}
                 for key, value in bucket:
                     groups.setdefault(key, []).append(value)
-                out.append(list(groups.items()))
-            return out
-        # reduce_by_key
-        out = []
-        for bucket in buckets:
+                return list(groups.items())
+
+            return self.pool.map(group_bucket, buckets, label="spark:group")
+
+        def reduce_bucket(bucket):
             groups: dict = {}
             for key, value in bucket:
                 if key in groups:
                     groups[key] = rdd.fn(groups[key], value)
                 else:
                     groups[key] = value
-            out.append(list(groups.items()))
-        return out
+            return list(groups.items())
+
+        return self.pool.map(reduce_bucket, buckets, label="spark:reduce")

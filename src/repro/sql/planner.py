@@ -128,6 +128,7 @@ class BaseRel:
     scan_options: dict | None = None  # feature flags (ablation baselines)
 
     on_scan: object = None  # callback(scan) for statistics collection
+    pool: object = None  # WorkerPool for region-parallel scans
 
     def build(self, needed_keys: set[str], page_source) -> Operator:
         wanted = [c for c in self.columns if c.key in needed_keys]
@@ -138,6 +139,7 @@ class BaseRel:
             [c.name for c in wanted],
             pushed=self.pushed,
             page_source=page_source,
+            pool=self.pool,
             **(self.scan_options or {}),
         )
         if self.on_scan is not None:
@@ -189,6 +191,8 @@ class SelectPlanner:
         self.dialect = dialect
         self.page_source = page_source
         self.session = session
+        self.pool = getattr(database, "pool", None)
+        self.morsel_rows = getattr(database, "morsel_rows", None)
         self._cte_frames: list[dict[str, MaterialRel]] = []
         self._rel_counter = 0
 
@@ -365,7 +369,7 @@ class SelectPlanner:
         on_scan = getattr(self.database, "note_scan", None)
         return BaseRel(
             alias=alias, table=table, columns=columns, pushed=[],
-            scan_options=options, on_scan=on_scan,
+            scan_options=options, on_scan=on_scan, pool=self.pool,
         )
 
     def _realias(self, rel: MaterialRel, alias: str) -> MaterialRel:
@@ -597,6 +601,8 @@ class SelectPlanner:
                 op,
                 keys=[(k, ColumnRef(k, dt)) for k, dt in zip(keys, dtypes)],
                 aggregates=[],
+                pool=self.pool,
+                morsel_rows=self.morsel_rows,
             )
         if sort_keys:
             op = SortOp(op, sort_keys)
@@ -734,7 +740,7 @@ class SelectPlanner:
                             lk.append(e.right_key)
                             rk.append(e.left_key)
                         pending_edges.remove(e)
-                    current = HashJoinOp(current, op, lk, rk)
+                    current = HashJoinOp(current, op, lk, rk, pool=self.pool)
                     current_aliases |= aliases
                     remaining.pop(i)
                     progressed = True
@@ -759,7 +765,8 @@ class SelectPlanner:
                 conjuncts, alias, scope, binder
             )
             current = HashJoinOp(
-                current, op, left_keys, right_keys, join_type="left", residual=residual
+                current, op, left_keys, right_keys, join_type="left",
+                residual=residual, pool=self.pool,
             )
             current_aliases |= tree.aliases()
         return current
@@ -822,6 +829,7 @@ class SelectPlanner:
                 [e.right_key for e in tree.equi],
                 join_type=tree.kind,
                 residual=tree.condition,
+                pool=self.pool,
             )
         if tree.kind == "inner":
             return NestedLoopJoinOp(left, right, tree.condition, join_type="inner")
@@ -864,7 +872,10 @@ class SelectPlanner:
 
     def _apply_grouping(self, op, bound_items, group_exprs, binder, having_expr):
         keys = [("__KEY%d" % i, expr) for i, expr in enumerate(group_exprs)]
-        group_op = GroupByOp(op, keys=keys, aggregates=binder.aggregates)
+        group_op = GroupByOp(
+            op, keys=keys, aggregates=binder.aggregates,
+            pool=self.pool, morsel_rows=self.morsel_rows,
+        )
         # Rewrite outputs/having: group-key subtrees -> key refs; aggregate
         # refs already point at their agg aliases.
         signatures = {
@@ -903,7 +914,10 @@ class SelectPlanner:
             combined = ChainOp([left.op, rename])
             return _distinct(PlannedQuery(combined, left.names, left.keys, dtypes))
         join_type = "semi" if op == "INTERSECT" else "anti"
-        joined = HashJoinOp(left.op, rename, left.keys, left.keys, join_type=join_type)
+        joined = HashJoinOp(
+            left.op, rename, left.keys, left.keys, join_type=join_type,
+            pool=self.pool,
+        )
         return _distinct(PlannedQuery(joined, left.names, left.keys, dtypes))
 
     # -- ORDER BY / LIMIT ---------------------------------------------------------------

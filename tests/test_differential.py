@@ -1,11 +1,12 @@
-"""Differential testing: random queries, two independent engines.
+"""Differential testing: random queries, three independent executions.
 
 The columnar engine (compressed scans, software-SIMD, vectorised
-operators) and the row-store engine (B-trees, row-at-a-time interpreter)
-share only the SQL front end; agreeing on hundreds of randomised queries
-over data with NULLs, duplicates, and skew is strong evidence against
-whole classes of engine bugs (selection masks, null semantics, grouping,
-join multiplicity).
+operators), the same engine running morsel-parallel at DOP 4, and the
+row-store engine (B-trees, row-at-a-time interpreter) share only the SQL
+front end; agreeing on hundreds of randomised queries over data with
+NULLs, duplicates, and skew is strong evidence against whole classes of
+engine bugs (selection masks, null semantics, grouping, join
+multiplicity, and morsel merge/gather ordering).
 """
 
 from __future__ import annotations
@@ -49,13 +50,20 @@ def _build_rows(seed):
 
 @pytest.fixture(scope="module")
 def engines():
+    """Three-way oracle: columnar-serial, columnar-parallel, row engine.
+
+    The parallel engine runs DOP 4 with deliberately tiny morsels/regions
+    so every scan, join probe, and grouping actually splits.
+    """
     dash = Database().connect("db2")
+    par_db = Database(parallelism=4, morsel_rows=257, region_rows=512)
+    par = par_db.connect("db2")
     rowdb = RowDatabase()
     ddl = "CREATE TABLE t (a INT, b INT, c VARCHAR(4), d DECIMAL(8,2))"
     dim_ddl = "CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)"
     rows = _build_rows(1)
     dims = ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
-    for system in (dash, rowdb):
+    for system in (dash, par, rowdb):
         system.execute(ddl)
         system.execute(dim_ddl)
         for start in range(0, len(rows), 1000):
@@ -64,7 +72,9 @@ def engines():
             )
         system.execute("INSERT INTO dim VALUES " + dims)
     flush_tables(dash)
-    return dash, rowdb
+    flush_tables(par_db)
+    yield dash, par, rowdb
+    par_db.pool.shutdown()
 
 
 def _random_predicate(rng, prefix="", no_c=False) -> str:
@@ -137,51 +147,91 @@ def _normalise(rows):
 
 @pytest.mark.parametrize("seed", range(8))
 def test_random_queries_agree(engines, seed):
-    dash, rowdb = engines
+    dash, par, rowdb = engines
     rng = derive_rng(seed, "diff-queries")
     for i in range(25):
         sql = _random_query(rng)
         a = _normalise(dash.execute(sql).rows)
         b = _normalise(rowdb.execute(sql).rows)
         assert a == b, "engines disagree (seed=%d, i=%d): %s" % (seed, i, sql)
+        c = _normalise(par.execute(sql).rows)
+        assert a == c, "parallel engine diverges (seed=%d, i=%d): %s" % (
+            seed,
+            i,
+            sql,
+        )
+
+
+def test_parallel_engine_really_ran_parallel(engines):
+    """Guard against the oracle silently degenerating to three serial runs."""
+    _, par, _ = engines
+    pool = par.database.pool
+    assert pool.is_parallel and pool.parallelism == 4
+    assert pool.runs_total > 0
+    assert pool.tasks_total > pool.runs_total  # work actually split
 
 
 @pytest.fixture(scope="module")
 def mpp_engines():
+    """Single node vs a serial-scatter cluster vs a parallel-scatter one."""
     from repro.cluster import Cluster, HardwareSpec
 
     dash = Database().connect("db2")
-    cluster = Cluster([HardwareSpec(cores=4, ram_gb=16, storage_tb=1)] * 3)
+    spec = [HardwareSpec(cores=4, ram_gb=16, storage_tb=1)] * 3
+    cluster = Cluster(spec, parallelism=1)
+    par_cluster = Cluster(spec, parallelism=4)
     cs = cluster.connect("db2")
+    ps = par_cluster.connect("db2")
     ddl = "CREATE TABLE t (a INT, b INT, c VARCHAR(4), d DECIMAL(8,2))"
     dim = "CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)"
     rows = _build_rows(55)
     dims = ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
     dash.execute(ddl)
     dash.execute(dim)
-    cs.execute(ddl + " DISTRIBUTE BY HASH (a)")
-    cs.execute(dim.replace(" PRIMARY KEY", "") + " DISTRIBUTE BY REPLICATION")
+    for clustered in (cs, ps):
+        clustered.execute(ddl + " DISTRIBUTE BY HASH (a)")
+        clustered.execute(
+            dim.replace(" PRIMARY KEY", "") + " DISTRIBUTE BY REPLICATION"
+        )
     for start in range(0, len(rows), 1000):
         statement = "INSERT INTO t VALUES " + ", ".join(rows[start : start + 1000])
         dash.execute(statement)
         cs.execute(statement)
+        ps.execute(statement)
     dash.execute("INSERT INTO dim VALUES " + dims)
     cs.execute("INSERT INTO dim VALUES " + dims)
+    ps.execute("INSERT INTO dim VALUES " + dims)
     flush_tables(dash)
-    return dash, cs
+    yield dash, cs, ps
+    par_cluster.pool.shutdown()
 
 
 @pytest.mark.parametrize("seed", range(4))
 def test_mpp_agrees_with_single_node(mpp_engines, seed):
     """The distributed executor (scatter / two-phase / gather paths) must
-    answer exactly like the single-node engine."""
-    dash, cs = mpp_engines
+    answer exactly like the single-node engine — whether the scatter runs
+    shard-at-a-time or concurrently across shards."""
+    dash, cs, ps = mpp_engines
     rng = derive_rng(seed, "diff-mpp")
     for i in range(15):
         sql = _random_query(rng)
         a = _normalise(dash.execute(sql).rows)
         b = _normalise(cs.execute(sql).rows)
         assert a == b, "MPP disagrees (seed=%d, i=%d): %s" % (seed, i, sql)
+        c = _normalise(ps.execute(sql).rows)
+        assert a == c, "parallel MPP diverges (seed=%d, i=%d): %s" % (
+            seed,
+            i,
+            sql,
+        )
+
+
+def test_parallel_cluster_really_scattered_concurrently(mpp_engines):
+    _, _, ps = mpp_engines
+    cluster = ps.cluster
+    assert cluster.parallelism == 4
+    assert cluster.pool.is_parallel
+    assert cluster.pool.runs_total > 0
 
 
 @pytest.fixture(scope="module")
@@ -223,8 +273,8 @@ def test_tracing_does_not_change_results(traced_pair, seed):
 
 
 def test_dml_divergence_check(engines):
-    """After identical DML on both engines, aggregates still agree."""
-    dash, rowdb = engines
+    """After identical DML on all engines, aggregates still agree."""
+    dash, par, rowdb = engines
     statements = [
         "UPDATE t SET b = b + 1 WHERE a = 7",
         "DELETE FROM t WHERE a = 13 AND b < 0",
@@ -236,7 +286,8 @@ def test_dml_divergence_check(engines):
     )
     for statement in statements:
         dash.execute(statement)
+        par.execute(statement)
         rowdb.execute(statement)
-        assert _normalise(dash.execute(probe).rows) == _normalise(
-            rowdb.execute(probe).rows
-        ), statement
+        reference = _normalise(dash.execute(probe).rows)
+        assert reference == _normalise(rowdb.execute(probe).rows), statement
+        assert reference == _normalise(par.execute(probe).rows), statement

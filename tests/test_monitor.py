@@ -362,9 +362,10 @@ class TestMonreport:
         session.execute("SELECT * FROM T")
         report = db.monreport()
         assert sorted(report) == [
-            "bufferpool", "database", "metrics", "statements",
+            "bufferpool", "database", "metrics", "parallel", "statements",
             "tables", "tracing_enabled",
         ]
+        assert report["parallel"]["parallelism"] >= 1
         assert report["tracing_enabled"] is True
         assert report["statements"] >= 3
         assert report["tables"]["T"]["rows"] == 20
@@ -409,8 +410,10 @@ class TestClusterObservability:
         session.execute("SELECT COUNT(*) FROM F")
         report = cl.monreport()
         assert sorted(report) == [
-            "bufferpool", "cluster", "coordinator", "last_query", "tables",
+            "bufferpool", "cluster", "coordinator", "last_query",
+            "parallel", "tables",
         ]
+        assert report["parallel"]["parallelism"] == cl.parallelism
         assert report["cluster"]["shards"] == cl.n_shards
         assert report["cluster"]["live_nodes"] == 2
         assert report["tables"]["F"] == 40

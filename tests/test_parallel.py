@@ -1,0 +1,473 @@
+"""Morsel-driven parallel execution: pool, combiners, and concurrency.
+
+Four layers of evidence that parallelism never changes an answer:
+
+* unit tests for the scheduling model (``greedy_makespan``) and the
+  deterministic-gather contract of :class:`WorkerPool.map`;
+* property tests that the partial-aggregate merge is invariant to morsel
+  size and worker count (associativity-safe combiners only);
+* end-to-end DOP-equivalence: the same SQL through a serial engine and a
+  ``parallelism=4`` engine with tiny morsels must match byte-for-byte;
+* a mixed DDL/DML/SELECT stress with eight concurrent sessions on one
+  database (no cross-session leaks, statement counters reconcile) and a
+  20x-identical regression for MPP two-phase aggregation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Database
+from repro.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    MorselMerger,
+    PoolRun,
+    TaskSpan,
+    WorkerPool,
+    default_parallelism,
+    greedy_makespan,
+    merge_partials,
+    morsel_ranges,
+    partial_from_values,
+)
+from repro.util.rng import derive_rng
+from repro.workloads.tpcds import flush_tables
+
+
+# -- scheduling model ----------------------------------------------------------
+
+
+class TestGreedyMakespan:
+    def test_one_worker_is_sum(self):
+        assert greedy_makespan([3.0, 1.0, 2.0], 1) == pytest.approx(6.0)
+
+    def test_many_workers_is_max(self):
+        assert greedy_makespan([3.0, 1.0, 2.0], 3) == pytest.approx(3.0)
+        assert greedy_makespan([3.0, 1.0, 2.0], 99) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert greedy_makespan([], 4) == 0.0
+
+    def test_list_scheduling(self):
+        # Two workers, tasks [4, 3, 2, 1]: worker A takes 4, worker B takes
+        # 3 then 2 (free at 3 < 4), A takes 1 at 4 -> makespan 5.
+        assert greedy_makespan([4.0, 3.0, 2.0, 1.0], 2) == pytest.approx(5.0)
+
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20
+        ),
+        workers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, durations, workers):
+        """max(task) <= makespan <= sum(tasks); more workers never slower."""
+        span = greedy_makespan(durations, workers)
+        assert span <= sum(durations) + 1e-9
+        assert span >= max(durations) - 1e-9
+        assert span >= sum(durations) / workers - 1e-9
+        wider = greedy_makespan(durations, workers + 1)
+        assert wider <= span + 1e-9
+
+
+class TestPoolRunAccounting:
+    def test_makespan_is_max_of_workers_not_sum(self):
+        run = PoolRun(
+            parallelism=2,
+            spans=[TaskSpan(0, 0, 2.0), TaskSpan(1, 1, 2.0)],
+        )
+        assert run.total_seconds == pytest.approx(4.0)
+        assert run.makespan_seconds == pytest.approx(2.0)
+        assert run.worker_busy() == {0: 2.0, 1: 2.0}
+        assert run.utilisation() == pytest.approx(1.0)
+
+
+# -- WorkerPool contract -------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_serial_pool_runs_inline(self):
+        pool = WorkerPool(parallelism=1)
+        thread_ids = []
+
+        def task(i):
+            thread_ids.append(threading.get_ident())
+            return i * i
+
+        assert pool.map(task, range(5)) == [0, 1, 4, 9, 16]
+        assert set(thread_ids) == {threading.get_ident()}
+        assert pool.last_run.inline
+        assert pool._executor is None  # no threads ever created
+
+    def test_gather_preserves_submission_order(self):
+        import time
+
+        pool = WorkerPool(parallelism=4)
+        try:
+            # Earlier tasks sleep longer, so completion order is reversed.
+            def task(i):
+                time.sleep(0.02 * (8 - i))
+                return i
+
+            assert pool.map(task, range(8)) == list(range(8))
+            assert not pool.last_run.inline
+            assert pool.last_run.tasks == 8
+        finally:
+            pool.shutdown()
+
+    def test_single_item_stays_inline(self):
+        pool = WorkerPool(parallelism=4)
+        assert pool.map(lambda x: x + 1, [41]) == [42]
+        assert pool.last_run.inline
+        assert pool._executor is None
+
+    def test_first_error_in_submission_order(self):
+        pool = WorkerPool(parallelism=4)
+        try:
+
+            def task(i):
+                import time
+
+                if i == 5:
+                    raise ValueError("late error")
+                if i == 2:
+                    time.sleep(0.05)
+                    raise KeyError("early error")
+                return i
+
+            with pytest.raises(KeyError, match="early error"):
+                pool.map(task, range(8))
+        finally:
+            pool.shutdown()
+
+    def test_lifetime_accumulators(self):
+        pool = WorkerPool(parallelism=2)
+        try:
+            pool.map(lambda x: x, range(4))
+            pool.map(lambda x: x, range(3))
+            assert pool.runs_total == 2
+            assert pool.tasks_total == 7
+            assert pool.busy_seconds_total >= pool.makespan_seconds_total >= 0.0
+        finally:
+            pool.shutdown()
+
+    def test_default_parallelism_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        assert default_parallelism() == 1
+        assert default_parallelism(cores=6) == 6
+        monkeypatch.setenv("REPRO_PARALLELISM", "3")
+        assert default_parallelism() == 3
+        assert default_parallelism(cores=16) == 3  # env wins
+        monkeypatch.setenv("REPRO_PARALLELISM", "zero")
+        with pytest.raises(ValueError):
+            default_parallelism()
+
+
+# -- morsel splitting and merge properties ------------------------------------
+
+
+class TestMorselRanges:
+    def test_covers_exactly_once(self):
+        ranges = morsel_ranges(10, 3)
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_empty_and_default(self):
+        assert morsel_ranges(0, 5) == []
+        assert morsel_ranges(5) == [(0, 5)]  # default morsel >> 5
+        assert DEFAULT_MORSEL_ROWS > 1024
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            morsel_ranges(10, -1)
+        assert morsel_ranges(10, 0) == [(0, 10)]  # 0 -> default size
+
+
+_VALUES = st.lists(
+    st.one_of(st.none(), st.integers(min_value=-(10**6), max_value=10**6)),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _state_for(values):
+    """Full-input reference state (rows include NULL positions)."""
+    return partial_from_values(
+        [v for v in values if v is not None], rows=len(values)
+    )
+
+
+@given(values=_VALUES, morsel_rows=st.integers(min_value=1, max_value=61))
+@settings(max_examples=120, deadline=None)
+def test_partial_merge_invariant_to_morsel_size(values, morsel_rows):
+    """Merging per-morsel states == aggregating the whole input at once."""
+    whole = _state_for(values)
+    partials = [
+        _state_for(values[start:stop])
+        for start, stop in morsel_ranges(len(values), morsel_rows)
+    ]
+    merged = merge_partials(partials)
+    assert merged == whole
+
+
+@given(
+    values=_VALUES,
+    sizes=st.tuples(
+        st.integers(min_value=1, max_value=61),
+        st.integers(min_value=1, max_value=61),
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_partial_merge_two_splits_agree(values, sizes):
+    """Any two morsel sizes produce identical merged state."""
+    states = []
+    for size in sizes:
+        states.append(
+            merge_partials(
+                _state_for(values[start:stop])
+                for start, stop in morsel_ranges(len(values), size)
+            )
+        )
+    assert states[0] == states[1]
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=60),
+    morsel_rows=st.integers(min_value=1, max_value=61),
+)
+@settings(max_examples=80, deadline=None)
+def test_morsel_merger_group_totals(keys, morsel_rows):
+    """Grouped merge across morsels == grouped aggregation of the input."""
+    merger = MorselMerger(n_aggregates=1)
+    for start, stop in morsel_ranges(len(keys), morsel_rows):
+        morsel = {}
+        for k in keys[start:stop]:
+            morsel.setdefault(k, [partial_from_values([])])
+            morsel[k][0].merge(partial_from_values([k]))
+        merger.add_morsel(morsel)
+    expected = {}
+    for k in keys:
+        state = expected.setdefault(k, partial_from_values([]))
+        state.merge(partial_from_values([k]))
+    assert set(merger.ordered_groups()) == set(expected)
+    for k in merger.ordered_groups():
+        assert merger.groups[k][0] == expected[k]
+    # Sorted output order is deterministic whatever the morsel size.
+    assert merger.ordered_groups(sort_key=lambda k: k) == sorted(expected)
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=2, max_size=40
+    ),
+    workers=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_pool_map_invariant_to_worker_count(values, workers):
+    """The same tasks through pools of any width gather identically."""
+    serial = WorkerPool(parallelism=1)
+    wide = WorkerPool(parallelism=workers)
+    try:
+        fn = lambda v: v * 3 + 1  # noqa: E731
+        assert serial.map(fn, values) == wide.map(fn, values)
+    finally:
+        wide.shutdown()
+
+
+# -- end-to-end DOP equivalence ------------------------------------------------
+
+_QUERIES = [
+    "SELECT COUNT(*), COUNT(a), COUNT(c) FROM t",
+    "SELECT c, COUNT(*), SUM(b), MIN(a), MAX(a), AVG(b) FROM t"
+    " GROUP BY c ORDER BY 1",
+    "SELECT a, COUNT(*) FROM t WHERE b BETWEEN -500 AND 500"
+    " GROUP BY a ORDER BY 1",
+    "SELECT DISTINCT c FROM t ORDER BY 1",
+    "SELECT t.c, dim.w, COUNT(*) FROM t JOIN dim ON t.c = dim.c"
+    " GROUP BY t.c, dim.w ORDER BY 1, 2",
+    "SELECT a, b, c FROM t WHERE a < 25 AND b IS NOT NULL"
+    " ORDER BY 1, 2, 3 FETCH FIRST 40 ROWS ONLY",
+]
+
+
+def _load_engine(session):
+    rng = derive_rng(77, "parallel-dop")
+    session.execute("CREATE TABLE t (a INT, b INT, c VARCHAR(4))")
+    session.execute("CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)")
+    rows = []
+    for _ in range(4000):
+        a = "NULL" if rng.random() < 0.05 else str(int(rng.integers(0, 50)))
+        b = "NULL" if rng.random() < 0.05 else str(int(rng.integers(-1000, 1000)))
+        c = "NULL" if rng.random() < 0.05 else "'v%d'" % rng.integers(0, 8)
+        rows.append("(%s, %s, %s)" % (a, b, c))
+    for start in range(0, len(rows), 1000):
+        session.execute(
+            "INSERT INTO t VALUES " + ", ".join(rows[start : start + 1000])
+        )
+    session.execute(
+        "INSERT INTO dim VALUES "
+        + ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
+    )
+
+
+class TestDOPEquivalence:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        serial_db = Database(parallelism=1)
+        parallel_db = Database(parallelism=4, morsel_rows=257)
+        serial = serial_db.connect("db2")
+        parallel = parallel_db.connect("db2")
+        _load_engine(serial)
+        _load_engine(parallel)
+        flush_tables(serial_db)
+        flush_tables(parallel_db)
+        yield serial, parallel
+        parallel_db.pool.shutdown()
+
+    @pytest.mark.parametrize("sql", _QUERIES)
+    def test_parallel_engine_matches_serial(self, pair, sql):
+        serial, parallel = pair
+        assert serial.execute(sql).rows == parallel.execute(sql).rows
+
+    def test_parallel_paths_were_exercised(self, pair):
+        serial, parallel = pair
+        pool = parallel.database.pool
+        assert pool.is_parallel
+        assert pool.runs_total > 0 and pool.tasks_total > pool.runs_total
+
+    def test_repeated_runs_identical(self, pair):
+        _, parallel = pair
+        sql = _QUERIES[1]
+        first = parallel.execute(sql).rows
+        for _ in range(5):
+            assert parallel.execute(sql).rows == first
+
+
+# -- concurrent sessions stress ------------------------------------------------
+
+
+N_SESSIONS = 8
+N_ROUNDS = 6
+
+
+class TestConcurrentSessions:
+    def test_mixed_ddl_dml_select_stress(self):
+        """Eight sessions hammer one database concurrently.
+
+        Each session creates and drops its own table and temp table, runs
+        DML against its table and SELECTs against a shared table.  After
+        the dust settles: no session sees another session's temp tables,
+        per-statement indexes are globally unique, and the database-wide
+        statement counter reconciles with the work submitted.
+        """
+        db = Database(parallelism=2)
+        setup = db.connect("db2")
+        setup.execute("CREATE TABLE shared (a INT, b INT)")
+        setup.execute(
+            "INSERT INTO shared VALUES "
+            + ", ".join("(%d, %d)" % (i % 40, i) for i in range(2000))
+        )
+        flush_tables(db)
+        base_count = db.statement_count
+
+        sessions = [db.connect("db2") for _ in range(N_SESSIONS)]
+        statements_run = [0] * N_SESSIONS
+        errors = []
+        barrier = threading.Barrier(N_SESSIONS)
+        shared_sum = sum(i for i in range(2000))
+
+        def run_session(sid):
+            s = sessions[sid]
+            try:
+                barrier.wait(timeout=30)
+                for round_no in range(N_ROUNDS):
+                    mine = "own_%d_%d" % (sid, round_no)
+                    s.execute("CREATE TABLE %s (x INT)" % mine)
+                    s.execute(
+                        "INSERT INTO %s VALUES %s"
+                        % (mine, ", ".join("(%d)" % v for v in range(sid + 1)))
+                    )
+                    s.execute(
+                        "DECLARE GLOBAL TEMPORARY TABLE scratch_%d (x INT)"
+                        % round_no
+                    )
+                    total = s.execute("SELECT SUM(b) FROM shared").scalar()
+                    assert total == shared_sum
+                    n = s.execute("SELECT COUNT(*) FROM %s" % mine).scalar()
+                    assert n == sid + 1
+                    s.execute("UPDATE %s SET x = x + 1" % mine)
+                    s.execute("DROP TABLE %s" % mine)
+                    statements_run[sid] += 7
+            except BaseException as exc:  # surfaced after join
+                errors.append((sid, exc))
+
+        threads = [
+            threading.Thread(target=run_session, args=(sid,))
+            for sid in range(N_SESSIONS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+        # Statement counter reconciles exactly with submitted work.
+        assert db.statement_count - base_count == sum(statements_run)
+        # Statement indexes are globally unique across session histories.
+        indexes = [
+            stat.index for s in sessions for stat in s.query_history()
+        ]
+        assert len(indexes) == len(set(indexes))
+        # Temp tables never leak across sessions, and each session holds
+        # exactly its own declarations.
+        expected_temps = sorted(
+            "SCRATCH_%d" % round_no for round_no in range(N_ROUNDS)
+        )
+        for s in sessions:
+            assert s.temp_table_names() == expected_temps
+        # No session-private base table survived its DROP.
+        leftovers = [n for n in db.table_names() if n.startswith("OWN_")]
+        assert leftovers == []
+        db.pool.shutdown()
+
+
+# -- MPP two-phase determinism -------------------------------------------------
+
+
+class TestMPPTwoPhaseDeterminism:
+    def test_twenty_runs_identical(self):
+        """Two-phase aggregation over a parallel scatter must be stable:
+        shard partials combine in shard order regardless of which worker
+        finished first, so 20 runs return the identical row list."""
+        from repro.cluster import Cluster, HardwareSpec
+
+        cluster = Cluster(
+            [HardwareSpec(cores=4, ram_gb=16, storage_tb=1)] * 3,
+            parallelism=4,
+        )
+        cs = cluster.connect("db2")
+        cs.execute(
+            "CREATE TABLE f (k INT, v INT, c VARCHAR(4))"
+            " DISTRIBUTE BY HASH (k)"
+        )
+        rng = derive_rng(13, "mpp-determinism")
+        rows = ", ".join(
+            "(%d, %d, 'v%d')"
+            % (rng.integers(0, 100), rng.integers(-500, 500), rng.integers(0, 6))
+            for _ in range(3000)
+        )
+        cs.execute("INSERT INTO f VALUES " + rows)
+        sql = (
+            "SELECT c, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v)"
+            " FROM f GROUP BY c ORDER BY 1"
+        )
+        first = cs.execute(sql).rows
+        assert first  # non-degenerate
+        for _ in range(19):
+            assert cs.execute(sql).rows == first
+        assert cluster.pool.is_parallel
+        assert cluster.last_stats.parallelism == 4
+        cluster.pool.shutdown()
