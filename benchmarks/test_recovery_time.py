@@ -1,0 +1,124 @@
+"""Recovery time vs. log length — the durability subsystem's cost curve.
+
+Crash recovery replays the WAL from the last fuzzy checkpoint, so its
+simulated cost should grow with the number of committed transactions since
+that checkpoint — and a checkpoint should collapse it back to near the
+checkpoint-load floor.  This is the knob behind "failover is
+recovery-bounded": `ha.fail_node` charges exactly these costs for each
+orphaned shard.
+
+The summary lands in ``BENCH_durability.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.database import Database
+from repro.durability import DurabilityManager
+from repro.storage.filesystem import ClusterFileSystem
+from repro.util.timer import SimClock
+
+from conftest import banner, record
+
+_RESULT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+)
+
+LOG_LENGTHS = [10, 40, 160, 640]
+
+
+def _build(n_commits: int):
+    clock = SimClock()
+    fs = ClusterFileSystem()
+    manager = DurabilityManager(fs, path="db", clock=clock)
+    db = Database(name="BENCH", clock=clock, durability=manager)
+    session = db.connect()
+    session.execute("CREATE TABLE t (k INT, v INT)")
+    for i in range(n_commits):
+        session.execute("INSERT INTO t VALUES (%d, %d)" % (i, i))
+    return db, clock
+
+
+def test_recovery_time_vs_log_length(benchmark):
+    curve = []
+    for n in LOG_LENGTHS:
+        db, clock = _build(n)
+        t0 = time.perf_counter()
+        report = db.reopen(clean=False)
+        wall = time.perf_counter() - t0
+        assert db.connect().query("SELECT COUNT(*) FROM t") == [(n,)]
+        curve.append(
+            {
+                "log_commits": n,
+                "records_replayed": report.records_replayed,
+                "recovery_sim_seconds": round(report.sim_seconds, 6),
+                "recovery_wall_seconds": round(wall, 6),
+            }
+        )
+
+    # A checkpoint bounds replay: same workload, checkpoint near the end.
+    db, clock = _build(LOG_LENGTHS[-1])
+    db.checkpoint()
+    session = db.connect()
+    for i in range(10):
+        session.execute("INSERT INTO t VALUES (%d, 0)" % (10_000 + i))
+    ckpt_report = db.reopen(clean=False)
+    assert db.connect().query("SELECT COUNT(*) FROM t") == [(LOG_LENGTHS[-1] + 10,)]
+
+    benchmark.pedantic(lambda: db.reopen(clean=False), rounds=3, iterations=1)
+
+    sim_times = [p["recovery_sim_seconds"] for p in curve]
+    banner(
+        "Crash recovery time vs. WAL length (simulated clock)",
+        [
+            "log=%4d commits -> replay %5d records, %7.3f sim s (%.4f wall s)"
+            % (
+                p["log_commits"],
+                p["records_replayed"],
+                p["recovery_sim_seconds"],
+                p["recovery_wall_seconds"],
+            )
+            for p in curve
+        ]
+        + [
+            "with checkpoint at %d: replay %d records, %.3f sim s"
+            % (
+                LOG_LENGTHS[-1],
+                ckpt_report.records_replayed,
+                ckpt_report.sim_seconds,
+            )
+        ],
+    )
+    record(
+        "recovery-time",
+        max_log_commits=LOG_LENGTHS[-1],
+        max_recovery_sim_seconds=sim_times[-1],
+        checkpointed_recovery_sim_seconds=round(ckpt_report.sim_seconds, 6),
+    )
+
+    # Recovery cost must grow with log length...
+    assert sim_times == sorted(sim_times)
+    assert sim_times[-1] > sim_times[0]
+    # ...and a checkpoint must cut the replay to the post-checkpoint tail.
+    assert ckpt_report.records_replayed <= 2 * 10
+    assert ckpt_report.transactions_replayed == 10
+
+    _RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "recovery-time-vs-log-length",
+                "curve": curve,
+                "checkpointed": {
+                    "log_commits_before_checkpoint": LOG_LENGTHS[-1],
+                    "commits_after_checkpoint": 10,
+                    "records_replayed": ckpt_report.records_replayed,
+                    "recovery_sim_seconds": round(ckpt_report.sim_seconds, 6),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -132,6 +132,15 @@ class Catalog:
     def objects(self, schema: str | None = None) -> list[str]:
         return sorted(self._schema(schema))
 
+    def entries(self, schema: str | None = None) -> list[tuple[str, object]]:
+        """(name, object) pairs of one schema, aliases *not* followed.
+
+        Used by the durability checkpoint, which must snapshot alias
+        definitions themselves rather than their targets.
+        """
+        container = self._schema(schema)
+        return [(name, container[name]) for name in sorted(container)]
+
     # -- typed helpers ------------------------------------------------------------
 
     def create_table(

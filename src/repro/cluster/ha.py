@@ -22,7 +22,14 @@ def fail_node(cluster: Cluster, node_id: str) -> dict[int, str]:
     """Simulate a host failure; returns the reassociation map applied.
 
     The failed node's shards are spread over the surviving nodes so the
-    cluster stays balanced (Fig. 9: 4 servers x 6 shards -> 3 x 8).
+    cluster stays balanced (Fig. 9: 4 servers x 6 shards -> 3 x 8).  When
+    the shards are durable, the takeover is a *crash recovery*: the dead
+    host's in-memory state (including any unflushed group-commit batch) is
+    gone, and each surviving owner replays the orphaned shard's WAL from
+    its last checkpoint — so total failover time is detection plus
+    recovery, bounded by log length (see
+    ``benchmarks/test_recovery_time.py``).  The reports land in
+    ``cluster.last_failover_recoveries``.
     """
     node = cluster.node_by_id(node_id)
     if not node.alive:
@@ -36,6 +43,14 @@ def fail_node(cluster: Cluster, node_id: str) -> dict[int, str]:
     if cluster.clock is not None:
         # Reassociation is metadata-only: detection + takeover per shard.
         cluster.clock.advance(5.0 + 0.5 * len(orphaned))
+    recoveries = {}
+    for shard_id in orphaned:
+        shard = cluster.shards[shard_id]
+        if shard.engine.durability is not None:
+            # reopen() charges replay time to the shared simulated clock.
+            recoveries[shard_id] = shard.engine.reopen(clean=False)
+            shard.sync_fileset()
+    cluster.last_failover_recoveries = recoveries
     return moves
 
 

@@ -112,11 +112,15 @@ class Cluster:
         shard_factor: int = 6,
         shard_bufferpool_pages: int = 256,
         parallelism: int | None = None,
+        durable: bool = True,
+        group_commit: int = 1,
+        fault_injector=None,
     ):
         if not node_hardware:
             raise ClusterError("a cluster needs at least one node")
         self.filesystem = filesystem or ClusterFileSystem()
         self.clock = clock
+        self.durable = durable
         #: Scatter DOP: per-shard statements dispatch concurrently on this
         #: many workers; the gather still merges in shard-id order.
         self.parallelism = (
@@ -131,14 +135,39 @@ class Cluster:
         min_cores = min(h.cores for h in node_hardware)
         n_shards = shards_for_cluster(len(node_hardware), min_cores, shard_factor)
         self.shards: dict[int, Shard] = {
-            sid: Shard(sid, self.filesystem, shard_bufferpool_pages, clock)
+            sid: Shard(
+                sid,
+                self.filesystem,
+                shard_bufferpool_pages,
+                clock,
+                durable=durable,
+                group_commit=group_commit,
+                injector=fault_injector,
+            )
             for sid in range(n_shards)
         }
         self.assignment: dict[int, str] = {}
         self._assign_initial()
-        self.coordinator = Database(name="COORD", clock=clock)
+        # The coordinator holds views/sequences/aliases, so it keeps its own
+        # log and checkpoints on the clustered FS too.
+        coord_durability = None
+        if durable:
+            from repro.durability.manager import DurabilityManager
+
+            coord_durability = DurabilityManager(
+                self.filesystem,
+                path="coordinator/durability",
+                clock=clock,
+                injector=fault_injector,
+                group_commit=group_commit,
+            )
+        self.coordinator = Database(
+            name="COORD", clock=clock, durability=coord_durability
+        )
         self.tables: dict[str, DistInfo] = {}
         self.last_stats = QueryStats()
+        #: shard_id -> RecoveryReport from the most recent fail_node().
+        self.last_failover_recoveries: dict = {}
         #: Coordinator-phase statement of the last distributed SELECT (kept
         #: so EXPLAIN ANALYZE can re-derive the global plan over the still
         #: materialised gather table).
@@ -182,6 +211,19 @@ class Cluster:
 
     def total_rows(self, table_name: str) -> int:
         return sum(s.n_rows(table_name.upper()) for s in self.shards.values())
+
+    # -- durability -----------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, int]:
+        """Fuzzy-checkpoint every engine; returns engine name -> LSN."""
+        lsns: dict[str, int] = {}
+        for sid in sorted(self.shards):
+            shard = self.shards[sid]
+            if shard.engine.durability is not None:
+                lsns[shard.engine.name] = shard.engine.checkpoint()
+        if self.coordinator.durability is not None:
+            lsns[self.coordinator.name] = self.coordinator.checkpoint()
+        return lsns
 
     # -- connections ---------------------------------------------------------------
 
@@ -281,6 +323,7 @@ class Cluster:
         if info.replicated:
             for shard in self.shards.values():
                 self._shard_table(shard, name).insert_rows(rows)
+                shard.log_committed_insert(name, rows)
                 shard.sync_fileset()
             return len(rows)
         by_shard: dict[int, list] = {}
@@ -295,6 +338,7 @@ class Cluster:
                 by_shard.setdefault(i % self.n_shards, []).append(row)
         for sid, shard_rows in by_shard.items():
             self._shard_table(self.shards[sid], name).insert_rows(shard_rows)
+            self.shards[sid].log_committed_insert(name, shard_rows)
             self.shards[sid].sync_fileset()
         return len(rows)
 

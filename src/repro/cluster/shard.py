@@ -12,6 +12,7 @@ from __future__ import annotations
 import zlib
 
 from repro.database.database import Database
+from repro.durability.manager import DurabilityManager
 from repro.storage.filesystem import ClusterFileSystem
 
 
@@ -35,9 +36,26 @@ class Shard:
         filesystem: ClusterFileSystem,
         bufferpool_pages: int = 256,
         clock=None,
+        durable: bool = True,
+        group_commit: int = 1,
+        injector=None,
     ):
         self.shard_id = shard_id
         self.filesystem = filesystem
+        self.fileset_path = "shards/s%04d" % shard_id
+        filesystem.mkdir(self.fileset_path)
+        # Each shard's WAL and checkpoints live *inside its own fileset* on
+        # the clustered FS — which is exactly why failover can recover an
+        # orphaned shard on any surviving host (paper II.E).
+        durability = None
+        if durable:
+            durability = DurabilityManager(
+                filesystem,
+                path="%s/durability" % self.fileset_path,
+                clock=clock,
+                injector=injector,
+                group_commit=group_commit,
+            )
         # Shard engines run serial (parallelism=1): intra-query parallelism
         # in the cluster comes from the scatter pool dispatching shards
         # concurrently, and nesting per-shard worker pools under it would
@@ -47,9 +65,8 @@ class Shard:
             bufferpool_pages=bufferpool_pages,
             clock=clock,
             parallelism=1,
+            durability=durability,
         )
-        self.fileset_path = "shards/s%04d" % shard_id
-        filesystem.mkdir(self.fileset_path)
         self._register_fileset()
 
     def _register_fileset(self) -> None:
@@ -66,6 +83,14 @@ class Shard:
         self.filesystem.write_file(
             "%s/fileset" % self.fileset_path, self, self.data_bytes()
         )
+
+    def log_committed_insert(self, name: str, rows) -> None:
+        """WAL hook for the cluster's direct-insert path, which writes to
+        shard tables without going through the engine's statement
+        machinery (:meth:`~repro.cluster.mpp.Cluster._insert_rows`)."""
+        if self.engine.durability is not None and rows:
+            self.engine.durability.log_insert((None, name.upper()), rows)
+            self.engine.durability.commit()
 
     def n_rows(self, table_name: str) -> int:
         return self.engine.catalog.get_table(table_name).table.n_rows

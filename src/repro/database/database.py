@@ -22,6 +22,7 @@ from repro.database.session import Session
 from repro.engine.expression import Batch, selection_mask
 from repro.errors import (
     DialectError,
+    RecoveryError,
     SQLError,
     UnknownObjectError,
     UnsupportedFeatureError,
@@ -75,6 +76,13 @@ class Database:
             the unchanged serial code path.
         morsel_rows: rows per aggregation morsel (default
             :data:`~repro.parallel.morsel.DEFAULT_MORSEL_ROWS`).
+        durability: optional
+            :class:`~repro.durability.manager.DurabilityManager`.  When
+            attached, every statement runs as one auto-commit transaction:
+            mutation effects are WAL-logged, a ``commit`` record is
+            group-committed, and :meth:`checkpoint` / :meth:`reopen`
+            provide fuzzy checkpoints and crash recovery.  ``None`` (the
+            default) keeps the engine purely in-memory with zero overhead.
     """
 
     def __init__(
@@ -89,6 +97,7 @@ class Database:
         tracer: Tracer | None = None,
         parallelism: int | None = None,
         morsel_rows: int | None = None,
+        durability=None,
     ):
         self.name = name
         self.compatibility = compatibility
@@ -112,6 +121,9 @@ class Database:
             name=name.lower(),
         )
         self.morsel_rows = morsel_rows
+        self.durability = durability
+        if durability is not None:
+            durability.attach(self)
         self.procedures: dict[str, object] = {}
         self.statement_count = 0
         self._statement_lock = threading.Lock()
@@ -215,7 +227,17 @@ class Database:
         with self.tracer.span(
             "statement", statement=type(node).__name__, sql=sql
         ):
-            result = self._dispatch_node(node, session)
+            # Auto-commit transaction boundary: a statement's redo records
+            # reach the WAL only if it succeeds; a commit record makes them
+            # durable (group commit may defer the flush).
+            try:
+                result = self._dispatch_node(node, session)
+            except BaseException:
+                if self.durability is not None:
+                    self.durability.abort()
+                raise
+            if self.durability is not None:
+                self.durability.commit()
         wall = time.perf_counter() - wall_start
         sim = self.clock.now - sim_start if sim_start is not None else None
         session.record_statement(
@@ -244,6 +266,10 @@ class Database:
             return self._execute_create_view(node, session)
         if isinstance(node, ast.DropView):
             self.catalog.drop(node.name.name, node.name.schema)
+            if self.durability is not None:
+                self.durability.log_op(
+                    "ddl", None, ("drop_view", node.name.schema, node.name.name)
+                )
             return Result(message="view dropped")
         if isinstance(node, ast.CreateSequence):
             self.catalog.create_sequence(
@@ -254,12 +280,41 @@ class Database:
                 maxvalue=node.maxvalue,
                 cycle=node.cycle,
             )
+            if self.durability is not None:
+                self.durability.log_op(
+                    "ddl",
+                    None,
+                    (
+                        "create_sequence",
+                        node.name,
+                        {
+                            "start": node.start,
+                            "increment": node.increment,
+                            "minvalue": node.minvalue,
+                            "maxvalue": node.maxvalue,
+                            "cycle": node.cycle,
+                        },
+                    ),
+                )
             return Result(message="sequence created")
         if isinstance(node, ast.DropSequence):
             self.catalog.drop_sequence(node.name)
+            if self.durability is not None:
+                self.durability.log_op("ddl", None, ("drop_sequence", node.name))
             return Result(message="sequence dropped")
         if isinstance(node, ast.CreateAlias):
             self.catalog.create_alias(node.name.name, node.target.name, node.name.schema)
+            if self.durability is not None:
+                self.durability.log_op(
+                    "ddl",
+                    None,
+                    (
+                        "create_alias",
+                        node.name.schema,
+                        node.name.name,
+                        node.target.name,
+                    ),
+                )
             return Result(message="alias created")
         if isinstance(node, ast.SetStatement):
             return self._execute_set(node, session)
@@ -301,6 +356,49 @@ class Database:
                 row.append(to_boundary_scalar(value, expr.dtype))
             out.append(row)
         return out
+
+    # -- durability hooks ---------------------------------------------------------------
+
+    def _durable_for(self, session: Session, ref: ast.TableRef, table: ColumnTable):
+        """The durability manager, unless the target is session-temporary
+        (declared temp tables die with the session and are never logged)."""
+        if self.durability is None:
+            return None
+        if ref.schema is None or ref.schema == "SESSION":
+            if session.get_temp_table(ref.name) is table:
+                return None
+        return self.durability
+
+    @staticmethod
+    def _table_key(ref: ast.TableRef, table: ColumnTable) -> tuple:
+        return (ref.schema, table.schema.name)
+
+    def checkpoint(self) -> int:
+        """Take a fuzzy checkpoint; returns its LSN (truncates the WAL)."""
+        if self.durability is None:
+            raise RecoveryError("database %s has no durability manager" % self.name)
+        return self.durability.checkpoint()
+
+    def reopen(self, clean: bool = False):
+        """Restart this engine from durable state alone.
+
+        ``clean=True`` models an orderly shutdown (the WAL is flushed
+        first); the default models a crash, where buffered (unflushed)
+        records — and the commits they carried — are lost.  Volatile
+        state (catalog, buffer pool) is discarded and rebuilt by ARIES
+        redo recovery.  Returns the
+        :class:`~repro.durability.manager.RecoveryReport`.
+        """
+        if self.durability is None:
+            raise RecoveryError("database %s has no durability manager" % self.name)
+        if clean:
+            self.durability.flush()
+        else:
+            self.durability.crash()
+        self.catalog = Catalog()
+        self.bufferpool.clear()
+        self.last_scans = []
+        return self.durability.recover()
 
     # -- INSERT -------------------------------------------------------------------------
 
@@ -349,6 +447,9 @@ class Database:
                 tuple(None if v == "" else v for v in row) for row in rows
             ]
         count = table.insert_rows(rows)
+        durable = self._durable_for(session, node.table, table)
+        if durable is not None and rows:
+            durable.log_insert(self._table_key(node.table, table), rows)
         return Result(rowcount=count, message="%d row(s) inserted" % count)
 
     # -- UPDATE / DELETE -----------------------------------------------------------------
@@ -378,6 +479,9 @@ class Database:
         alias = (node.table.alias or node.table.name).upper()
         mask = self._match_mask(table, alias, node.where, session)
         count = table.apply_deletes(mask)
+        durable = self._durable_for(session, node.table, table)
+        if durable is not None and count:
+            durable.log_delete(self._table_key(node.table, table), mask)
         return Result(rowcount=count, message="%d row(s) deleted" % count)
 
     def _execute_update(self, node: ast.Update, session: Session) -> Result:
@@ -426,6 +530,12 @@ class Database:
         table.apply_deletes(mask)
         table.insert_rows(rows)
         self.bufferpool.invalidate_table(table.schema.name)
+        durable = self._durable_for(session, node.table, table)
+        if durable is not None:
+            # Column-store UPDATE is delete + re-insert; so is its redo.
+            key = self._table_key(node.table, table)
+            durable.log_delete(key, mask)
+            durable.log_insert(key, rows)
         return Result(rowcount=count, message="%d row(s) updated" % count)
 
     # -- DDL ---------------------------------------------------------------------------
@@ -450,6 +560,20 @@ class Database:
                     schema, node.name.schema, region_rows=self.region_rows
                 ).table
             table.insert_rows([list(r) for r in result.rows])
+            if self.durability is not None and not node.temporary:
+                self.durability.log_op(
+                    "ddl",
+                    None,
+                    (
+                        "create_table",
+                        node.name.schema,
+                        name,
+                        list(schema.columns),
+                        {"region_rows": self.region_rows},
+                    ),
+                )
+                if result.rows:
+                    self.durability.log_insert((node.name.schema, name), result.rows)
             return Result(message="table %s created (%d rows)" % (name, len(result.rows)))
         columns = []
         unique = []
@@ -477,6 +601,22 @@ class Database:
             unique_columns=tuple(unique),
             not_null_columns=tuple(not_null),
         )
+        if self.durability is not None:
+            self.durability.log_op(
+                "ddl",
+                None,
+                (
+                    "create_table",
+                    node.name.schema,
+                    name,
+                    columns,
+                    {
+                        "region_rows": self.region_rows,
+                        "unique_columns": tuple(unique),
+                        "not_null_columns": tuple(not_null),
+                    },
+                ),
+            )
         return Result(message="table %s created" % name)
 
     def _execute_drop_table(self, node: ast.DropTable, session: Session) -> Result:
@@ -490,12 +630,19 @@ class Database:
                 return Result(message="table %s did not exist" % name.upper())
             raise
         self.bufferpool.invalidate_table(name.upper())
+        if self.durability is not None:
+            self.durability.log_op(
+                "ddl", None, ("drop_table", node.name.schema, name.upper())
+            )
         return Result(message="table %s dropped" % name.upper())
 
     def _execute_truncate(self, node: ast.TruncateTable, session: Session) -> Result:
         table = self._resolve_target(node.name, session)
         table.truncate()
         self.bufferpool.invalidate_table(table.schema.name)
+        durable = self._durable_for(session, node.name, table)
+        if durable is not None:
+            durable.log_op("truncate", self._table_key(node.name, table), None)
         return Result(message="table %s truncated" % table.schema.name)
 
     def _execute_create_view(self, node: ast.CreateView, session: Session) -> Result:
@@ -508,6 +655,20 @@ class Database:
             node.column_names,
             replace=node.or_replace,
         )
+        if self.durability is not None:
+            self.durability.log_op(
+                "ddl",
+                None,
+                (
+                    "create_view",
+                    node.name.schema,
+                    node.name.name,
+                    node.select_text,
+                    session.dialect.name,
+                    node.column_names,
+                    node.or_replace,
+                ),
+            )
         return Result(message="view %s created" % node.name.name.upper())
 
     # -- SET / EXPLAIN / CALL -------------------------------------------------------------

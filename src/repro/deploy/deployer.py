@@ -189,6 +189,13 @@ def update_stack(
     clock.advance(slowest)
     report.add("new image pull", clock.now - t0)
 
+    # Checkpoint every engine before stopping containers: the new stack
+    # starts from the clustered FS alone, so whatever is not durable there
+    # does not survive the update.
+    t0 = clock.now
+    checkpointed = _checkpoint_engines(cluster)
+    report.add("checkpoint %d engine(s)" % checkpointed, clock.now - t0)
+
     t0 = clock.now
     for host in hosts:
         current = host.running_container()
@@ -204,5 +211,33 @@ def update_stack(
     clock.advance(max(_engine_start_seconds(h.hardware.ram_gb) for h in hosts))
     report.add("engine restart", clock.now - t0)
 
+    # The restarted engines reload their state from checkpoints + WAL —
+    # the paper's "preserves the existing installation" made concrete.
+    t0 = clock.now
+    _reopen_engines(cluster)
+    report.add("engine recovery", clock.now - t0)
+
     report.finished_at = clock.now
     return report
+
+
+def _checkpoint_engines(cluster: Cluster) -> int:
+    count = 0
+    for sid in sorted(cluster.shards):
+        if cluster.shards[sid].engine.durability is not None:
+            cluster.shards[sid].engine.checkpoint()
+            count += 1
+    if cluster.coordinator.durability is not None:
+        cluster.coordinator.checkpoint()
+        count += 1
+    return count
+
+
+def _reopen_engines(cluster: Cluster) -> None:
+    """Discard every engine's volatile state and recover from durable
+    storage (an orderly stop: the WAL was flushed by the checkpoint)."""
+    for sid in sorted(cluster.shards):
+        if cluster.shards[sid].engine.durability is not None:
+            cluster.shards[sid].engine.reopen(clean=True)
+    if cluster.coordinator.durability is not None:
+        cluster.coordinator.reopen(clean=True)

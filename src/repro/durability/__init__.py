@@ -1,0 +1,51 @@
+"""Durability: write-ahead logging, fuzzy checkpoints, crash recovery.
+
+The paper's deployment model (II.A, II.E) rests on durable per-shard
+filesets on the clustered filesystem: containers can be stopped, upgraded,
+or lose their host, and the cluster recovers because every shard's state
+survives outside the container.  This package makes that durability real
+for the reproduction:
+
+* :mod:`repro.durability.wal` — a per-engine write-ahead log: append-only
+  checksummed records with LSNs, group commit, torn-tail detection;
+* :mod:`repro.durability.checkpoint` — fuzzy checkpoints: encoded columnar
+  table snapshots written table-by-table and published by one atomic
+  rename, so a crash mid-checkpoint always leaves a valid older image;
+* :mod:`repro.durability.manager` — the :class:`DurabilityManager` gluing
+  both to a :class:`~repro.database.database.Database` (commit hooks,
+  ARIES-style redo ``recover``, sim-clock cost charging);
+* :mod:`repro.durability.faults` — the :class:`FaultInjector` driving the
+  crash–recover–verify test harness (crash-before-flush, torn log tail,
+  crash-mid-checkpoint, partial fileset writes).
+
+Log and checkpoint I/O is charged to the simulated clock via
+:class:`DurabilityCosts`, so recovery time is a measurable quantity like
+the paper's Fig. 9 failover curve.
+"""
+
+from repro.durability.checkpoint import CheckpointStore, restore_snapshot, snapshot_database
+from repro.durability.faults import CrashError, FaultInjector
+from repro.durability.manager import (
+    DEFAULT_DURABILITY_COSTS,
+    DurabilityCosts,
+    DurabilityManager,
+    RecoveryReport,
+    recover,
+)
+from repro.durability.wal import WalRecord, WriteAheadLog, decode_records
+
+__all__ = [
+    "CheckpointStore",
+    "CrashError",
+    "DEFAULT_DURABILITY_COSTS",
+    "DurabilityCosts",
+    "DurabilityManager",
+    "FaultInjector",
+    "RecoveryReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "decode_records",
+    "recover",
+    "restore_snapshot",
+    "snapshot_database",
+]

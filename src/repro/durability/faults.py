@@ -1,0 +1,114 @@
+"""Fault injection for the durability subsystem.
+
+A :class:`FaultInjector` is armed at named *injection points* — the places
+where a real system can die with work half done.  The WAL and checkpoint
+code consult the injector at each point; when a fault triggers, the
+injector either raises :class:`~repro.errors.CrashError` (the simulated
+host dies *before* the I/O) or instructs the caller to perform a *torn*
+write (a prefix of the bytes lands durably, then the host dies — the
+failure mode the WAL's checksummed framing exists to detect).
+
+Injection points used by the subsystem:
+
+========================  ====================================================
+``wal.flush``             group-commit flush (crash = buffered records lost;
+                          torn = a prefix of the new records reaches disk)
+``checkpoint.table``      between per-table snapshot writes (crash = some
+                          tables written, no manifest; torn = one table blob
+                          is cut short — a partial fileset write)
+``checkpoint.manifest``   before the manifest write
+``checkpoint.rename``     after the manifest, before the atomic publish
+                          rename (crash = complete-but-unpublished image)
+``recovery.replay``       mid-replay (a crash *during* recovery)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CrashError
+
+#: Every injection point the subsystem consults, for matrix sweeps.
+INJECTION_POINTS = (
+    "wal.flush",
+    "checkpoint.table",
+    "checkpoint.manifest",
+    "checkpoint.rename",
+    "recovery.replay",
+)
+
+
+@dataclass
+class _Fault:
+    point: str
+    mode: str           # "crash" or "torn"
+    after: int          # trigger on the (after+1)-th consultation
+    fraction: float     # for torn writes: prefix fraction that survives
+    hits: int = 0
+    fired: bool = False
+
+
+@dataclass
+class FaultInjector:
+    """Arms crash/torn faults at named injection points.
+
+    ``arm(point)`` schedules a fault; the subsystem calls
+    :meth:`crash_point` / :meth:`torn_fraction` as it passes each point.
+    Every firing is recorded in :attr:`fired` so tests can assert the
+    fault actually happened.
+    """
+
+    faults: list[_Fault] = field(default_factory=list)
+    fired: list[str] = field(default_factory=list)
+
+    def arm(
+        self, point: str, mode: str = "crash", after: int = 0, fraction: float = 0.5
+    ) -> None:
+        if mode not in ("crash", "torn"):
+            raise ValueError("unknown fault mode %r" % mode)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("torn fraction must be in [0, 1]")
+        self.faults.append(_Fault(point, mode, after, fraction))
+
+    def _next_due(self, point: str, mode: str) -> _Fault | None:
+        for fault in self.faults:
+            if fault.fired or fault.point != point or fault.mode != mode:
+                continue
+            fault.hits += 1
+            if fault.hits > fault.after:
+                return fault
+            return None
+        return None
+
+    def crash_point(self, point: str) -> None:
+        """Raise :class:`CrashError` if a crash fault is due at ``point``."""
+        fault = self._next_due(point, "crash")
+        if fault is not None:
+            fault.fired = True
+            self.fired.append("%s:crash" % point)
+            raise CrashError("injected crash at %s" % point)
+
+    def torn_fraction(self, point: str) -> float | None:
+        """Return the surviving-prefix fraction if a torn fault is due.
+
+        The caller must write the truncated bytes durably and then raise
+        :class:`CrashError` itself (a torn write *is* a crash — a live
+        system would immediately repair it)."""
+        fault = self._next_due(point, "torn")
+        if fault is None:
+            return None
+        fault.fired = True
+        self.fired.append("%s:torn" % point)
+        return fault.fraction
+
+    def crash_after_torn(self, point: str) -> CrashError:
+        return CrashError("injected torn write at %s" % point)
+
+    def reset(self) -> None:
+        self.faults.clear()
+        self.fired.clear()
+
+
+#: Shared no-op injector: every consultation is free and never fires.
+NULL_INJECTOR = FaultInjector()

@@ -1,0 +1,194 @@
+"""The per-engine write-ahead log.
+
+One WAL is one append-only byte stream on the clustered filesystem (each
+shard's lives inside its fileset directory, paper II.E).  Records carry
+monotonically increasing LSNs and belong to a transaction (one auto-commit
+statement = one transaction); a transaction is *durably committed* only
+once its ``commit`` record has been flushed.
+
+On-disk framing per record::
+
+    <length:uint32> <crc32:uint32> <body: pickled (lsn, txid, kind, payload)>
+
+The checksum-plus-length framing is what makes the torn-write contract of
+:meth:`~repro.storage.filesystem.ClusterFileSystem.write_file` safe: a
+crash may persist any *prefix* of a flush, and :func:`decode_records`
+stops at the first incomplete or corrupt frame, so a torn tail can only
+ever drop whole suffix records — never invent or corrupt earlier ones.
+
+Group commit: ``append`` only buffers; ``flush`` writes every buffered
+record in one durable write (one fsync for many commits).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.durability.faults import NULL_INJECTOR
+from repro.storage.filesystem import ClusterFileSystem
+
+_HEADER = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logical log record."""
+
+    lsn: int
+    txid: int
+    kind: str      # "insert" | "delete" | "truncate" | "ddl" | "seq" | "commit"
+    payload: object
+
+    def encode(self) -> bytes:
+        body = pickle.dumps((self.lsn, self.txid, self.kind, self.payload))
+        return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_records(blob: bytes) -> tuple[list[WalRecord], int, bool]:
+    """Parse a WAL byte stream, tolerating a torn tail.
+
+    Returns ``(records, valid_bytes, torn)``: every intact record in
+    order, the byte offset of the last intact frame, and whether trailing
+    garbage (an interrupted write) was discarded.
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    n = len(blob)
+    while offset + _HEADER.size <= n:
+        length, crc = _HEADER.unpack_from(blob, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > n:
+            return records, offset, True  # body cut short
+        body = blob[start:end]
+        if zlib.crc32(body) != crc:
+            return records, offset, True  # corrupt frame
+        try:
+            lsn, txid, kind, payload = pickle.loads(body)
+        except Exception:
+            return records, offset, True
+        records.append(WalRecord(lsn, txid, kind, payload))
+        offset = end
+    return records, offset, offset != n
+
+
+def committed_transactions(records) -> list[tuple[int, list[WalRecord]]]:
+    """Group records into transactions; keep only durably committed ones.
+
+    Returns ``(txid, ops)`` pairs in commit order.  Records of an
+    uncommitted transaction (no intact ``commit`` record — e.g. lost to a
+    torn tail) are discarded: committed data always survives, uncommitted
+    data never resurrects.
+    """
+    open_txns: dict[int, list[WalRecord]] = {}
+    committed: list[tuple[int, list[WalRecord]]] = []
+    for record in records:
+        if record.kind == "commit":
+            committed.append((record.txid, open_txns.pop(record.txid, [])))
+        else:
+            open_txns.setdefault(record.txid, []).append(record)
+    return committed
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, group-committed log on the clustered FS."""
+
+    def __init__(
+        self,
+        filesystem: ClusterFileSystem,
+        path: str,
+        injector=None,
+    ):
+        self.filesystem = filesystem
+        self.path = path
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.torn_tail_detected = False
+        if filesystem.exists(path):
+            blob = filesystem.read_file(path)
+            records, valid, torn = decode_records(blob)
+            self._durable_blob = blob[:valid]
+            self._durable_records = records
+            self.torn_tail_detected = torn
+        else:
+            self._durable_blob = b""
+            self._durable_records = []
+        self._pending: list[WalRecord] = []
+        self.next_lsn = (
+            self._durable_records[-1].lsn + 1 if self._durable_records else 1
+        )
+
+    # -- append / flush -------------------------------------------------------
+
+    def append(self, kind: str, payload, txid: int) -> WalRecord:
+        """Buffer one record (durable only after :meth:`flush`)."""
+        record = WalRecord(self.next_lsn, txid, kind, payload)
+        self.next_lsn += 1
+        self._pending.append(record)
+        return record
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def flushed_lsn(self) -> int:
+        """LSN of the last durably flushed record (0 = nothing flushed)."""
+        return self._durable_records[-1].lsn if self._durable_records else 0
+
+    def flush(self) -> int:
+        """Group-commit every buffered record in one durable write.
+
+        Returns the number of bytes written (0 if nothing was pending).
+        Consults the ``wal.flush`` injection point: a crash fault fires
+        *before* the write (all buffered records lost); a torn fault
+        persists a byte prefix of the new records, then crashes.
+        """
+        if not self._pending:
+            return 0
+        self.injector.crash_point("wal.flush")
+        encoded = b"".join(r.encode() for r in self._pending)
+        fraction = self.injector.torn_fraction("wal.flush")
+        if fraction is not None:
+            torn = self._durable_blob + encoded[: int(len(encoded) * fraction)]
+            self.filesystem.write_file(self.path, torn, len(torn), durable=True)
+            raise self.injector.crash_after_torn("wal.flush")
+        blob = self._durable_blob + encoded
+        self.filesystem.write_file(self.path, blob, len(blob), durable=True)
+        self._durable_blob = blob
+        self._durable_records.extend(self._pending)
+        written = len(encoded)
+        self._pending.clear()
+        return written
+
+    def discard_pending(self) -> int:
+        """Drop buffered (never-flushed) records — what a crash does."""
+        lost = len(self._pending)
+        self._pending.clear()
+        return lost
+
+    # -- read / truncate ------------------------------------------------------
+
+    def records(self) -> list[WalRecord]:
+        """Durably flushed records, in LSN order."""
+        return list(self._durable_records)
+
+    def durable_nbytes(self) -> int:
+        return len(self._durable_blob)
+
+    def truncate_through(self, lsn: int) -> int:
+        """Drop durable records with ``lsn <= lsn`` (post-checkpoint GC).
+
+        Returns the number of records removed; the shortened stream is
+        rewritten durably.
+        """
+        keep = [r for r in self._durable_records if r.lsn > lsn]
+        removed = len(self._durable_records) - len(keep)
+        if removed:
+            blob = b"".join(r.encode() for r in keep)
+            self.filesystem.write_file(self.path, blob, len(blob), durable=True)
+            self._durable_blob = blob
+            self._durable_records = keep
+        return removed

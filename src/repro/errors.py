@@ -109,6 +109,18 @@ class BufferPoolError(StorageError):
     """Buffer pool misuse (e.g. unfixing a page that is not fixed)."""
 
 
+class CrashError(StorageError):
+    """A simulated host crash injected by the durability fault harness.
+
+    Deliberately *not* an SQLError: the engine's statement machinery must
+    never swallow it — a crash ends the simulated process, and the test
+    harness recovers a fresh engine from the durable state."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+
 class ClusterError(ReproError):
     """Base class for MPP cluster-layer failures."""
 

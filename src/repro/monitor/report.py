@@ -41,6 +41,11 @@ def database_report(database) -> dict:
         "tracing_enabled": database.tracer.enabled,
         "metrics": database.metrics.snapshot(),
         "parallel": worker_pool_report(database.pool),
+        "durability": (
+            database.durability.report()
+            if database.durability is not None
+            else {"enabled": False}
+        ),
     }
 
 
@@ -102,4 +107,44 @@ def cluster_report(cluster) -> dict:
             name: cluster.total_rows(name) for name in sorted(cluster.tables)
         },
         "coordinator": database_report(cluster.coordinator),
+        "durability": _cluster_durability_report(cluster),
     }
+
+
+def _cluster_durability_report(cluster) -> dict:
+    """Aggregate durability counters across shard engines."""
+    if not cluster.durable:
+        return {"enabled": False}
+    totals = {
+        "commits": 0,
+        "wal_flushes": 0,
+        "wal_flushed_bytes": 0,
+        "checkpoints": 0,
+        "recoveries": 0,
+    }
+    wal_bytes = 0
+    per_shard = {}
+    for sid in sorted(cluster.shards):
+        manager = cluster.shards[sid].engine.durability
+        if manager is None:
+            continue
+        for key in totals:
+            totals[key] += manager.stats[key]
+        wal_bytes += manager.wal.durable_nbytes()
+        per_shard[sid] = {
+            "commits": manager.stats["commits"],
+            "wal_durable_bytes": manager.wal.durable_nbytes(),
+            "checkpoint_lsns": manager.store.checkpoint_lsns(),
+        }
+    report = {"enabled": True, "wal_durable_bytes": wal_bytes}
+    report.update(totals)
+    report["per_shard"] = per_shard
+    report["last_failover_recoveries"] = {
+        sid: {
+            "transactions_replayed": r.transactions_replayed,
+            "records_replayed": r.records_replayed,
+            "sim_seconds": r.sim_seconds,
+        }
+        for sid, r in cluster.last_failover_recoveries.items()
+    }
+    return report

@@ -24,6 +24,9 @@ MOUNT_POINT = "/mnt/clusterfs"
 class _FileEntry:
     payload: object
     nbytes: int
+    #: fsync-style flag: durable entries survive a simulated host crash;
+    #: non-durable writes live in the page cache and may be lost wholesale.
+    durable: bool = False
 
 
 class ClusterFileSystem:
@@ -79,8 +82,17 @@ class ClusterFileSystem:
 
     # -- files ---------------------------------------------------------------
 
-    def write_file(self, path: str, payload: object, nbytes: int) -> None:
-        """Create or replace a file."""
+    def write_file(
+        self, path: str, payload: object, nbytes: int, durable: bool = False
+    ) -> None:
+        """Create or replace a file.
+
+        ``durable=True`` is write-plus-fsync: the entry survives
+        :meth:`crash_volatile`.  The torn-write contract durable callers
+        (the WAL) rely on: a crash during a durable write may persist any
+        *byte prefix* of the payload, but never interleaved or trailing
+        garbage — which is why WAL records carry length+checksum framing.
+        """
         path = self._normalise(path)
         if nbytes < 0:
             raise FileSystemError("file size cannot be negative")
@@ -92,7 +104,31 @@ class ClusterFileSystem:
             )
         parent = path.rsplit("/", 1)[0]
         self.mkdir(parent)
-        self._files[path] = _FileEntry(payload=payload, nbytes=nbytes)
+        self._files[path] = _FileEntry(payload=payload, nbytes=nbytes, durable=durable)
+
+    def fsync(self, path: str) -> None:
+        """Mark an already written file durable (POSIX fsync)."""
+        path = self._normalise(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise FileSystemError("no such file: %s" % path)
+        entry.durable = True
+
+    def is_durable(self, path: str) -> bool:
+        path = self._normalise(path)
+        entry = self._files.get(path)
+        if entry is None:
+            raise FileSystemError("no such file: %s" % path)
+        return entry.durable
+
+    def crash_volatile(self) -> list[str]:
+        """Simulate a host crash: every non-durable (never-fsynced) file is
+        lost; durable files and directories survive.  Returns the lost
+        paths (sorted), for the fault harness to assert against."""
+        lost = sorted(p for p, e in self._files.items() if not e.durable)
+        for path in lost:
+            del self._files[path]
+        return lost
 
     def read_file(self, path: str) -> object:
         path = self._normalise(path)
@@ -119,6 +155,26 @@ class ClusterFileSystem:
                 self._dirs.discard(d)
             return
         raise FileSystemError("no such file or directory: %s" % path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomic POSIX ``rename(2)``: replace ``dst`` with ``src`` in one
+        metadata operation.
+
+        The atomicity contract the checkpoint store builds on: observers
+        (and crashes) see either the old ``dst`` or the complete new one,
+        never a mixture and never neither.  Unlike :meth:`move`, an
+        existing destination is replaced, and the rename itself is always
+        durable (it is a journal operation on the clustered FS).
+        """
+        src_n = self._normalise(src)
+        dst_n = self._normalise(dst)
+        if src_n not in self._files and src_n not in self._dirs:
+            raise FileSystemError("no such file or directory: %s" % src_n)
+        if dst_n in self._files or dst_n in self._dirs:
+            self.delete(dst_n)
+        self.move(src_n, dst_n)
+        if dst_n in self._files:
+            self._files[dst_n].durable = True
 
     def move(self, src: str, dst: str) -> None:
         """Rename a file or directory subtree (metadata-only, like GPFS)."""

@@ -108,3 +108,64 @@ class TestMoveAndAccounting:
         fs.write_file("u", 1, 99)
         assert fs.tree_bytes("t") == 15
         assert fs.file_count() == 3
+
+
+class TestDurability:
+    def test_writes_are_volatile_by_default(self, fs):
+        fs.write_file("f", "cached", 6)
+        assert not fs.is_durable("f")
+        assert fs.crash_volatile() == ["/mnt/clusterfs/f"]
+        assert not fs.exists("f")
+
+    def test_durable_write_survives_crash(self, fs):
+        fs.write_file("wal", b"records", 7, durable=True)
+        fs.write_file("page", b"dirty", 5)
+        lost = fs.crash_volatile()
+        assert lost == ["/mnt/clusterfs/page"]
+        assert fs.read_file("wal") == b"records"
+
+    def test_fsync_upgrades_existing_file(self, fs):
+        fs.write_file("f", "x", 1)
+        fs.fsync("f")
+        assert fs.is_durable("f")
+        assert fs.crash_volatile() == []
+        assert fs.exists("f")
+
+    def test_fsync_missing_file(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.fsync("nope")
+
+    def test_overwrite_resets_durability(self, fs):
+        # POSIX: fsync applies to the data written so far; a later write
+        # is volatile again until its own fsync.
+        fs.write_file("f", "v1", 2, durable=True)
+        fs.write_file("f", "v2", 2)
+        assert not fs.is_durable("f")
+
+
+class TestRename:
+    def test_rename_replaces_destination(self, fs):
+        fs.write_file("new", "fresh", 5)
+        fs.write_file("cur", "stale", 5)
+        fs.rename("new", "cur")
+        assert fs.read_file("cur") == "fresh"
+        assert not fs.exists("new")
+
+    def test_rename_is_durable(self, fs):
+        # rename(2) on the clustered FS is a journalled metadata op.
+        fs.write_file("f", "x", 1)
+        fs.rename("f", "g")
+        assert fs.is_durable("g")
+
+    def test_rename_directory_replaces_subtree(self, fs):
+        fs.write_file("ckpt.partial/MANIFEST", "m", 1)
+        fs.write_file("ckpt.partial/table-0", "t", 1)
+        fs.write_file("ckpt/old", "o", 1)
+        fs.rename("ckpt.partial", "ckpt")
+        assert fs.read_file("ckpt/MANIFEST") == "m"
+        assert not fs.exists("ckpt/old")
+        assert not fs.exists("ckpt.partial")
+
+    def test_rename_missing_source(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.rename("nope", "dst")

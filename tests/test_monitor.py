@@ -362,8 +362,8 @@ class TestMonreport:
         session.execute("SELECT * FROM T")
         report = db.monreport()
         assert sorted(report) == [
-            "bufferpool", "database", "metrics", "parallel", "statements",
-            "tables", "tracing_enabled",
+            "bufferpool", "database", "durability", "metrics", "parallel",
+            "statements", "tables", "tracing_enabled",
         ]
         assert report["parallel"]["parallelism"] >= 1
         assert report["tracing_enabled"] is True
@@ -410,8 +410,8 @@ class TestClusterObservability:
         session.execute("SELECT COUNT(*) FROM F")
         report = cl.monreport()
         assert sorted(report) == [
-            "bufferpool", "cluster", "coordinator", "last_query",
-            "parallel", "tables",
+            "bufferpool", "cluster", "coordinator", "durability",
+            "last_query", "parallel", "tables",
         ]
         assert report["parallel"]["parallelism"] == cl.parallelism
         assert report["cluster"]["shards"] == cl.n_shards
