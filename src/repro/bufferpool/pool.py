@@ -7,11 +7,11 @@ the policy picks a victim when the pool is full.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
 from repro.bufferpool.policies import Frame, OptimalPolicy, ReplacementPolicy
 from repro.errors import BufferPoolError
+from repro.verify import sanitizer
 
 
 @dataclass
@@ -54,7 +54,7 @@ class BufferPool:
         self._tick = 0
         # Parallel morsel workers share the pool; one reentrant lock keeps
         # frame bookkeeping consistent (and a page loads exactly once).
-        self._lock = threading.RLock()
+        self._lock = sanitizer.make_lock("bufferpool", reentrant=True)
         self.stats = PoolStats()
         if metrics is not None:
             self._hits = metrics.counter("bufferpool.hits")
@@ -78,6 +78,8 @@ class BufferPool:
                 invoked on a miss.
         """
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access("bufferpool", "frames", site="BufferPool.get")
             self._tick += 1
             if isinstance(self.policy, OptimalPolicy):
                 self.policy.note_reference()

@@ -10,7 +10,7 @@ system in single-node deployments).
 from __future__ import annotations
 
 import datetime
-import threading
+import os
 import time
 
 import numpy as np
@@ -46,8 +46,13 @@ from repro.storage.column import ColumnVector, to_boundary_scalar
 from repro.storage.page import PageId
 from repro.storage.table import ColumnTable, TableSchema
 from repro.util.timer import SimClock
+from repro.verify import sanitizer
 
 DEFAULT_BUFFERPOOL_PAGES = 1024
+
+#: When set (and not "0"), every planned SELECT is statically verified by
+#: :mod:`repro.verify.plan` before execution.
+VERIFY_PLANS_ENV_VAR = "REPRO_VERIFY_PLANS"
 
 
 class Database:
@@ -126,7 +131,7 @@ class Database:
             durability.attach(self)
         self.procedures: dict[str, object] = {}
         self.statement_count = 0
-        self._statement_lock = threading.Lock()
+        self._statement_lock = sanitizer.make_lock("database:%s:statement" % name)
         #: Scans created while planning the most recent statement.
         self.last_scans: list = []
 
@@ -155,14 +160,14 @@ class Database:
             return datetime.date(2016, 1, 1) + datetime.timedelta(
                 days=int(self.clock.now // 86400)
             )
-        return datetime.date.today()
+        return datetime.date.today()  # lint-ok: wall-clock (real-time fallback when no SimClock is attached)
 
     def current_timestamp(self) -> datetime.datetime:
         if self.clock is not None:
             return datetime.datetime(2016, 1, 1) + datetime.timedelta(
                 seconds=self.clock.now
             )
-        return datetime.datetime.now()
+        return datetime.datetime.now()  # lint-ok: wall-clock (real-time fallback when no SimClock is attached)
 
     # -- page source (buffer pool integration) --------------------------------------
 
@@ -205,6 +210,10 @@ class Database:
         tracer = self.tracer
         with tracer.span("plan"):
             planned = self._planner(session).plan(node)
+        if os.environ.get(VERIFY_PLANS_ENV_VAR, "") not in ("", "0"):
+            from repro.verify.plan import check_plan
+
+            check_plan(planned, database=self)
         if not tracer.enabled:
             return result_from_batch(
                 planned.run(), planned.names, planned.keys, planned.dtypes
@@ -220,9 +229,14 @@ class Database:
     ) -> Result:
         """Statement wrapper: spans, per-statement stats, query history."""
         with self._statement_lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "database:%s" % self.name, "statement_count",
+                    site="Database._execute_node",
+                )
             self.statement_count += 1
             index = self.statement_count
-        wall_start = time.perf_counter()
+        wall_start = time.perf_counter()  # lint-ok: wall-clock (wall stopwatch reported beside the sim span, never charged to the cost model)
         sim_start = self.clock.now if self.clock is not None else None
         with self.tracer.span(
             "statement", statement=type(node).__name__, sql=sql
@@ -238,7 +252,7 @@ class Database:
                 raise
             if self.durability is not None:
                 self.durability.commit()
-        wall = time.perf_counter() - wall_start
+        wall = time.perf_counter() - wall_start  # lint-ok: wall-clock (same wall stopwatch as above; reported, never charged)
         sim = self.clock.now - sim_start if sim_start is not None else None
         session.record_statement(
             node, result, wall, sim_seconds=sim, sql=sql, index=index

@@ -264,7 +264,7 @@ class CheckpointStore:
             return None
         try:
             manifest = pickle.loads(fs.read_file(manifest_path))
-        except Exception:
+        except Exception:  # lint-ok: broad-except (deliberately broad: a corrupt manifest from a partial fileset write means "skip to the next older checkpoint", not "fail recovery")
             return None
         tables = []
         nbytes = len(fs.read_file(manifest_path))

@@ -43,6 +43,7 @@ from repro.durability.wal import WriteAheadLog, committed_transactions
 from repro.errors import RecoveryError
 from repro.storage.filesystem import ClusterFileSystem
 from repro.storage.table import TableSchema
+from repro.verify import sanitizer
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,13 @@ class DurabilityManager:
             filesystem, "%s/checkpoints" % self.path, self.injector
         )
         self.database = None
+        #: Serialises WAL appends / group commits across sessions.  The
+        #: engine's statement lock does not cover durability (EXPLAIN and
+        #: MPP shard work drive the manager from other threads), so the
+        #: manager owns its own reentrant lock (checkpoint -> flush).
+        self._lock = sanitizer.make_lock(
+            "durability:%s" % self.path, reentrant=True
+        )
         self._txn_ops: list[tuple[str, str | None, object]] = []
         self._next_txid = 1
         self._unflushed_commits = 0
@@ -136,7 +144,13 @@ class DurabilityManager:
 
     def log_op(self, kind: str, table: str | None, payload) -> None:
         """Buffer one redo op for the statement currently executing."""
-        self._txn_ops.append((kind, table, payload))
+        with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "durability:%s" % self.path, "txn_ops",
+                    site="DurabilityManager.log_op",
+                )
+            self._txn_ops.append((kind, table, payload))
 
     def log_insert(self, table: str, rows) -> None:
         self.log_op("insert", table, [tuple(r) for r in rows])
@@ -149,7 +163,8 @@ class DurabilityManager:
 
     def abort(self) -> None:
         """Drop the current statement's buffered ops (statement failed)."""
-        self._txn_ops.clear()
+        with self._lock:
+            self._txn_ops.clear()
 
     def commit(self) -> bool:
         """End the current auto-commit transaction.
@@ -158,27 +173,33 @@ class DurabilityManager:
         WAL flushes once every ``group_commit`` commits (or on explicit
         :meth:`flush`).  Returns True when the commit is already durable.
         """
-        seq_delta = self._sequence_delta()
-        if not self._txn_ops and seq_delta is None:
-            return self.wal.pending_count == 0
-        txid = self._next_txid
-        self._next_txid += 1
-        for kind, table, payload in self._txn_ops:
-            self.wal.append(kind, (table, payload), txid)
+        with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "durability:%s" % self.path, "wal_append",
+                    site="DurabilityManager.commit",
+                )
+            seq_delta = self._sequence_delta()
+            if not self._txn_ops and seq_delta is None:
+                return self.wal.pending_count == 0
+            txid = self._next_txid
+            self._next_txid += 1
+            for kind, table, payload in self._txn_ops:
+                self.wal.append(kind, (table, payload), txid)
+                self.stats["wal_appends"] += 1
+            if seq_delta is not None:
+                self.wal.append("seq", (None, seq_delta), txid)
+                self.stats["wal_appends"] += 1
+            self.wal.append("commit", None, txid)
             self.stats["wal_appends"] += 1
-        if seq_delta is not None:
-            self.wal.append("seq", (None, seq_delta), txid)
-            self.stats["wal_appends"] += 1
-        self.wal.append("commit", None, txid)
-        self.stats["wal_appends"] += 1
-        self.stats["commits"] += 1
-        self._metric("commits")
-        self._txn_ops.clear()
-        self._unflushed_commits += 1
-        if self._unflushed_commits >= self.group_commit:
-            self.flush()
-            return True
-        return False
+            self.stats["commits"] += 1
+            self._metric("commits")
+            self._txn_ops.clear()
+            self._unflushed_commits += 1
+            if self._unflushed_commits >= self.group_commit:
+                self.flush()
+                return True
+            return False
 
     def _sequence_delta(self) -> dict | None:
         """Sequence positions changed since the last commit (NEXTVAL state
@@ -200,20 +221,26 @@ class DurabilityManager:
 
     def flush(self) -> int:
         """Force the group commit; returns bytes written."""
-        written = self.wal.flush()
-        if written:
-            batched = self._unflushed_commits
-            self._unflushed_commits = 0
-            self.stats["wal_flushes"] += 1
-            self.stats["group_commit_batches"] += batched
-            self.stats["wal_flushed_bytes"] += written
-            self._metric("wal.flushes")
-            self._metric("wal.flushed_bytes", written)
-            self._charge(
-                self.costs.fsync_seconds
-                + written / 2**20 * self.costs.log_seconds_per_mb
-            )
-        return written
+        with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "durability:%s" % self.path, "wal_append",
+                    site="DurabilityManager.flush",
+                )
+            written = self.wal.flush()
+            if written:
+                batched = self._unflushed_commits
+                self._unflushed_commits = 0
+                self.stats["wal_flushes"] += 1
+                self.stats["group_commit_batches"] += batched
+                self.stats["wal_flushed_bytes"] += written
+                self._metric("wal.flushes")
+                self._metric("wal.flushed_bytes", written)
+                self._charge(
+                    self.costs.fsync_seconds
+                    + written / 2**20 * self.costs.log_seconds_per_mb
+                )
+            return written
 
     @property
     def durable_commits(self) -> int:
@@ -228,18 +255,19 @@ class DurabilityManager:
         Returns the checkpoint LSN."""
         if self.database is None:
             raise RecoveryError("no database attached to checkpoint")
-        self.flush()
-        lsn = self.wal.flushed_lsn
-        with self.database.tracer.span("checkpoint", lsn=lsn):
-            snapshot = snapshot_database(self.database)
-            written = self.store.write(snapshot, lsn)
-        self.stats["checkpoints"] += 1
-        self.stats["checkpoint_bytes"] += written
-        self._metric("checkpoints")
-        self._metric("checkpoint_bytes", written)
-        self._charge(written / 2**20 * self.costs.checkpoint_seconds_per_mb)
-        self.wal.truncate_through(lsn)
-        return lsn
+        with self._lock:
+            self.flush()
+            lsn = self.wal.flushed_lsn
+            with self.database.tracer.span("checkpoint", lsn=lsn):
+                snapshot = snapshot_database(self.database)
+                written = self.store.write(snapshot, lsn)
+            self.stats["checkpoints"] += 1
+            self.stats["checkpoint_bytes"] += written
+            self._metric("checkpoints")
+            self._metric("checkpoint_bytes", written)
+            self._charge(written / 2**20 * self.costs.checkpoint_seconds_per_mb)
+            self.wal.truncate_through(lsn)
+            return lsn
 
     # -- crash & recovery ----------------------------------------------------
 
@@ -247,11 +275,12 @@ class DurabilityManager:
         """Simulate the host dying: everything volatile is lost — the
         statement in flight, buffered (unflushed) WAL records, and the
         commits they carried."""
-        self._txn_ops.clear()
-        lost_commits = self._unflushed_commits
-        self._unflushed_commits = 0
-        self.stats["commits"] -= lost_commits
-        self.wal.discard_pending()
+        with self._lock:
+            self._txn_ops.clear()
+            lost_commits = self._unflushed_commits
+            self._unflushed_commits = 0
+            self.stats["commits"] -= lost_commits
+            self.wal.discard_pending()
 
     def recover(self) -> RecoveryReport:
         """ARIES-style redo: newest complete checkpoint + committed WAL.

@@ -68,7 +68,7 @@ def decode_records(blob: bytes) -> tuple[list[WalRecord], int, bool]:
             return records, offset, True  # corrupt frame
         try:
             lsn, txid, kind, payload = pickle.loads(body)
-        except Exception:
+        except Exception:  # lint-ok: broad-except (deliberately broad: any unpickle failure here is a torn/corrupt tail frame, which recovery truncates rather than crashes on)
             return records, offset, True
         records.append(WalRecord(lsn, txid, kind, payload))
         offset = end

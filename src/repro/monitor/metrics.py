@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.verify import sanitizer
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -26,6 +28,8 @@ class Counter:
         if amount < 0:
             raise ValueError("counters only go up (got %r)" % (amount,))
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access("metrics", self.name, site="Counter.inc")
             self.value += amount
 
 
@@ -41,10 +45,14 @@ class Gauge:
 
     def set(self, value: float) -> None:
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access("metrics", self.name, site="Gauge.set")
             self.value = float(value)
 
     def add(self, delta: float) -> None:
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access("metrics", self.name, site="Gauge.add")
             self.value += float(delta)
 
 
@@ -101,7 +109,7 @@ class MetricsRegistry:
     """Get-or-create access to named metrics; snapshot for monreport."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("metrics")
         self._metrics: dict[str, object] = {}
 
     def _get(self, name: str, factory):

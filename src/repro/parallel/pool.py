@@ -27,12 +27,17 @@ workers.  One :class:`WorkerPool` provides that substrate for every layer:
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+
+from repro.verify import sanitizer
+
+_NULL_SPAN = contextlib.nullcontext()
 
 #: Environment override for the default degree of parallelism.
 PARALLELISM_ENV_VAR = "REPRO_PARALLELISM"
@@ -161,7 +166,12 @@ class WorkerPool:
         self.clock = clock
         self.name = name
         self.metrics = metrics
-        self.last_run: PoolRun | None = None
+        #: ``last_run`` is *thread-local*: concurrent sessions each read the
+        #: run their own ``map()`` just produced, so a plain attribute would
+        #: be a write-write race between session threads (found by the
+        #: lockset sanitizer; every consumer reads it on the calling thread
+        #: immediately after ``map()`` returns, so TLS preserves the API).
+        self._tls = threading.local()
         #: Lifetime accumulators (monitor/report + benchmark surfaces).
         self.runs_total = 0
         self.tasks_total = 0
@@ -169,7 +179,16 @@ class WorkerPool:
         self.makespan_seconds_total = 0.0  # simulated parallel cost
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._stats_lock = sanitizer.make_lock("pool:%s:stats" % name)
+
+    @property
+    def last_run(self) -> PoolRun | None:
+        """The most recent run *on this thread* (None before the first)."""
+        return getattr(self._tls, "last_run", None)
+
+    @last_run.setter
+    def last_run(self, run: PoolRun | None) -> None:
+        self._tls.last_run = run
 
     @property
     def is_parallel(self) -> bool:
@@ -209,11 +228,17 @@ class WorkerPool:
         ids_lock = threading.Lock()
 
         def task(index, item):
-            w0 = time.perf_counter()
-            c0 = time.thread_time()
-            value = fn(item)
-            cpu = time.thread_time() - c0
-            wall = time.perf_counter() - w0
+            span = (
+                sanitizer.task_span(label or self.name)
+                if sanitizer.ENABLED
+                else _NULL_SPAN
+            )
+            with span:
+                w0 = time.perf_counter()
+                c0 = time.thread_time()
+                value = fn(item)
+                cpu = time.thread_time() - c0
+                wall = time.perf_counter() - w0
             if cpu <= 0.0:  # coarse CPU clock: fall back to wall
                 cpu = wall
             ident = threading.get_ident()
@@ -228,7 +253,7 @@ class WorkerPool:
         for i, future in enumerate(futures):
             try:
                 value, span = future.result()
-            except BaseException as exc:  # gather everything, fail in order
+            except BaseException as exc:  # lint-ok: broad-except (not a swallow: the first failure, in submission order, re-raises after every future settles — deterministic error behaviour)
                 if first_error is None:
                     first_error = exc
                 continue
@@ -282,6 +307,11 @@ class WorkerPool:
         busy = run.total_seconds
         makespan = run.makespan_seconds
         with self._stats_lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "pool:%s" % self.name, "accumulators",
+                    site="WorkerPool._note_metrics",
+                )
             self.runs_total += 1
             self.tasks_total += run.tasks
             self.busy_seconds_total += busy

@@ -55,7 +55,7 @@ class SparkClusterManager:
         try:
             app.result = main_fn(context)
             app.state = "FINISHED"
-        except Exception as exc:  # the driver reports failures, not raises
+        except Exception as exc:  # lint-ok: broad-except (the Spark driver surfaces any app failure as app.state = FAILED + error text, matching spark-submit; it must not raise)
             app.state = "FAILED"
             app.error = str(exc)
         return app

@@ -18,8 +18,6 @@ import datetime
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.engine.expression import Cast, Expr, FuncCall, Literal
 from repro.errors import TypeCheckError
 from repro.storage.column import to_boundary_scalar, to_physical_scalar
@@ -36,6 +34,7 @@ from repro.types.datatypes import (
     varchar_type,
 )
 from repro.types.values import days_to_date, date_to_days
+from repro.util.rng import derive_rng
 
 
 @dataclass
@@ -259,7 +258,7 @@ def register_ansi(registry: FunctionRegistry) -> None:
     r("SIN", numeric_unary("SIN", math.sin))
     r("COS", numeric_unary("COS", math.cos))
     r("TAN", numeric_unary("TAN", math.tan))
-    r("RAND", simple("RAND", 0, 1, DOUBLE, lambda v, d: float(np.random.default_rng(int(v[0]) if v else None).random()) if v else float(np.random.random())))
+    r("RAND", _build_rand)
 
     # -- temporal functions --
     r("YEAR", simple("YEAR", 1, 1, INTEGER, _temporal_field("year")))
@@ -285,6 +284,42 @@ def register_ansi(registry: FunctionRegistry) -> None:
     # -- misc --
     r("GREATEST", simple("GREATEST", 2, None, _t_promote_all, lambda v, d: None if any(x is None for x in v) else max(v)))
     r("LEAST", simple("LEAST", 2, None, _t_promote_all, lambda v, d: None if any(x is None for x in v) else min(v)))
+
+
+def _build_rand(args: list[Expr], ctx: BuildContext) -> Expr:
+    """RAND([seed]): every stream comes from :func:`derive_rng`.
+
+    With a seed argument, the call owns a stream derived from that seed, so
+    ``RAND(7)`` yields the same value sequence in any run.  Without one the
+    stream is *session-seeded*: derived from the engine's statement counter
+    plus a per-bind instance index, so results are reproducible for a given
+    statement sequence (and distinct for each RAND() in a statement) while
+    still varying statement to statement, as users expect of RAND().
+    """
+    check_arity("RAND", args, 0, 1)
+    if args:
+        state: dict = {}
+
+        def seeded(values, dtypes=None):
+            if values[0] is None:
+                return None
+            rng = state.get("rng")
+            if rng is None:
+                rng = state["rng"] = derive_rng(int(values[0]), "sql", "RAND")
+            return float(rng.random())
+
+        return FuncCall(name="RAND", args=args, scalar_fn=seeded, dtype=DOUBLE)
+    db = ctx.database
+    statement = getattr(db, "statement_count", 0) if db is not None else 0
+    instance = getattr(db, "_rand_instance", 0) if db is not None else 0
+    if db is not None:
+        db._rand_instance = instance + 1
+    rng = derive_rng(statement, "sql", "RAND", instance)
+
+    def unseeded(values, dtypes=None):
+        return float(rng.random())
+
+    return FuncCall(name="RAND", args=[], scalar_fn=unseeded, dtype=DOUBLE)
 
 
 def _translate(values, dtypes):

@@ -1327,7 +1327,9 @@ def _bind_constant(node, binder, target_dtype):
         return None
     try:
         return _physical_for(literal, target_dtype)
-    except Exception:
+    except (TypeError, ValueError, ArithmeticError):
+        # An inconvertible pushdown constant just means "no zone-map
+        # pruning for this predicate"; anything else should propagate.
         return None
 
 

@@ -1,0 +1,29 @@
+"""Static analysis and runtime sanitizers for the engine's glue invariants.
+
+Three tools live here, each checking an invariant regime that nothing else
+enforces:
+
+* :mod:`repro.verify.lint` — **reprolint**, a pluggable ``ast``-based lint
+  framework with repo-specific rules (sim-clock discipline, seeded
+  randomness, lock discipline in pool-submitted callables, no silent
+  broad excepts, durability-log coverage).  Run it with
+  ``python -m repro.verify.lint src``.
+* :mod:`repro.verify.plan` — a static **plan verifier** that walks a
+  compiled physical operator tree and re-derives schema, arity, and type
+  propagation operator by operator, plus the ``parallel_safe()`` gate and
+  cost-charge coverage.  Enabled before every SELECT when
+  ``REPRO_VERIFY_PLANS=1``.
+* :mod:`repro.verify.sanitizer` — an Eraser-style **lockset race
+  sanitizer** that instruments worker-pool task spans and shared engine
+  structures to report candidate data races.  Enabled via
+  ``REPRO_SANITIZE=1``.
+
+This package deliberately keeps its import surface lazy: the sanitizer
+must be importable from the lowest engine layers (it depends only on the
+standard library), while the plan verifier imports the engine — importing
+``repro.verify`` itself must not create a cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint", "plan", "sanitizer"]

@@ -1,0 +1,317 @@
+"""reprolint — the repo's ``ast``-based lint framework.
+
+The engine's correctness rests on a handful of *glue invariants* that span
+subsystems (sim-clock cost charging, seeded randomness, lock discipline in
+worker-pool callables, durability logging on every mutation path).  None
+of them are enforceable by the type system or by unit tests alone, so this
+module provides a small, pluggable static checker:
+
+* rules register through the :func:`rule` decorator and receive a
+  :class:`FileContext` (path, source, parsed tree, suppression table);
+* findings can be suppressed per line with a justification comment::
+
+      some_call()  # lint-ok: rule-name (why this is intentional)
+
+  or, for a whole statement, on the line directly above.  A suppression
+  without a parenthesised justification still silences the finding but is
+  itself reported by the ``suppression-justification`` meta-rule;
+* output is human-readable by default, ``--json`` for tooling, and the
+  exit status is non-zero when any unsuppressed finding remains — which is
+  how CI runs it::
+
+      python -m repro.verify.lint src
+
+The repo-specific rules live in :mod:`repro.verify.rules`; this module is
+only the framework (registry, suppressions, file walking, CLI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+#: Suppression comment: ``# lint-ok: rule-a,rule-b (justification)``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint-ok:\s*(?P<rules>[a-z0-9_,\s-]+?)\s*(?:\((?P<why>.*)\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding (possibly suppressed)."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def render(self) -> str:
+        tag = " [suppressed: %s]" % (self.justification or "no justification") \
+            if self.suppressed else ""
+        return "%s:%d: [%s] %s%s" % (self.path, self.line, self.rule,
+                                     self.message, tag)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Suppression:
+    rules: set[str]
+    justification: str | None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about one source file."""
+
+    path: str           # path as given on the command line (for reporting)
+    module: str         # normalised, '/'-separated path (for scoping rules)
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    def in_package(self, *parts: str) -> bool:
+        """True when the file lives under ``repro/<part>/`` for any part
+        (or is the module ``repro/<part>.py``)."""
+        for part in parts:
+            if "/%s/" % part in self.module or self.module.endswith(
+                "/%s.py" % part
+            ):
+                return True
+        return False
+
+    def suppression_for(self, rule_name: str, line: int) -> Suppression | None:
+        """A suppression covering ``rule_name`` at ``line`` (same line or
+        the pure-comment line directly above)."""
+        for candidate in (line, line - 1):
+            sup = self.suppressions.get(candidate)
+            if sup is None:
+                continue
+            if candidate == line - 1:
+                # Comment-above style only counts for whole-comment lines;
+                # a trailing suppression belongs to its own line.
+                text = self.lines[candidate - 1].strip() if (
+                    0 < candidate <= len(self.lines)
+                ) else ""
+                if not text.startswith("#"):
+                    continue
+            if rule_name in sup.rules or "all" in sup.rules:
+                return sup
+        return None
+
+
+class Rule:
+    """A registered lint rule: ``check(ctx)`` yields ``(line, message)``."""
+
+    def __init__(self, name: str, description: str, check):
+        self.name = name
+        self.description = description
+        self.check = check
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(name: str, description: str):
+    """Decorator registering a rule function in the global registry."""
+
+    def decorate(fn):
+        if name in _REGISTRY:
+            raise ValueError("duplicate lint rule %r" % name)
+        _REGISTRY[name] = Rule(name, description, fn)
+        return fn
+
+    return decorate
+
+
+def registered_rules() -> dict[str, Rule]:
+    _load_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily: rules.py imports this module for the decorator.
+    from repro.verify import rules as _rules  # noqa: F401
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, Suppression]:
+    table: dict[int, Suppression] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        names = {
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        }
+        why = match.group("why")
+        table[lineno] = Suppression(names, why.strip() if why else None)
+    return table
+
+
+def make_context(source: str, path: str = "<memory>") -> FileContext:
+    """Build a :class:`FileContext` from a source string (tests use this
+    to lint fixture snippets without touching the filesystem)."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    return FileContext(
+        path=path,
+        module=path.replace(os.sep, "/"),
+        source=source,
+        tree=tree,
+        lines=lines,
+        suppressions=_parse_suppressions(lines),
+    )
+
+
+def lint_source(
+    source: str, path: str = "<memory>", rules: list[str] | None = None
+) -> list[Finding]:
+    """Lint a source string; returns every finding (suppressed included)."""
+    ctx = make_context(source, path)
+    return _run_rules(ctx, rules)
+
+
+def lint_file(path: str, rules: list[str] | None = None) -> list[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return _run_rules(make_context(source, path), rules)
+
+
+def _run_rules(ctx: FileContext, only: list[str] | None) -> list[Finding]:
+    registry = registered_rules()
+    selected = (
+        [registry[name] for name in only] if only else list(registry.values())
+    )
+    findings: list[Finding] = []
+    for rule_obj in selected:
+        for line, message in rule_obj.check(ctx):
+            sup = ctx.suppression_for(rule_obj.name, line)
+            findings.append(
+                Finding(
+                    rule=rule_obj.name,
+                    path=ctx.path,
+                    line=line,
+                    message=message,
+                    suppressed=sup is not None,
+                    justification=sup.justification if sup else None,
+                )
+            )
+    findings.extend(_check_suppression_justifications(ctx, only))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _check_suppression_justifications(
+    ctx: FileContext, only: list[str] | None
+) -> list[Finding]:
+    """Meta-rule: every suppression must carry a justification."""
+    if only and "suppression-justification" not in only:
+        return []
+    out = []
+    for lineno, sup in sorted(ctx.suppressions.items()):
+        if not sup.justification:
+            out.append(
+                Finding(
+                    rule="suppression-justification",
+                    path=ctx.path,
+                    line=lineno,
+                    message="lint-ok suppression of %s has no (justification)"
+                    % ", ".join(sorted(sup.rules)),
+                )
+            )
+    return out
+
+
+def iter_python_files(paths: list[str]):
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [
+                d for d in sorted(dirnames)
+                if d not in ("__pycache__", ".git")
+            ]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_paths(paths: list[str], rules: list[str] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.lint",
+        description="reprolint: repo-specific invariant linter",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as a JSON document")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        help="run only the named rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print suppressed findings")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_obj in sorted(registered_rules().values(), key=lambda r: r.name):
+            print("%-24s %s" % (rule_obj.name, rule_obj.description))
+        return 0
+
+    findings = lint_paths(args.paths, args.rules)
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    if args.as_json:
+        print(json.dumps(
+            {
+                "findings": [f.to_json() for f in findings],
+                "unsuppressed": len(active),
+                "suppressed": len(suppressed),
+            },
+            indent=2,
+        ))
+    else:
+        shown = findings if args.show_suppressed else active
+        for finding in shown:
+            print(finding.render())
+        print(
+            "reprolint: %d finding(s), %d suppressed"
+            % (len(active), len(suppressed)),
+            file=sys.stderr,
+        )
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    # Re-import under the canonical module name so the rule registry the
+    # CLI consults is the same one repro.verify.rules registered into
+    # (running as __main__ would otherwise create a second registry).
+    from repro.verify.lint import main as _canonical_main
+
+    raise SystemExit(_canonical_main())

@@ -1,0 +1,297 @@
+"""Eraser-style lockset race sanitizer for the parallel engine.
+
+The morsel-parallel engine (PR 2) relies on a lock discipline that is
+documented but — until this module — never checked at runtime: shared
+structures (buffer pool, metrics registry, statement counters, WAL
+buffers, worker-pool accumulators) may only be mutated while holding
+their declared lock, and everything else must stay confined to the thread
+that owns it.  This module implements the classic Eraser algorithm
+(Savage et al., 1997): for every shared field it tracks the intersection
+of locks held across all accessing threads, and reports a **candidate
+race** the moment a field has been touched by two threads with no common
+lock.
+
+Design constraints:
+
+* **zero overhead off** — every hook is behind the module-level
+  :data:`ENABLED` flag (initialised from ``REPRO_SANITIZE``); disabled,
+  the instrumentation is one attribute read per call site;
+* **no engine imports** — this module depends only on the standard
+  library, so the lowest engine layers (``parallel``, ``bufferpool``,
+  ``durability``) can import it without cycles;
+* **explicit instrumentation points** — Python cannot transparently
+  intercept attribute traffic, so shared structures call
+  :func:`access` at their mutation/read points and create their locks
+  through :func:`make_lock`, which returns a :class:`TrackedLock` while
+  sanitizing (and a plain ``threading.Lock`` otherwise).
+
+The per-field state machine follows Eraser's refinement: a field starts
+*virgin*, is *exclusive* to its first accessing thread (initialisation
+without locks is fine), becomes *shared* on a read from a second thread
+and *shared-modified* on any write once shared.  Locksets are refined
+only in the shared states; an empty lockset in shared-modified reports a
+race (once per field, with both access sites).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+ENV_VAR = "REPRO_SANITIZE"
+
+#: Master switch.  Reading it is the only cost when the sanitizer is off.
+ENABLED = os.environ.get(ENV_VAR, "") not in ("", "0")
+
+_tls = threading.local()
+
+
+def _held() -> set[str]:
+    locks = getattr(_tls, "locks", None)
+    if locks is None:
+        locks = _tls.locks = []
+    return set(locks)
+
+
+def _push_lock(name: str) -> None:
+    locks = getattr(_tls, "locks", None)
+    if locks is None:
+        locks = _tls.locks = []
+    locks.append(name)
+
+
+def _pop_lock(name: str) -> None:
+    locks = getattr(_tls, "locks", None)
+    if locks:
+        # Remove the innermost matching acquisition (RLock re-entry safe).
+        for i in range(len(locks) - 1, -1, -1):
+            if locks[i] == name:
+                del locks[i]
+                return
+
+
+class TrackedLock:
+    """A lock proxy that records acquisition in the thread's lockset."""
+
+    def __init__(self, name: str, reentrant: bool = False):
+        self.name = name
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _push_lock(self.name)
+        return got
+
+    def release(self) -> None:
+        _pop_lock(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return "TrackedLock(%r)" % self.name
+
+
+def make_lock(name: str, reentrant: bool = False):
+    """The engine's lock factory.
+
+    Sanitizing: a named :class:`TrackedLock` feeding the lockset machine.
+    Otherwise: a plain ``threading.Lock`` / ``RLock`` — identical to what
+    the engine allocated before this module existed.
+    """
+    if ENABLED:
+        return TrackedLock(name, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()
+
+
+# -- Eraser state machine ----------------------------------------------------
+
+_VIRGIN = 0
+_EXCLUSIVE = 1
+_SHARED = 2
+_SHARED_MODIFIED = 3
+
+_STATE_NAMES = {
+    _VIRGIN: "virgin",
+    _EXCLUSIVE: "exclusive",
+    _SHARED: "shared",
+    _SHARED_MODIFIED: "shared-modified",
+}
+
+
+@dataclass
+class FieldState:
+    state: int = _VIRGIN
+    owner: int | None = None          # first accessing thread id
+    lockset: set[str] | None = None   # candidate locks (None = all locks)
+    threads: set[str] = field(default_factory=set)
+    sites: list[str] = field(default_factory=list)
+    reported: bool = False
+
+
+@dataclass(frozen=True)
+class Race:
+    """One candidate race: a shared-modified field with an empty lockset."""
+
+    owner: str
+    fld: str
+    threads: tuple[str, ...]
+    sites: tuple[str, ...]
+    during_task: bool
+
+    def render(self) -> str:
+        return (
+            "candidate race on %s.%s: threads %s share no lock "
+            "(access sites: %s)%s"
+            % (
+                self.owner,
+                self.fld,
+                ", ".join(self.threads),
+                "; ".join(self.sites),
+                " [inside worker-pool task span]" if self.during_task else "",
+            )
+        )
+
+
+class _Sanitizer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.fields: dict[tuple[str, str], FieldState] = {}
+        self.races: list[Race] = []
+        self.accesses = 0
+
+    def access(self, owner: str, fld: str, write: bool, site: str) -> None:
+        thread = threading.current_thread()
+        ident, tname = thread.ident, thread.name
+        held = _held()
+        key = (owner, fld)
+        with self._lock:
+            self.accesses += 1
+            state = self.fields.get(key)
+            if state is None:
+                state = self.fields[key] = FieldState()
+            state.threads.add(tname)
+            if len(state.sites) < 8 and site not in state.sites:
+                state.sites.append(site)
+            if state.state == _VIRGIN:
+                state.state = _EXCLUSIVE
+                state.owner = ident
+                return
+            if state.state == _EXCLUSIVE:
+                if ident == state.owner:
+                    return
+                # Second thread: field is now genuinely shared.
+                state.state = _SHARED_MODIFIED if write else _SHARED
+                state.lockset = set(held)
+            else:
+                if write:
+                    state.state = _SHARED_MODIFIED
+                state.lockset &= held
+            if (
+                state.state == _SHARED_MODIFIED
+                and not state.lockset
+                and not state.reported
+            ):
+                state.reported = True
+                self.races.append(
+                    Race(
+                        owner=owner,
+                        fld=fld,
+                        threads=tuple(sorted(state.threads)),
+                        sites=tuple(state.sites),
+                        during_task=in_task_span(),
+                    )
+                )
+
+
+_sanitizer: _Sanitizer | None = _Sanitizer() if ENABLED else None
+
+
+def enable() -> None:
+    """Turn the sanitizer on (tests call this; CI uses REPRO_SANITIZE=1).
+
+    Locks created *before* enabling are plain locks and stay untracked —
+    construct engines after enabling.
+    """
+    global ENABLED, _sanitizer
+    ENABLED = True
+    _sanitizer = _Sanitizer()
+
+
+def disable() -> None:
+    global ENABLED, _sanitizer
+    ENABLED = False
+    _sanitizer = None
+
+
+def reset() -> None:
+    """Clear collected state but stay enabled."""
+    global _sanitizer
+    if ENABLED:
+        _sanitizer = _Sanitizer()
+
+
+def access(owner: str, fld: str, write: bool = True, site: str = "") -> None:
+    """Record one access to a shared field (no-op when disabled).
+
+    ``owner`` names the structure instance (e.g. ``"bufferpool"`` or
+    ``"wal:shard3"``), ``fld`` the logical field.  Call sites pass a
+    short ``site`` label instead of paying for stack introspection.
+    """
+    san = _sanitizer
+    if san is not None:
+        san.access(owner, fld, write, site)
+
+
+class task_span:
+    """Context manager marking 'this thread is running a pool task'."""
+
+    def __init__(self, label: str = ""):
+        self.label = label
+
+    def __enter__(self):
+        depth = getattr(_tls, "task_depth", 0)
+        _tls.task_depth = depth + 1
+        return self
+
+    def __exit__(self, *exc):
+        _tls.task_depth = getattr(_tls, "task_depth", 1) - 1
+
+
+def in_task_span() -> bool:
+    return getattr(_tls, "task_depth", 0) > 0
+
+
+def held_locks() -> set[str]:
+    """The current thread's lockset (debugging / tests)."""
+    return _held()
+
+
+def report() -> list[Race]:
+    """All candidate races observed since enable()/reset()."""
+    san = _sanitizer
+    return list(san.races) if san is not None else []
+
+
+def stats() -> dict:
+    san = _sanitizer
+    if san is None:
+        return {"enabled": False}
+    with san._lock:
+        return {
+            "enabled": True,
+            "fields_tracked": len(san.fields),
+            "accesses": san.accesses,
+            "races": len(san.races),
+            "states": {
+                "%s.%s" % key: _STATE_NAMES[st.state]
+                for key, st in san.fields.items()
+            },
+        }

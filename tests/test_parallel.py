@@ -35,6 +35,7 @@ from repro.parallel import (
     partial_from_values,
 )
 from repro.util.rng import derive_rng
+from repro.verify import sanitizer
 from repro.workloads.tpcds import flush_tables
 
 
@@ -362,8 +363,12 @@ class TestConcurrentSessions:
         the dust settles: no session sees another session's temp tables,
         per-statement indexes are globally unique, and the database-wide
         statement counter reconciles with the work submitted.
+
+        Under ``REPRO_SANITIZE=1`` (the CI verify leg) the lockset
+        sanitizer also watches every instrumented shared structure during
+        the run and must observe zero candidate races.
         """
-        db = Database(parallelism=2)
+        db = Database(parallelism=4)
         setup = db.connect("db2")
         setup.execute("CREATE TABLE shared (a INT, b INT)")
         setup.execute(
@@ -431,6 +436,10 @@ class TestConcurrentSessions:
         # No session-private base table survived its DROP.
         leftovers = [n for n in db.table_names() if n.startswith("OWN_")]
         assert leftovers == []
+        # With the race sanitizer armed, the run must be race-free.
+        if sanitizer.ENABLED:
+            races = sanitizer.report()
+            assert not races, "\n".join(r.render() for r in races)
         db.pool.shutdown()
 
 

@@ -1,0 +1,521 @@
+"""reprolint: framework behaviour plus must-fire / must-not-fire fixtures.
+
+Every rule gets a positive fixture (the invariant violation it exists to
+catch) and a negative fixture (idiomatic engine code it must stay quiet
+on), all linted in memory via :func:`repro.verify.lint.lint_source` with
+paths chosen to land in each rule's scope.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.verify.lint import (
+    Finding,
+    lint_paths,
+    lint_source,
+    main,
+    make_context,
+    registered_rules,
+)
+
+
+def _lint(source: str, path: str, rule: str | None = None) -> list[Finding]:
+    findings = lint_source(textwrap.dedent(source), path)
+    if rule is not None:
+        findings = [f for f in findings if f.rule == rule]
+    return findings
+
+
+def _active(source: str, path: str, rule: str | None = None) -> list[Finding]:
+    return [f for f in _lint(source, path, rule) if not f.suppressed]
+
+
+# -- framework ----------------------------------------------------------------
+
+
+class TestFramework:
+    def test_all_rules_registered(self):
+        names = set(registered_rules())
+        assert {
+            "wall-clock",
+            "unseeded-random",
+            "lock-discipline",
+            "broad-except",
+            "durability-logging",
+        } <= names
+
+    def test_suppression_same_line(self):
+        findings = _lint(
+            """
+            try:
+                x = 1
+            except Exception:  # lint-ok: broad-except (fixture)
+                pass
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].justification == "fixture"
+
+    def test_suppression_comment_line_above(self):
+        findings = _lint(
+            """
+            try:
+                x = 1
+            # lint-ok: broad-except (fixture above)
+            except Exception:
+                pass
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_trailing_suppression_does_not_leak_to_next_line(self):
+        # The suppression sits on a *code* line; the finding is on the line
+        # after, so it must NOT be covered.
+        findings = _lint(
+            """
+            import time
+            x = 1  # lint-ok: wall-clock (wrong line)
+            t = time.time()
+            """,
+            "src/repro/engine/x.py",
+            "wall-clock",
+        )
+        assert [f.suppressed for f in findings] == [False]
+
+    def test_suppression_for_other_rule_does_not_apply(self):
+        findings = _lint(
+            """
+            try:
+                x = 1
+            except Exception:  # lint-ok: wall-clock (wrong rule)
+                pass
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert [f.suppressed for f in findings] == [False]
+
+    def test_unjustified_suppression_reported_by_meta_rule(self):
+        findings = _lint(
+            """
+            try:
+                x = 1
+            except Exception:  # lint-ok: broad-except
+                pass
+            """,
+            "src/repro/engine/x.py",
+        )
+        meta = [f for f in findings if f.rule == "suppression-justification"]
+        assert len(meta) == 1 and not meta[0].suppressed
+
+    def test_in_package_scoping(self):
+        ctx = make_context("x = 1", "src/repro/engine/operators.py")
+        assert ctx.in_package("engine")
+        assert not ctx.in_package("cluster")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-random" in out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main([str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unsuppressed"] == 1
+        assert payload["findings"][0]["rule"] == "unseeded-random"
+
+    def test_lint_paths_skips_pycache(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        cache = pkg / "__pycache__"
+        cache.mkdir(parents=True)
+        (pkg / "mod.py").write_text("import random\nx = random.random()\n")
+        (cache / "mod.py").write_text("import random\nx = random.random()\n")
+        findings = lint_paths([str(tmp_path)])
+        assert len(findings) == 1
+
+
+# -- wall-clock ---------------------------------------------------------------
+
+
+class TestWallClock:
+    def test_fires_on_time_calls_in_engine(self):
+        findings = _active(
+            """
+            import time
+            def f():
+                return time.time() + time.perf_counter()
+            """,
+            "src/repro/engine/x.py",
+            "wall-clock",
+        )
+        assert len(findings) == 2
+
+    def test_fires_on_from_import(self):
+        findings = _active(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """,
+            "src/repro/durability/x.py",
+            "wall-clock",
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_datetime_now(self):
+        findings = _active(
+            """
+            import datetime
+            a = datetime.datetime.now()
+            b = datetime.date.today()
+            """,
+            "src/repro/database/x.py",
+            "wall-clock",
+        )
+        assert len(findings) == 2
+
+    def test_quiet_outside_scoped_packages(self):
+        findings = _active(
+            """
+            import time
+            t = time.time()
+            """,
+            "src/repro/workloads/x.py",
+            "wall-clock",
+        )
+        assert findings == []
+
+    def test_quiet_on_sim_clock(self):
+        findings = _active(
+            """
+            def f(clock):
+                clock.advance(1.5)
+                return clock.now
+            """,
+            "src/repro/engine/x.py",
+            "wall-clock",
+        )
+        assert findings == []
+
+
+# -- unseeded-random ----------------------------------------------------------
+
+
+class TestUnseededRandom:
+    def test_fires_on_numpy_global_state(self):
+        findings = _active(
+            """
+            import numpy as np
+            x = np.random.random()
+            """,
+            "src/repro/sql/x.py",
+            "unseeded-random",
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_unseeded_default_rng(self):
+        findings = _active(
+            """
+            import numpy as np
+            a = np.random.default_rng()
+            b = np.random.default_rng(None)
+            """,
+            "src/repro/sql/x.py",
+            "unseeded-random",
+        )
+        assert len(findings) == 2
+
+    def test_quiet_on_seeded_default_rng(self):
+        findings = _active(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            """,
+            "src/repro/sql/x.py",
+            "unseeded-random",
+        )
+        assert findings == []
+
+    def test_fires_on_stdlib_random(self):
+        findings = _active(
+            """
+            import random
+            from random import shuffle
+            a = random.randint(1, 6)
+            shuffle([1, 2])
+            """,
+            "src/repro/util/x.py",
+            "unseeded-random",
+        )
+        assert len(findings) == 2
+
+    def test_quiet_inside_util_rng(self):
+        findings = _active(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+            "src/repro/util/rng.py",
+            "unseeded-random",
+        )
+        assert findings == []
+
+    def test_quiet_on_derive_rng(self):
+        findings = _active(
+            """
+            from repro.util.rng import derive_rng
+            rng = derive_rng(7, "scope")
+            x = rng.random()
+            """,
+            "src/repro/workloads/x.py",
+            "unseeded-random",
+        )
+        assert findings == []
+
+
+# -- broad-except -------------------------------------------------------------
+
+
+class TestBroadExcept:
+    def test_fires_on_silent_swallow(self):
+        findings = _active(
+            """
+            try:
+                x = 1
+            except Exception:
+                pass
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_bare_except_and_tuple(self):
+        findings = _active(
+            """
+            try:
+                x = 1
+            except:
+                x = 2
+            try:
+                y = 1
+            except (ValueError, Exception):
+                y = 2
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert len(findings) == 2
+
+    def test_quiet_when_handler_reraises(self):
+        findings = _active(
+            """
+            try:
+                x = 1
+            except Exception:
+                cleanup()
+                raise
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert findings == []
+
+    def test_quiet_on_narrow_handler(self):
+        findings = _active(
+            """
+            try:
+                x = 1
+            except (ValueError, KeyError):
+                x = 2
+            """,
+            "src/repro/engine/x.py",
+            "broad-except",
+        )
+        assert findings == []
+
+
+# -- lock-discipline ----------------------------------------------------------
+
+
+_POOL_PREAMBLE = """
+class Op:
+    def run(self, pool, items):
+"""
+
+
+class TestLockDiscipline:
+    def test_fires_on_unguarded_attribute_write(self):
+        findings = _active(
+            """
+            class Op:
+                def run(self, pool, items):
+                    def task(item):
+                        self.count += 1
+                        return item
+                    return pool.map(task, items)
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert len(findings) == 1
+        assert "self.count" in findings[0].message
+
+    def test_fires_on_unguarded_mutator_call(self):
+        findings = _active(
+            """
+            class Op:
+                def run(self, pool, items):
+                    def task(item):
+                        self.results.append(item)
+                    return pool.map(task, items)
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_submitted_lambda(self):
+        findings = _active(
+            """
+            class Op:
+                def run(self, executor, items):
+                    return [executor.submit(lambda: self.shared.update({1: 2}))]
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert len(findings) == 1
+
+    def test_quiet_when_guarded_by_lock(self):
+        findings = _active(
+            """
+            class Op:
+                def run(self, pool, items):
+                    def task(item):
+                        with self._lock:
+                            self.count += 1
+                        return item
+                    return pool.map(task, items)
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert findings == []
+
+    def test_quiet_when_thread_confined(self):
+        findings = _active(
+            """
+            class Op:
+                _THREAD_CONFINED = ("scratch",)
+                def run(self, pool, items):
+                    def task(item):
+                        self.scratch = item
+                        return item
+                    return pool.map(task, items)
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert findings == []
+
+    def test_quiet_on_local_mutation(self):
+        findings = _active(
+            """
+            class Op:
+                def run(self, pool, items):
+                    def task(item):
+                        out = []
+                        out.append(item)
+                        return out
+                    return pool.map(task, items)
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert findings == []
+
+    def test_quiet_outside_submission(self):
+        # The same mutation NOT submitted to a pool is the caller's
+        # business (single-threaded code path).
+        findings = _active(
+            """
+            class Op:
+                def run(self, items):
+                    def task(item):
+                        self.count += 1
+                    for item in items:
+                        task(item)
+            """,
+            "src/repro/engine/x.py",
+            "lock-discipline",
+        )
+        assert findings == []
+
+
+# -- durability-logging -------------------------------------------------------
+
+
+class TestDurabilityLogging:
+    def test_fires_on_unlogged_mutation_in_database_py(self):
+        findings = _active(
+            """
+            class Database:
+                def _execute_insert(self, node):
+                    table = self._resolve(node)
+                    return table.insert_rows(node.rows)
+            """,
+            "src/repro/database/database.py",
+            "durability-logging",
+        )
+        assert len(findings) == 1
+        assert "insert_rows" in findings[0].message
+
+    def test_quiet_when_log_hook_reached(self):
+        findings = _active(
+            """
+            class Database:
+                def _execute_insert(self, node):
+                    table = self._resolve(node)
+                    count = table.insert_rows(node.rows)
+                    self.durability.log_insert(node.name, node.rows)
+                    return count
+            """,
+            "src/repro/database/database.py",
+            "durability-logging",
+        )
+        assert findings == []
+
+    def test_out_of_scope_files_ignored(self):
+        findings = _active(
+            """
+            class Loader:
+                def load(self, table, rows):
+                    table.insert_rows(rows)
+            """,
+            "src/repro/workloads/loader.py",
+            "durability-logging",
+        )
+        assert findings == []
+
+
+# -- the repo itself ----------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_src_tree_lints_clean(self):
+        findings = [f for f in lint_paths(["src"]) if not f.suppressed]
+        assert findings == [], "\n".join(f.render() for f in findings)
