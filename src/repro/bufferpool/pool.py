@@ -117,6 +117,10 @@ class BufferPool:
     def invalidate(self, page_id) -> None:
         """Drop a page (e.g. after its table is dropped or truncated)."""
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "bufferpool", "frames", site="BufferPool.invalidate"
+                )
             frame = self._frames.pop(page_id, None)
             if frame is not None:
                 self._pages.pop(page_id, None)
@@ -125,6 +129,10 @@ class BufferPool:
     def invalidate_table(self, table_name: str) -> None:
         """Drop every cached page belonging to one table."""
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "bufferpool", "frames", site="BufferPool.invalidate_table"
+                )
             victims = [
                 pid for pid in self._frames
                 if getattr(pid, "table", None) == table_name
@@ -134,6 +142,10 @@ class BufferPool:
 
     def clear(self) -> None:
         with self._lock:
+            if sanitizer.ENABLED:
+                sanitizer.access(
+                    "bufferpool", "frames", site="BufferPool.clear"
+                )
             for pid in list(self._frames):
                 self.invalidate(pid)
 

@@ -131,7 +131,18 @@ class Database:
             durability.attach(self)
         self.procedures: dict[str, object] = {}
         self.statement_count = 0
-        self._statement_lock = sanitizer.make_lock("database:%s:statement" % name)
+        #: Serialises whole statements (and checkpoints) on this engine.
+        #: Held across dispatch + commit — not just the counter — so a
+        #: checkpoint can never snapshot mid-statement state (the model
+        #: checker's commit-vs-checkpoint scenario found exactly that: a
+        #: snapshot taken between a statement's table mutation and its WAL
+        #: commit replays the transaction on top of its own effects after
+        #: recovery).  Reentrant because blocks/CALL nest statements.
+        #: Intra-statement morsel parallelism is untouched: pool workers
+        #: never take this lock.
+        self._statement_lock = sanitizer.make_lock(
+            "database:%s:statement" % name, reentrant=True
+        )
         #: Scans created while planning the most recent statement.
         self.last_scans: list = []
 
@@ -236,22 +247,23 @@ class Database:
                 )
             self.statement_count += 1
             index = self.statement_count
-        wall_start = time.perf_counter()  # lint-ok: wall-clock (wall stopwatch reported beside the sim span, never charged to the cost model)
-        sim_start = self.clock.now if self.clock is not None else None
-        with self.tracer.span(
-            "statement", statement=type(node).__name__, sql=sql
-        ):
-            # Auto-commit transaction boundary: a statement's redo records
-            # reach the WAL only if it succeeds; a commit record makes them
-            # durable (group commit may defer the flush).
-            try:
-                result = self._dispatch_node(node, session)
-            except BaseException:
+            wall_start = time.perf_counter()  # lint-ok: wall-clock (wall stopwatch reported beside the sim span, never charged to the cost model)
+            sim_start = self.clock.now if self.clock is not None else None
+            with self.tracer.span(
+                "statement", statement=type(node).__name__, sql=sql
+            ):
+                # Auto-commit transaction boundary: a statement's redo
+                # records reach the WAL only if it succeeds; a commit
+                # record makes them durable (group commit may defer the
+                # flush).
+                try:
+                    result = self._dispatch_node(node, session)
+                except BaseException:
+                    if self.durability is not None:
+                        self.durability.abort()
+                    raise
                 if self.durability is not None:
-                    self.durability.abort()
-                raise
-            if self.durability is not None:
-                self.durability.commit()
+                    self.durability.commit()
         wall = time.perf_counter() - wall_start  # lint-ok: wall-clock (same wall stopwatch as above; reported, never charged)
         sim = self.clock.now - sim_start if sim_start is not None else None
         session.record_statement(
@@ -388,10 +400,15 @@ class Database:
         return (ref.schema, table.schema.name)
 
     def checkpoint(self) -> int:
-        """Take a fuzzy checkpoint; returns its LSN (truncates the WAL)."""
+        """Take a checkpoint at a statement boundary; returns its LSN.
+
+        The statement lock quiesces in-flight statements first: a snapshot
+        must be transaction-consistent, or recovery replays post-snapshot
+        commits on top of their own already-snapshotted effects."""
         if self.durability is None:
             raise RecoveryError("database %s has no durability manager" % self.name)
-        return self.durability.checkpoint()
+        with self._statement_lock:
+            return self.durability.checkpoint()
 
     def reopen(self, clean: bool = False):
         """Restart this engine from durable state alone.

@@ -29,6 +29,7 @@ and log length have measurable time consequences (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -110,7 +111,17 @@ class DurabilityManager:
         self._lock = sanitizer.make_lock(
             "durability:%s" % self.path, reentrant=True
         )
-        self._txn_ops: list[tuple[str, str | None, object]] = []
+        #: Per-thread statement buffers.  Each session thread buffers the
+        #: redo ops of *its own* in-flight statement; a shared buffer here
+        #: was a genuine cross-session bug (found by the model checker's
+        #: concurrent insert/abort scenario): thread B's ``abort()`` could
+        #: drop thread A's buffered ops, and A's ``commit()`` could claim
+        #: B's ops under A's txid, because statements execute outside the
+        #: engine's statement lock's critical section for dispatch.
+        self._txn_tls = threading.local()
+        #: Bumped by :meth:`crash` so every thread's buffered (volatile)
+        #: statement ops are discarded, not just the crashing thread's.
+        self._txn_epoch = 0
         self._next_txid = 1
         self._unflushed_commits = 0
         self._seq_shadow: dict[str, int | None] = {}
@@ -142,15 +153,29 @@ class DurabilityManager:
 
     # -- the commit protocol -------------------------------------------------
 
+    def _txn_ops(self) -> list:
+        """This thread's statement buffer (reset after a crash epoch)."""
+        tls = self._txn_tls
+        ops = getattr(tls, "ops", None)
+        if ops is None or getattr(tls, "epoch", -1) != self._txn_epoch:
+            ops = tls.ops = []
+            tls.epoch = self._txn_epoch
+        return ops
+
     def log_op(self, kind: str, table: str | None, payload) -> None:
-        """Buffer one redo op for the statement currently executing."""
-        with self._lock:
-            if sanitizer.ENABLED:
-                sanitizer.access(
-                    "durability:%s" % self.path, "txn_ops",
-                    site="DurabilityManager.log_op",
-                )
-            self._txn_ops.append((kind, table, payload))
+        """Buffer one redo op for the statement this thread is executing.
+
+        The buffer is thread-confined, so no lock is needed; the access
+        point (thread-qualified, so Eraser sees the confinement) remains an
+        interleaving point for the model checker.
+        """
+        if sanitizer.ENABLED:
+            sanitizer.access(
+                "durability:%s" % self.path,
+                "txn_ops@%s" % threading.current_thread().name,
+                site="DurabilityManager.log_op",
+            )
+        self._txn_ops().append((kind, table, payload))
 
     def log_insert(self, table: str, rows) -> None:
         self.log_op("insert", table, [tuple(r) for r in rows])
@@ -162,9 +187,15 @@ class DurabilityManager:
         )
 
     def abort(self) -> None:
-        """Drop the current statement's buffered ops (statement failed)."""
-        with self._lock:
-            self._txn_ops.clear()
+        """Drop this thread's buffered ops (its statement failed).  Other
+        sessions' in-flight statements are untouched."""
+        if sanitizer.ENABLED:
+            sanitizer.access(
+                "durability:%s" % self.path,
+                "txn_ops@%s" % threading.current_thread().name,
+                site="DurabilityManager.abort",
+            )
+        self._txn_ops().clear()
 
     def commit(self) -> bool:
         """End the current auto-commit transaction.
@@ -179,12 +210,13 @@ class DurabilityManager:
                     "durability:%s" % self.path, "wal_append",
                     site="DurabilityManager.commit",
                 )
+            ops = self._txn_ops()
             seq_delta = self._sequence_delta()
-            if not self._txn_ops and seq_delta is None:
+            if not ops and seq_delta is None:
                 return self.wal.pending_count == 0
             txid = self._next_txid
             self._next_txid += 1
-            for kind, table, payload in self._txn_ops:
+            for kind, table, payload in ops:
                 self.wal.append(kind, (table, payload), txid)
                 self.stats["wal_appends"] += 1
             if seq_delta is not None:
@@ -194,7 +226,7 @@ class DurabilityManager:
             self.stats["wal_appends"] += 1
             self.stats["commits"] += 1
             self._metric("commits")
-            self._txn_ops.clear()
+            ops.clear()
             self._unflushed_commits += 1
             if self._unflushed_commits >= self.group_commit:
                 self.flush()
@@ -276,7 +308,7 @@ class DurabilityManager:
         statement in flight, buffered (unflushed) WAL records, and the
         commits they carried."""
         with self._lock:
-            self._txn_ops.clear()
+            self._txn_epoch += 1  # drops every thread's buffered ops
             lost_commits = self._unflushed_commits
             self._unflushed_commits = 0
             self.stats["commits"] -= lost_commits

@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.verify import sanitizer
+
 
 class Span:
     """One timed, attributed interval; spans nest into a tree.
@@ -84,7 +86,7 @@ class Tracer:
         self.clock = clock
         self.roots: list[Span] = []
         self.finished: list[Span] = []
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("tracer")
         self._local = threading.local()
 
     # -- span lifecycle --------------------------------------------------------

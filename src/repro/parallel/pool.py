@@ -178,7 +178,7 @@ class WorkerPool:
         self.busy_seconds_total = 0.0      # serial-equivalent cost
         self.makespan_seconds_total = 0.0  # simulated parallel cost
         self._executor: ThreadPoolExecutor | None = None
-        self._executor_lock = threading.Lock()
+        self._executor_lock = sanitizer.make_lock("pool:%s:executor" % name)
         self._stats_lock = sanitizer.make_lock("pool:%s:stats" % name)
 
     @property
@@ -223,8 +223,14 @@ class WorkerPool:
         items = list(items)
         if not self.is_parallel or len(items) <= 1:
             return self._map_inline(fn, items, label)
+        hook = sanitizer.mc_hook()
+        if hook is not None and hook.governs_current_thread():
+            # Under the model checker, tasks become model threads so the
+            # checker explores morsel interleavings too (no real executor).
+            return self._map_modelled(hook, fn, items, label)
         executor = self._ensure_executor()
         worker_ids: dict[int, int] = {}
+        # lint-ok: raw-lock (per-invocation lock guarding only this call's local worker_ids dict; never shared beyond the run, so lockset tracking would be noise)
         ids_lock = threading.Lock()
 
         def task(index, item):
@@ -270,6 +276,35 @@ class WorkerPool:
         if first_error is not None:
             raise first_error
         return results
+
+    def _map_modelled(self, hook, fn, items, label) -> list:
+        """``map()`` with the model checker owning the schedule: each task
+        runs as a model thread, the calling thread joins, and gather order
+        / first-error semantics match the executor path."""
+
+        def task(pair):
+            index, item = pair
+            w0 = time.perf_counter()
+            c0 = time.thread_time()
+            value = fn(item)
+            cpu = time.thread_time() - c0
+            wall = time.perf_counter() - w0
+            if cpu <= 0.0:
+                cpu = wall
+            return value, TaskSpan(index, index, cpu, wall, label)
+
+        pairs = hook.run_pool_tasks(
+            self, task, list(enumerate(items)), label or self.name
+        )
+        run = PoolRun(
+            parallelism=self.parallelism,
+            spans=[span for _, span in pairs],
+            inline=False,
+            label=label,
+        )
+        self.last_run = run
+        self._note_metrics(run)
+        return [value for value, _ in pairs]
 
     def _map_inline(self, fn, items, label) -> list:
         results = []

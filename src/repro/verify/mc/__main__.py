@@ -1,0 +1,109 @@
+"""CLI: explore the scenario registry and check the global lock order.
+
+Examples::
+
+    python -m repro.verify.mc --list
+    python -m repro.verify.mc --all
+    python -m repro.verify.mc --scenario commit-vs-checkpoint --budget 2000
+    python -m repro.verify.mc --all --json
+    python -m repro.verify.mc --lock-order          # static analysis only
+
+Exit status is non-zero when any scenario produced a counterexample or
+the lock-order analysis found a violation/cycle — CI's ``modelcheck`` leg
+relies on that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import repro
+from repro.verify.mc import explorer, lockorder, scenarios
+
+
+def _explore_one(scenario, args) -> dict:
+    report = explorer.explore(
+        scenario,
+        budget=args.budget,
+        preemption_bound=args.preemptions,
+    )
+    if not args.json:
+        status = "ok" if report.ok else "COUNTEREXAMPLE"
+        done = "exhausted" if report.completed else "budget"
+        print(
+            "%-28s %-15s schedules=%-5d states=%-6d pruned=%-5d (%s)"
+            % (scenario.name, status, report.schedules, report.states,
+               report.pruned_runs, done)
+        )
+        if report.counterexample is not None:
+            print(report.counterexample.render())
+    return report.to_json()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.mc",
+        description="explicit-state model checker + lock-order analysis",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="explore every registered scenario")
+    parser.add_argument("--scenario", action="append", default=[],
+                        help="explore one scenario by name (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered scenarios and exit")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="total scheduled steps per scenario "
+                             "(default: $%s or %d)"
+                             % (explorer.BUDGET_ENV_VAR, 5000))
+    parser.add_argument("--preemptions", type=int,
+                        default=explorer.DEFAULT_PREEMPTION_BOUND,
+                        help="preemption bound (default %d)"
+                             % explorer.DEFAULT_PREEMPTION_BOUND)
+    parser.add_argument("--lock-order", action="store_true",
+                        help="run only the static lock-order analysis")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in scenarios.SCENARIOS:
+            crash = " [crash]" if scenario.crashes else ""
+            print("%-28s %s%s" % (scenario.name, scenario.description, crash))
+        return 0
+
+    out: dict = {"scenarios": [], "lock_order": None}
+    failed = False
+
+    if not args.lock_order:
+        if args.all:
+            targets = list(scenarios.SCENARIOS)
+        elif args.scenario:
+            targets = [scenarios.by_name(name) for name in args.scenario]
+        else:
+            parser.error("pick --all, --scenario NAME, --list or --lock-order")
+        for scenario in targets:
+            report_json = _explore_one(scenario, args)
+            out["scenarios"].append(report_json)
+            if report_json["counterexample"] is not None:
+                failed = True
+
+    # The lock-order analysis always runs: scenario exploration has just
+    # populated the runtime acquisition graph, so static and dynamic edges
+    # merge (with --lock-order alone, the static graph is checked).
+    src_root = os.path.dirname(os.path.abspath(repro.__file__))
+    lock_report = lockorder.check(paths=(src_root,))
+    out["lock_order"] = lock_report.to_json()
+    if not lock_report.ok:
+        failed = True
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        print(lock_report.render())
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,463 @@
+"""Bounded explicit-state exploration over the cooperative scheduler.
+
+The explorer enumerates thread interleavings of one scenario by stateless
+search: every schedule re-executes the scenario from a fresh state, and a
+persistent decision stack (the CHESS replay technique) steers each run —
+replay the committed prefix, extend greedily, then backtrack to the
+deepest decision with an untried alternative.  Three reductions keep the
+search tractable:
+
+* **preemption bounding** — context switches away from a still-runnable
+  thread are limited (default 2); switches at blocking/completion points
+  are free.  Musuvathi & Qadeer's empirical claim (most concurrency bugs
+  need very few preemptions) is what makes the bound useful rather than
+  arbitrary;
+* **sleep sets** — after a choice's subtree is fully explored, the choice
+  moves into the state's sleep set; sibling subtrees do not re-run it
+  until a *dependent* operation executes (the classic Godefroid
+  partial-order reduction, driven by :func:`~repro.verify.mc.scheduler.dependent`);
+* **state hashing** — each decision state is fingerprinted by per-thread
+  progress hashes (which fold in the version of every field each read
+  observed), the lock table, and per-field write counts.  A state whose
+  (fingerprint, remaining-preemption-budget) was fully explored earlier is
+  pruned: the DAG's diamonds collapse.
+
+Every counterexample carries the exact schedule (the sequence of chosen
+thread ids); :func:`replay` re-executes it deterministically, which is how
+pinned-schedule regression tests replay a fixed interleaving forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+
+from repro.verify import sanitizer
+from repro.verify.mc.scheduler import (
+    Op,
+    PruneRun,
+    RunOutcome,
+    Scheduler,
+    dependent,
+)
+
+#: Exploration budget (total scheduled steps across all runs of a scenario).
+BUDGET_ENV_VAR = "REPRO_MC_BUDGET"
+
+DEFAULT_PREEMPTION_BOUND = 2
+
+
+def default_budget() -> int:
+    env = os.environ.get(BUDGET_ENV_VAR)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                "%s must be an integer, got %r" % (BUDGET_ENV_VAR, env)
+            ) from None
+    return 5000
+
+
+class OracleViolation(AssertionError):
+    """A scenario oracle failed: the interleaving is a counterexample."""
+
+
+@dataclass
+class Counterexample:
+    """One failing interleaving, replayable by its schedule."""
+
+    scenario: str
+    kind: str                 # "deadlock" | "oracle" | "error"
+    message: str
+    schedule: list[int]
+    trace: list[tuple[str, str]]
+
+    @property
+    def schedule_id(self) -> str:
+        return hashlib.sha1(
+            repr(self.schedule).encode("ascii")
+        ).hexdigest()[:12]
+
+    def render(self) -> str:
+        lines = [
+            "counterexample in scenario %r (%s, schedule %s):"
+            % (self.scenario, self.kind, self.schedule_id),
+            "  %s" % self.message,
+            "  interleaving (%d steps):" % len(self.trace),
+        ]
+        lines.extend("    %-18s %s" % (name, op) for name, op in self.trace)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplorationReport:
+    """What exploring one scenario did."""
+
+    scenario: str
+    schedules: int = 0            # complete (non-pruned) executions
+    states: int = 0               # scheduled steps across all runs
+    pruned_runs: int = 0          # runs cut by sleep-set / state-hash pruning
+    completed: bool = False       # search space exhausted within budget
+    budget: int = 0
+    preemption_bound: int = 0
+    counterexample: Counterexample | None = None
+    races: int = 0                # Eraser candidate races seen along the way
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "schedules": self.schedules,
+            "states": self.states,
+            "pruned_runs": self.pruned_runs,
+            "completed": self.completed,
+            "budget": self.budget,
+            "preemption_bound": self.preemption_bound,
+            "races": self.races,
+            "counterexample": None if self.counterexample is None else {
+                "kind": self.counterexample.kind,
+                "message": self.counterexample.message,
+                "schedule": self.counterexample.schedule,
+                "schedule_id": self.counterexample.schedule_id,
+            },
+        }
+
+
+@dataclass
+class _Decision:
+    """One scheduling point on the persistent DFS stack."""
+
+    chosen: int
+    enabled: tuple[int, ...]
+    pending: dict = field(default_factory=dict)   # tid -> Op (all waiting)
+    prev: int | None = None
+    sleep: set = field(default_factory=set)
+    done: set = field(default_factory=set)
+    preemptions_before: int = 0
+    state_key: tuple = ()
+    crash_tids: frozenset = frozenset()
+
+
+class _StopRun(PruneRun):
+    """Prune flavours, so stats can tell them apart."""
+
+    def __init__(self, why: str):
+        self.why = why
+
+
+class _Hasher:
+    """Incremental state fingerprint for one run.
+
+    A thread's hash folds in, for every read it performed, the version of
+    the field it observed — so two states only collide when every thread
+    has both the same control progress *and* the same data lineage.
+    """
+
+    def __init__(self):
+        self.thread_h: dict[int, int] = {}
+        self.field_v: dict[str, tuple[int, int]] = {}  # target -> (version, writer)
+
+    def note(self, t, op: Op) -> None:
+        observed = 0
+        if op.kind == "access":
+            version, _writer = self.field_v.get(op.target, (0, -1))
+            if op.write:
+                self.field_v[op.target] = (version + 1, t.tid)
+            observed = version
+        self.thread_h[t.tid] = hash(
+            (self.thread_h.get(t.tid, t.tid), op.key, observed)
+        )
+
+
+# The state fingerprint needs lock *names*; the scheduler's lock table is
+# keyed by object id, so keep a tiny shadow map.
+class _LockNames:
+    def __init__(self):
+        self.names: dict[int, str] = {}
+
+    def note(self, op: Op) -> None:
+        if op.kind in ("acquire", "release") and op.obj is not None:
+            self.names[id(op.obj)] = op.target
+
+    def name(self, lock_id: int) -> str:
+        return self.names.get(lock_id, "?")
+
+
+def _run_once(scenario, stack, closed, preemption_bound, budget, counters,
+              schedule=None, watchdog=20.0):
+    """Execute the scenario once, steering by the persistent stack (or an
+    explicit ``schedule`` when replaying); returns (outcome, run_info)."""
+    sanitizer.reset()
+    state = scenario.setup()
+    scheduler = Scheduler(watchdog=watchdog)
+    hasher = _Hasher()
+    lock_names = _LockNames()
+    depth = 0
+    prev_tid: int | None = None
+    preemptions = 0
+    new_frames: list[_Decision] = []
+
+    def state_key():
+        locks = tuple(sorted(
+            (lock_names.name(lock_id), holder.tid, depth_)
+            for lock_id, (holder, depth_) in scheduler.locks.items()
+        ))
+        return (
+            hash((
+                frozenset(hasher.thread_h.items()),
+                frozenset(hasher.field_v.items()),
+                locks,
+            )),
+            preemption_bound - preemptions,
+        )
+
+    def on_step(t, op):
+        lock_names.note(op)
+        hasher.note(t, op)
+
+    scheduler.on_step = on_step
+
+    def chooser(enabled, waiting):
+        nonlocal depth, prev_tid, preemptions
+        counters["states"] += 1
+        if counters["states"] > budget:
+            raise _StopRun("budget")
+        by_tid = {t.tid: t for t in waiting}
+        enabled_tids = sorted(t.tid for t in enabled)
+        crash_tids = frozenset(
+            t.tid for t in waiting if t.is_crash
+        )
+        pending = {t.tid: t.pending for t in waiting}
+
+        if schedule is not None and depth < len(schedule):
+            # Replay mode: follow the recorded schedule verbatim.
+            tid = schedule[depth]
+            if tid not in by_tid or by_tid[tid] not in enabled:
+                raise _StopRun("divergent-replay")
+            chosen = tid
+        elif depth < len(stack):
+            frame = stack[depth]
+            chosen = frame.chosen
+            if chosen not in enabled_tids:
+                raise _StopRun("divergent-replay")
+        else:
+            if schedule is not None:
+                # Past the end of an explicit schedule: default policy.
+                chosen = _default_choice(
+                    enabled_tids, set(), prev_tid, crash_tids,
+                    preemptions, preemption_bound,
+                )
+                if chosen is None:
+                    chosen = enabled_tids[0]
+            else:
+                key = state_key()
+                if key in closed:
+                    raise _StopRun("state-pruned")
+                sleep = _propagate_sleep(
+                    stack, new_frames, depth, pending
+                )
+                chosen = _default_choice(
+                    enabled_tids, sleep, prev_tid, crash_tids,
+                    preemptions, preemption_bound,
+                )
+                if chosen is None:
+                    raise _StopRun("sleep-pruned")
+                new_frames.append(_Decision(
+                    chosen=chosen,
+                    enabled=tuple(enabled_tids),
+                    pending=pending,
+                    prev=prev_tid,
+                    sleep=sleep,
+                    preemptions_before=preemptions,
+                    state_key=key,
+                    crash_tids=crash_tids,
+                ))
+        if (
+            prev_tid is not None
+            and chosen != prev_tid
+            and prev_tid in enabled_tids
+            and chosen not in crash_tids
+        ):
+            preemptions += 1
+        depth += 1
+        prev_tid = chosen
+        return by_tid[chosen]
+
+    crash_fn = None
+    if getattr(scenario, "crashes", False):
+        def crash_fn():
+            scenario.crash(state)
+
+    outcome = scheduler.run(scenario.thread_specs(state), chooser, crash_fn)
+    return outcome, state, new_frames
+
+
+def _default_choice(enabled_tids, sleep, prev_tid, crash_tids,
+                    preemptions, bound):
+    """Greedy schedule policy: keep running the previous thread; otherwise
+    the lowest-id enabled thread not in the sleep set.  Returns None when
+    every continuation is redundant (all enabled sleeping)."""
+    candidates = [tid for tid in enabled_tids if tid not in sleep]
+    if not candidates:
+        return None
+    if prev_tid in candidates:
+        return prev_tid
+    if prev_tid in enabled_tids and preemptions >= bound:
+        # Switching away from a runnable thread would exceed the bound;
+        # crash steps are exempt (they model an external event).
+        for tid in candidates:
+            if tid in crash_tids:
+                return tid
+        return None
+    return candidates[0]
+
+
+def _propagate_sleep(stack, new_frames, depth, pending):
+    """Sleep set for the state at ``depth``: inherited members whose
+    pending operation is independent of the step just executed."""
+    frames = list(stack) + new_frames
+    if depth == 0:
+        return set()
+    parent = frames[depth - 1]
+    executed = parent.pending.get(parent.chosen)
+    sleep = set()
+    for tid in parent.sleep | parent.done:
+        if tid == parent.chosen:
+            continue
+        op = pending.get(tid)
+        prior = parent.pending.get(tid)
+        probe = op if op is not None else prior
+        if probe is None or executed is None:
+            continue
+        if not dependent(probe, executed):
+            sleep.add(tid)
+    return sleep
+
+
+def _outcome_counterexample(scenario_name, outcome: RunOutcome, scenario,
+                            state) -> Counterexample | None:
+    if outcome.status == "deadlock":
+        return Counterexample(
+            scenario=scenario_name, kind="deadlock",
+            message="deadlock: %s" % outcome.deadlock_detail,
+            schedule=outcome.schedule, trace=outcome.trace,
+        )
+    if outcome.status == "error":
+        name, exc = outcome.errors[0]
+        kind = "oracle" if isinstance(exc, AssertionError) else "error"
+        return Counterexample(
+            scenario=scenario_name, kind=kind,
+            message="%s in thread %s: %s" % (type(exc).__name__, name, exc),
+            schedule=outcome.schedule, trace=outcome.trace,
+        )
+    if outcome.status == "ok" and not outcome.crashed:
+        try:
+            scenario.check(state)
+        except AssertionError as exc:
+            return Counterexample(
+                scenario=scenario_name, kind="oracle",
+                message=str(exc) or "oracle failed",
+                schedule=outcome.schedule, trace=outcome.trace,
+            )
+    return None
+
+
+def explore(scenario, budget: int | None = None,
+            preemption_bound: int = DEFAULT_PREEMPTION_BOUND,
+            watchdog: float = 20.0) -> ExplorationReport:
+    """Explore ``scenario``'s interleavings; stop at the first
+    counterexample, exhaustion (within bounds), or budget."""
+    budget = budget if budget is not None else default_budget()
+    report = ExplorationReport(
+        scenario=scenario.name, budget=budget,
+        preemption_bound=preemption_bound,
+    )
+    enabled_before = sanitizer.ENABLED
+    if not enabled_before:
+        sanitizer.enable()
+    stack: list[_Decision] = []
+    closed: set = set()
+    counters = {"states": 0}
+    try:
+        while True:
+            outcome, state, new_frames = _run_once(
+                scenario, stack, closed, preemption_bound, budget, counters,
+                watchdog=watchdog,
+            )
+            stack.extend(new_frames)
+            report.states = counters["states"]
+            report.races = max(report.races, len(sanitizer.report()))
+            if outcome.status == "pruned":
+                report.pruned_runs += 1
+            else:
+                report.schedules += 1
+                ce = _outcome_counterexample(
+                    scenario.name, outcome, scenario, state
+                )
+                if ce is not None:
+                    report.counterexample = ce
+                    return report
+            if counters["states"] >= budget:
+                return report
+            # Backtrack to the deepest decision with a viable alternative.
+            while stack:
+                frame = stack[-1]
+                frame.done.add(frame.chosen)
+                frame.sleep = frame.sleep | {frame.chosen}
+                alt = _next_alternative(frame, preemption_bound)
+                if alt is not None:
+                    frame.chosen = alt
+                    break
+                closed.add(frame.state_key)
+                stack.pop()
+            else:
+                report.completed = True
+                return report
+    finally:
+        if not enabled_before:
+            sanitizer.disable()
+
+
+def _next_alternative(frame: _Decision, bound: int) -> int | None:
+    for tid in frame.enabled:
+        if tid in frame.done or tid in frame.sleep:
+            continue
+        preemptive = (
+            frame.prev is not None
+            and tid != frame.prev
+            and frame.prev in frame.enabled
+            and tid not in frame.crash_tids
+        )
+        if preemptive and frame.preemptions_before >= bound:
+            continue
+        return tid
+    return None
+
+
+def replay(scenario, schedule: list[int],
+           watchdog: float = 20.0) -> tuple[RunOutcome, Counterexample | None]:
+    """Re-execute one exact schedule (then default policy past its end).
+
+    Deterministic: the same schedule produces the same trace every time,
+    which is what pinned-schedule regression tests rely on.
+    """
+    enabled_before = sanitizer.ENABLED
+    if not enabled_before:
+        sanitizer.enable()
+    try:
+        counters = {"states": 0}
+        outcome, state, _ = _run_once(
+            scenario, [], set(), preemption_bound=10 ** 9,
+            budget=10 ** 9, counters=counters, schedule=list(schedule),
+            watchdog=watchdog,
+        )
+        ce = _outcome_counterexample(scenario.name, outcome, scenario, state)
+        return outcome, ce
+    finally:
+        if not enabled_before:
+            sanitizer.disable()

@@ -1,0 +1,325 @@
+"""The model-checking scenario registry: small concurrent engine workloads.
+
+Each scenario builds a *fresh* engine (statelessness is what makes replay
+deterministic), declares two-or-three threads of real engine work, and an
+oracle over the final state.  The explorer runs the scenario under every
+interleaving (up to the preemption bound and budget); any interleaving
+that deadlocks, raises, or fails the oracle is a counterexample whose
+schedule replays exactly.
+
+Crash scenarios additionally model failover: a crash pseudo-thread is
+enabled at every explored state, and its body crash-restarts the engine
+and checks WAL prefix consistency — recovery must reproduce exactly the
+durably committed transactions, wherever the crash landed.
+"""
+
+from __future__ import annotations
+
+from repro.database import Database
+from repro.durability import DurabilityManager
+from repro.durability.wal import committed_transactions
+from repro.errors import SQLError
+from repro.storage.filesystem import ClusterFileSystem
+
+
+class Scenario:
+    """Base class: subclasses define name/description and the four hooks."""
+
+    name = "scenario"
+    description = ""
+    #: True adds the crash pseudo-thread (exploring crash-at-every-state).
+    crashes = False
+
+    def setup(self) -> dict:
+        raise NotImplementedError
+
+    def thread_specs(self, state: dict) -> list:
+        raise NotImplementedError
+
+    def crash(self, state: dict) -> None:
+        """Crash body (recovery + oracle), for ``crashes = True``."""
+
+    def check(self, state: dict) -> None:
+        """Final-state oracle for runs that completed without crashing."""
+
+
+def _make_db(group_commit: int = 1, parallelism: int | None = None) -> dict:
+    fs = ClusterFileSystem()
+    manager = DurabilityManager(fs, path="db", group_commit=group_commit)
+    db = Database(name="MC", durability=manager, parallelism=parallelism)
+    return {"db": db, "fs": fs, "manager": manager}
+
+
+def _rows(db, sql: str):
+    return db.connect().query(sql)
+
+
+def _count(db, table: str) -> int:
+    return int(_rows(db, "SELECT COUNT(*) FROM %s" % table)[0][0])
+
+
+def _durable_insert_counts(manager) -> dict:
+    """Rows per table in the durable, committed portion of the WAL."""
+    counts: dict[str, int] = {}
+    for _txid, ops in committed_transactions(manager.wal.records()):
+        for record in ops:
+            if record.kind == "insert":
+                (_schema, table), payload = record.payload
+                counts[table] = counts.get(table, 0) + len(payload)
+    return counts
+
+
+class ConcurrentInsertCommit(Scenario):
+    """Two sessions insert into their own tables concurrently.
+
+    Oracles: both rows land; the statement counter advances by exactly two
+    (no lost update); and each WAL transaction carries only its own
+    session's ops (the cross-session op-attribution bug this scenario was
+    built to catch: a shared statement buffer let one session's commit
+    claim — or one session's abort drop — another session's redo ops).
+    """
+
+    name = "concurrent-insert-commit"
+    description = "two sessions insert+commit; WAL attribution + counters"
+
+    def setup(self) -> dict:
+        state = _make_db()
+        session = state["db"].connect()
+        session.execute("CREATE TABLE TA (A INT)")
+        session.execute("CREATE TABLE TB (A INT)")
+        state["statements_before"] = state["db"].statement_count
+        return state
+
+    def thread_specs(self, state: dict) -> list:
+        db = state["db"]
+
+        def insert(table):
+            def body():
+                db.connect().execute(
+                    "INSERT INTO %s VALUES (1)" % table
+                )
+            return body
+
+        return [("sessA", insert("TA")), ("sessB", insert("TB"))]
+
+    def check(self, state: dict) -> None:
+        db = state["db"]
+        # Read the counter first: the count queries below advance it too.
+        advanced = db.statement_count - state["statements_before"]
+        assert advanced == 2, (
+            "statement counter advanced %d times for 2 statements" % advanced
+        )
+        assert _count(db, "TA") == 1, "TA lost its insert"
+        assert _count(db, "TB") == 1, "TB lost its insert"
+        state["manager"].flush()
+        for txid, ops in committed_transactions(state["manager"].wal.records()):
+            tables = {
+                record.payload[0][1]
+                for record in ops
+                if record.kind == "insert"
+            }
+            assert len(tables) <= 1, (
+                "txn %d mixes ops of tables %s: cross-session attribution"
+                % (txid, sorted(tables))
+            )
+
+
+class InsertVsAbort(Scenario):
+    """A successful insert races a failing statement (which aborts).
+
+    With a shared statement buffer, the failing session's ``abort()``
+    could clear the other session's buffered redo ops, silently committing
+    an *empty* transaction — committed data lost after restart.  The
+    oracle restarts from durable state alone and requires the insert back.
+    """
+
+    name = "insert-vs-abort"
+    description = "commit races an aborting statement; no lost redo ops"
+
+    def setup(self) -> dict:
+        state = _make_db()
+        state["db"].connect().execute("CREATE TABLE TA (A INT)")
+        return state
+
+    def thread_specs(self, state: dict) -> list:
+        db = state["db"]
+
+        def good():
+            db.connect().execute("INSERT INTO TA VALUES (1)")
+
+        def bad():
+            try:
+                db.connect().execute("INSERT INTO NOPE VALUES (1)")
+            except SQLError:
+                pass  # expected: unknown table -> statement aborts
+
+        return [("sessA", good), ("sessB", bad)]
+
+    def check(self, state: dict) -> None:
+        db = state["db"]
+        db.reopen(clean=True)
+        assert _count(db, "TA") == 1, (
+            "committed insert missing after clean restart (lost redo ops)"
+        )
+
+
+class CommitVsCheckpoint(Scenario):
+    """An insert+commit races a fuzzy checkpoint.
+
+    Whatever the interleaving, a clean restart must land on exactly the
+    committed state: the checkpoint/WAL hand-off (truncate-through-LSN)
+    must never drop the commit or apply it twice.
+    """
+
+    name = "commit-vs-checkpoint"
+    description = "insert+commit races a fuzzy checkpoint; restart exact"
+
+    def setup(self) -> dict:
+        state = _make_db()
+        session = state["db"].connect()
+        session.execute("CREATE TABLE TA (A INT)")
+        session.execute("INSERT INTO TA VALUES (0)")
+        return state
+
+    def thread_specs(self, state: dict) -> list:
+        db = state["db"]
+
+        def insert():
+            db.connect().execute("INSERT INTO TA VALUES (1)")
+
+        def checkpoint():
+            db.checkpoint()
+
+        return [("sessA", insert), ("ckpt", checkpoint)]
+
+    def check(self, state: dict) -> None:
+        db = state["db"]
+        assert _count(db, "TA") == 2
+        db.reopen(clean=True)
+        assert _count(db, "TA") == 2, (
+            "checkpoint/WAL hand-off lost or duplicated a committed insert"
+        )
+
+
+class GroupCommitCrash(Scenario):
+    """Failover during group commit: crash enabled at every state.
+
+    Two sessions commit under ``group_commit=4`` (commits buffer in the
+    volatile WAL tail until a flush).  The crash pseudo-thread kills the
+    engine at an arbitrary explored state; recovery must reproduce exactly
+    the durably-flushed committed transactions — no lost durable commit,
+    no resurrected unflushed one (WAL prefix consistency).
+    """
+
+    name = "group-commit-crash"
+    description = "crash at any state during group commit; prefix-exact recovery"
+    crashes = True
+
+    def setup(self) -> dict:
+        state = _make_db(group_commit=4)
+        session = state["db"].connect()
+        session.execute("CREATE TABLE TA (A INT)")
+        session.execute("CREATE TABLE TB (A INT)")
+        state["manager"].flush()  # schema is durable; the race is the DML
+        return state
+
+    def thread_specs(self, state: dict) -> list:
+        db = state["db"]
+
+        def insert(table):
+            def body():
+                db.connect().execute(
+                    "INSERT INTO %s VALUES (1)" % table
+                )
+            return body
+
+        return [("sessA", insert("TA")), ("sessB", insert("TB"))]
+
+    def crash(self, state: dict) -> None:
+        db = state["db"]
+        db.reopen(clean=False)
+        expected = _durable_insert_counts(state["manager"])
+        for table in ("TA", "TB"):
+            want = expected.get(table, 0)
+            got = _count(db, table)
+            assert got == want, (
+                "recovered %s has %d row(s), durable WAL commits say %d"
+                % (table, got, want)
+            )
+
+    def check(self, state: dict) -> None:
+        db = state["db"]
+        assert _count(db, "TA") == 1
+        assert _count(db, "TB") == 1
+        db.reopen(clean=True)
+        assert _count(db, "TA") == 1 and _count(db, "TB") == 1
+
+
+class Dop2MorselMerge(Scenario):
+    """A DOP-2 morsel split/merge through the real worker pool.
+
+    One session splits an aggregate into two morsel tasks (run as model
+    threads under the checker), merging partial sums.  Oracles: the merged
+    total is exact, gather order is submission order, and the pool's
+    shared accumulators count the run once (no lost update under the
+    stats lock).
+    """
+
+    name = "dop2-morsel-merge"
+    description = "two morsel tasks race through the pool; exact merged sum"
+
+    def setup(self) -> dict:
+        state = _make_db(parallelism=2)
+        session = state["db"].connect()
+        session.execute("CREATE TABLE T (A INT)")
+        session.execute("INSERT INTO T VALUES (1), (2), (3), (4)")
+        state["tasks_before"] = state["db"].pool.tasks_total
+        return state
+
+    def thread_specs(self, state: dict) -> list:
+        db = state["db"]
+
+        def morsel(predicate):
+            return int(_rows(
+                db, "SELECT SUM(A) FROM T WHERE %s" % predicate
+            )[0][0])
+
+        def run():
+            parts = db.pool.map(
+                morsel, ["A <= 2", "A > 2"], label="mc-morsel"
+            )
+            state["parts"] = parts
+            state["total"] = sum(parts)
+
+        return [("coordinator", run)]
+
+    def check(self, state: dict) -> None:
+        assert state.get("parts") == [3, 7], (
+            "morsel gather out of submission order: %r" % (state.get("parts"),)
+        )
+        assert state.get("total") == 10
+        pool = state["db"].pool
+        delta = pool.tasks_total - state["tasks_before"]
+        assert delta >= 2, (
+            "pool accumulators saw %d new task(s) for one DOP-2 run" % delta
+        )
+
+
+#: The registry, in documentation order.
+SCENARIOS = [
+    ConcurrentInsertCommit(),
+    InsertVsAbort(),
+    CommitVsCheckpoint(),
+    GroupCommitCrash(),
+    Dop2MorselMerge(),
+]
+
+
+def by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(
+        "unknown scenario %r (have: %s)"
+        % (name, ", ".join(s.name for s in SCENARIOS))
+    )

@@ -18,6 +18,12 @@ invariants (the regimes PRs 1–3 introduced but nothing checked):
 * ``durability-logging`` — every ``Table``-mutating entry point in
   ``database.py`` / ``mpp.py`` must reach a WAL ``log_*`` hook, or crash
   recovery silently loses committed work.
+* ``lock-order`` — lexically nested lock acquisitions must follow the
+  declared global lock order (see :mod:`repro.verify.mc.lockorder`); an
+  inversion is half of an ABBA deadlock.
+* ``raw-lock`` — engine code under ``repro/`` must create locks through
+  ``sanitizer.make_lock``; a bare ``threading.Lock()`` is invisible to the
+  lockset sanitizer and the model checker.
 """
 
 from __future__ import annotations
@@ -467,3 +473,62 @@ def check_durability_logging(ctx: FileContext):
                     "durability log_* hook: redo recovery will lose this "
                     "write" % (node.name, attr)
                 )
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "lock-order",
+    "nested lock acquisitions must follow the declared global lock order",
+)
+def check_lock_order(ctx: FileContext):
+    from repro.verify.mc import lockorder
+
+    for edge in lockorder.static_edges_for_source(ctx.source, ctx.path):
+        message = lockorder.rank_violation(edge.outer, edge.inner)
+        if message is None:
+            continue
+        try:
+            line = int(edge.site.rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            line = 1
+        yield line, message
+
+
+# ---------------------------------------------------------------------------
+# raw-lock
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "raw-lock",
+    "engine code must create locks via sanitizer.make_lock, not "
+    "threading.Lock/RLock",
+)
+def check_raw_lock(ctx: FileContext):
+    # Scope: engine source under repro/, except repro/verify/ itself (the
+    # sanitizer and the model checker implement the tracking and must own
+    # raw primitives).
+    if "repro/" not in ctx.module or "repro/verify/" in ctx.module:
+        return
+    aliases = _module_imported(ctx.tree, "threading")
+    from_threading = _imported_names(ctx.tree, "threading") & {"Lock", "RLock"}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+        if (
+            len(parts) == 2
+            and parts[0] in aliases
+            and parts[1] in ("Lock", "RLock")
+        ) or (len(parts) == 1 and parts[0] in from_threading):
+            yield node.lineno, (
+                "%s() bypasses sanitizer.make_lock: the lockset sanitizer "
+                "and the model checker cannot track this lock" % name
+            )

@@ -46,6 +46,23 @@ ENABLED = os.environ.get(ENV_VAR, "") not in ("", "0")
 
 _tls = threading.local()
 
+#: The model-checker hook (:mod:`repro.verify.mc.scheduler`).  When set,
+#: every :class:`TrackedLock` acquire/release and every :func:`access` on a
+#: *governed* thread first yields to the checker's deterministic scheduler,
+#: which owns the interleaving.  Threads the checker does not govern (the
+#: test driver, scenario setup) pass straight through.
+_MC_HOOK = None
+
+
+def set_mc_hook(hook) -> None:
+    """Install (or, with ``None``, remove) the model-checker hook."""
+    global _MC_HOOK
+    _MC_HOOK = hook
+
+
+def mc_hook():
+    return _MC_HOOK
+
 
 def _held() -> set[str]:
     locks = getattr(_tls, "locks", None)
@@ -71,20 +88,63 @@ def _pop_lock(name: str) -> None:
                 return
 
 
+# -- runtime lock-acquisition graph ------------------------------------------
+#
+# Whenever a tracked lock is acquired while others are held, the (held ->
+# acquired) edges are recorded here.  repro.verify.mc.lockorder merges this
+# observed graph with the statically extracted one and checks both for
+# cycles and for violations of the declared global lock order.
+
+_graph_lock = threading.Lock()
+_lock_graph: dict[tuple[str, str], int] = {}
+
+
+def _note_acquisition(name: str) -> None:
+    held = getattr(_tls, "locks", None)
+    if not held or name in held:
+        # First lock, or a reentrant re-acquisition: no new ordering edge.
+        return
+    with _graph_lock:
+        for outer in set(held):
+            key = (outer, name)
+            _lock_graph[key] = _lock_graph.get(key, 0) + 1
+
+
+def lock_graph() -> dict[tuple[str, str], int]:
+    """Observed (outer -> inner) lock-acquisition edges with counts."""
+    with _graph_lock:
+        return dict(_lock_graph)
+
+
+def reset_lock_graph() -> None:
+    with _graph_lock:
+        _lock_graph.clear()
+
+
 class TrackedLock:
     """A lock proxy that records acquisition in the thread's lockset."""
 
     def __init__(self, name: str, reentrant: bool = False):
         self.name = name
+        self.reentrant = reentrant
         self._inner = threading.RLock() if reentrant else threading.Lock()
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        hook = _MC_HOOK
+        if hook is not None and hook.governs_current_thread():
+            # The scheduler parks this thread until the model says the lock
+            # is free, so the real acquire below can never block.
+            hook.before_acquire(self, blocking)
         got = self._inner.acquire(blocking, timeout)
         if got:
+            _note_acquisition(self.name)
             _push_lock(self.name)
         return got
 
     def release(self) -> None:
+        hook = _MC_HOOK
+        if hook is not None and hook.governs_current_thread():
+            hook.before_release(self)
         _pop_lock(self.name)
         self._inner.release()
 
@@ -232,7 +292,13 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Clear collected state but stay enabled."""
+    """Clear collected Eraser state (races/locksets) but stay enabled.
+
+    The lock-acquisition graph deliberately survives: it accumulates
+    ordering evidence across many runs (the model checker resets between
+    interleavings but merges the whole graph at the end); clear it
+    explicitly with :func:`reset_lock_graph`.
+    """
     global _sanitizer
     if ENABLED:
         _sanitizer = _Sanitizer()
@@ -245,6 +311,9 @@ def access(owner: str, fld: str, write: bool = True, site: str = "") -> None:
     ``"wal:shard3"``), ``fld`` the logical field.  Call sites pass a
     short ``site`` label instead of paying for stack introspection.
     """
+    hook = _MC_HOOK
+    if hook is not None and hook.governs_current_thread():
+        hook.on_access(owner, fld, write, site)
     san = _sanitizer
     if san is not None:
         san.access(owner, fld, write, site)

@@ -119,6 +119,7 @@ class TestTracer:
                     with tracer.span(name):
                         with tracer.span(name + ".inner"):
                             pass
+            # lint-ok: broad-except (collects any worker failure to assert after join)
             except Exception as exc:  # pragma: no cover
                 errors.append(exc)
 

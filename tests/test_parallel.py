@@ -96,6 +96,7 @@ class TestWorkerPool:
         thread_ids = []
 
         def task(i):
+            # lint-ok: lock-discipline (parallelism=1 runs inline on the caller's thread — asserted below)
             thread_ids.append(threading.get_ident())
             return i * i
 
@@ -406,7 +407,8 @@ class TestConcurrentSessions:
                     s.execute("UPDATE %s SET x = x + 1" % mine)
                     s.execute("DROP TABLE %s" % mine)
                     statements_run[sid] += 7
-            except BaseException as exc:  # surfaced after join
+            # lint-ok: broad-except (collects every session failure, assertions included, to surface after join)
+            except BaseException as exc:
                 errors.append((sid, exc))
 
         threads = [

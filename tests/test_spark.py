@@ -28,6 +28,7 @@ class TestRDD:
 
     def test_laziness(self, sc):
         effects = []
+        # lint-ok: lock-discipline (side-effect probe; appends are GIL-atomic and the assert sorts)
         rdd = sc.parallelize(range(3)).map(lambda x: effects.append(x) or x)
         assert effects == []  # nothing ran yet
         rdd.collect()

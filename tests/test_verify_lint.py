@@ -103,13 +103,16 @@ class TestFramework:
         assert [f.suppressed for f in findings] == [False]
 
     def test_unjustified_suppression_reported_by_meta_rule(self):
+        # The marker is assembled at runtime so that linting THIS file does
+        # not see an unjustified suppression on the fixture's raw line.
         findings = _lint(
             """
             try:
                 x = 1
-            except Exception:  # lint-ok: broad-except
+            except Exception:  # lint-%s: broad-except
                 pass
-            """,
+            """
+            % "ok",
             "src/repro/engine/x.py",
         )
         meta = [f for f in findings if f.rule == "suppression-justification"]

@@ -1,0 +1,249 @@
+"""Lock-order analysis tests: static extraction, ranks, cycles, runtime merge."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.verify import sanitizer
+from repro.verify.mc import lockorder
+from repro.verify.mc.lockorder import (
+    DECLARED_ORDER,
+    LockEdge,
+    analyze,
+    rank_violation,
+    runtime_edges,
+    static_edges_for_source,
+)
+
+
+def _edges(source: str) -> list:
+    return static_edges_for_source(textwrap.dedent(source), "x.py")
+
+
+# -- static extraction ---------------------------------------------------------
+
+
+class TestStaticExtraction:
+    def test_nested_with_produces_edge(self):
+        edges = _edges(
+            """
+            from repro.verify.sanitizer import make_lock
+
+            class Engine:
+                def __init__(self):
+                    self._outer = make_lock("durability:db")
+                    self._inner = make_lock("metrics")
+
+                def work(self):
+                    with self._outer:
+                        with self._inner:
+                            pass
+            """
+        )
+        assert [(e.outer, e.inner) for e in edges] == [("durability", "metrics")]
+        assert edges[0].source == "static"
+        assert edges[0].site.startswith("x.py:")
+
+    def test_multi_item_with_orders_left_to_right(self):
+        edges = _edges(
+            """
+            from repro.verify.sanitizer import make_lock
+
+            a = make_lock("pool:x:stats")
+            b = make_lock("tracer")
+
+            def work():
+                with a, b:
+                    pass
+            """
+        )
+        assert [(e.outer, e.inner) for e in edges] == [("pool", "tracer")]
+
+    def test_reentrant_same_attribute_is_not_an_edge(self):
+        edges = _edges(
+            """
+            from repro.verify.sanitizer import make_lock
+
+            class Engine:
+                def __init__(self):
+                    self._lock = make_lock("database:db:statement")
+
+                def work(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+        assert edges == []
+
+    def test_percent_format_lock_name_resolves_class(self):
+        edges = _edges(
+            """
+            from repro.verify.sanitizer import make_lock
+
+            class Pool:
+                def __init__(self, name):
+                    self._stats_lock = make_lock("pool:%s:stats" % name)
+                    self._metrics_lock = make_lock("metrics:%s" % name)
+
+                def work(self):
+                    with self._stats_lock:
+                        with self._metrics_lock:
+                            pass
+            """
+        )
+        assert [(e.outer, e.inner) for e in edges] == [("pool", "metrics")]
+
+    def test_nested_function_bodies_are_separate_scopes(self):
+        # The inner function runs later, not lexically under the outer
+        # lock: no edge may be inferred.
+        edges = _edges(
+            """
+            from repro.verify.sanitizer import make_lock
+
+            outer = make_lock("durability:db")
+            inner = make_lock("metrics")
+
+            def work():
+                with outer:
+                    def later():
+                        with inner:
+                            pass
+                    return later
+            """
+        )
+        assert edges == []
+
+    def test_unrecognised_lockish_name_is_marked_unknown(self):
+        edges = _edges(
+            """
+            import threading
+
+            my_lock = threading.Lock()
+
+            def work():
+                with my_lock:
+                    with my_lock:
+                        pass
+            """
+        )
+        # Same attribute twice -> reentrancy skip, even for unknowns.
+        assert edges == []
+
+
+# -- ranks and cycles ----------------------------------------------------------
+
+
+class TestRanks:
+    def test_declared_order_is_respected(self):
+        assert rank_violation("database:MC:statement", "durability:db") is None
+        assert rank_violation("durability:db", "tracer") is None
+
+    def test_inversion_is_a_violation(self):
+        message = rank_violation("metrics", "database:MC:statement")
+        assert message is not None
+        assert "contradicts" in message
+        assert " > ".join(DECLARED_ORDER) in message
+
+    def test_same_class_nesting_is_allowed(self):
+        # Hierarchical coordinator -> shard statement nesting.
+        assert rank_violation(
+            "database:MC:statement", "database:MC.0:statement"
+        ) is None
+
+    def test_unranked_and_unknown_classes_are_ignored(self):
+        assert rank_violation("harness:A", "database:x") is None
+        assert rank_violation("?", "metrics") is None
+
+
+class TestAnalyze:
+    def test_clean_graph_reports_ok(self):
+        report = analyze([
+            LockEdge("database:MC:statement", "durability:db", "runtime"),
+            LockEdge("durability:db", "metrics", "runtime"),
+        ])
+        assert report.ok
+        assert "acyclic" in report.render()
+
+    def test_rank_inversion_reported_with_source(self):
+        report = analyze([
+            LockEdge("bufferpool", "pool:x:stats", "static", site="f.py:3"),
+        ])
+        assert not report.ok
+        assert len(report.violations) == 1
+        assert "f.py:3" in report.violations[0]
+
+    def test_abba_cycle_detected_at_instance_level(self):
+        # Same class both ways: ranks cannot catch it, the cycle check must.
+        report = analyze([
+            LockEdge("database:A:statement", "database:B:statement", "runtime"),
+            LockEdge("database:B:statement", "database:A:statement", "runtime"),
+        ])
+        assert not report.ok
+        assert len(report.cycles) == 1
+        assert set(report.cycles[0]) == {
+            "database:A:statement", "database:B:statement"
+        }
+
+    def test_json_round_trips_the_verdict(self):
+        report = analyze([LockEdge("metrics", "database:x", "runtime")])
+        payload = report.to_json()
+        assert payload["ok"] is False
+        assert payload["declared_order"] == list(DECLARED_ORDER)
+        assert len(payload["violations"]) == 1
+
+
+# -- runtime merge -------------------------------------------------------------
+
+
+class TestRuntimeMerge:
+    def test_sanitizer_lock_graph_feeds_runtime_edges(self):
+        sanitizer.reset_lock_graph()
+        was_enabled = sanitizer.ENABLED
+        if not was_enabled:
+            sanitizer.enable()
+        try:
+            outer = sanitizer.make_lock("durability:x")
+            inner = sanitizer.make_lock("metrics:x")
+            with outer:
+                with inner:
+                    pass
+            edges = runtime_edges()
+            assert ("durability:x", "metrics:x") in [
+                (e.outer, e.inner) for e in edges
+            ]
+            assert analyze(edges).ok
+        finally:
+            if not was_enabled:
+                sanitizer.disable()
+            sanitizer.reset_lock_graph()
+
+    def test_check_merges_static_and_runtime(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from repro.verify.sanitizer import make_lock
+
+            a = make_lock("pool:x:stats")
+            b = make_lock("metrics")
+
+            def work():
+                with a:
+                    with b:
+                        pass
+            """
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(source, encoding="utf-8")
+        sanitizer.reset_lock_graph()
+        report = lockorder.check(paths=(str(path),), include_runtime=True)
+        assert report.ok
+        assert [(e.outer, e.inner) for e in report.edges] == [
+            ("pool", "metrics")
+        ]
+
+    def test_engine_tree_is_rank_clean(self):
+        # The real source tree: the declared order must hold statically.
+        report = lockorder.check(paths=("src",), include_runtime=False)
+        assert report.ok, "\n".join(report.violations + [
+            " -> ".join(c) for c in report.cycles
+        ])
