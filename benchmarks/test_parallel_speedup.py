@@ -1,17 +1,20 @@
 """Morsel-driven parallelism on the Table-1 customer workload.
 
-Serial vs DOP-4 execution of the long-tail scan/aggregate pool.  Two
-timing surfaces are reported:
+Serial vs DOP-4 execution of the long-tail scan/aggregate pool, under
+both worker-pool backends.  Two timing surfaces are reported:
 
-* **simulated speedup** — from the parallel engine's own pool accounting:
-  the serial-equivalent cost is the sum of task CPU spans
-  (``busy_seconds``) and the parallel cost is the list-scheduled makespan
-  of those same spans over the configured workers
-  (``makespan_seconds``).  This is the number the sim clock charges and
-  is independent of host oversubscription, so it carries the assertion
-  (>= 1.5x on 4 workers).
-* **wall clock** — recorded for reference only: a single-core CI
-  container cannot show real thread speedup through the GIL.
+* **wall clock** — best-of-3 totals over the query pool.  Since the
+  fused region kernels landed, the DOP-4 engine does strictly less work
+  than the serial engine (single-pass scan->filter->reduce per region
+  batch, no intermediate materialisation), so real wall speedup shows
+  even on a single-core container; the headline ``wall_ratio`` (serial /
+  thread-backend parallel) carries an assertion (> 1.5x) plus a
+  regression gate against the committed ``BENCH_parallel.json``.
+* **simulated speedup** — from the pool's own accounting: serial-
+  equivalent cost is the sum of task CPU spans (``busy_seconds``), the
+  parallel cost is the list-scheduled makespan of those spans over the
+  configured workers.  Independent of host oversubscription; asserted
+  >= 1.5x as before.
 
 The summary lands in ``BENCH_parallel.json`` at the repo root.
 """
@@ -29,75 +32,122 @@ from conftest import banner, record
 
 POOL_SIZE = 24
 DOP = 4
+WALL_ROUNDS = 3  # best-of-3 wall timings
 
 #: Deliberately small morsels so the scaled-down fact table still splits
 #: into enough tasks per operator to load every worker.
 MORSEL_ROWS = 4_096
 
+#: Wall-clock tolerance for the regression gate: the refreshed ratio may
+#: not drop more than this below the committed one (timer noise on shared
+#: CI runners, not a license for real regressions).
+WALL_RATIO_TOLERANCE = 0.35
+
 _RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
-def _timed_pool(session, pool):
-    times = []
-    for sql in pool:
+def _make_engine(backend):
+    db = Database(parallelism=DOP, morsel_rows=MORSEL_ROWS, pool_backend=backend)
+    return db, db.connect("db2")
+
+
+def _best_wall(session, pool):
+    """Best-of-N total wall seconds over the whole query pool."""
+    totals = []
+    for _ in range(WALL_ROUNDS):
         t0 = time.perf_counter()
-        session.execute(sql)
-        times.append(time.perf_counter() - t0)
-    return times
+        for sql in pool:
+            session.execute(sql)
+        totals.append(time.perf_counter() - t0)
+    return min(totals)
+
+
+def _committed_gate():
+    """The committed wall_ratio to gate against, or None.
+
+    Results written before the fused-kernel work (recognised by the
+    missing ``backends`` section) predate real wall speedup and carry no
+    gate.
+    """
+    try:
+        committed = json.loads(_RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        return None
+    if "backends" not in committed:
+        return None
+    return committed.get("wall_ratio")
 
 
 def test_parallel_speedup_customer_workload(
     dashdb_customer, customer_workload, benchmark
 ):
-    par_db = Database(parallelism=DOP, morsel_rows=MORSEL_ROWS)
-    par = par_db.connect("db2")
-    customer_workload.load_base(par)
-    flush_tables(par_db)
+    thread_db, thread = _make_engine("thread")
+    proc_db, proc = _make_engine("process")
+    for session in (thread, proc):
+        customer_workload.load_base(session)
+        flush_tables(session.database)
 
     pool = customer_workload.long_tail_pool(POOL_SIZE)
 
-    # Correctness before speed: both engines answer identically.
+    # Correctness before speed: all three executions answer identically.
     for sql in pool:
-        assert dashdb_customer.execute(sql).rows == par.execute(sql).rows, sql
+        reference = dashdb_customer.execute(sql).rows
+        assert reference == thread.execute(sql).rows, sql
+        assert reference == proc.execute(sql).rows, sql
 
-    serial_wall = sum(_timed_pool(dashdb_customer, pool))
+    serial_wall = _best_wall(dashdb_customer, pool)
 
-    # Measure the parallel engine over a clean accounting window.
-    busy0 = par_db.pool.busy_seconds_total
-    span0 = par_db.pool.makespan_seconds_total
-    runs0 = par_db.pool.runs_total
-    parallel_wall = sum(_timed_pool(par, pool))
-    busy = par_db.pool.busy_seconds_total - busy0
-    makespan = par_db.pool.makespan_seconds_total - span0
-    runs = par_db.pool.runs_total - runs0
+    # Measure the thread backend over a clean accounting window.
+    busy0 = thread_db.pool.busy_seconds_total
+    span0 = thread_db.pool.makespan_seconds_total
+    runs0 = thread_db.pool.runs_total
+    thread_wall = _best_wall(thread, pool)
+    busy = thread_db.pool.busy_seconds_total - busy0
+    makespan = thread_db.pool.makespan_seconds_total - span0
+    runs = thread_db.pool.runs_total - runs0
+
+    process_wall = _best_wall(proc, pool)
 
     assert runs > 0 and busy > 0.0, "workload never reached the worker pool"
     sim_speedup = busy / makespan if makespan > 0 else float(DOP)
-    wall_ratio = serial_wall / parallel_wall if parallel_wall > 0 else 1.0
+    wall_ratio = serial_wall / thread_wall if thread_wall > 0 else 1.0
+    process_ratio = serial_wall / process_wall if process_wall > 0 else 1.0
 
     benchmark.pedantic(
-        lambda: [par.execute(sql) for sql in pool[:6]],
+        lambda: [thread.execute(sql) for sql in pool[:6]],
         rounds=2,
         iterations=1,
     )
 
+    from repro.engine.fused import PIPELINE_CACHE
+
+    cache = PIPELINE_CACHE.stats()
     banner(
         "Parallel execution — customer long-tail pool, serial vs DOP %d" % DOP,
         [
+            "wall: serial %.3fs  thread %.3fs (%.2fx)  process %.3fs (%.2fx)"
+            % (serial_wall, thread_wall, wall_ratio, process_wall, process_ratio),
             "sim:  busy %.3fs -> makespan %.3fs  speedup %.2fx (assert >= 1.5x)"
             % (busy, makespan, sim_speedup),
-            "wall: serial %.3fs  parallel %.3fs  ratio %.2fx (reference only)"
-            % (serial_wall, parallel_wall, wall_ratio),
-            "pool: %d runs, %d tasks at DOP %d"
-            % (runs, par_db.pool.tasks_total, DOP),
+            "pool: %d runs, %d tasks at DOP %d; process runs %d, fallbacks %d"
+            % (
+                runs,
+                thread_db.pool.tasks_total,
+                DOP,
+                proc_db.pool.process_runs_total,
+                proc_db.pool.process_fallbacks_total,
+            ),
+            "fused pipeline cache: %(hits)d hits, %(misses)d misses" % cache,
         ],
     )
     record(
         "parallel-speedup",
         sim_speedup=sim_speedup,
         wall_ratio=wall_ratio,
+        process_wall_ratio=process_ratio,
         dop=DOP,
     )
+    committed_ratio = _committed_gate()
     _RESULT_PATH.write_text(
         json.dumps(
             {
@@ -105,21 +155,48 @@ def test_parallel_speedup_customer_workload(
                 "queries": len(pool),
                 "dop": DOP,
                 "morsel_rows": MORSEL_ROWS,
+                "wall_rounds": WALL_ROUNDS,
                 "serial_wall_seconds": round(serial_wall, 6),
-                "parallel_wall_seconds": round(parallel_wall, 6),
+                "parallel_wall_seconds": round(thread_wall, 6),
                 "wall_ratio": round(wall_ratio, 4),
                 "busy_seconds": round(busy, 6),
                 "makespan_seconds": round(makespan, 6),
                 "sim_speedup": round(sim_speedup, 4),
                 "pool_runs": runs,
+                "pipeline_cache": {
+                    "hits": cache["hits"],
+                    "misses": cache["misses"],
+                },
+                "backends": {
+                    "thread": {
+                        "wall_seconds": round(thread_wall, 6),
+                        "wall_ratio": round(wall_ratio, 4),
+                    },
+                    "process": {
+                        "wall_seconds": round(process_wall, 6),
+                        "wall_ratio": round(process_ratio, 4),
+                        "process_runs": proc_db.pool.process_runs_total,
+                        "thread_fallbacks": proc_db.pool.process_fallbacks_total,
+                    },
+                },
             },
             indent=2,
         )
         + "\n"
     )
 
+    assert wall_ratio > 1.5, (
+        "fused DOP-%d execution should beat serial by > 1.5x in wall time,"
+        " got %.2fx" % (DOP, wall_ratio)
+    )
     assert sim_speedup >= 1.5, (
         "morsel parallelism should cut simulated elapsed time by >= 1.5x,"
         " got %.2fx" % sim_speedup
     )
-    par_db.pool.shutdown()
+    if committed_ratio is not None:
+        assert wall_ratio >= committed_ratio - WALL_RATIO_TOLERANCE, (
+            "wall_ratio regressed: %.2fx vs committed %.2fx (tolerance %.2f)"
+            % (wall_ratio, committed_ratio, WALL_RATIO_TOLERANCE)
+        )
+    thread_db.pool.shutdown()
+    proc_db.pool.shutdown()

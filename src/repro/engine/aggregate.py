@@ -109,6 +109,14 @@ class GroupByOp(Operator):
         self.morsel_rows = morsel_rows
         self.stats = GroupStats()
         self.parallel_run = None
+        #: Fusion telemetry (EXPLAIN ANALYZE): "scan-agg" when the whole
+        #: scan→aggregate chain ran fused, "batch-agg" for a fused reduce
+        #: over the drained child, None for the unfused paths.
+        self.fused_mode = None
+        self.fused_cache = None
+        #: Planner-assigned structural signature; part of the fused
+        #: pipeline-cache key so shape-identical queries share a pipeline.
+        self.shape_key = ""
 
     def parallel_safe(self) -> bool:
         """True when every aggregate merges exactly across morsels.
@@ -144,13 +152,30 @@ class GroupByOp(Operator):
         return True
 
     def execute(self):
+        pool = self.pool
+        if pool is not None and pool.is_parallel and self.parallel_safe():
+            # Whole-chain fusion: when the child is a project/filter chain
+            # over a multi-region scan, each pool task scans K regions and
+            # reduces them in place — the decoded scan output is never
+            # materialised (see repro.engine.fused).
+            from repro.engine import fused
+
+            plan = fused.match_scan_agg(self)
+            if plan is not None:
+                result = fused.execute_scan_agg(self, plan, pool)
+                if result is not None:
+                    columns, n_groups, input_rows = result
+                    self.stats = GroupStats(
+                        input_rows=input_rows, groups=n_groups
+                    )
+                    yield Batch.from_columns(columns)
+                    return
         batch = self.child.run()
         self.stats = GroupStats(input_rows=batch.n)
         if batch.n == 0 and not batch.columns:
             # A drained-empty child lost its schema: rebuild typed empty
             # columns for every column reference the aggregates/keys read.
             batch = _synthesize_empty(self.keys, self.aggregates)
-        pool = self.pool
         if pool is not None and pool.is_parallel and batch.n > 1 and self.parallel_safe():
             from repro.parallel.morsel import morsel_ranges
 
@@ -194,6 +219,22 @@ class GroupByOp(Operator):
     # -- morsel-parallel path ----------------------------------------------------
 
     def _execute_parallel(self, batch: Batch, morsels, pool) -> Batch:
+        """Fused span reduction over the drained input batch.
+
+        Key/argument expressions evaluate once over the whole batch, then
+        batched morsel spans reduce through the fused array kernels
+        (:mod:`repro.engine.fused`).  Plans whose key encoding cannot be
+        packed fall back to the original per-group state merge."""
+        from repro.engine import fused
+
+        try:
+            columns, n_groups = fused.parallel_group_reduce(self, batch, pool)
+        except fused.FusionFallback:
+            return self._execute_parallel_states(batch, morsels, pool)
+        self.stats.groups = n_groups
+        return Batch.from_columns(columns)
+
+    def _execute_parallel_states(self, batch: Batch, morsels, pool) -> Batch:
         """Partial per-group states per morsel, merged in morsel order, then
         groups re-sorted into the serial engine's output order (per column:
         NULL first, then ascending values — exactly ``np.unique``'s code

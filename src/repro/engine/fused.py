@@ -1,0 +1,793 @@
+"""Fused region pipelines: predicate→project→aggregate in whole-array passes.
+
+The paper's BLU engine gets its speed from running each query stage as a
+vectorised kernel over columnar data rather than interpreting tuples.  Our
+morsel-parallel group-by originally did the opposite inside each task —
+per-group Python dictionaries of ``PartialAgg`` states — so DOP-4 execution
+lost to the serial engine on wall clock.  This module compiles a
+parallel-safe ``GroupByOp`` (and, when the plan allows, its whole
+project/filter/scan chain) into *fused kernels*: every pool task makes a
+handful of GIL-releasing numpy calls over its span of rows and returns
+small per-group accumulator arrays that merge associatively.
+
+Three layers:
+
+* **Span reduction** (:func:`_reduce_span`): factorise the span's group
+  keys with the :mod:`repro.simd.factorize` kernels, then reduce every
+  aggregate with ``bincount`` / ``ufunc.at`` scatter ops.  The accumulator
+  arithmetic is exactly the serial engine's (modular int64 sums, float64
+  division of exact integer sums for AVG), so merged results are
+  bit-identical to the unfused operator for every ``parallel_safe()`` plan.
+* **Scan fusion** (:func:`match_scan_agg` / :func:`execute_scan_agg`):
+  when the group-by sits on a project/filter chain over a region-organised
+  table scan, each pool task scans K regions (synopsis skipping and
+  compressed predicates included) and reduces them in place — the full
+  decoded scan output is never materialised or concatenated.  Compiled
+  chains are cached in :data:`PIPELINE_CACHE`, an LRU keyed on plan shape.
+* **Transport**: thread-backend tasks close over the arrays; under the
+  process backend numeric inputs ship via ``multiprocessing.shared_memory``
+  (:func:`_map_spans_shm`) so worker processes read the buffers without
+  copying them through pickles.  Non-picklable kernels (object columns,
+  buffer-pool closures) fall back to the thread backend inside
+  :class:`~repro.parallel.pool.WorkerPool`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.expression import Batch, selection_mask
+from repro.engine.operators import FilterOp, ProjectOp, ScanStats, TableScanOp
+from repro.parallel.morsel import batch_items, batch_spans
+from repro.simd.factorize import factorize, factorize_int
+from repro.storage.column import ColumnVector
+from repro.types.datatypes import BIGINT, DOUBLE
+from repro.verify import sanitizer
+
+#: Combined radix beyond which multi-column key packing would overflow
+#: int64; such plans revert to the unfused (state-merging) path.
+_RADIX_LIMIT = 1 << 62
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+
+class FusionFallback(Exception):
+    """A fused kernel cannot reproduce serial semantics for this input;
+    the caller must revert to the unfused execution path."""
+
+
+# -- group-key encoding ----------------------------------------------------------
+
+
+def group_codes(key_pairs):
+    """Dense group ids plus per-group key columns for one row span.
+
+    ``key_pairs`` is one ``(values, nulls-or-None)`` pair per key column.
+    Returns ``(ids, key_cols, k)``: int64 ids in ``0..k-1`` whose ascending
+    order is the serial engine's group output order (per column NULL first,
+    then values ascending), and ``key_cols`` as ``(values, nulls)`` pairs
+    holding each group's key with the physical filler (0 / "") under NULL —
+    the same representation :func:`repro.engine.aggregate._key_column`
+    produces.
+    """
+    encoded = []
+    uniques = []
+    radixes = []
+    for values, nulls in key_pairs:
+        codes, uniq = factorize(values, nulls)
+        encoded.append(codes)
+        uniques.append(uniq)
+        radixes.append(uniq.size + 1)
+    combined = encoded[0]
+    size = radixes[0]
+    for codes, radix in zip(encoded[1:], radixes[1:]):
+        if size > _RADIX_LIMIT // radix:
+            raise FusionFallback("combined group-key radix exceeds int64")
+        size *= radix
+        combined = combined * radix + codes
+    packed_codes, packed_uniques = factorize_int(combined)
+    ids = packed_codes - 1
+    k = packed_uniques.size
+    # Unpack each group's per-column code right-to-left.
+    codes_per_col: list = [None] * len(key_pairs)
+    rem = packed_uniques
+    for i in range(len(key_pairs) - 1, 0, -1):
+        codes_per_col[i] = rem % radixes[i]
+        rem = rem // radixes[i]
+    codes_per_col[0] = rem
+    key_cols = []
+    for (values, _), uniq, codes in zip(key_pairs, uniques, codes_per_col):
+        nulls = codes == 0
+        filler = "" if values.dtype == object else 0
+        vals = np.full(k, filler, dtype=values.dtype)
+        live = ~nulls
+        if live.any():
+            vals[live] = uniq[codes[live] - 1]
+        key_cols.append((vals, nulls if nulls.any() else None))
+    return ids, key_cols, k
+
+
+# -- aggregate recipes -----------------------------------------------------------
+
+
+@dataclass
+class AggRecipe:
+    """One aggregate compiled to a fused reduction.
+
+    ``kind``: ``rows`` (COUNT(*)), ``count``, ``sum``, ``avg``, ``min``,
+    ``max``.  ``arg_index`` points into the evaluated argument-vector list
+    (-1 for ``rows``).
+    """
+
+    kind: str
+    alias: str
+    out_dtype: object
+    arg_index: int = -1
+
+
+_RECIPE_KINDS = {"COUNT": "count", "SUM": "sum", "AVG": "avg", "MIN": "min", "MAX": "max"}
+
+
+def compile_recipes(aggregates):
+    """Compile parallel-safe :class:`AggregateSpec` entries into recipes.
+
+    Returns ``(recipes, arg_exprs)``; the caller evaluates ``arg_exprs``
+    once per input batch/region and hands raw arrays to the span kernels.
+    Only call for plans where ``GroupByOp.parallel_safe()`` holds.
+    """
+    recipes = []
+    arg_exprs = []
+    for spec in aggregates:
+        func = spec.func.upper()
+        if func == "COUNT" and not spec.args:
+            recipes.append(AggRecipe("rows", spec.alias, spec.output_type()))
+            continue
+        kind = _RECIPE_KINDS.get(func)
+        if kind is None or spec.distinct:
+            raise FusionFallback("aggregate %s is not fusable" % spec.func)
+        recipes.append(
+            AggRecipe(kind, spec.alias, spec.output_type(), len(arg_exprs))
+        )
+        arg_exprs.append(spec.args[0])
+    return recipes, arg_exprs
+
+
+# -- span kernels (run inside pool tasks) ----------------------------------------
+
+
+def _min_max_span(kind, ids, values, k):
+    """Per-group MIN/MAX accumulators for one span.
+
+    Numeric arrays use a single ``ufunc.at`` scatter with the identity
+    sentinel (the merge distinguishes empty groups by count, never by
+    sentinel value); object (string) arrays keep a ``None``-marked Python
+    reduction over the span's distinct-rows only.
+    """
+    if values.dtype == object:
+        out = np.full(k, None, dtype=object)
+        if kind == "min":
+            for g, v in zip(ids.tolist(), values.tolist()):
+                cur = out[g]
+                if cur is None or v < cur:
+                    out[g] = v
+        else:
+            for g, v in zip(ids.tolist(), values.tolist()):
+                cur = out[g]
+                if cur is None or v > cur:
+                    out[g] = v
+        return out
+    if values.dtype == np.int64:
+        sentinel = _INT64_MAX if kind == "min" else _INT64_MIN
+    else:
+        sentinel = np.inf if kind == "min" else -np.inf
+    out = np.full(k, sentinel, dtype=values.dtype)
+    if values.size:
+        (np.minimum if kind == "min" else np.maximum).at(out, ids, values)
+    return out
+
+
+def _reduce_span(n, key_pairs, arg_pairs, recipe_kinds):
+    """Reduce one contiguous span into per-group accumulator arrays.
+
+    Returns ``(key_cols, rows, accs)`` — everything sized to the span's
+    local group count k, so a task's result is tiny regardless of span
+    length.  ``accs`` holds ``None`` for ``rows`` recipes, else
+    ``(counts, payload)`` with payload ``None`` (count), int64 sums
+    (sum/avg), or min/max accumulators.
+    """
+    if key_pairs:
+        ids, key_cols, k = group_codes(key_pairs)
+    else:
+        ids = np.zeros(n, dtype=np.int64)
+        key_cols = []
+        k = 1
+    rows = np.bincount(ids, minlength=k).astype(np.int64)
+    accs = []
+    for kind, arg_index in recipe_kinds:
+        if kind == "rows":
+            accs.append(None)
+            continue
+        values, nulls = arg_pairs[arg_index]
+        if nulls is not None:
+            live = ~nulls
+            lids = ids[live]
+            lvals = values[live]
+        else:
+            lids = ids
+            lvals = values
+        counts = np.bincount(lids, minlength=k).astype(np.int64)
+        if kind == "count":
+            accs.append((counts, None))
+        elif kind in ("sum", "avg"):
+            if lvals.dtype != np.int64:
+                # parallel_safe() guarantees an integral argument; coerce
+                # stray representations to the exact accumulator.
+                lvals = lvals.astype(np.int64)
+            sums = np.zeros(k, dtype=np.int64)
+            np.add.at(sums, lids, lvals)
+            accs.append((counts, sums))
+        else:
+            accs.append((counts, _min_max_span(kind, lids, lvals, k)))
+    return key_cols, rows, accs
+
+
+# -- global merge ----------------------------------------------------------------
+
+
+def merge_fused(keys_meta, recipes, partials):
+    """Merge span partials into final output columns.
+
+    ``keys_meta`` is ``[(alias, DataType)]`` for the key columns.  The
+    candidate group keys of all spans re-encode through
+    :func:`group_codes` — a pass over per-span *group counts*, not rows —
+    which also fixes the output order to the serial engine's.  Every
+    accumulator merge is order-independent (modular int64 addition,
+    min/max), so worker scheduling cannot affect the result.
+    """
+    n_keys = len(keys_meta)
+    if partials:
+        if n_keys:
+            cand_pairs = []
+            for c in range(n_keys):
+                vals = np.concatenate([p[0][c][0] for p in partials])
+                masks = [p[0][c][1] for p in partials]
+                if any(m is not None for m in masks):
+                    nulls = np.concatenate(
+                        [
+                            m if m is not None else np.zeros(p[0][c][0].size, dtype=bool)
+                            for p, m in zip(partials, masks)
+                        ]
+                    )
+                else:
+                    nulls = None
+                cand_pairs.append((vals, nulls))
+            gids, key_cols, n_groups = group_codes(cand_pairs)
+        else:
+            total = sum(p[1].size for p in partials)
+            gids = np.zeros(total, dtype=np.int64)
+            key_cols = []
+            n_groups = 1
+    else:
+        gids = np.zeros(0, dtype=np.int64)
+        key_cols = [
+            (np.empty(0, dtype=dt.numpy_dtype), None) for _, dt in keys_meta
+        ]
+        n_groups = 0 if n_keys else 1
+
+    rows = np.zeros(n_groups, dtype=np.int64)
+    counts_g: list = []
+    payload_g: list = []
+    for recipe in recipes:
+        if recipe.kind == "rows":
+            counts_g.append(None)
+            payload_g.append(None)
+            continue
+        counts_g.append(np.zeros(n_groups, dtype=np.int64))
+        if recipe.kind in ("sum", "avg"):
+            payload_g.append(np.zeros(n_groups, dtype=np.int64))
+        elif recipe.kind in ("min", "max"):
+            np_dtype = recipe.out_dtype.numpy_dtype
+            if np_dtype == object:
+                payload_g.append(np.full(n_groups, None, dtype=object))
+            elif np_dtype == np.int64:
+                sentinel = _INT64_MAX if recipe.kind == "min" else _INT64_MIN
+                payload_g.append(np.full(n_groups, sentinel, dtype=np.int64))
+            else:
+                sentinel = np.inf if recipe.kind == "min" else -np.inf
+                payload_g.append(np.full(n_groups, sentinel, dtype=np_dtype))
+        else:
+            payload_g.append(None)
+
+    offset = 0
+    for key_cols_local, rows_local, accs_local in partials:
+        k_local = rows_local.size
+        span_ids = gids[offset : offset + k_local]
+        offset += k_local
+        np.add.at(rows, span_ids, rows_local)
+        for j, recipe in enumerate(recipes):
+            if recipe.kind == "rows":
+                continue
+            counts_local, payload_local = accs_local[j]
+            np.add.at(counts_g[j], span_ids, counts_local)
+            if recipe.kind in ("sum", "avg"):
+                np.add.at(payload_g[j], span_ids, payload_local)
+            elif recipe.kind in ("min", "max"):
+                if payload_local.dtype == object:
+                    target = payload_g[j]
+                    if recipe.kind == "min":
+                        for pos, value in enumerate(payload_local.tolist()):
+                            if value is None:
+                                continue
+                            g = int(span_ids[pos])
+                            cur = target[g]
+                            if cur is None or value < cur:
+                                target[g] = value
+                    else:
+                        for pos, value in enumerate(payload_local.tolist()):
+                            if value is None:
+                                continue
+                            g = int(span_ids[pos])
+                            cur = target[g]
+                            if cur is None or value > cur:
+                                target[g] = value
+                else:
+                    (np.minimum if recipe.kind == "min" else np.maximum).at(
+                        payload_g[j], span_ids, payload_local
+                    )
+
+    columns: dict[str, ColumnVector] = {}
+    for (alias, dtype), (vals, nulls) in zip(keys_meta, key_cols):
+        columns[alias] = ColumnVector(dtype, vals, nulls)
+    for j, recipe in enumerate(recipes):
+        if recipe.kind == "rows":
+            columns[recipe.alias] = ColumnVector(BIGINT, rows.copy(), None)
+            continue
+        counts = counts_g[j]
+        if recipe.kind == "count":
+            columns[recipe.alias] = ColumnVector(BIGINT, counts, None)
+            continue
+        empty = counts == 0
+        nulls = empty if empty.any() else None
+        if recipe.kind in ("sum",):
+            columns[recipe.alias] = ColumnVector(recipe.out_dtype, payload_g[j], nulls)
+        elif recipe.kind == "avg":
+            # Exact integer partial sums; one float64 division reproduces
+            # the serial result (empty groups: 0 / 1 == the serial filler).
+            out = payload_g[j].astype(np.float64) / np.maximum(counts, 1)
+            columns[recipe.alias] = ColumnVector(DOUBLE, out, nulls)
+        else:
+            payload = payload_g[j]
+            if payload.dtype == object:
+                out = payload
+                out[empty] = ""
+            else:
+                out = payload
+                out[empty] = 0  # serial filler under the NULL mask
+            columns[recipe.alias] = ColumnVector(recipe.out_dtype, out, nulls)
+    return columns, n_groups
+
+
+# -- shared-memory transport (process backend) -----------------------------------
+
+
+def _all_numeric(pairs) -> bool:
+    return all(values.dtype != object for values, _ in pairs)
+
+
+def _attach_shm(desc, opened):
+    if desc is None:
+        return None
+    from multiprocessing import shared_memory
+
+    name, dtype_str, shape = desc
+    # Attaching re-registers the segment with the resource tracker, but the
+    # fork-context workers share the parent's tracker and its cache is a
+    # set, so the duplicate collapses and the parent's unlink() remains the
+    # single unregistration.  Do NOT unregister here: that would remove the
+    # entry early and make the parent's unlink() a double-unregister.
+    shm = shared_memory.SharedMemory(name=name)
+    opened.append(shm)
+    return np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+
+
+def _shm_reduce_task(item):
+    """Module-level (picklable) span task for the process backend."""
+    key_descs, arg_descs, recipe_kinds, span = item
+    opened: list = []
+    try:
+        lo, hi = span
+
+        def load(pair):
+            values = _attach_shm(pair[0], opened)
+            nulls = _attach_shm(pair[1], opened)
+            return (
+                values[lo:hi],
+                None if nulls is None else nulls[lo:hi],
+            )
+
+        key_pairs = [load(pair) for pair in key_descs]
+        arg_pairs = [load(pair) for pair in arg_descs]
+        # All outputs are freshly-allocated accumulator arrays, so the
+        # segments can close as soon as the reduction returns.
+        return _reduce_span(hi - lo, key_pairs, arg_pairs, recipe_kinds)
+    finally:
+        for shm in opened:
+            shm.close()
+
+
+def _map_spans_shm(pool, key_pairs, arg_pairs, recipe_kinds, spans, label):
+    """Ship numeric input arrays once via shared memory, then map spans."""
+    from multiprocessing import shared_memory
+
+    blocks: list = []
+
+    def ship(array):
+        if array is None:
+            return None
+        arr = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        blocks.append(shm)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[:] = arr
+        return (shm.name, arr.dtype.str, arr.shape)
+
+    try:
+        key_descs = [(ship(v), ship(m)) for v, m in key_pairs]
+        arg_descs = [(ship(v), ship(m)) for v, m in arg_pairs]
+        items = [(key_descs, arg_descs, recipe_kinds, span) for span in spans]
+        return pool.map(_shm_reduce_task, items, label=label)
+    finally:
+        for shm in blocks:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _map_spans(pool, key_pairs, arg_pairs, recipe_kinds, spans, label):
+    """Run the span reduction over the pool with the right transport."""
+    if (
+        pool.backend == "process"
+        and not sanitizer.ENABLED
+        and len(spans) > 1
+        and _all_numeric(key_pairs)
+        and _all_numeric(arg_pairs)
+    ):
+        return _map_spans_shm(pool, key_pairs, arg_pairs, recipe_kinds, spans, label)
+
+    def task(span):
+        lo, hi = span
+        kp = [
+            (v[lo:hi], None if m is None else m[lo:hi]) for v, m in key_pairs
+        ]
+        ap = [
+            (v[lo:hi], None if m is None else m[lo:hi]) for v, m in arg_pairs
+        ]
+        return _reduce_span(hi - lo, kp, ap, recipe_kinds)
+
+    return pool.map(task, spans, label=label)
+
+
+# -- batch-level fused group-by (drained child) ----------------------------------
+
+
+def parallel_group_reduce(op, batch, pool):
+    """Fused morsel-parallel group-by over one drained input batch.
+
+    Evaluates key and argument expressions once over the whole batch (one
+    vectorised pass each), splits the rows into batched morsel spans, and
+    reduces each span with the fused kernels.  Raises
+    :class:`FusionFallback` when the key encoding cannot be packed.
+    """
+    recipes, arg_exprs = compile_recipes(op.aggregates)
+    key_vectors = [(alias, expr.eval(batch)) for alias, expr in op.keys]
+    arg_vectors = [expr.eval(batch) for expr in arg_exprs]
+    key_pairs = [(v.values, v.nulls) for _, v in key_vectors]
+    arg_pairs = [(v.values, v.nulls) for v in arg_vectors]
+    spans = batch_spans(batch.n, op.morsel_rows, pool.parallelism)
+    recipe_kinds = [(r.kind, r.arg_index) for r in recipes]
+    partials = _map_spans(
+        pool, key_pairs, arg_pairs, recipe_kinds, spans, label="group-by"
+    )
+    op.parallel_run = pool.last_run
+    keys_meta = [(alias, v.dtype) for alias, v in key_vectors]
+    columns, n_groups = merge_fused(keys_meta, recipes, partials)
+    op.fused_mode = "batch-agg"
+    return columns, n_groups
+
+
+# -- pipeline cache --------------------------------------------------------------
+
+
+class PipelineCache:
+    """LRU cache of compiled fused pipelines keyed on plan shape.
+
+    Entries hold only shape-derived data (projection keep-sets, scan
+    column needs) — expression objects bind per plan instance — so a hit
+    skips the reference-walking compile step without sharing state between
+    queries.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = sanitizer.make_lock("fused:pipeline-cache")
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key, entry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+            }
+
+
+PIPELINE_CACHE = PipelineCache()
+
+
+def _expr_sig(expr) -> str:
+    return "%s[%s;%s]" % (
+        type(expr).__name__,
+        expr.dtype,
+        ",".join(sorted(expr.references())),
+    )
+
+
+def _shape_key(op, steps, scan) -> str:
+    """Structural signature of the group-by chain (no literal values)."""
+    bits = [getattr(op, "shape_key", "") or ""]
+    bits.append(
+        "keys:" + "|".join("%s=%s" % (a, _expr_sig(e)) for a, e in op.keys)
+    )
+    bits.append(
+        "aggs:"
+        + "|".join(
+            "%s:%s:%s(%s)"
+            % (
+                s.alias,
+                s.func.upper(),
+                int(bool(s.distinct)),
+                ",".join(_expr_sig(a) for a in s.args),
+            )
+            for s in op.aggregates
+        )
+    )
+    for kind, node in steps:
+        if kind == "project":
+            bits.append(
+                "project:"
+                + "|".join(
+                    "%s=%s" % (a, _expr_sig(e)) for a, e in node.outputs
+                )
+            )
+        else:
+            bits.append("filter:" + _expr_sig(node.predicate))
+    bits.append(
+        "scan:%s(%s)%s/%s"
+        % (
+            scan.table.schema.name,
+            ",".join(scan.columns),
+            "|".join("%s %s" % (p.column, p.op) for p in scan.pushed),
+            "" if scan.residual is None else _expr_sig(scan.residual),
+        )
+    )
+    return ";".join(bits)
+
+
+# -- scan→aggregate fusion -------------------------------------------------------
+
+
+@dataclass
+class FusedScanAgg:
+    """A compiled scan→(project/filter)*→group-by pipeline."""
+
+    scan: TableScanOp
+    steps: list            # top-down [("project", outputs) | ("filter", predicate)]
+    needed: frozenset      # scan columns to decode
+    cache_state: str       # "hit" | "miss"
+
+
+def match_scan_agg(op):
+    """Compile ``op``'s child chain into a :class:`FusedScanAgg`, or None.
+
+    Fusable shape: a (possibly instrumented) Project/Filter chain ending at
+    a multi-region :class:`TableScanOp` without stride emission, sharing
+    the group-by's worker pool.  Projections are pruned to the columns the
+    keys, aggregates, and intermediate filters actually reference, so the
+    scan decodes exactly what the reduction needs.
+    """
+    node = op.child
+    steps = []
+    while True:
+        inner = getattr(node, "inner", None)
+        if inner is not None:  # InstrumentedOp wrapper (EXPLAIN ANALYZE)
+            node = inner
+            continue
+        if isinstance(node, TableScanOp):
+            scan = node
+            break
+        if isinstance(node, (ProjectOp, FilterOp)):
+            steps.append(node)
+            node = node.child
+            continue
+        return None
+    if scan.stride_rows is not None:
+        return None
+    if len(scan.table.regions) < 2:
+        return None
+    if scan.pool is not None and scan.pool is not op.pool:
+        return None
+
+    tagged = [
+        ("project" if isinstance(s, ProjectOp) else "filter", s) for s in steps
+    ]
+    key = _shape_key(op, tagged, scan)
+    entry = PIPELINE_CACHE.get(key)
+    if entry is not None:
+        bound = []
+        for (kind, node), keep in zip(tagged, entry["keeps"]):
+            if kind == "project":
+                bound.append(
+                    ("project", [(a, e) for a, e in node.outputs if a in keep])
+                )
+            else:
+                bound.append(("filter", node.predicate))
+        return FusedScanAgg(
+            scan=scan, steps=bound, needed=entry["needed"], cache_state="hit"
+        )
+
+    required: set = set()
+    for _, expr in op.keys:
+        required |= expr.references()
+    for spec in op.aggregates:
+        for arg in spec.args:
+            required |= arg.references()
+    bound = []
+    keeps = []
+    for kind, node in tagged:
+        if kind == "filter":
+            required |= node.predicate.references()
+            bound.append(("filter", node.predicate))
+            keeps.append(None)
+        else:
+            available = {a for a, _ in node.outputs}
+            if not required <= available:
+                return None
+            outputs = [(a, e) for a, e in node.outputs if a in required]
+            if not outputs and node.outputs:
+                # COUNT(*)-only plans reference no columns; keep one output
+                # as a row-count carrier so batches keep their cardinality.
+                outputs = node.outputs[:1]
+            bound.append(("project", outputs))
+            keeps.append(frozenset(a for a, _ in outputs))
+            required = set()
+            for _, expr in outputs:
+                required |= expr.references()
+    if not required and scan.columns:
+        required = {scan.columns[0]}
+    if not required or not required <= set(scan.columns):
+        return None
+    needed = frozenset(
+        required
+        | (scan.residual.references() if scan.residual is not None else set())
+    )
+    PIPELINE_CACHE.put(key, {"keeps": keeps, "needed": needed})
+    return FusedScanAgg(scan=scan, steps=bound, needed=needed, cache_state="miss")
+
+
+def execute_scan_agg(op, fused: FusedScanAgg, pool):
+    """Run a fused scan→aggregate pipeline on the pool.
+
+    Each task scans its batch of regions (skipping, compressed predicates,
+    buffer-pool charging — all via the scan's own ``_scan_region``), applies
+    the pruned project/filter chain, and reduces to per-group accumulators.
+    Returns ``(columns, n_groups, input_rows)`` or ``None`` when a fused
+    kernel bails (the caller then runs the unfused plan; scan stats from
+    the abandoned attempt are discarded).
+    """
+    scan = fused.scan
+    recipes, arg_exprs = compile_recipes(op.aggregates)
+    recipe_kinds = [(r.kind, r.arg_index) for r in recipes]
+    key_exprs = [(alias, expr) for alias, expr in op.keys]
+    steps_bottom_up = list(reversed(fused.steps))
+    needed = set(fused.needed)
+
+    def apply_chain(batch):
+        for kind, payload in steps_bottom_up:
+            if kind == "filter":
+                batch = batch.filter(selection_mask(payload, batch))
+            else:
+                batch = Batch.from_columns(
+                    {alias: expr.eval(batch) for alias, expr in payload}
+                )
+            if batch.n == 0:
+                return batch
+        return batch
+
+    def reduce_batch(batch):
+        key_pairs = []
+        for _, expr in key_exprs:
+            vector = expr.eval(batch)
+            key_pairs.append((vector.values, vector.nulls))
+        arg_pairs = []
+        for expr in arg_exprs:
+            vector = expr.eval(batch)
+            arg_pairs.append((vector.values, vector.nulls))
+        return _reduce_span(batch.n, key_pairs, arg_pairs, recipe_kinds)
+
+    def task(group):
+        stats = ScanStats()
+        n_rows = 0
+        parts = []
+        for region_idx, region in group:
+            batch = scan._scan_region(region_idx, region, needed, stats)
+            if batch is None or batch.n == 0:
+                continue
+            batch = apply_chain(batch)
+            if batch.n == 0:
+                continue
+            n_rows += batch.n
+            parts.append(reduce_batch(batch))
+        return stats, n_rows, parts
+
+    groups = batch_items(
+        list(enumerate(scan.table.regions)), pool.parallelism
+    )
+    original_stats = scan.stats
+    scan.stats = ScanStats()
+    try:
+        results = pool.map(
+            task, groups, label="fused-scan:%s" % scan.table.schema.name
+        )
+        run = pool.last_run
+        task_stats = ScanStats()
+        partials = []
+        input_rows = 0
+        for stats, n_rows, parts in results:
+            task_stats.merge(stats)
+            input_rows += n_rows
+            partials.extend(parts)
+        tail = scan._scan_tail(needed)  # charges scan.stats (the fresh one)
+        if tail is not None and tail.n:
+            tail = apply_chain(tail)
+            if tail.n:
+                input_rows += tail.n
+                partials.append(reduce_batch(tail))
+        keys_meta = [(alias, expr.dtype) for alias, expr in key_exprs]
+        columns, n_groups = merge_fused(keys_meta, recipes, partials)
+    except FusionFallback:
+        scan.stats = original_stats
+        return None
+    # Commit: task stats merge in region order, then the tail's charges.
+    original_stats.merge(task_stats)
+    original_stats.merge(scan.stats)
+    scan.stats = original_stats
+    scan.parallel_run = run
+    op.parallel_run = run
+    op.fused_mode = "scan-agg"
+    op.fused_cache = fused.cache_state
+    return columns, n_groups, input_rows

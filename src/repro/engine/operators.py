@@ -210,25 +210,31 @@ class TableScanOp(Operator):
             yield from self._emit(tail)
 
     def _execute_parallel(self, needed, pool):
-        """Morsel-parallel scan: one task per region, gathered in region
-        order (deterministic), per-task stats merged back in region order."""
+        """Morsel-parallel scan: K regions per task (batched so dispatch
+        overhead amortises), gathered in region order (deterministic),
+        per-task stats merged back in region order."""
+        from repro.parallel.morsel import batch_items
 
-        def scan_one(indexed):
-            region_idx, region = indexed
-            stats = ScanStats()
-            batch = self._scan_region(region_idx, region, needed, stats)
-            return batch, stats
+        def scan_batch(group):
+            out = []
+            for region_idx, region in group:
+                stats = ScanStats()
+                batch = self._scan_region(region_idx, region, needed, stats)
+                out.append((batch, stats))
+            return out
 
+        groups = batch_items(
+            list(enumerate(self.table.regions)), pool.parallelism
+        )
         results = pool.map(
-            scan_one,
-            list(enumerate(self.table.regions)),
-            label="scan:%s" % self.table.schema.name,
+            scan_batch, groups, label="scan:%s" % self.table.schema.name
         )
         self.parallel_run = pool.last_run
-        for batch, stats in results:
-            self.stats.merge(stats)
-            if batch is not None and batch.n:
-                yield from self._emit(batch)
+        for group_result in results:
+            for batch, stats in group_result:
+                self.stats.merge(stats)
+                if batch is not None and batch.n:
+                    yield from self._emit(batch)
         tail = self._scan_tail(needed)
         if tail is not None and tail.n:
             yield from self._emit(tail)

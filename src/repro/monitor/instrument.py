@@ -132,11 +132,17 @@ def _operator_line(wrapper: InstrumentedOp, depth: int) -> str:
         )
     run = getattr(op, "parallel_run", None)
     if run is not None:
-        line += " [parallel tasks=%d workers=%d busy=%.3fms makespan=%.3fms]" % (
+        line += " [parallel backend=%s tasks=%d workers=%d busy=%.3fms makespan=%.3fms]" % (
+            getattr(run, "backend", "thread"),
             run.tasks,
             len(run.worker_busy()),
             run.total_seconds * 1e3,
             run.makespan_seconds * 1e3,
+        )
+    fused_mode = getattr(op, "fused_mode", None)
+    if fused_mode is not None:
+        line += " [fused=%s cache=%s]" % (
+            fused_mode, getattr(op, "fused_cache", None) or "n/a"
         )
     return line
 
@@ -172,12 +178,17 @@ def attach_operator_spans(tracer, parent_span, root: InstrumentedOp) -> None:
         span.annotate(
             parallel={
                 "parallelism": run.parallelism,
+                "backend": getattr(run, "backend", "thread"),
                 "tasks": run.tasks,
                 "busy_seconds": run.total_seconds,
                 "makespan_seconds": run.makespan_seconds,
                 "worker_busy": run.worker_busy(),
             }
         )
+    fused_mode = getattr(root.inner, "fused_mode", None)
+    if fused_mode is not None:
+        span.annotate(fused={"mode": fused_mode,
+                             "cache": getattr(root.inner, "fused_cache", None)})
     for child in _instrumented_children(root):
         attach_operator_spans(tracer, span, child)
 

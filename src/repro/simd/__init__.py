@@ -6,6 +6,7 @@ all codes packed in a 64-bit word, for any code size, using fieldwise
 :mod:`repro.util.bitpack`.
 """
 
+from repro.simd.factorize import factorize, factorize_int, factorize_object
 from repro.simd.packed import replicate_constant, result_bit_positions
 from repro.simd.predicates import (
     eval_compare,
@@ -19,6 +20,9 @@ __all__ = [
     "eval_compare_scalar",
     "eval_in_ranges",
     "eval_range",
+    "factorize",
+    "factorize_int",
+    "factorize_object",
     "replicate_constant",
     "result_bit_positions",
 ]

@@ -293,6 +293,133 @@ def test_dml_divergence_check(engines):
         assert reference == _normalise(par.execute(probe).rows), statement
 
 
+@pytest.fixture(scope="module")
+def backend_engines():
+    """Backend sweep: serial vs thread-pool DOP 4 vs process-pool DOP 4.
+
+    The two parallel engines run identical configurations except for the
+    ``pool_backend``; the process engine additionally exercises the
+    shared-memory span transport (numeric reduces) and the per-run thread
+    fallback (closure kernels, string keys).
+    """
+    dash = Database().connect("db2")
+    thread_db = Database(
+        parallelism=4, morsel_rows=257, region_rows=512, pool_backend="thread"
+    )
+    proc_db = Database(
+        parallelism=4, morsel_rows=257, region_rows=512, pool_backend="process"
+    )
+    thread = thread_db.connect("db2")
+    proc = proc_db.connect("db2")
+    ddl = "CREATE TABLE t (a INT, b INT, c VARCHAR(4), d DECIMAL(8,2))"
+    dim_ddl = "CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)"
+    rows = _build_rows(23)
+    dims = ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
+    for system in (dash, thread, proc):
+        system.execute(ddl)
+        system.execute(dim_ddl)
+        for start in range(0, len(rows), 1000):
+            system.execute(
+                "INSERT INTO t VALUES " + ", ".join(rows[start : start + 1000])
+            )
+        system.execute("INSERT INTO dim VALUES " + dims)
+        flush_tables(system.database)
+    yield dash, thread, proc
+    thread_db.pool.shutdown()
+    proc_db.pool.shutdown()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_backend_sweep_agrees(backend_engines, seed):
+    """serial x thread-pool x process-pool: identical answers, and the two
+    parallel backends must be *byte-identical* (same rows in the same
+    order) — they share the plan, morsel split, and gather order, so any
+    ordering drift means the process transport reordered something."""
+    dash, thread, proc = backend_engines
+    rng = derive_rng(seed, "diff-backends")
+    for i in range(20):
+        sql = _random_query(rng)
+        reference = _normalise(dash.execute(sql).rows)
+        t = thread.execute(sql)
+        p = proc.execute(sql)
+        assert reference == _normalise(t.rows), (
+            "thread backend diverges (seed=%d, i=%d): %s" % (seed, i, sql)
+        )
+        assert t.rows == p.rows, (
+            "process backend not byte-identical (seed=%d, i=%d): %s"
+            % (seed, i, sql)
+        )
+
+
+def test_backend_sweep_really_used_both_backends(backend_engines):
+    """Guard against the sweep silently running threads three times.
+
+    Only numeric span reduces cross the process boundary (the random
+    corpus groups by strings, whose kernels close over Python dicts and
+    demote to threads), so the guard probes with integer-keyed group-bys
+    over a join — the shape that ships through shared memory.
+    """
+    dash, thread, proc = backend_engines
+    probe = (
+        "SELECT t.a, dim.w, COUNT(*), SUM(t.b), AVG(t.b)"
+        " FROM t JOIN dim ON t.c = dim.c GROUP BY t.a, dim.w ORDER BY 1, 2"
+    )
+    reference = _normalise(dash.execute(probe).rows)
+    assert reference == _normalise(thread.execute(probe).rows)
+    assert reference == _normalise(proc.execute(probe).rows)
+    assert thread.database.pool.backend == "thread"
+    assert thread.database.pool.process_runs_total == 0
+    pool = proc.database.pool
+    assert pool.backend == "process"
+    assert pool.runs_total > 0
+    assert pool.process_runs_total > 0, "no run ever reached a worker process"
+    assert pool.process_fallbacks_total > 0, "fallback path never exercised"
+
+
+def test_process_backend_agrees_after_crash_recovery():
+    """Crash recovery replayed under the process backend: a durable engine
+    loses its buffered tail, recovers by WAL replay, and must then answer
+    exactly like a serial engine fed the same durable prefix."""
+    from repro.durability import DurabilityManager
+    from repro.storage.filesystem import ClusterFileSystem
+
+    manager = DurabilityManager(ClusterFileSystem(), path="db", group_commit=1)
+    db = Database(
+        parallelism=4,
+        morsel_rows=257,
+        region_rows=512,
+        pool_backend="process",
+        durability=manager,
+    )
+    session = db.connect("db2")
+    oracle = Database().connect("db2")
+    ddl = "CREATE TABLE t (a INT, b INT, c VARCHAR(4), d DECIMAL(8,2))"
+    dim_ddl = "CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)"
+    rows = _build_rows(47)[:1200]
+    dims = ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
+    for system in (session, oracle):
+        system.execute(ddl)
+        system.execute(dim_ddl)
+        for start in range(0, len(rows), 400):
+            system.execute(
+                "INSERT INTO t VALUES " + ", ".join(rows[start : start + 400])
+            )
+        system.execute("INSERT INTO dim VALUES " + dims)
+    db.checkpoint()
+    db.reopen(clean=False)  # crash: group_commit=1, so nothing is lost
+    flush_tables(db)
+    flush_tables(oracle.database)
+    rng = derive_rng(5, "diff-proc-recovery")
+    for i in range(12):
+        sql = _random_query(rng)
+        reference = _normalise(oracle.execute(sql).rows)
+        assert reference == _normalise(session.execute(sql).rows), (
+            "recovered process-backend engine diverges (i=%d): %s" % (i, sql)
+        )
+    assert db.pool.backend == "process"
+    db.pool.shutdown()
+
+
 def test_oracle_agrees_after_crash_recovery():
     """The three-way oracle extended through a crash: a durable cluster
     loses a node mid-workload, the orphaned shards replay their WALs on

@@ -1,0 +1,316 @@
+"""Property tests: fused vectorized region kernels == serial grouping.
+
+The fused reduce (``repro.engine.fused``) compiles a group-by's
+predicate -> project -> aggregate chain into single numpy passes per
+span and merges spans with exact arithmetic.  Its contract is byte
+identity with the serial operator at any DOP, so these tests drive both
+paths over hypothesis-random inputs — including all-NULL key columns,
+empty inputs, post-filter empty morsels, and mixed-codec regions — and
+require *ordered* equality (the fused merge must also reproduce the
+serial group order: NULL first, then ascending, per key column).
+
+Floats are deliberately absent: ``parallel_safe()`` keeps
+float-accumulating aggregates and approximate keys serial (NaN ordering
+and re-association hazards), so the fused kernels never see them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    AggregateSpec,
+    Batch,
+    ColumnRef,
+    Compare,
+    GroupByOp,
+    Literal,
+    VectorSourceOp,
+)
+from repro.engine import fused
+from repro.engine.operators import FilterOp, ProjectOp
+from repro.parallel import WorkerPool
+from repro.simd import factorize
+from repro.storage.column import ColumnVector
+from repro.types import BIGINT, INTEGER, varchar_type
+
+_VARCHAR = varchar_type(4)
+_MORSEL_ROWS = 13
+
+_INTS = st.one_of(st.none(), st.integers(-50, 50))
+_STRS = st.one_of(st.none(), st.sampled_from(["aa", "bb", "cc", "v1", "v2"]))
+
+_KEY_CHOICES = {
+    "none": [],
+    "int": [("kg", ColumnRef("g", INTEGER))],
+    "str": [("ks", ColumnRef("s", _VARCHAR))],
+    "int+str": [("kg", ColumnRef("g", INTEGER)), ("ks", ColumnRef("s", _VARCHAR))],
+    "str+int": [("ks", ColumnRef("s", _VARCHAR)), ("kg", ColumnRef("g", INTEGER))],
+}
+
+_AGG_CHOICES = {
+    "count_star": AggregateSpec("COUNT", [], "a_rows"),
+    "count_x": AggregateSpec("COUNT", [ColumnRef("x", INTEGER)], "a_cnt"),
+    "sum_x": AggregateSpec("SUM", [ColumnRef("x", INTEGER)], "a_sum"),
+    "avg_x": AggregateSpec("AVG", [ColumnRef("x", INTEGER)], "a_avg"),
+    "min_x": AggregateSpec("MIN", [ColumnRef("x", INTEGER)], "a_min"),
+    "max_x": AggregateSpec("MAX", [ColumnRef("x", INTEGER)], "a_max"),
+    "min_s": AggregateSpec("MIN", [ColumnRef("s", _VARCHAR)], "a_smin"),
+    "max_s": AggregateSpec("MAX", [ColumnRef("s", _VARCHAR)], "a_smax"),
+}
+
+
+@st.composite
+def _cases(draw):
+    n = draw(st.integers(0, 120))
+    if draw(st.booleans()):  # all-NULL key column case
+        g = [None] * n
+    else:
+        g = draw(st.lists(_INTS, min_size=n, max_size=n))
+    s = draw(st.lists(_STRS, min_size=n, max_size=n))
+    x = draw(st.lists(_INTS, min_size=n, max_size=n))
+    keys = _KEY_CHOICES[draw(st.sampled_from(sorted(_KEY_CHOICES)))]
+    agg_names = draw(
+        st.lists(st.sampled_from(sorted(_AGG_CHOICES)), min_size=1,
+                 max_size=4, unique=True)
+    )
+    aggregates = [_AGG_CHOICES[name] for name in agg_names]
+    # Optional predicate: g/x thresholds; can eliminate every row so the
+    # group-by sees an empty (but schema-bearing) batch.
+    predicate = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.sampled_from(["g", "x"]),
+                st.sampled_from(["<", ">=", "="]),
+                st.integers(-60, 60),
+            ),
+        )
+    )
+    return n, g, s, x, keys, aggregates, predicate
+
+
+def _source(g, s, x):
+    return VectorSourceOp(
+        Batch.from_columns(
+            {
+                "g": ColumnVector.from_boundary(g, INTEGER),
+                "s": ColumnVector.from_boundary(s, _VARCHAR),
+                "x": ColumnVector.from_boundary(x, INTEGER),
+            }
+        )
+    )
+
+
+def _child(g, s, x, predicate):
+    op = _source(g, s, x)
+    if predicate is not None:
+        column, cmp_op, value = predicate
+        op = FilterOp(op, Compare(cmp_op, ColumnRef(column, INTEGER), Literal(value, INTEGER)))
+    return op
+
+
+def _rows(batch, aliases):
+    columns = [batch.columns[alias].to_boundary() for alias in aliases]
+    return list(zip(*columns)) if columns else []
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(4, name="fused-test")
+    yield p
+    p.shutdown()
+
+
+@given(case=_cases())
+@settings(max_examples=120, deadline=None)
+def test_fused_reduce_matches_serial(case, pool):
+    n, g, s, x, keys, aggregates, predicate = case
+    serial_op = GroupByOp(_child(g, s, x, predicate), keys=keys, aggregates=aggregates)
+    fused_op = GroupByOp(
+        _child(g, s, x, predicate),
+        keys=keys,
+        aggregates=aggregates,
+        pool=pool,
+        morsel_rows=_MORSEL_ROWS,
+    )
+    aliases = [alias for alias, _ in keys] + [spec.alias for spec in aggregates]
+    expected = _rows(serial_op.run(), aliases)
+    got = _rows(fused_op.run(), aliases)
+    assert got == expected
+    # Above the morsel gate the fused kernel must actually have run (the
+    # strategy never produces a FusionFallback shape).
+    if fused_op.stats.input_rows > _MORSEL_ROWS:
+        assert fused_op.fused_mode == "batch-agg"
+
+
+@given(
+    values=st.lists(st.integers(-10_000, 10_000), min_size=0, max_size=200),
+    null_bits=st.lists(st.booleans(), min_size=0, max_size=200),
+)
+@settings(max_examples=120, deadline=None)
+def test_factorize_contract(values, null_bits):
+    """NULL -> code 0; live values -> dense codes 1..k in ascending order."""
+    n = min(len(values), len(null_bits))
+    array = np.asarray(values[:n], dtype=np.int64)
+    nulls = np.asarray(null_bits[:n], dtype=bool)
+    codes, uniques = factorize(array, nulls if nulls.any() else None)
+    live = array[~nulls] if nulls.any() else array
+    assert uniques.tolist() == sorted(set(live.tolist()))
+    expected_rank = {v: i + 1 for i, v in enumerate(uniques.tolist())}
+    for i in range(n):
+        if nulls[i]:
+            assert codes[i] == 0
+        else:
+            assert codes[i] == expected_rank[int(array[i])]
+
+
+def test_empty_input_matches_serial(pool):
+    keys = _KEY_CHOICES["int+str"]
+    aggregates = [_AGG_CHOICES["count_star"], _AGG_CHOICES["sum_x"]]
+    serial = GroupByOp(_source([], [], []), keys=keys, aggregates=aggregates).run()
+    par = GroupByOp(
+        _source([], [], []), keys=keys, aggregates=aggregates,
+        pool=pool, morsel_rows=_MORSEL_ROWS,
+    ).run()
+    aliases = ["kg", "ks", "a_rows", "a_sum"]
+    assert _rows(par, aliases) == _rows(serial, aliases) == []
+
+
+def test_projected_chain_matches_serial(pool):
+    """A project step between filter and group-by (computed column)."""
+    g = [i % 5 for i in range(90)]
+    x = [i * 3 - 40 for i in range(90)]
+    from repro.engine.expression import make_arith
+
+    def build(pool_arg):
+        src = _source(g, ["aa"] * 90, x)
+        filt = FilterOp(src, Compare(">", ColumnRef("x", INTEGER), Literal(-20, INTEGER)))
+        proj = ProjectOp(
+            filt,
+            [
+                ("g", ColumnRef("g", INTEGER)),
+                ("y", make_arith("+", ColumnRef("x", INTEGER), Literal(7, INTEGER))),
+            ],
+        )
+        return GroupByOp(
+            proj,
+            keys=[("kg", ColumnRef("g", INTEGER))],
+            aggregates=[
+                AggregateSpec("SUM", [ColumnRef("y", INTEGER)], "a_sum"),
+                AggregateSpec("AVG", [ColumnRef("y", INTEGER)], "a_avg"),
+            ],
+            pool=pool_arg,
+            morsel_rows=_MORSEL_ROWS,
+        )
+
+    aliases = ["kg", "a_sum", "a_avg"]
+    assert _rows(build(pool).run(), aliases) == _rows(build(None).run(), aliases)
+
+
+def test_merge_fused_handles_span_with_no_rows(pool):
+    """Spans whose morsels are empty after filtering still merge exactly."""
+    # 40 rows, but the predicate keeps only rows in the last morsel.
+    g = [1] * 39 + [2]
+    x = list(range(40))
+    predicate = ("x", ">=", 39)
+    serial_op = GroupByOp(
+        _child(g, ["aa"] * 40, x, predicate),
+        keys=[("kg", ColumnRef("g", INTEGER))],
+        aggregates=[_AGG_CHOICES["count_star"]],
+    )
+    fused_op = GroupByOp(
+        _child(g, ["aa"] * 40, x, predicate),
+        keys=[("kg", ColumnRef("g", INTEGER))],
+        aggregates=[_AGG_CHOICES["count_star"]],
+        pool=pool,
+        morsel_rows=5,
+    )
+    aliases = ["kg", "a_rows"]
+    assert _rows(fused_op.run(), aliases) == _rows(serial_op.run(), aliases) == [(2, 1)]
+
+
+def test_radix_overflow_falls_back_to_states(pool):
+    """Huge key domains overflow the radix combine; the fused reduce must
+    hand the batch to the per-morsel state path, not answer wrong."""
+    # The radix combine multiplies per-column cardinalities (+1 for NULL);
+    # seven ~600-distinct columns push the product past 2**62.
+    rng = np.random.default_rng(3)
+    n = 600
+    names = ["k%d" % i for i in range(7)]
+    columns = {
+        name: ColumnVector.from_boundary(
+            rng.integers(0, 1_000_000, size=n).tolist(), BIGINT
+        )
+        for name in names
+    }
+    columns["x"] = ColumnVector.from_boundary(list(range(n)), INTEGER)
+
+    def build(pool_arg):
+        return GroupByOp(
+            VectorSourceOp(Batch.from_columns(dict(columns))),
+            keys=[(name, ColumnRef(name, BIGINT)) for name in names],
+            aggregates=[_AGG_CHOICES["sum_x"]],
+            pool=pool_arg,
+            morsel_rows=_MORSEL_ROWS,
+        )
+
+    fused_op = build(pool)
+    aliases = names + ["a_sum"]
+    assert sorted(_rows(fused_op.run(), aliases)) == sorted(
+        _rows(build(None).run(), aliases)
+    )
+    assert fused_op.fused_mode is None  # fell back before claiming fusion
+
+
+def test_mixed_codec_regions_agree():
+    """Scan->aggregate fusion over regions whose columns compress with
+    *different* codecs (constant, low-cardinality dictionary, sequential,
+    wide-random) must match the serial engine exactly."""
+    from repro.database import Database
+    from repro.workloads.tpcds import flush_tables
+
+    ddl = (
+        "CREATE TABLE mix (konst INT, tag VARCHAR(4), seq INT, wide INT, val INT)"
+    )
+    rng = np.random.default_rng(11)
+    rows = []
+    for i in range(4000):
+        tag = "NULL" if i % 37 == 0 else "'t%d'" % (i % 6)
+        wide = int(rng.integers(-(10 ** 8), 10 ** 8))
+        val = "NULL" if i % 23 == 0 else str(int(rng.integers(-500, 500)))
+        rows.append("(7, %s, %d, %d, %s)" % (tag, i, wide, val))
+    serial = Database(region_rows=512).connect("db2")
+    par_db = Database(parallelism=4, morsel_rows=257, region_rows=512)
+    par = par_db.connect("db2")
+    for system in (serial, par):
+        system.execute(ddl)
+        for start in range(0, len(rows), 500):
+            system.execute(
+                "INSERT INTO mix VALUES " + ", ".join(rows[start : start + 500])
+            )
+        flush_tables(system.database)
+    table = par.database.catalog.get_table("MIX").table
+    codecs = {
+        name: type(compressed.codec).__name__
+        for name, compressed in table.regions[0].columns.items()
+    }
+    assert len(set(codecs.values())) >= 2, "regions are not mixed-codec: %s" % codecs
+    queries = [
+        "SELECT tag, COUNT(*), SUM(val), MIN(wide), MAX(seq), AVG(val)"
+        " FROM mix GROUP BY tag ORDER BY 1",
+        "SELECT konst, COUNT(val) FROM mix GROUP BY konst",
+        "SELECT COUNT(*), MIN(tag), MAX(tag) FROM mix WHERE seq >= 1000",
+        "SELECT tag, AVG(seq) FROM mix WHERE wide > 0 AND val < 250"
+        " GROUP BY tag ORDER BY 1",
+    ]
+    for sql in queries:
+        assert serial.execute(sql).rows == par.execute(sql).rows, sql
+    plan = "\n".join(
+        row[0] for row in par.execute("EXPLAIN ANALYZE " + queries[0]).rows
+    )
+    assert "fused=scan-agg" in plan, plan
+    par_db.pool.shutdown()
