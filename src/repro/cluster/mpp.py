@@ -44,6 +44,7 @@ from repro.sql.parser import parse_statement
 from repro.storage.filesystem import ClusterFileSystem
 from repro.storage.table import TableSchema
 from repro.util.timer import SimClock
+from repro.verify import sanitizer
 
 #: Aggregates the two-phase splitter handles natively.
 _SPLITTABLE = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
@@ -127,6 +128,12 @@ class Cluster:
             parallelism if parallelism is not None else default_parallelism()
         )
         self.pool = WorkerPool(self.parallelism, name="mpp")
+        #: Coordinator commit lock: a multi-shard insert commits its
+        #: per-shard MVCC transactions under this lock, and scatter reads
+        #: pin their per-shard snapshots under it — so a cross-shard write
+        #: is either fully visible or fully invisible to any scatter read
+        #: (coordinator-consistent snapshots).
+        self._commit_lock = sanitizer.make_lock("database:mpp:commit")
         self.nodes: list[Node] = []
         for i, hardware in enumerate(node_hardware):
             node = Node(node_id="node%d" % i, hardware=detect_hardware(hardware))
@@ -321,26 +328,44 @@ class Cluster:
 
     def _insert_rows(self, name, info, names, rows, session) -> int:
         if info.replicated:
-            for shard in self.shards.values():
-                self._shard_table(shard, name).insert_rows(rows)
-                shard.log_committed_insert(name, rows)
-                shard.sync_fileset()
-            return len(rows)
-        by_shard: dict[int, list] = {}
-        if info.key_columns:
-            key_idx = [names.index(c) for c in info.key_columns]
-            for row in rows:
-                key = tuple(row[i] for i in key_idx)
-                sid = hash_value_to_shard(key if len(key) > 1 else key[0], self.n_shards)
-                by_shard.setdefault(sid, []).append(row)
-        else:  # round robin
-            for i, row in enumerate(rows):
-                by_shard.setdefault(i % self.n_shards, []).append(row)
-        for sid, shard_rows in by_shard.items():
-            self._shard_table(self.shards[sid], name).insert_rows(shard_rows)
-            self.shards[sid].log_committed_insert(name, shard_rows)
-            self.shards[sid].sync_fileset()
+            by_shard = {sid: rows for sid in self.shards}
+        else:
+            by_shard = {}
+            if info.key_columns:
+                key_idx = [names.index(c) for c in info.key_columns]
+                for row in rows:
+                    key = tuple(row[i] for i in key_idx)
+                    sid = hash_value_to_shard(
+                        key if len(key) > 1 else key[0], self.n_shards
+                    )
+                    by_shard.setdefault(sid, []).append(row)
+            else:  # round robin
+                for i, row in enumerate(rows):
+                    by_shard.setdefault(i % self.n_shards, []).append(row)
+        # Stage: stamp every shard's rows with an in-flight txn (invisible
+        # to snapshot readers), make them durable, then commit all the
+        # per-shard transactions under the coordinator commit lock so the
+        # insert becomes visible atomically across shards.
+        staged = []
+        for sid, shard_rows in sorted(by_shard.items()):
+            shard = self.shards[sid]
+            txn = shard.engine.txn.begin()
+            txn.insert(self._shard_table(shard, name), shard_rows)
+            shard.log_committed_insert(name, shard_rows, txid=txn.txid)
+            shard.sync_fileset()
+            staged.append(txn)
+        with self._commit_lock:
+            for txn in staged:
+                txn.commit()
         return len(rows)
+
+    def _pin_snapshots(self) -> dict[int, object]:
+        """Per-shard MVCC snapshots taken atomically w.r.t. cluster commits."""
+        with self._commit_lock:
+            return {
+                sid: shard.engine.txn.snapshot()
+                for sid, shard in sorted(self.shards.items())
+            }
 
     def _shard_table(self, shard: Shard, name: str):
         return shard.engine.catalog.get_table(name).table
@@ -453,11 +478,16 @@ class Cluster:
         for sid in shard_ids:
             self._check_owner_alive(sid)
         dialect = session.dialect.name
+        # Coordinator-consistent reads: every shard scans through a
+        # snapshot pinned atomically w.r.t. cluster commits.
+        pinned = self._pin_snapshots()
 
         def run_shard(sid: int) -> Result:
             shard = self.shards[sid]
             shard_session = shard.engine.connect(dialect)
-            return shard.engine.execute_ast(select, shard_session)
+            return shard.engine.execute_ast(
+                select, shard_session, snapshot=pinned.get(sid)
+            )
 
         results = self.pool.map(run_shard, shard_ids, label="scatter")
         run = self.pool.last_run

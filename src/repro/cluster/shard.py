@@ -84,13 +84,17 @@ class Shard:
             "%s/fileset" % self.fileset_path, self, self.data_bytes()
         )
 
-    def log_committed_insert(self, name: str, rows) -> None:
+    def log_committed_insert(self, name: str, rows, txid: int | None = None) -> None:
         """WAL hook for the cluster's direct-insert path, which writes to
         shard tables without going through the engine's statement
-        machinery (:meth:`~repro.cluster.mpp.Cluster._insert_rows`)."""
+        machinery (:meth:`~repro.cluster.mpp.Cluster._insert_rows`).
+        ``txid`` records the staging MVCC transaction in the commit
+        record's metadata."""
         if self.engine.durability is not None and rows:
             self.engine.durability.log_insert((None, name.upper()), rows)
-            self.engine.durability.commit()
+            self.engine.durability.commit(
+                txn_meta=None if txid is None else {"txn": txid}
+            )
 
     def n_rows(self, table_name: str) -> int:
         return self.engine.catalog.get_table(table_name).table.n_rows

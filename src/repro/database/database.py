@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import datetime
 import os
+import threading
 import time
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.monitor.instrument import (
 from repro.monitor.metrics import MetricsRegistry
 from repro.monitor.report import database_report
 from repro.monitor.tracer import NULL_TRACER, Tracer
+from repro.mvcc.txn import Snapshot, TxnManager
 from repro.parallel import WorkerPool
 from repro.sql import ast
 from repro.sql.binder import ExpressionBinder, Scope, ScopeColumn
@@ -138,24 +140,72 @@ class Database:
             durability.attach(self)
         self.procedures: dict[str, object] = {}
         self.statement_count = 0
-        #: Serialises whole statements (and checkpoints) on this engine.
-        #: Held across dispatch + commit — not just the counter — so a
-        #: checkpoint can never snapshot mid-statement state (the model
-        #: checker's commit-vs-checkpoint scenario found exactly that: a
-        #: snapshot taken between a statement's table mutation and its WAL
-        #: commit replays the transaction on top of its own effects after
-        #: recovery).  Reentrant because blocks/CALL nest statements.
-        #: Intra-statement morsel parallelism is untouched: pool workers
-        #: never take this lock.
+        #: MVCC transaction manager: allocates txids and snapshots.  Every
+        #: write statement runs as one auto-commit transaction; every read
+        #: statement runs against an immutable snapshot and takes no lock.
+        self.txn = TxnManager(name)
+        #: Serialises whole *write* statements (and checkpoints) on this
+        #: engine.  Held across dispatch + commit — not just the counter —
+        #: so a checkpoint can never snapshot mid-statement state (the
+        #: model checker's commit-vs-checkpoint scenario found exactly
+        #: that: a snapshot taken between a statement's table mutation and
+        #: its WAL commit replays the transaction on top of its own
+        #: effects after recovery).  Reentrant because blocks/CALL nest
+        #: statements.  Read statements (SELECT/VALUES/EXPLAIN/SET) do
+        #: *not* take it: they read through an MVCC snapshot, so analytic
+        #: scans never block behind a concurrent load — the paper's Test-2
+        #: HTAP claim.  Intra-statement morsel parallelism is untouched:
+        #: pool workers never take this lock.
         self._statement_lock = sanitizer.make_lock(
             "database:%s:statement" % name, reentrant=True
         )
-        #: Scans created while planning the most recent statement.
-        self.last_scans: list = []
+        #: Guards the statement counter, which both read and write paths
+        #: bump; its own lock (class ``txn``) because read statements no
+        #: longer hold the statement lock.
+        self._counter_lock = sanitizer.make_lock("txn:%s:counter" % name)
+        # Per-thread statement state: the current write transaction, the
+        # current statement snapshot, and the scans of the most recent
+        # statement (concurrent readers must not clobber each other's
+        # byte accounting).
+        self._tls = threading.local()
+
+    @property
+    def last_scans(self) -> list:
+        """Scans created while planning this thread's latest statement."""
+        scans = getattr(self._tls, "scans", None)
+        if scans is None:
+            scans = []
+            self._tls.scans = scans
+        return scans
+
+    @last_scans.setter
+    def last_scans(self, value: list) -> None:
+        self._tls.scans = value
 
     def note_scan(self, scan) -> None:
         """Planner callback: remember scans for per-query byte accounting."""
         self.last_scans.append(scan)
+
+    def current_snapshot(self) -> Snapshot:
+        """The MVCC snapshot of the statement running on this thread.
+
+        Inside a statement this is the snapshot pinned at statement start
+        (a write transaction's own snapshot, so it sees its own earlier
+        stamps); outside any statement a fresh snapshot is taken — the
+        planner and core-API callers always get a consistent view.
+        """
+        snap = getattr(self._tls, "snapshot", None)
+        if snap is None:
+            snap = self.txn.snapshot()
+        return snap
+
+    def _stmt_txn(self):
+        """The write transaction of the statement on this thread (or None)."""
+        return getattr(self._tls, "txn", None)
+
+    def _stamp_txid(self) -> int:
+        txn = self._stmt_txn()
+        return txn.txid if txn is not None else 0
 
     def last_query_bytes(self) -> tuple[int, int]:
         """(compressed, raw-equivalent) bytes scanned by the last query."""
@@ -207,11 +257,18 @@ class Database:
             node = parse_statement(sql)
         return self._execute_node(node, session, sql=sql)
 
-    def execute_ast(self, node: ast.Node, session: Session | None = None) -> Result:
+    def execute_ast(
+        self,
+        node: ast.Node,
+        session: Session | None = None,
+        snapshot: Snapshot | None = None,
+    ) -> Result:
         """Execute a pre-parsed statement (used by the MPP layer, which
-        rewrites ASTs for partial/global aggregation)."""
+        rewrites ASTs for partial/global aggregation).  ``snapshot`` pins
+        a read statement to an externally chosen MVCC snapshot — the
+        cluster coordinator uses this for consistent cross-shard reads."""
         session = session or self.connect()
-        return self._execute_node(node, session)
+        return self._execute_node(node, session, snapshot=snapshot)
 
     def evaluate_rows(self, ast_rows, session: Session | None = None) -> list[list]:
         """Evaluate constant VALUES rows to boundary values."""
@@ -242,35 +299,123 @@ class Database:
         attach_operator_spans(tracer, span, root)
         return result_from_batch(batch, planned.names, planned.keys, planned.dtypes)
 
+    #: Statement classes that never mutate shared database state: they run
+    #: on the lock-free snapshot-read path.  (SET only touches the session;
+    #: EXPLAIN plans without executing mutations.)
+    _READ_NODES = (
+        ast.Select,
+        ast.ValuesStatement,
+        ast.ExplainStatement,
+        ast.SetStatement,
+    )
+
     def _execute_node(
-        self, node: ast.Node, session: Session, sql: str | None = None
+        self,
+        node: ast.Node,
+        session: Session,
+        sql: str | None = None,
+        snapshot: Snapshot | None = None,
     ) -> Result:
         """Statement wrapper: spans, per-statement stats, query history."""
-        with self._statement_lock:
+        if isinstance(node, self._READ_NODES):
+            return self._execute_read_node(node, session, sql, snapshot)
+        return self._execute_write_node(node, session, sql)
+
+    def _bump_statement_count(self) -> int:
+        with self._counter_lock:
             if sanitizer.ENABLED:
                 sanitizer.access(
                     "database:%s" % self.name, "statement_count",
-                    site="Database._execute_node",
+                    site="Database._bump_statement_count",
                 )
             self.statement_count += 1
-            index = self.statement_count
-            wall_start = time.perf_counter()  # lint-ok: wall-clock (wall stopwatch reported beside the sim span, never charged to the cost model)
-            sim_start = self.clock.now if self.clock is not None else None
+            return self.statement_count
+
+    def _execute_read_node(
+        self,
+        node: ast.Node,
+        session: Session,
+        sql: str | None,
+        snapshot: Snapshot | None,
+    ) -> Result:
+        """Snapshot-read path: no statement lock, never blocks a writer.
+
+        The snapshot is pinned for the whole statement (repeatable reads
+        within the statement).  Inside a write transaction (a block/CALL
+        running a SELECT) the enclosing transaction's snapshot is reused
+        so the read sees the transaction's own uncommitted stamps.
+        """
+        index = self._bump_statement_count()
+        wall_start = time.perf_counter()  # lint-ok: wall-clock (wall stopwatch reported beside the sim span, never charged to the cost model)
+        sim_start = self.clock.now if self.clock is not None else None
+        if snapshot is None:
+            outer = self._stmt_txn()
+            snapshot = outer.snapshot if outer is not None else self.txn.snapshot()
+        prev_snapshot = getattr(self._tls, "snapshot", None)
+        self._tls.snapshot = snapshot
+        try:
             with self.tracer.span(
                 "statement", statement=type(node).__name__, sql=sql
             ):
-                # Auto-commit transaction boundary: a statement's redo
-                # records reach the WAL only if it succeeds; a commit
-                # record makes them durable (group commit may defer the
-                # flush).
                 try:
                     result = self._dispatch_node(node, session)
                 except BaseException:
                     if self.durability is not None:
                         self.durability.abort()
                     raise
+                # Pure queries can still advance durable state (NEXTVAL
+                # consumed in a SELECT): commit the sequence delta.
                 if self.durability is not None:
                     self.durability.commit()
+        finally:
+            self._tls.snapshot = prev_snapshot
+        wall = time.perf_counter() - wall_start  # lint-ok: wall-clock (same wall stopwatch as above; reported, never charged)
+        sim = self.clock.now - sim_start if sim_start is not None else None
+        session.record_statement(
+            node, result, wall, sim_seconds=sim, sql=sql, index=index
+        )
+        return result
+
+    def _execute_write_node(
+        self, node: ast.Node, session: Session, sql: str | None = None
+    ) -> Result:
+        """Write path: statement lock + one auto-commit MVCC transaction.
+
+        The transaction's stamps become visible atomically at commit —
+        concurrent snapshot readers either see all of the statement's
+        effects or none.  On failure both the WAL buffer (durability
+        abort) and the version stamps (MVCC rollback) are reverted.
+        """
+        with self._statement_lock:
+            index = self._bump_statement_count()
+            wall_start = time.perf_counter()  # lint-ok: wall-clock (wall stopwatch reported beside the sim span, never charged to the cost model)
+            sim_start = self.clock.now if self.clock is not None else None
+            outer_txn = self._stmt_txn()
+            prev_snapshot = getattr(self._tls, "snapshot", None)
+            txn = self.txn.begin()
+            self._tls.txn = txn
+            self._tls.snapshot = txn.snapshot
+            try:
+                with self.tracer.span(
+                    "statement", statement=type(node).__name__, sql=sql
+                ):
+                    # Auto-commit transaction boundary: a statement's redo
+                    # records reach the WAL only if it succeeds; a commit
+                    # record makes them durable (group commit may defer
+                    # the flush).
+                    try:
+                        result = self._dispatch_node(node, session)
+                    except BaseException:
+                        if self.durability is not None:
+                            self.durability.abort()
+                        txn.abort()
+                        raise
+                    if self.durability is not None:
+                        self.durability.commit(txn_meta={"txn": txn.txid})
+                    txn.commit()
+            finally:
+                self._tls.txn = outer_txn
+                self._tls.snapshot = prev_snapshot
         wall = time.perf_counter() - wall_start  # lint-ok: wall-clock (same wall stopwatch as above; reported, never charged)
         sim = self.clock.now - sim_start if sim_start is not None else None
         session.record_statement(
@@ -435,7 +580,11 @@ class Database:
             self.durability.crash()
         self.catalog = Catalog()
         self.bufferpool.clear()
-        self.last_scans = []
+        # Txids are an incarnation-local notion: recovery stamps every
+        # surviving version ancient, so the manager restarts fresh (any
+        # in-flight transactions died with the crash).
+        self.txn = TxnManager(self.name)
+        self._tls = threading.local()
         return self.durability.recover()
 
     # -- INSERT -------------------------------------------------------------------------
@@ -484,7 +633,11 @@ class Database:
             rows = [
                 tuple(None if v == "" else v for v in row) for row in rows
             ]
-        count = table.insert_rows(rows)
+        txn = self._stmt_txn()
+        if txn is not None:
+            count = txn.insert(table, rows)
+        else:
+            count = table.insert_rows(rows)
         durable = self._durable_for(session, node.table, table)
         if durable is not None and rows:
             durable.log_insert(self._table_key(node.table, table), rows)
@@ -499,7 +652,10 @@ class Database:
             key = "%s.%s" % (alias, cname)
             columns[key] = table.column_vector(cname)
             scope_columns.append(ScopeColumn(key, cname, alias, dtype))
-        live = table.live_mask()
+        # A write statement targets only versions its snapshot can see —
+        # never another transaction's uncommitted rows.
+        txn = self._stmt_txn()
+        live = table.visible_mask(txn.snapshot if txn is not None else None)
         batch = Batch.from_columns(columns) if columns else Batch({}, 0)
         return batch, Scope(scope_columns), live
 
@@ -516,7 +672,11 @@ class Database:
         table = self._resolve_target(node.table, session)
         alias = (node.table.alias or node.table.name).upper()
         mask = self._match_mask(table, alias, node.where, session)
-        count = table.apply_deletes(mask)
+        txn = self._stmt_txn()
+        if txn is not None:
+            count = txn.delete(table, mask)
+        else:
+            count = table.apply_deletes(mask)
         durable = self._durable_for(session, node.table, table)
         if durable is not None and count:
             durable.log_delete(self._table_key(node.table, table), mask)
@@ -565,8 +725,13 @@ class Database:
                     )
                 )
             rows.append(tuple(new_row))
-        table.apply_deletes(mask)
-        table.insert_rows(rows)
+        txn = self._stmt_txn()
+        if txn is not None:
+            txn.delete(table, mask)
+            txn.insert(table, rows)
+        else:
+            table.apply_deletes(mask)
+            table.insert_rows(rows)
         self.bufferpool.invalidate_table(table.schema.name)
         durable = self._durable_for(session, node.table, table)
         if durable is not None:
@@ -597,7 +762,11 @@ class Database:
                 table = self.catalog.create_table(
                     schema, node.name.schema, region_rows=self.region_rows
                 ).table
-            table.insert_rows([list(r) for r in result.rows])
+            txn = self._stmt_txn()
+            if txn is not None:
+                txn.insert(table, [list(r) for r in result.rows])
+            else:
+                table.insert_rows([list(r) for r in result.rows])
             if self.durability is not None and not node.temporary:
                 self.durability.log_op(
                     "ddl",

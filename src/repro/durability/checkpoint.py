@@ -98,6 +98,8 @@ def _table_state(schema_name: str, table: ColumnTable) -> dict:
         "regions": table.regions,
         "tail": table._tail,
         "tail_rows": table._tail_rows,
+        "tail_xmin": table._tail_xmin,
+        "tail_xmax": table._tail_xmax,
     }
 
 
@@ -112,9 +114,46 @@ def _rebuild_table(state: dict) -> ColumnTable:
     table.regions = state["regions"]
     table._tail = state["tail"]
     table._tail_rows = state["tail_rows"]
+    table._tail_xmin = list(state.get("tail_xmin", [0] * table._tail_rows))
+    table._tail_xmax = list(state.get("tail_xmax", [0] * table._tail_rows))
+    _normalize_versions(table)
     if table.unique_columns:
         table._rebuild_unique_sets()
     return table
+
+
+def _normalize_versions(table: ColumnTable) -> None:
+    """Stamp every surviving version ancient after a restore.
+
+    Txids are an incarnation-local notion: the engine restarts with a
+    fresh transaction manager, so stamps from the previous incarnation
+    must not alias the new one's txids.  A checkpoint is taken at a
+    statement boundary under the statement lock, so every version in the
+    image belongs to a committed transaction: creators collapse to
+    "ancient" (``xmin = None``/0, visible to all) and deleters to the
+    always-committed :data:`~repro.mvcc.txn.ANCIENT_TXID`.  Versions of
+    transactions that had *not* committed never reach here — redo replays
+    committed WAL transactions only — which is how recovery prunes an
+    uncommitted load's versions.
+    """
+    from repro.mvcc.txn import ANCIENT_TXID
+
+    for region in table.regions:
+        region.xmin = None
+        region.xmin_hi = 0
+        if region.xmax is not None:
+            if region.xmax.any():
+                region.xmax = (region.xmax != 0).astype(region.xmax.dtype) * ANCIENT_TXID
+                region.xmax_hi = ANCIENT_TXID
+            else:
+                region.xmax = None
+                region.xmax_hi = 0
+    table._tail_xmin = [0] * table._tail_rows
+    old_xmax = table._tail_xmax
+    table._tail_xmax = [
+        ANCIENT_TXID if i < len(old_xmax) and old_xmax[i] else 0
+        for i in range(table._tail_rows)
+    ]
 
 
 def restore_snapshot(database, snapshot: dict) -> None:

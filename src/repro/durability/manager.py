@@ -197,12 +197,17 @@ class DurabilityManager:
             )
         self._txn_ops().clear()
 
-    def commit(self) -> bool:
+    def commit(self, txn_meta: dict | None = None) -> bool:
         """End the current auto-commit transaction.
 
         Appends the ops plus a ``commit`` record and group-commits: the
         WAL flushes once every ``group_commit`` commits (or on explicit
-        :meth:`flush`).  Returns True when the commit is already durable.
+        :meth:`flush`).  ``txn_meta`` (e.g. the engine's MVCC txid and
+        commit sequence) rides in the commit record's payload — recovery
+        replays versions from *committed* transactions only and stamps
+        them ancient, which is how an uncommitted load's versions get
+        pruned: its ops never made it past a commit record, so redo never
+        recreates them.  Returns True when the commit is already durable.
         """
         with self._lock:
             if sanitizer.ENABLED:
@@ -222,7 +227,7 @@ class DurabilityManager:
             if seq_delta is not None:
                 self.wal.append("seq", (None, seq_delta), txid)
                 self.stats["wal_appends"] += 1
-            self.wal.append("commit", None, txid)
+            self.wal.append("commit", txn_meta, txid)
             self.stats["wal_appends"] += 1
             self.stats["commits"] += 1
             self._metric("commits")

@@ -637,7 +637,7 @@ def match_scan_agg(op):
         return None
     if scan.stride_rows is not None:
         return None
-    if len(scan.table.regions) < 2:
+    if len(scan.regions) < 2:
         return None
     if scan.pool is not None and scan.pool is not op.pool:
         return None
@@ -755,7 +755,7 @@ def execute_scan_agg(op, fused: FusedScanAgg, pool):
         return stats, n_rows, parts
 
     groups = batch_items(
-        list(enumerate(scan.table.regions)), pool.parallelism
+        list(enumerate(scan.regions)), pool.parallelism
     )
     original_stats = scan.stats
     scan.stats = ScanStats()

@@ -155,6 +155,12 @@ class TableScanOp(Operator):
             is identical to the serial scan.  With ``parallelism=1`` (or no
             pool) the original incremental generator path runs untouched —
             including its lazy early-exit behaviour under LIMIT.
+        snapshot: optional MVCC :class:`~repro.mvcc.txn.Snapshot`.  The
+            scan freezes its view of the table (region list + tail prefix)
+            at construction and filters every region/tail batch through the
+            snapshot's visibility mask, so concurrent writers neither block
+            nor perturb the scan.  Without a snapshot the frozen view shows
+            the latest state (all live rows) — the pre-MVCC behaviour.
     """
 
     def __init__(
@@ -168,6 +174,7 @@ class TableScanOp(Operator):
         use_skipping: bool = True,
         use_compressed_eval: bool = True,
         pool=None,
+        snapshot=None,
     ):
         self.table = table
         self.columns = list(columns)
@@ -178,12 +185,21 @@ class TableScanOp(Operator):
         self.use_skipping = use_skipping
         self.use_compressed_eval = use_compressed_eval
         self.pool = pool
+        self.snapshot = snapshot
         self.stats = ScanStats()
         #: PoolRun of the last parallel execution (EXPLAIN ANALYZE surface).
         self.parallel_run = None
+        # Freeze the view once: morsel workers (threads or pickled process
+        # tasks) all scan the same captured region tuple and tail prefix.
+        needed = set(self.columns) | {p.column for p in self.pushed}
+        if self.residual is not None:
+            needed |= self.residual.references()
+        self._capture = table.capture(snapshot, columns=sorted(needed))
+        #: Frozen region list for this scan (capture-time prefix).
+        self.regions = self._capture.regions
 
     def _fetch(self, region_idx: int, column: str):
-        region = self.table.regions[region_idx]
+        region = self.regions[region_idx]
         if self.page_source is None:
             return region.columns[column]
         return self.page_source(
@@ -198,10 +214,10 @@ class TableScanOp(Operator):
         if self.residual is not None:
             needed |= self.residual.references()
         pool = self.pool
-        if pool is not None and pool.is_parallel and len(self.table.regions) > 1:
+        if pool is not None and pool.is_parallel and len(self.regions) > 1:
             yield from self._execute_parallel(needed, pool)
             return
-        for region_idx, region in enumerate(self.table.regions):
+        for region_idx, region in enumerate(self.regions):
             batch = self._scan_region(region_idx, region, needed, self.stats)
             if batch is not None and batch.n:
                 yield from self._emit(batch)
@@ -223,9 +239,7 @@ class TableScanOp(Operator):
                 out.append((batch, stats))
             return out
 
-        groups = batch_items(
-            list(enumerate(self.table.regions)), pool.parallelism
-        )
+        groups = batch_items(list(enumerate(self.regions)), pool.parallelism)
         results = pool.map(
             scan_batch, groups, label="scan:%s" % self.table.schema.name
         )
@@ -319,9 +333,9 @@ class TableScanOp(Operator):
                 selection = selection & pred.eval_vector(vector)
             if not selection.any():
                 return None
-        live = region.live_mask()
-        if live is not None:
-            selection = selection & live
+        visible = region.visible_mask(self.snapshot)
+        if visible is not None:
+            selection = selection & visible
             if not selection.any():
                 return None
         # 3. Decode only the needed columns for surviving rows (windowed to
@@ -346,13 +360,17 @@ class TableScanOp(Operator):
         return batch
 
     def _scan_tail(self, needed):
-        if self.table.tail_rows == 0:
+        capture = self._capture
+        if capture.tail_rows == 0:
             return None
-        self.stats.rows_scanned += self.table.tail_rows
+        self.stats.rows_scanned += capture.tail_rows
         fetch = set(needed) | {p.column for p in self.pushed}
-        vectors = {name: self.table.tail_vector(name) for name in fetch}
+        vectors = {name: capture.tail[name] for name in fetch}
         batch = Batch.from_columns(vectors)
-        selection = np.ones(batch.n, dtype=bool)
+        if capture.tail_mask is not None:
+            selection = capture.tail_mask.copy()
+        else:
+            selection = np.ones(batch.n, dtype=bool)
         for pred in self.pushed:
             selection &= pred.eval_vector(batch.columns[pred.column])
         batch = batch.filter(selection)

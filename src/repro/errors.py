@@ -93,6 +93,18 @@ class DialectError(SQLError):
         super().__init__(message, sqlstate="42601")
 
 
+class TransactionConflictError(SQLError):
+    """First-committer-wins write-write conflict (serialization failure).
+
+    Raised when a transaction tries to delete or update a row version
+    that a concurrent transaction has already stamped.  SQLSTATE 40001
+    matches DB2's "deadlock or timeout" class used for serialization
+    failures; the statement should be retried on a fresh snapshot."""
+
+    def __init__(self, message: str):
+        super().__init__(message, sqlstate="40001")
+
+
 class StorageError(ReproError):
     """Base class for storage-layer failures."""
 

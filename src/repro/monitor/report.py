@@ -39,6 +39,7 @@ def database_report(database) -> dict:
         "bufferpool": bufferpool_report(database.bufferpool),
         "tables": tables,
         "tracing_enabled": database.tracer.enabled,
+        "txn": database.txn.report(),
         "metrics": database.metrics.snapshot(),
         "parallel": worker_pool_report(database.pool),
         "durability": (

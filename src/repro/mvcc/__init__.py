@@ -1,0 +1,30 @@
+"""Multi-version concurrency control: txn manager, snapshots, visibility.
+
+See DESIGN.md "Snapshot isolation" for the protocol.  The short version:
+every row version is stamped with the creating transaction id (``xmin``)
+and, once deleted, the deleting transaction id (``xmax``).  A statement
+reads through an immutable :class:`Snapshot` — the set of transactions
+that had committed when the statement began — so analytic scans never
+block behind concurrent loads, and loads never block behind scans.
+Write-write overlap is resolved first-committer-wins: the second writer
+fails with :class:`~repro.errors.TransactionConflictError` instead of
+waiting on a lock.
+"""
+
+from repro.mvcc.txn import (
+    ANCIENT_TXID,
+    FIRST_TXID,
+    Snapshot,
+    Transaction,
+    TxnManager,
+    visible_rows,
+)
+
+__all__ = [
+    "ANCIENT_TXID",
+    "FIRST_TXID",
+    "Snapshot",
+    "Transaction",
+    "TxnManager",
+    "visible_rows",
+]

@@ -129,6 +129,7 @@ class BaseRel:
 
     on_scan: object = None  # callback(scan) for statistics collection
     pool: object = None  # WorkerPool for region-parallel scans
+    snapshot: object = None  # MVCC Snapshot pinned at plan time
 
     def build(self, needed_keys: set[str], page_source) -> Operator:
         wanted = [c for c in self.columns if c.key in needed_keys]
@@ -140,6 +141,7 @@ class BaseRel:
             pushed=self.pushed,
             page_source=page_source,
             pool=self.pool,
+            snapshot=self.snapshot,
             **(self.scan_options or {}),
         )
         if self.on_scan is not None:
@@ -367,9 +369,14 @@ class SelectPlanner:
         ]
         options = getattr(self.database, "scan_options", None)
         on_scan = getattr(self.database, "note_scan", None)
+        # Pin the statement's MVCC snapshot into the scan: morsel workers
+        # (threads or pickled process tasks) inherit it with the operator.
+        current = getattr(self.database, "current_snapshot", None)
+        snapshot = current() if callable(current) else None
         return BaseRel(
             alias=alias, table=table, columns=columns, pushed=[],
             scan_options=options, on_scan=on_scan, pool=self.pool,
+            snapshot=snapshot,
         )
 
     def _realias(self, rel: MaterialRel, alias: str) -> MaterialRel:

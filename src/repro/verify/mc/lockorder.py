@@ -7,7 +7,7 @@ The name's prefix before the first ``:`` is the lock's **class**, and the
 repo declares one global acquisition order over classes (outermost
 first)::
 
-    database  >  durability  >  pool  >  bufferpool  >  metrics  >  tracer
+    database > txn > durability > table > pool > bufferpool > metrics > tracer
 
 i.e. a thread holding a ``durability`` lock may acquire ``metrics`` but
 never ``database``.  Two-phase observation feeds the checked graph:
@@ -39,9 +39,15 @@ from repro.verify import sanitizer
 #: Declared global acquisition order, outermost class first.  A thread may
 #: only acquire locks of a class strictly later in this tuple than every
 #: lock it already holds (same-class nesting is allowed only for the same
-#: reentrant lock instance).
+#: reentrant lock instance).  ``txn`` (the MVCC transaction manager and
+#: statement counter) ranks directly inside the statement lock; ``table``
+#: (the per-table capture lock guarding seal/truncate vs. snapshot
+#: capture) sits inside ``durability`` because recovery replays table
+#: mutations — which may seal a region — while holding the durability
+#: lock.
 DECLARED_ORDER = (
-    "database", "durability", "pool", "bufferpool", "metrics", "tracer",
+    "database", "txn", "durability", "table", "pool", "bufferpool",
+    "metrics", "tracer",
 )
 
 _RANK = {name: i for i, name in enumerate(DECLARED_ORDER)}

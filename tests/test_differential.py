@@ -420,6 +420,164 @@ def test_process_backend_agrees_after_crash_recovery():
     db.pool.shutdown()
 
 
+_HTAP_DDL = "CREATE TABLE t (a INT, b INT, c VARCHAR(4), d DECIMAL(8,2))"
+_HTAP_DIM = "CREATE TABLE dim (c VARCHAR(4) PRIMARY KEY, w INT)"
+
+
+def _htap_load(session, seed, n_rows):
+    rows = _build_rows(seed)[:n_rows]
+    dims = ", ".join("('v%d', %d)" % (i, i * 10) for i in range(8))
+    session.execute(_HTAP_DDL)
+    session.execute(_HTAP_DIM)
+    for start in range(0, len(rows), 500):
+        session.execute(
+            "INSERT INTO t VALUES " + ", ".join(rows[start : start + 500])
+        )
+    session.execute("INSERT INTO dim VALUES " + dims)
+
+
+def _writer_rows(n):
+    return ["(%d, %d, 'w', 1.00)" % (100000 + i, i) for i in range(n)]
+
+
+def _trickle(session, statements, errors):
+    """Writer-thread body: auto-commit single-row inserts, one per call."""
+    try:
+        for statement in statements:
+            session.execute(statement)
+    except BaseException as exc:  # lint-ok: broad-except (re-raised on the main thread after join)
+        errors.append(exc)
+
+
+def test_htap_backend_sweep_snapshot_reads_under_churn():
+    """HTAP sweep: pinned-snapshot reads race a trickle writer, per backend.
+
+    For serial, thread-pool, and process-pool engines: the reader pins one
+    MVCC snapshot, records baseline answers for a random query batch, then
+    re-runs the same batch twice while an auto-commit writer trickles
+    single-row inserts into the scanned table.  Every churn-time answer
+    must be *byte-identical* to its baseline (the snapshot cannot see the
+    churn, and morsel workers must carry the statement snapshot), the
+    three backends must agree with each other, and a fresh snapshot at the
+    end must count every committed writer row exactly once.
+    """
+    import threading
+
+    from repro.sql.parser import parse_statement
+
+    n_writer = 80
+    inserts = ["INSERT INTO t VALUES %s" % r for r in _writer_rows(n_writer)]
+    per_backend = []
+    for backend in (None, "thread", "process"):
+        kwargs = {}
+        if backend is not None:
+            kwargs = dict(
+                parallelism=4, morsel_rows=257, region_rows=512,
+                pool_backend=backend,
+            )
+        db = Database(**kwargs)
+        session = db.connect("db2")
+        _htap_load(session, seed=61, n_rows=1500)
+        flush_tables(db)
+        base_count = int(session.execute("SELECT COUNT(*) FROM t").rows[0][0])
+        rng = derive_rng(9, "diff-htap")
+        queries = [_random_query(rng) for _ in range(6)]
+
+        snap = db.txn.snapshot()
+
+        def pinned(sql, db=db, snap=snap):
+            return db.execute_ast(parse_statement(sql), snapshot=snap).rows
+
+        baseline = [pinned(sql) for sql in queries]
+        errors: list[BaseException] = []
+        writer = threading.Thread(
+            target=_trickle, args=(db.connect("db2"), inserts, errors)
+        )
+        writer.start()
+        during = [[pinned(sql) for sql in queries] for _ in range(2)]
+        writer.join()
+        assert not errors, errors[0]
+        for churn_pass in during:
+            assert churn_pass == baseline, (
+                "pinned snapshot drifted under writer churn (backend=%s)"
+                % backend
+            )
+        assert pinned("SELECT COUNT(*) FROM t")[0][0] == base_count
+        final = int(session.execute("SELECT COUNT(*) FROM t").rows[0][0])
+        assert final == base_count + n_writer, (
+            "committed trickle rows lost (backend=%s)" % backend
+        )
+        per_backend.append((backend, [_normalise(r) for r in baseline]))
+        if backend is not None:
+            db.pool.shutdown()
+
+    _, serial_answers = per_backend[0]
+    for backend, answers in per_backend[1:]:
+        assert answers == serial_answers, (
+            "%s backend disagrees with serial under HTAP" % backend
+        )
+
+
+def test_htap_crash_recovery_matches_serial_oracle():
+    """HTAP through a crash: writer churn, then recovery, then the oracle.
+
+    A durable parallel engine takes trickle commits while a pinned
+    snapshot keeps reading its frozen state; the engine then crash-restarts
+    (losing nothing: ``group_commit=1``) and must answer exactly like a
+    serial oracle fed the same base data plus the same committed trickle —
+    redo replays the writer's transactions and restamps their versions,
+    so no churn-era version metadata leaks into the recovered engine.
+    """
+    import threading
+
+    from repro.durability import DurabilityManager
+    from repro.sql.parser import parse_statement
+    from repro.storage.filesystem import ClusterFileSystem
+
+    manager = DurabilityManager(ClusterFileSystem(), path="db", group_commit=1)
+    db = Database(
+        parallelism=4, morsel_rows=257, region_rows=512,
+        pool_backend="thread", durability=manager,
+    )
+    session = db.connect("db2")
+    oracle = Database().connect("db2")
+    _htap_load(session, seed=67, n_rows=900)
+    _htap_load(oracle, seed=67, n_rows=900)
+    db.checkpoint()
+    base_count = int(session.execute("SELECT COUNT(*) FROM t").rows[0][0])
+
+    n_writer = 60
+    inserts = ["INSERT INTO t VALUES %s" % r for r in _writer_rows(n_writer)]
+    snap = db.txn.snapshot()
+    count_ast = "SELECT COUNT(*) FROM t"
+    errors: list[BaseException] = []
+    writer = threading.Thread(
+        target=_trickle, args=(db.connect("db2"), inserts, errors)
+    )
+    writer.start()
+    for _ in range(8):
+        pinned = int(
+            db.execute_ast(parse_statement(count_ast), snapshot=snap).rows[0][0]
+        )
+        assert pinned == base_count, "pinned count drifted under churn"
+    writer.join()
+    assert not errors, errors[0]
+
+    for statement in inserts:
+        oracle.execute(statement)
+    db.reopen(clean=False)
+    flush_tables(db)
+    flush_tables(oracle.database)
+    rng = derive_rng(13, "diff-htap-recovery")
+    for i in range(10):
+        sql = _random_query(rng)
+        reference = _normalise(oracle.execute(sql).rows)
+        assert reference == _normalise(session.execute(sql).rows), (
+            "recovered HTAP engine diverges (i=%d): %s" % (i, sql)
+        )
+    db.pool.shutdown()
+
+
 def test_oracle_agrees_after_crash_recovery():
     """The three-way oracle extended through a crash: a durable cluster
     loses a node mid-workload, the orphaned shards replay their WALs on

@@ -364,10 +364,12 @@ class TestMonreport:
         report = db.monreport()
         assert sorted(report) == [
             "bufferpool", "database", "durability", "metrics", "parallel",
-            "statements", "tables", "tracing_enabled",
+            "statements", "tables", "tracing_enabled", "txn",
         ]
         assert report["parallel"]["parallelism"] >= 1
         assert report["tracing_enabled"] is True
+        assert report["txn"]["active"] == 0
+        assert report["txn"]["committed"] >= 1
         assert report["statements"] >= 3
         assert report["tables"]["T"]["rows"] == 20
         pool = report["bufferpool"]
