@@ -1,0 +1,237 @@
+"""Serving layer at scale — 10⁵ open-loop sessions against the gateway.
+
+The BD Insight serving story (paper III): dashboards ask the same handful
+of reports over and over, so the serving layer's result cache turns the
+repeat traffic into sub-millisecond hits while admission control sheds
+the overload the cache-less system cannot absorb.
+
+Protocol (the repo's standard factoring — real engine speed × simulated
+concurrency):
+
+1. load the customer workload and measure each dashboard query's **miss**
+   cost (engine execution through the live gateway) and **hit** cost
+   (normalize + validate + replay from the result cache);
+2. generate ≥10⁵ open-loop sessions with heavy-tailed (lognormal)
+   inter-arrivals and a Zipf-skewed query mix on the simulated clock,
+   offered at a rate deliberately *above* the cache-off capacity;
+3. play the identical arrival trace through per-tenant admission control
+   twice — cache on and cache off — and compare completed QpH.
+
+Gate: the dashboard-repeat mix must sustain **≥ 5× QpH** with the cache
+on.  The summary lands in ``BENCH_serving.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.cluster.hardware import HardwareSpec
+from repro.database import Database
+from repro.serving import (
+    ServiceClass,
+    ServingGateway,
+    measure_serving_pool,
+    open_loop_arrivals,
+    recommend,
+    zipf_weights,
+)
+from repro.workloads import CustomerWorkload
+from repro.workloads.tpcds import flush_tables
+
+from conftest import banner, record
+
+N_SESSIONS = 120_000
+SEED = 47
+QPH_GATE = 5.0  # cache-on must beat cache-off by this factor
+OVERLOAD_FACTOR = 8.0  # offered rate vs measured cache-off capacity
+
+#: The admission class under test: few slots, bounded queue, a timeout —
+#: overload must shed (SQLSTATE 57014), not queue without bound.
+CONCURRENCY = 4
+QUEUE_LIMIT = 16
+TIMEOUT_SECONDS = 0.5
+
+_RESULT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+)
+
+
+def _dashboard_pool(workload):
+    """The repeating dashboard mix, heavy reports first: the Zipf head —
+    the queries dashboards repeat most — are the expensive rollups (tens
+    of ms each), trailed by cheap operational lookups.  Repeated heavy
+    reports are exactly what the result cache monetizes."""
+    queries = workload.heavy_selects() + workload.short_selects()
+    return [("q%02d" % i, sql) for i, sql in enumerate(queries)]
+
+
+def test_serving_open_loop_cache_on_vs_off(benchmark):
+    workload = CustomerWorkload(scale=1 / 1000, n_trades=60_000, seed=7)
+    db = Database()
+    session = db.connect("db2")
+    workload.load_base(session)
+    flush_tables(db)
+    gateway = ServingGateway(db)
+    pool = _dashboard_pool(workload)
+
+    # Phase 1: measured costs through the live gateway (miss, then hit).
+    profile = measure_serving_pool(gateway, pool, session=session)
+    miss_mean = profile.measurement.total / len(pool)
+    assert profile.hit_seconds < miss_mean, "cache hits are not cheaper?"
+
+    # Phase 2: the arrival trace, offered above cache-off capacity so the
+    # cache-less run must shed.  Capacity is sized against the *mix*: the
+    # Zipf weights decide how often each measured miss cost is paid.
+    weights = zipf_weights(len(pool), s=1.1)
+    mix_miss_mean = float(
+        sum(
+            w * profile.measurement.seconds[q]
+            for w, (q, _) in zip(weights, pool)
+        )
+    )
+    capacity_off_qps = CONCURRENCY / mix_miss_mean
+    offered_qps = OVERLOAD_FACTOR * capacity_off_qps
+    batch = open_loop_arrivals(
+        [q for q, _ in pool],
+        n_sessions=N_SESSIONS,
+        offered_qps=offered_qps,
+        seed=SEED,
+        sigma=1.0,
+        zipf_s=1.1,
+    )
+    classes = {
+        "dashboard": ServiceClass(
+            name="dashboard",
+            concurrency=CONCURRENCY,
+            queue_limit=QUEUE_LIMIT,
+            timeout_seconds=TIMEOUT_SECONDS,
+        )
+    }
+
+    # Phase 3: identical trace, cache on vs cache off.
+    on = gateway.open_loop(batch, profile, cache_enabled=True, classes=classes)
+    off = gateway.open_loop(
+        batch, profile, cache_enabled=False, classes=classes
+    )
+    gateway.last_open_loop = on  # monreport shows the cache-on run
+    ratio = on.result.qph / off.result.qph if off.result.qph else 0.0
+
+    assert len(batch) >= 100_000
+    assert on.hit_rate > 0.9, "dashboard repeats should mostly hit"
+    assert off.result.shed_rate > 0.5, "offered load failed to overload"
+    assert on.result.shed_rate < off.result.shed_rate
+    assert ratio >= QPH_GATE, (
+        "cache-on QpH only %.2fx cache-off (gate %.1fx)" % (ratio, QPH_GATE)
+    )
+
+    # Capacity sizing from the same measurements: what to deploy for this
+    # offered load, with and without the cache folded in.
+    hardware = HardwareSpec(cores=16, ram_gb=64, storage_tb=4.0)
+    mix = {q: float(w) for w, (q, _) in zip(weights, pool)}
+    sized_cold = recommend(
+        offered_qps, profile.measurement, hardware, weights=mix
+    )
+    sized_warm = recommend(
+        offered_qps,
+        profile.measurement,
+        hardware,
+        hit_rate=on.hit_rate,
+        hit_seconds=profile.hit_seconds,
+        weights=mix,
+    )
+    assert sized_warm.required_slots <= sized_cold.required_slots
+
+    # Live-path sanity for the timing harness: a cached dashboard hit.
+    hot_sql = pool[0][1]
+    gateway.execute(hot_sql, session=session)
+    benchmark.pedantic(
+        lambda: gateway.execute(hot_sql, session=session),
+        rounds=5,
+        iterations=20,
+    )
+
+    banner(
+        "Serving — %d open-loop sessions at %.0f qps offered (%.1fx capacity)"
+        % (N_SESSIONS, offered_qps, OVERLOAD_FACTOR),
+        [
+            "pool: %d dashboard queries, mix miss %.2f ms / hit %.3f ms"
+            % (len(pool), mix_miss_mean * 1e3, profile.hit_seconds * 1e3),
+            "cache ON : %.0f QpH, p50 %.1f ms, p99 %.1f ms, shed %.1f%%, hits %.1f%%"
+            % (
+                on.result.qph,
+                on.result.p50 * 1e3,
+                on.result.p99 * 1e3,
+                100 * on.result.shed_rate,
+                100 * on.hit_rate,
+            ),
+            "cache OFF: %.0f QpH, p50 %.1f ms, p99 %.1f ms, shed %.1f%%"
+            % (
+                off.result.qph,
+                off.result.p50 * 1e3,
+                off.result.p99 * 1e3,
+                100 * off.result.shed_rate,
+            ),
+            "QpH ratio %.2fx (gate >= %.1fx)" % (ratio, QPH_GATE),
+            "sizer: %d nodes cold -> %d nodes with cache (%d/%d slots)"
+            % (
+                sized_cold.nodes,
+                sized_warm.nodes,
+                sized_warm.required_slots,
+                sized_cold.required_slots,
+            ),
+        ],
+    )
+    record(
+        "serving",
+        sessions=len(batch),
+        offered_qps=offered_qps,
+        qph_on=on.result.qph,
+        qph_off=off.result.qph,
+        qph_ratio=ratio,
+        hit_rate=on.hit_rate,
+    )
+
+    def _run_section(outcome):
+        r = outcome.result
+        return {
+            "qph": round(r.qph, 2),
+            "p50_seconds": round(r.p50, 6),
+            "p99_seconds": round(r.p99, 6),
+            "completed": r.completed,
+            "shed_queue_full": r.shed_queue_full,
+            "shed_timeout": r.shed_timeout,
+            "shed_rate": round(r.shed_rate, 4),
+            "cache_hit_rate": round(outcome.hit_rate, 4),
+        }
+
+    _RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "workload": "serving-open-loop-dashboard",
+                "sessions": len(batch),
+                "offered_qps": round(offered_qps, 2),
+                "overload_factor": OVERLOAD_FACTOR,
+                "pool_queries": len(pool),
+                "miss_seconds_mean": round(miss_mean, 6),
+                "miss_seconds_mix": round(mix_miss_mean, 6),
+                "hit_seconds": round(profile.hit_seconds, 6),
+                "admission": {
+                    "concurrency": CONCURRENCY,
+                    "queue_limit": QUEUE_LIMIT,
+                    "timeout_seconds": TIMEOUT_SECONDS,
+                },
+                "cache_on": _run_section(on),
+                "cache_off": _run_section(off),
+                "qph_ratio": round(ratio, 2),
+                "qph_gate": QPH_GATE,
+                "sizer": {
+                    "cold": sized_cold.report(),
+                    "warm": sized_warm.report(),
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    gateway.close()

@@ -114,15 +114,20 @@ def auto_configure(
         log_buffer_bytes=int(instance_memory * LOG_BUFFER_FRACTION),
         utility_heap_bytes=int(instance_memory * UTILITY_FRACTION),
         query_parallelism=degree_of_parallelism(cores_per_shard),
-        wlm_concurrency=_wlm_concurrency(hardware),
+        wlm_concurrency=wlm_concurrency(hardware),
         shards_per_node=shards_per_node,
         cores_per_shard=cores_per_shard,
     )
     return config
 
 
-def _wlm_concurrency(hardware: HardwareSpec) -> int:
-    """Concurrent query slots: bounded by cores and by memory headroom."""
+def wlm_concurrency(hardware: HardwareSpec) -> int:
+    """Concurrent query slots: bounded by cores and by memory headroom.
+
+    Public because the serving capacity sizer (`repro.serving.sizer`)
+    maps required admission slots onto nodes with the same rule
+    auto-configuration uses — one policy, both directions.
+    """
     by_cores = max(2, hardware.cores)
     by_memory = max(2, hardware.ram_gb // 4)
     return min(by_cores, by_memory, 64)

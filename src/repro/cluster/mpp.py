@@ -452,6 +452,38 @@ class Cluster:
 
         return cluster_report(self)
 
+    def serving_recommendation(
+        self,
+        offered_qps: float,
+        measurement,
+        hit_rate: float = 0.0,
+        hit_seconds: float = 0.0,
+        weights: dict[str, float] | None = None,
+    ):
+        """Size this cluster for an offered serving load.
+
+        Runs the serving capacity sizer (:func:`repro.serving.sizer.recommend`)
+        against the *smallest live node's* hardware — the same conservative
+        floor the shard rule uses — so the recommendation can be compared
+        directly with the current topology: ``rec.nodes`` vs
+        ``len(self.live_nodes())`` answers "is this cluster big enough for
+        that traffic".
+        """
+        from repro.serving.sizer import recommend
+
+        live = self.live_nodes()
+        if not live:
+            raise ClusterError("no live node to size against")
+        floor = min((n.hardware for n in live), key=lambda h: h.cores)
+        return recommend(
+            offered_qps,
+            measurement,
+            floor,
+            hit_rate=hit_rate,
+            hit_seconds=hit_seconds,
+            weights=weights,
+        )
+
     def _needs_gather_fallback(self, select: ast.Select) -> bool:
         if select.set_op is not None or select.ctes:
             return True

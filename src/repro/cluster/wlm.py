@@ -28,11 +28,27 @@ class Job:
     finish: float = -1.0
 
     @property
-    def queue_wait(self) -> float:
+    def scheduled(self) -> bool:
+        """Whether the scheduler has assigned this job a start/finish."""
+        return self.start >= 0.0 and self.finish >= 0.0
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Queue wait in sim seconds; None until the job is scheduled.
+
+        The -1.0 start/finish sentinels used to leak through here as
+        negative waits; an unscheduled job now reports None so misuse
+        fails loudly instead of skewing averages.
+        """
+        if not self.scheduled:
+            return None
         return self.start - self.arrival
 
     @property
-    def response_time(self) -> float:
+    def response_time(self) -> float | None:
+        """Response time in sim seconds; None until the job is scheduled."""
+        if not self.scheduled:
+            return None
         return self.finish - self.arrival
 
 

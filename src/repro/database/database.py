@@ -163,6 +163,22 @@ class Database:
         #: bump; its own lock (class ``txn``) because read statements no
         #: longer hold the statement lock.
         self._counter_lock = sanitizer.make_lock("txn:%s:counter" % name)
+        #: Table-version clock for the serving-layer caches: every commit
+        #: that touches a table bumps that table's version; statements
+        #: whose touched set cannot be derived (CALL, anonymous blocks)
+        #: bump the global counter, which invalidates everything.  Guarded
+        #: by its own ``txn``-class lock: bumps happen under the statement
+        #: lock (database > txn is the declared order) while cache reads
+        #: take it bare.
+        self._version_lock = sanitizer.make_lock("txn:%s:tablever" % name)
+        self._table_versions: dict[str, int] = {}
+        self._global_version = 0
+        self._write_epoch = 0
+        self._commit_listeners: list = []
+        #: Optional prepared-statement cache (``repro.serving.cache.PlanCache``):
+        #: when attached, ``execute`` reuses parsed ASTs keyed on normalized
+        #: SQL and the planner reuses parsed view definitions.
+        self.statement_cache = None
         # Per-thread statement state: the current write transaction, the
         # current statement snapshot, and the scans of the most recent
         # statement (concurrent readers must not clobber each other's
@@ -213,6 +229,103 @@ class Database:
         raw = sum(s.stats.raw_bytes_scanned for s in self.last_scans)
         return compressed, raw
 
+    # -- commit notification (serving-cache invalidation) -----------------------
+
+    def add_commit_listener(self, listener) -> None:
+        """Register ``listener(tables_or_None)`` to run after every committed
+        write statement.  ``tables`` is the frozenset of touched table names
+        (uppercase); ``None`` means the touched set could not be derived
+        (CALL / anonymous block / recovery) and *everything* may have
+        changed.  Listeners run under the statement lock — they must be
+        short and must only acquire locks ranked after ``database``."""
+        if listener not in self._commit_listeners:
+            self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        if listener in self._commit_listeners:
+            self._commit_listeners.remove(listener)
+
+    def versions_token(self, tables) -> tuple[int, dict[str, int]]:
+        """Validation stamp for a cache entry reading ``tables``.
+
+        Returns ``(global_version, {table: version})``.  An entry is valid
+        while both the global counter and every per-table counter still
+        match — reading the token *before* executing makes the check
+        conservative: a commit racing the read leaves the entry immediately
+        stale rather than ever stale-but-valid."""
+        with self._version_lock:
+            return (
+                self._global_version,
+                {t: self._table_versions.get(t, 0) for t in tables},
+            )
+
+    def versions_valid(self, token: tuple[int, dict[str, int]]) -> bool:
+        """Whether a :meth:`versions_token` stamp is still current."""
+        global_version, per_table = token
+        with self._version_lock:
+            if global_version != self._global_version:
+                return False
+            return all(
+                self._table_versions.get(t, 0) == v for t, v in per_table.items()
+            )
+
+    @property
+    def write_epoch(self) -> int:
+        """Total committed write statements (fragile-entry validation)."""
+        with self._version_lock:
+            return self._write_epoch
+
+    def _note_commit(self, tables: frozenset | None) -> None:
+        """Bump version counters and fan out to commit listeners.
+
+        Called after a write transaction commits, still under the statement
+        lock, so listeners observe invalidations in commit order."""
+        with self._version_lock:
+            self._write_epoch += 1
+            if tables is None:
+                self._global_version += 1
+                for name in self._table_versions:
+                    self._table_versions[name] += 1
+            else:
+                for name in tables:
+                    self._table_versions[name] = (
+                        self._table_versions.get(name, 0) + 1
+                    )
+        for listener in list(self._commit_listeners):
+            listener(tables)
+
+    #: AST node -> attribute holding the target table reference.
+    _TARGET_ATTRS = {
+        ast.Insert: "table", ast.Update: "table", ast.Delete: "table",
+        ast.CreateTable: "name", ast.DropTable: "name",
+        ast.TruncateTable: "name", ast.CreateView: "name",
+        ast.DropView: "name",
+    }
+
+    def _touched_tables(self, node: ast.Node, txn) -> frozenset | None:
+        """Tables a committed write statement may have changed (None =
+        unknown, treat as all).  Combines the statement's AST target with
+        the tables the transaction actually stamped (CTAS inserts, block
+        side effects registered through the txn)."""
+        names = set()
+        if txn is not None:
+            for table in txn._tables:
+                names.add(table.schema.name.upper())
+        attr = self._TARGET_ATTRS.get(type(node))
+        if attr is not None:
+            names.add(getattr(node, attr).name.upper())
+            return frozenset(names)
+        if isinstance(
+            node, (ast.CreateSequence, ast.DropSequence, ast.CreateAlias)
+        ):
+            # Sequence/alias DDL changes no table contents (NEXTVAL readers
+            # are uncacheable), but aliases can rebind names: be safe.
+            return frozenset(names) if not isinstance(
+                node, ast.CreateAlias
+            ) else None
+        # CALL / AnonymousBlock / anything else: effects unknowable here.
+        return None
+
     # -- connections -----------------------------------------------------------
 
     def connect(self, dialect: str | None = None) -> Session:
@@ -253,8 +366,20 @@ class Database:
 
     def execute(self, sql: str, session: Session | None = None) -> Result:
         session = session or self.connect()
-        with self.tracer.span("parse", sql=sql):
-            node = parse_statement(sql)
+
+        def _parse() -> ast.Node:
+            with self.tracer.span("parse", sql=sql):
+                return parse_statement(sql)
+
+        cache = self.statement_cache
+        if cache is not None:
+            # Prepared-statement path: reuse the parsed AST for repeated
+            # statement text.  Safe because planning/binding never mutate
+            # AST nodes in place; the cache itself declines statements
+            # whose text is not a cacheable read.
+            node = cache.statement_ast(sql, _parse)
+        else:
+            node = _parse()
         return self._execute_node(node, session, sql=sql)
 
     def execute_ast(
@@ -413,6 +538,7 @@ class Database:
                     if self.durability is not None:
                         self.durability.commit(txn_meta={"txn": txn.txid})
                     txn.commit()
+                    self._note_commit(self._touched_tables(node, txn))
             finally:
                 self._tls.txn = outer_txn
                 self._tls.snapshot = prev_snapshot
@@ -585,6 +711,9 @@ class Database:
         # in-flight transactions died with the crash).
         self.txn = TxnManager(self.name)
         self._tls = threading.local()
+        # Recovery rewrites table contents wholesale: every cached answer
+        # and every outstanding version stamp is now meaningless.
+        self._note_commit(None)
         return self.durability.recover()
 
     # -- INSERT -------------------------------------------------------------------------

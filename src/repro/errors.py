@@ -150,7 +150,13 @@ class RebalanceError(ClusterError):
 
 
 class AdmissionError(ClusterError):
-    """The workload manager rejected or timed out a queued query."""
+    """The workload manager rejected or timed out a queued query.
+
+    Shed/cancelled work carries the DB2-style SQLSTATE 57014 ("processing
+    was cancelled"); configuration misuse keeps the generic state.
+    """
+
+    sqlstate = "58000"
 
 
 class DeploymentError(ReproError):

@@ -33,6 +33,7 @@ def database_report(database) -> dict:
             "rows": table.n_rows,
             "compressed_bytes": table.compressed_nbytes(),
         }
+    gateway = getattr(database, "serving", None)
     return {
         "database": database.name,
         "statements": database.statement_count,
@@ -47,7 +48,33 @@ def database_report(database) -> dict:
             if database.durability is not None
             else {"enabled": False}
         ),
+        "serving": (
+            serving_report(gateway)
+            if gateway is not None
+            else {"enabled": False}
+        ),
     }
+
+
+def serving_report(gateway) -> dict:
+    """Serving-layer MONREPORT section: caches and admission outcomes.
+
+    ``gateway`` is a :class:`repro.serving.gateway.ServingGateway`
+    (duck-typed — this module stays import-free of the serving package).
+    Open-loop simulation results (QpH, p50/p99 latency, shed rate) attach
+    under ``last_open_loop`` when the gateway has run one.
+    """
+    report = {
+        "enabled": True,
+        "result_cache": gateway.result_cache.report(),
+        "plan_cache": gateway.plan_cache.report(),
+        "admission": gateway.admission.report(),
+        "tenants": sorted(gateway.classes),
+    }
+    last = getattr(gateway, "last_open_loop", None)
+    if last is not None:
+        report["last_open_loop"] = last.report()
+    return report
 
 
 def worker_pool_report(pool) -> dict:

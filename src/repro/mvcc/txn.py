@@ -63,6 +63,19 @@ class Snapshot:
         """Every txid below this is committed for this snapshot."""
         return self.active[0] if self.active else self.high
 
+    @property
+    def horizon(self) -> tuple[int, tuple[int, ...]]:
+        """Hashable visibility horizon of this snapshot.
+
+        Two snapshots with equal horizons see exactly the same committed
+        state (same ``high`` water mark, same in-flight set), so any pure
+        read evaluated under one is byte-identical under the other.  The
+        serving result cache stamps entries with this value: a cached
+        answer is replayable for any snapshot whose horizon matches the
+        producing one, and conservatively discarded otherwise.
+        """
+        return (self.high, self.active)
+
     def sees(self, txid: int) -> bool:
         """Scalar visibility: did *txid* commit before this snapshot?"""
         if txid == self.txid:

@@ -1,0 +1,312 @@
+"""Admission control for open-loop serving traffic.
+
+Layered on the WLM substrate (:mod:`repro.cluster.wlm`): each *tenant*
+gets a :class:`ServiceClass` — a bounded number of concurrency slots, a
+bounded FIFO queue, and a queue-wait timeout.  Overload is handled by
+**shedding**, not by unbounded queueing: a session that arrives to a full
+queue is rejected immediately, and a queued session whose wait exceeds
+the class timeout is cancelled at dequeue time.  Both produce the
+DB2-style SQLSTATE ``57014`` ("processing was cancelled") surfaced by
+:data:`SHED_SQLSTATE`.
+
+Two consumers:
+
+* :class:`AdmissionSimulator` — a deterministic event-driven scheduler
+  that plays an :class:`~repro.serving.arrivals.ArrivalBatch` of 10⁵–10⁶
+  sessions against the service-time profile measured on the real engine.
+  This follows the repo's standard factoring (real engine speed ×
+  simulated concurrency, as in ``workloads.streams``): the engine is
+  measured once per distinct query, the million-session timeline is pure
+  simulation on the sim clock.
+
+* :class:`LiveAdmission` — a thread-safe no-wait slot gate for the live
+  gateway path, enforcing per-tenant concurrency on real executions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AdmissionError
+from repro.verify import sanitizer
+
+#: SQLSTATE reported on shed/cancelled work (DB2 57014).
+SHED_SQLSTATE = "57014"
+
+
+def shed_error(message: str) -> AdmissionError:
+    """An AdmissionError carrying the shed SQLSTATE."""
+    err = AdmissionError(message)
+    err.sqlstate = SHED_SQLSTATE
+    return err
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One tenant's WLM class: slots, queue bound, queue-wait timeout."""
+
+    name: str
+    concurrency: int
+    queue_limit: int = 0  # 0 = shed immediately when all slots busy
+    timeout_seconds: float | None = None  # None = queued work never times out
+
+    def __post_init__(self):
+        if self.concurrency < 1:
+            raise AdmissionError(
+                "service class %s needs at least one slot" % self.name
+            )
+        if self.queue_limit < 0:
+            raise AdmissionError("queue_limit must be >= 0")
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant outcome counters for one simulated run."""
+
+    arrivals: int = 0
+    completed: int = 0
+    shed_queue_full: int = 0
+    shed_timeout: int = 0
+    busy_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+
+    @property
+    def shed(self) -> int:
+        return self.shed_queue_full + self.shed_timeout
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+
+@dataclass
+class ServingResult:
+    """Aggregate outcome of one open-loop admission run."""
+
+    n_sessions: int
+    completed: int
+    shed_queue_full: int
+    shed_timeout: int
+    makespan_seconds: float
+    offered_qps: float
+    latencies: np.ndarray  # response times of completed sessions
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        return self.shed_queue_full + self.shed_timeout
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.n_sessions if self.n_sessions else 0.0
+
+    @property
+    def qph(self) -> float:
+        """Completed queries per hour of simulated time."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.completed * 3600.0 / self.makespan_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        if len(self.latencies) == 0:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def report(self) -> dict:
+        return {
+            "sessions": self.n_sessions,
+            "completed": self.completed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_timeout": self.shed_timeout,
+            "shed_rate": self.shed_rate,
+            "offered_qps": self.offered_qps,
+            "makespan_seconds": self.makespan_seconds,
+            "qph": self.qph,
+            "p50_seconds": self.p50,
+            "p99_seconds": self.p99,
+            "tenants": {
+                name: {
+                    "arrivals": t.arrivals,
+                    "completed": t.completed,
+                    "shed_queue_full": t.shed_queue_full,
+                    "shed_timeout": t.shed_timeout,
+                    "shed_rate": t.shed_rate,
+                    "busy_seconds": t.busy_seconds,
+                }
+                for name, t in sorted(self.tenants.items())
+            },
+        }
+
+
+class _TenantState:
+    __slots__ = ("running", "queue", "stats")
+
+    def __init__(self):
+        self.running = 0
+        self.queue: deque = deque()  # (arrival_time, service_seconds)
+        self.stats = TenantStats()
+
+
+class AdmissionSimulator:
+    """Deterministic event-driven open-loop scheduler.
+
+    Plays arrivals against per-tenant service classes on the simulated
+    timeline.  Completed-session response times are accumulated in a
+    compact ``array('d')`` so million-session runs stay within tens of
+    megabytes.
+    """
+
+    def __init__(self, classes: dict[str, ServiceClass]):
+        if not classes:
+            raise AdmissionError("need at least one service class")
+        self.classes = dict(classes)
+
+    def run(self, batch, service_seconds: np.ndarray) -> ServingResult:
+        """Schedule every session of *batch*.
+
+        ``service_seconds[i]`` is session *i*'s engine service time (the
+        gateway derives it from the measured pool profile and its cache
+        model).
+        """
+        times = batch.times
+        tenant_index = batch.tenant_index
+        tenants = batch.tenants
+        for name in tenants:
+            if name not in self.classes:
+                raise AdmissionError("no service class for tenant %s" % name)
+        states = {name: _TenantState() for name in tenants}
+        class_by_idx = [self.classes[name] for name in tenants]
+        state_by_idx = [states[name] for name in tenants]
+        latencies = array("d")
+        finish_heap: list[tuple[float, int, int]] = []  # (finish, seq, tidx)
+        seq = 0
+        last_finish = 0.0
+        n = len(batch)
+
+        def _start(tidx, state, now, arrival, service):
+            nonlocal seq, last_finish
+            state.running += 1
+            state.stats.completed += 1
+            state.stats.busy_seconds += service
+            state.stats.queue_wait_seconds += now - arrival
+            finish = now + service
+            latencies.append(finish - arrival)
+            if finish > last_finish:
+                last_finish = finish
+            heapq.heappush(finish_heap, (finish, seq, tidx))
+            seq += 1
+
+        def _drain_queue(tidx, state, sc, now):
+            while state.queue and state.running < sc.concurrency:
+                arrival, service = state.queue.popleft()
+                if (
+                    sc.timeout_seconds is not None
+                    and now - arrival > sc.timeout_seconds
+                ):
+                    state.stats.shed_timeout += 1  # SQLSTATE 57014
+                    continue
+                _start(tidx, state, now, arrival, service)
+
+        i = 0
+        while i < n or finish_heap:
+            next_arrival = times[i] if i < n else None
+            next_finish = finish_heap[0][0] if finish_heap else None
+            if next_finish is not None and (
+                next_arrival is None or next_finish <= next_arrival
+            ):
+                now, _, tidx = heapq.heappop(finish_heap)
+                state = state_by_idx[tidx]
+                state.running -= 1
+                _drain_queue(tidx, state, class_by_idx[tidx], now)
+                continue
+            now = float(next_arrival)
+            tidx = int(tenant_index[i])
+            state = state_by_idx[tidx]
+            sc = class_by_idx[tidx]
+            state.stats.arrivals += 1
+            service = float(service_seconds[i])
+            if state.running < sc.concurrency and not state.queue:
+                _start(tidx, state, now, now, service)
+            elif len(state.queue) < sc.queue_limit:
+                state.queue.append((now, service))
+            else:
+                state.stats.shed_queue_full += 1  # SQLSTATE 57014
+            i += 1
+
+        tenant_stats = {name: states[name].stats for name in tenants}
+        return ServingResult(
+            n_sessions=n,
+            completed=sum(t.completed for t in tenant_stats.values()),
+            shed_queue_full=sum(
+                t.shed_queue_full for t in tenant_stats.values()
+            ),
+            shed_timeout=sum(t.shed_timeout for t in tenant_stats.values()),
+            makespan_seconds=last_finish,
+            offered_qps=batch.offered_qps,
+            latencies=np.frombuffer(latencies, dtype=np.float64)
+            if latencies
+            else np.empty(0, dtype=np.float64),
+            tenants=tenant_stats,
+        )
+
+
+class LiveAdmission:
+    """No-wait per-tenant slot gate for the live gateway path.
+
+    The live path is synchronous, so queueing cannot be modelled here —
+    a session either gets a slot or is shed immediately with SQLSTATE
+    57014 (the simulator models bounded queues and timeouts).
+    """
+
+    def __init__(self, classes: dict[str, ServiceClass], name: str = "db"):
+        self.classes = dict(classes)
+        self._lock = sanitizer.make_lock("serving:%s:admission" % name)
+        self._running = {tenant: 0 for tenant in self.classes}
+        self.stats = {tenant: TenantStats() for tenant in self.classes}
+
+    def acquire(self, tenant: str) -> None:
+        with self._lock:
+            sc = self.classes.get(tenant)
+            if sc is None:
+                raise AdmissionError("unknown tenant %s" % tenant)
+            stats = self.stats[tenant]
+            stats.arrivals += 1
+            if self._running[tenant] >= sc.concurrency:
+                stats.shed_queue_full += 1
+                raise shed_error(
+                    "tenant %s over %d admission slots"
+                    % (tenant, sc.concurrency)
+                )
+            self._running[tenant] += 1
+
+    def release(self, tenant: str, completed: bool = True) -> None:
+        with self._lock:
+            self._running[tenant] -= 1
+            if completed:
+                self.stats[tenant].completed += 1
+
+    def report(self) -> dict:
+        with self._lock:
+            return {
+                tenant: {
+                    "slots": self.classes[tenant].concurrency,
+                    "running": self._running[tenant],
+                    "arrivals": self.stats[tenant].arrivals,
+                    "completed": self.stats[tenant].completed,
+                    "shed": self.stats[tenant].shed,
+                }
+                for tenant in sorted(self.classes)
+            }

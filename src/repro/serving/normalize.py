@@ -1,0 +1,147 @@
+"""SQL normalization for serving-layer cache keys.
+
+The serving caches key on *normalized* statement text so that
+dashboard-style repeats — same query, different whitespace, comments or
+keyword casing — collapse onto one cache entry, while statements that
+differ in any literal or identifier stay distinct (no false merges).
+
+Two normal forms are produced from the repo's own lexer
+(:mod:`repro.sql.lexer`), so normalization agrees with the parser about
+token boundaries, comments and string escapes:
+
+* :func:`normalize` — whitespace/case folding with literals preserved.
+  This is the **result-cache** key: two statements with equal normal
+  forms compute the same answer under the same snapshot.
+* :func:`parameterize` — additionally replaces every NUMBER and STRING
+  literal with ``?`` and returns the extracted parameters.  The template
+  is the **prepared-plan** grouping key: point lookups that differ only
+  in the bound constant share one plan shape.
+
+:func:`statement_key` combines both with a cacheability check: only pure
+read statements (SELECT / WITH / VALUES) free of volatile expressions
+(RAND, sequence access, CURRENT DATE/TIMESTAMP, ...) get a key at all —
+everything else must reach the engine untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+from repro.sql import lexer
+
+#: Functions/pseudocolumns whose value changes between executions even
+#: against identical data: caching their results would be wrong.
+VOLATILE_IDENTS = frozenset(
+    {
+        "RAND",
+        "RANDOM",
+        "SYSDATE",
+        "NEXTVAL",
+        "CURRVAL",
+        "CURRENT_DATE",
+        "CURRENT_TIMESTAMP",
+        "CURRENT_TIME",
+        "SYSTIMESTAMP",
+    }
+)
+
+#: ``CURRENT DATE`` / ``NEXT VALUE FOR s`` spellings (two-token forms).
+_VOLATILE_PAIRS = frozenset(
+    {
+        ("CURRENT", "DATE"),
+        ("CURRENT", "TIMESTAMP"),
+        ("CURRENT", "TIME"),
+        ("NEXT", "VALUE"),
+        ("PREVIOUS", "VALUE"),
+    }
+)
+
+#: Leading keywords of statements that read without mutating shared state.
+_READ_VERBS = frozenset({"SELECT", "WITH", "VALUES"})
+
+
+def _render(token: lexer.Token, parameterized: bool) -> str:
+    """One token's canonical spelling."""
+    if token.kind == lexer.IDENT:
+        return token.value.upper()
+    if token.kind == lexer.QIDENT:
+        # Quoted identifiers are case-significant: keep them verbatim,
+        # re-quoted so they can never merge with a plain identifier.
+        return '"%s"' % token.value.replace('"', '""')
+    if token.kind == lexer.NUMBER:
+        return "?" if parameterized else token.value
+    if token.kind == lexer.STRING:
+        return "?" if parameterized else "'%s'" % token.value.replace("'", "''")
+    return token.value  # OP
+
+
+def _normal_form(tokens: list[lexer.Token], parameterized: bool) -> str:
+    return " ".join(
+        _render(t, parameterized) for t in tokens if t.kind != lexer.EOF
+    )
+
+
+def normalize(sql: str) -> str:
+    """Whitespace/case-folded normal form with literals preserved.
+
+    ``SELECT  balance from ACCOUNTS where acct_id=5 -- x`` and
+    ``select balance FROM accounts WHERE acct_id = 5`` normalize
+    identically; changing ``5`` to ``6`` (or ``'a'`` to ``'A'``) yields a
+    distinct form.
+    """
+    return _normal_form(lexer.tokenize(sql), parameterized=False)
+
+
+def parameterize(sql: str) -> tuple[str, tuple]:
+    """``(template, params)``: literals replaced by ``?`` left-to-right."""
+    tokens = lexer.tokenize(sql)
+    params = tuple(
+        t.value for t in tokens if t.kind in (lexer.NUMBER, lexer.STRING)
+    )
+    return _normal_form(tokens, parameterized=True), params
+
+
+def is_volatile(tokens: list[lexer.Token]) -> bool:
+    """Whether the token stream contains an execution-varying expression."""
+    idents = [t.value.upper() for t in tokens if t.kind == lexer.IDENT]
+    if any(name in VOLATILE_IDENTS for name in idents):
+        return True
+    return any(pair in _VOLATILE_PAIRS for pair in zip(idents, idents[1:]))
+
+
+@dataclass(frozen=True)
+class StatementKey:
+    """Cache identity of one cacheable read statement."""
+
+    text: str  # literal-preserving normal form (result-cache key)
+    template: str  # parameterized normal form (plan grouping key)
+    params: tuple
+
+
+def statement_key(sql: str) -> StatementKey | None:
+    """Cache key for *sql*, or None when it must not be cached.
+
+    None means: not a pure read (any DML/DDL/CALL), contains a volatile
+    expression, or does not even lex — the engine deals with it.
+    """
+    try:
+        tokens = lexer.tokenize(sql)
+    except SQLSyntaxError:
+        return None
+    first = next((t for t in tokens if t.kind != lexer.EOF), None)
+    if first is None or first.kind != lexer.IDENT:
+        return None
+    if first.value.upper() not in _READ_VERBS:
+        return None
+    if is_volatile(tokens):
+        return None
+    template = _normal_form(tokens, parameterized=True)
+    params = tuple(
+        t.value for t in tokens if t.kind in (lexer.NUMBER, lexer.STRING)
+    )
+    return StatementKey(
+        text=_normal_form(tokens, parameterized=False),
+        template=template,
+        params=params,
+    )

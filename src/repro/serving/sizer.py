@@ -1,0 +1,162 @@
+"""Capacity sizing: nodes/shards from offered load and measured service times.
+
+The dashDB Local pitch is a warehouse that arrives pre-configured for its
+hardware (paper II.A); the serving layer closes the loop in the other
+direction — given an *offered load* (sessions/second at the front door)
+and the service-time profile measured on the real engine, recommend how
+much hardware to deploy.  The model is a standard M/M/c-style sizing
+pass, deliberately simple and fully deterministic:
+
+* the cache-adjusted mean service time is
+  ``hit_rate * hit_seconds + (1 - hit_rate) * E[S_miss]``, with the miss
+  profile weighted by the workload mix;
+* required slots come from the utilization bound
+  ``c >= lambda * E[S] / target_utilization``;
+* the Erlang-C delay probability (computed with the numerically stable
+  recurrence) grows the slot count until the predicted queueing delay
+  is acceptable;
+* slots map to nodes through the same WLM-concurrency rule automatic
+  configuration uses (:func:`repro.cluster.autoconfig.wlm_concurrency`),
+  and shards through :func:`repro.cluster.autoconfig.shards_for_cluster`
+  (paper II.E's "several factors more shards than servers").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.autoconfig import shards_for_cluster, wlm_concurrency
+from repro.cluster.hardware import HardwareSpec
+
+
+def erlang_c(servers: int, offered_erlangs: float) -> float:
+    """P(wait > 0) for M/M/c with ``offered_erlangs = lambda * E[S]``.
+
+    Uses the stable recurrence for the Erlang-B blocking probability,
+    then converts to Erlang C.  Returns 1.0 when the system is at or
+    beyond saturation (rho >= 1), where the queue grows without bound.
+    """
+    if servers < 1:
+        return 1.0
+    if offered_erlangs <= 0:
+        return 0.0
+    if offered_erlangs >= servers:
+        return 1.0
+    # Erlang-B recurrence: B(0) = 1; B(k) = a*B(k-1) / (k + a*B(k-1)).
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = (
+            offered_erlangs * blocking / (k + offered_erlangs * blocking)
+        )
+    rho = offered_erlangs / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+@dataclass(frozen=True)
+class SizingRecommendation:
+    """What to deploy for one offered load."""
+
+    offered_qps: float
+    hit_rate: float
+    service_seconds: float  # cache-adjusted mean service time
+    required_slots: int
+    slots_per_node: int
+    nodes: int
+    shards: int
+    utilization: float  # at the recommended slot count
+    wait_probability: float  # Erlang-C P(wait) at that count
+    expected_wait_seconds: float
+
+    def report(self) -> dict:
+        return {
+            "offered_qps": self.offered_qps,
+            "hit_rate": self.hit_rate,
+            "service_seconds": self.service_seconds,
+            "required_slots": self.required_slots,
+            "slots_per_node": self.slots_per_node,
+            "nodes": self.nodes,
+            "shards": self.shards,
+            "utilization": self.utilization,
+            "wait_probability": self.wait_probability,
+            "expected_wait_seconds": self.expected_wait_seconds,
+        }
+
+
+def mean_service_seconds(
+    measurement, weights: dict[str, float] | None = None
+) -> float:
+    """Mix-weighted mean service time of a measured pool.
+
+    ``measurement`` is any object with the
+    :class:`~repro.workloads.streams.PoolMeasurement` shape
+    (``query_ids`` + ``seconds``); ``weights`` maps query id to its share
+    of the traffic (unnormalized ok; missing ids weigh zero).  Without
+    weights every pool query is equally likely.
+    """
+    ids = list(measurement.query_ids)
+    if not ids:
+        raise ValueError("empty pool measurement")
+    if weights is None:
+        return sum(measurement.seconds[q] for q in ids) / len(ids)
+    total = sum(weights.get(q, 0.0) for q in ids)
+    if total <= 0:
+        raise ValueError("weights assign no mass to the measured pool")
+    return (
+        sum(measurement.seconds[q] * weights.get(q, 0.0) for q in ids) / total
+    )
+
+
+def recommend(
+    offered_qps: float,
+    measurement,
+    hardware: HardwareSpec,
+    hit_rate: float = 0.0,
+    hit_seconds: float = 0.0,
+    weights: dict[str, float] | None = None,
+    target_utilization: float = 0.70,
+    max_wait_probability: float = 0.20,
+) -> SizingRecommendation:
+    """Recommend node/shard counts for ``offered_qps`` sessions/second.
+
+    ``hit_rate``/``hit_seconds`` fold the result cache into the service
+    profile — a measured (or simulated) hit ratio shrinks the effective
+    demand and therefore the fleet.
+    """
+    if offered_qps <= 0:
+        raise ValueError("offered_qps must be positive")
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit_rate must be within [0, 1]")
+    if not 0.0 < target_utilization < 1.0:
+        raise ValueError("target_utilization must be within (0, 1)")
+    miss_seconds = mean_service_seconds(measurement, weights)
+    service = hit_rate * hit_seconds + (1.0 - hit_rate) * miss_seconds
+    offered_erlangs = offered_qps * service
+    slots = max(1, math.ceil(offered_erlangs / target_utilization))
+    # Grow until the Erlang-C delay probability is acceptable (bounded:
+    # P(wait) is monotonically decreasing in the server count).
+    while erlang_c(slots, offered_erlangs) > max_wait_probability:
+        slots += 1
+    wait_probability = erlang_c(slots, offered_erlangs)
+    rho = offered_erlangs / slots
+    # M/M/c mean wait: P(wait) * E[S] / (c * (1 - rho)).
+    expected_wait = (
+        wait_probability * service / (slots * (1.0 - rho))
+        if rho < 1.0
+        else float("inf")
+    )
+    slots_per_node = wlm_concurrency(hardware)
+    nodes = max(1, math.ceil(slots / slots_per_node))
+    shards = shards_for_cluster(nodes, hardware.cores)
+    return SizingRecommendation(
+        offered_qps=offered_qps,
+        hit_rate=hit_rate,
+        service_seconds=service,
+        required_slots=slots,
+        slots_per_node=slots_per_node,
+        nodes=nodes,
+        shards=shards,
+        utilization=rho,
+        wait_probability=wait_probability,
+        expected_wait_seconds=expected_wait,
+    )

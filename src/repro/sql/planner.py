@@ -346,7 +346,15 @@ class SelectPlanner:
         if isinstance(obj, ViewInfo):
             from repro.sql.parser import parse_statement
 
-            view_select = parse_statement(obj.text)
+            cache = getattr(self.database, "statement_cache", None)
+            if cache is not None:
+                # Prepared-plan path: reparsing the view text on every
+                # reference dominates plan time for dashboard repeats, and
+                # planning never mutates the AST, so the parsed definition
+                # is memoizable.
+                view_select = cache.view_ast(obj.text, parse_statement)
+            else:
+                view_select = parse_statement(obj.text)
             if not isinstance(view_select, ast.Select):
                 raise SQLError("view %s does not contain a SELECT" % obj.name)
             saved = self.dialect

@@ -44,10 +44,13 @@ from repro.verify import sanitizer
 #: (the per-table capture lock guarding seal/truncate vs. snapshot
 #: capture) sits inside ``durability`` because recovery replays table
 #: mutations — which may seal a region — while holding the durability
-#: lock.
+#: lock.  ``serving`` (the result/plan cache) sits between ``database``
+#: and ``txn``: commit listeners take the cache lock under the statement
+#: lock (database > serving), and cache validation reads the table-version
+#: clock — a ``txn``-class lock — under the cache lock (serving > txn).
 DECLARED_ORDER = (
-    "database", "txn", "durability", "table", "pool", "bufferpool",
-    "metrics", "tracer",
+    "database", "serving", "txn", "durability", "table", "pool",
+    "bufferpool", "metrics", "tracer",
 )
 
 _RANK = {name: i for i, name in enumerate(DECLARED_ORDER)}

@@ -20,7 +20,6 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cluster.wlm import ScheduleResult, schedule_streams
-from repro.util.rng import derive_rng
 
 
 @dataclass
@@ -73,13 +72,19 @@ def run_multistream(
     """Schedule N closed-loop streams over the measured pool.
 
     Each stream runs the pool in its own permutation (the TPC multi-stream
-    convention), repeated/truncated to ``queries_per_stream``.
+    convention), repeated/truncated to ``queries_per_stream``.  The
+    permutations come from the serving layer's shared arrival generator
+    (:func:`repro.serving.arrivals.stream_orders`) so closed-loop and
+    open-loop runs draw from one deterministic source over one
+    :class:`PoolMeasurement`.
     """
-    rng = derive_rng(seed, "streams")
+    from repro.serving.arrivals import stream_orders
+
     per_stream = queries_per_stream or len(measurement.query_ids)
+    orders = stream_orders(len(measurement.query_ids), n_streams, seed)
     stream_times: list[list[float]] = []
     for stream in range(n_streams):
-        order = list(rng.permutation(len(measurement.query_ids)))
+        order = orders[stream]
         times = []
         i = 0
         while len(times) < per_stream:

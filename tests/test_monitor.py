@@ -364,7 +364,7 @@ class TestMonreport:
         report = db.monreport()
         assert sorted(report) == [
             "bufferpool", "database", "durability", "metrics", "parallel",
-            "statements", "tables", "tracing_enabled", "txn",
+            "serving", "statements", "tables", "tracing_enabled", "txn",
         ]
         assert report["parallel"]["parallelism"] >= 1
         assert report["tracing_enabled"] is True

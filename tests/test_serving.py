@@ -1,0 +1,713 @@
+"""Serving-layer tests: normalization, caches, admission, arrivals, sizer.
+
+Covers the serving subsystem's correctness contracts: cache keys never
+merge distinct statements, cached answers are byte-identical to uncached
+execution and die on invalidating commits, admission control sheds
+deterministically with SQLSTATE 57014, the open-loop generator is a pure
+function of its seed, and the WLM Job sentinel regression stays fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hardware import HardwareSpec
+from repro.cluster.wlm import Job, WorkloadManager
+from repro.database import Database
+from repro.errors import AdmissionError
+from repro.serving import (
+    SHED_SQLSTATE,
+    AdmissionSimulator,
+    PlanCache,
+    ResultCache,
+    ServiceClass,
+    ServingGateway,
+    ServingPoolProfile,
+    cache_service_profile,
+    normalize,
+    open_loop_arrivals,
+    parameterize,
+    read_dependencies,
+    recommend,
+    run_open_loop,
+    statement_key,
+    stream_orders,
+)
+from repro.serving.sizer import erlang_c
+from repro.util.rng import derive_rng
+from repro.workloads.streams import PoolMeasurement, run_multistream
+
+# -- SQL normalization ---------------------------------------------------------
+
+
+class TestNormalize:
+    def test_whitespace_case_and_comments_fold(self):
+        a = normalize("select  Balance\nFROM accounts WHERE acct_id = 5 -- x")
+        b = normalize("SELECT balance FROM ACCOUNTS /* c */ WHERE ACCT_ID=5")
+        assert a == b == "SELECT BALANCE FROM ACCOUNTS WHERE ACCT_ID = 5"
+
+    def test_distinct_literals_never_merge(self):
+        base = "SELECT a FROM t WHERE x = %s"
+        assert normalize(base % "5") != normalize(base % "6")
+        assert normalize(base % "5") != normalize(base % "5.0")
+        assert normalize("SELECT a FROM t WHERE c = 'x'") != normalize(
+            "SELECT a FROM t WHERE c = 'X'"
+        )
+
+    def test_distinct_predicates_never_merge(self):
+        assert normalize("SELECT a FROM t WHERE x > 5") != normalize(
+            "SELECT a FROM t WHERE x >= 5"
+        )
+        assert normalize("SELECT a FROM t") != normalize(
+            "SELECT a FROM t2"
+        )
+
+    def test_quoted_identifiers_stay_case_significant(self):
+        assert normalize('SELECT "x" FROM t') != normalize('SELECT "X" FROM t')
+        assert normalize('SELECT "X" FROM t') != normalize("SELECT X FROM t")
+
+    def test_string_escapes_roundtrip(self):
+        assert normalize("SELECT 'it''s' FROM t") == "SELECT 'it''s' FROM T"
+
+    def test_parameterize_extracts_literals_in_order(self):
+        template, params = parameterize(
+            "SELECT a FROM t WHERE x = 5 AND c = 'abc' AND y < 2.5"
+        )
+        assert template == "SELECT A FROM T WHERE X = ? AND C = ? AND Y < ?"
+        assert params == ("5", "abc", "2.5")
+
+    def test_statement_key_accepts_only_pure_reads(self):
+        assert statement_key("SELECT 1 FROM t") is not None
+        assert statement_key("WITH x AS (SELECT 1 FROM t) SELECT * FROM x")
+        assert statement_key("VALUES (1, 2)") is not None
+        for sql in (
+            "INSERT INTO t VALUES (1)",
+            "UPDATE t SET a = 1",
+            "DELETE FROM t",
+            "DROP TABLE t",
+            "CALL p(1)",
+            "",
+            "   ",
+            "???",
+        ):
+            assert statement_key(sql) is None, sql
+
+    def test_statement_key_rejects_volatile_expressions(self):
+        for sql in (
+            "SELECT RAND() FROM t",
+            "SELECT seq.NEXTVAL FROM dual",
+            "SELECT CURRENT DATE FROM t",
+            "SELECT CURRENT_TIMESTAMP FROM t",
+            "SELECT NEXT VALUE FOR s FROM t",
+        ):
+            assert statement_key(sql) is None, sql
+
+    def test_key_is_shared_across_formatting_variants(self):
+        k1 = statement_key("select a from t where x=5")
+        k2 = statement_key("SELECT  a\nFROM t WHERE x = 5")
+        assert k1 == k2
+        assert k1.template == "SELECT A FROM T WHERE X = ?"
+
+
+# -- engine version clock ------------------------------------------------------
+
+
+class TestVersionClock:
+    def test_commits_bump_touched_table_versions(self):
+        db = Database("vc")
+        db.execute("CREATE TABLE t (a INT)")
+        token = db.versions_token(["T"])
+        assert db.versions_valid(token)
+        db.execute("INSERT INTO t VALUES (1)")
+        assert not db.versions_valid(token)
+        assert db.versions_valid(db.versions_token(["T"]))
+
+    def test_unrelated_commits_leave_token_valid(self):
+        db = Database("vc2")
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE TABLE u (a INT)")
+        token = db.versions_token(["T"])
+        db.execute("INSERT INTO u VALUES (1)")
+        assert db.versions_valid(token)
+
+    def test_failed_statement_does_not_bump(self):
+        db = Database("vc3")
+        db.execute("CREATE TABLE t (a INT NOT NULL)")
+        token = db.versions_token(["T"])
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO t VALUES (NULL)")
+        assert db.versions_valid(token)
+
+    def test_commit_listener_receives_touched_tables(self):
+        db = Database("vc4")
+        seen = []
+        db.add_commit_listener(seen.append)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert frozenset({"T"}) in seen
+        db.remove_commit_listener(seen.append)
+        db.execute("INSERT INTO t VALUES (2)")
+        assert len([s for s in seen if s == frozenset({"T"})]) == 2
+
+    def test_snapshot_horizon_is_stable_between_commits(self):
+        db = Database("vc5")
+        db.execute("CREATE TABLE t (a INT)")
+        h1 = db.txn.snapshot().horizon
+        h2 = db.txn.snapshot().horizon
+        assert h1 == h2
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.txn.snapshot().horizon != h1
+
+
+# -- result cache --------------------------------------------------------------
+
+
+@pytest.fixture()
+def served():
+    db = Database("served")
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    gateway = ServingGateway(db)
+    yield db, gateway
+    gateway.close()
+
+
+class TestResultCache:
+    def test_hit_returns_byte_identical_rows(self, served):
+        db, gw = served
+        sql = "SELECT a, b FROM t ORDER BY a"
+        first = gw.execute(sql)
+        second = gw.execute("select A, B from T order by A")
+        assert second.rows == first.rows
+        assert second.columns == first.columns
+        assert gw.result_cache.stats.hits == 1
+        assert gw.result_cache.stats.misses == 1
+
+    def test_hit_result_is_a_fresh_wrapper(self, served):
+        db, gw = served
+        sql = "SELECT a FROM t ORDER BY a"
+        first = gw.execute(sql)
+        first.rows.append(("poison",))
+        second = gw.execute(sql)
+        assert ("poison",) not in second.rows
+
+    def test_commit_to_read_table_invalidates(self, served):
+        db, gw = served
+        sql = "SELECT COUNT(*) FROM t"
+        assert gw.execute(sql).scalar() == 3
+        db.execute("INSERT INTO t VALUES (4, 40)")
+        assert gw.execute(sql).scalar() == 4
+        assert gw.result_cache.stats.invalidations >= 1
+
+    def test_commit_to_other_table_keeps_entry(self, served):
+        db, gw = served
+        db.execute("CREATE TABLE u (x INT)")
+        sql = "SELECT COUNT(*) FROM t"
+        gw.execute(sql)
+        db.execute("INSERT INTO u VALUES (1)")
+        gw.execute(sql)
+        assert gw.result_cache.stats.hits == 1
+
+    def test_view_reads_track_base_table(self, served):
+        db, gw = served
+        db.execute("CREATE VIEW v AS SELECT a, b FROM t WHERE b > 10")
+        sql = "SELECT COUNT(*) FROM v"
+        assert gw.execute(sql).scalar() == 2
+        gw.execute(sql)
+        assert gw.result_cache.stats.hits == 1
+        db.execute("INSERT INTO t VALUES (5, 50)")
+        assert gw.execute(sql).scalar() == 3
+
+    def test_update_and_delete_invalidate(self, served):
+        db, gw = served
+        sql = "SELECT SUM(b) FROM t"
+        assert gw.execute(sql).scalar() == 60
+        db.execute("UPDATE t SET b = b + 1 WHERE a = 1")
+        assert gw.execute(sql).scalar() == 61
+        db.execute("DELETE FROM t WHERE a = 2")
+        assert gw.execute(sql).scalar() == 41
+
+    def test_writes_bypass_the_cache(self, served):
+        db, gw = served
+        result = gw.execute("INSERT INTO t VALUES (9, 90)")
+        assert result.rowcount == 1
+        assert gw.result_cache.stats.bypass >= 1
+        assert gw.execute("SELECT COUNT(*) FROM t").scalar() == 4
+
+    def test_volatile_queries_bypass(self, served):
+        db, gw = served
+        gw.execute("SELECT RAND() FROM t")
+        gw.execute("SELECT RAND() FROM t")
+        assert gw.result_cache.stats.hits == 0
+
+    def test_temp_table_reads_are_uncacheable(self, served):
+        db, gw = served
+        from repro.sql.parser import parse_statement
+
+        session = db.connect("db2")
+        session.execute("DECLARE GLOBAL TEMPORARY TABLE tmp (x INT)")
+        node = parse_statement("SELECT COUNT(*) FROM tmp")
+        assert read_dependencies(node, db, session) is None
+        # Explicit SESSION qualification is uncacheable even without the
+        # session object in hand.
+        qualified = parse_statement("SELECT COUNT(*) FROM session.tmp")
+        assert read_dependencies(qualified, db) is None
+
+    def test_dependencies_resolve_through_views(self, served):
+        db, gw = served
+        from repro.sql.parser import parse_statement
+
+        db.execute("CREATE VIEW v2 AS SELECT a FROM t")
+        deps = read_dependencies(
+            parse_statement("SELECT * FROM v2"), db
+        )
+        assert deps == frozenset({"T"})
+
+    def test_unknown_table_is_uncacheable(self, served):
+        db, gw = served
+        from repro.sql.parser import parse_statement
+
+        deps = read_dependencies(
+            parse_statement("SELECT * FROM nope"), db
+        )
+        assert deps is None
+
+    def test_cte_shadowing_catalog_name_bypasses(self, served):
+        db, gw = served
+        from repro.sql.parser import parse_statement
+
+        deps = read_dependencies(
+            parse_statement(
+                "WITH t AS (SELECT 1 AS a FROM t) SELECT * FROM t"
+            ),
+            db,
+        )
+        assert deps is None
+
+    def test_drop_table_invalidates(self, served):
+        db, gw = served
+        db.execute("CREATE TABLE g (x INT)")
+        db.execute("INSERT INTO g VALUES (1)")
+        sql = "SELECT COUNT(*) FROM g"
+        assert gw.execute(sql).scalar() == 1
+        db.execute("DROP TABLE g")
+        db.execute("CREATE TABLE g (x INT)")
+        assert gw.execute(sql).scalar() == 0
+
+    def test_capacity_eviction_is_lru(self):
+        db = Database("lru")
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        cache = ResultCache(db, capacity=2)
+        for i in range(3):
+            cache.fetch("SELECT a FROM t WHERE a < %d" % (10 + i))
+        assert cache.stats.evictions == 1
+        # Oldest entry evicted; newest two still hit.
+        assert cache.fetch("SELECT a FROM t WHERE a < 12").hit
+        assert not cache.fetch("SELECT a FROM t WHERE a < 10").hit
+
+
+class TestPlanCache:
+    def test_statement_ast_reused_across_invalidation(self, served):
+        db, gw = served
+        sql = "SELECT a FROM t WHERE b = 20"
+        gw.execute(sql)
+        # A write invalidates the cached *result* but not the parsed AST:
+        # the re-execution reuses the prepared statement.
+        db.execute("INSERT INTO t VALUES (7, 70)")
+        gw.execute(sql)
+        assert gw.plan_cache.stats.hits >= 1
+        assert gw.plan_cache.stats.stores == 1
+
+    def test_view_definition_parsed_once(self, served):
+        db, gw = served
+        db.execute("CREATE VIEW v AS SELECT a FROM t")
+        db.execute("SELECT * FROM v WHERE a = 1")
+        db.execute("SELECT * FROM v WHERE a = 2")
+        assert gw.plan_cache.view_stats.hits >= 1
+
+    def test_plan_templates_group_literal_variants(self, served):
+        db, gw = served
+        for i in range(4):
+            gw.execute("SELECT a FROM t WHERE b = %d" % i)
+        assert gw.plan_cache.template_count() == 1
+
+    def test_detach_restores_plain_parsing(self, served):
+        db, gw = served
+        gw.close()
+        assert db.statement_cache is None
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 3
+        gw2 = ServingGateway(db)  # re-attachable; fixture closes again
+        assert db.statement_cache is gw2.plan_cache
+
+
+# -- WLM Job sentinel regression (satellite) -----------------------------------
+
+
+class TestJobSentinelRegression:
+    def test_unscheduled_job_reports_none_not_negative(self):
+        job = Job(job_id="q", service_seconds=1.0, arrival=5.0)
+        assert not job.scheduled
+        assert job.queue_wait is None
+        assert job.response_time is None
+
+    def test_scheduled_job_reports_real_times(self):
+        manager = WorkloadManager(concurrency=1)
+        jobs = [
+            Job(job_id="a", service_seconds=2.0, arrival=0.0),
+            Job(job_id="b", service_seconds=1.0, arrival=0.0),
+        ]
+        result = manager.schedule(jobs)
+        for job in result.jobs:
+            assert job.scheduled
+            assert job.queue_wait >= 0.0
+            assert job.response_time >= job.service_seconds
+        assert result.mean_response > 0
+
+
+# -- open-loop arrivals --------------------------------------------------------
+
+
+class TestArrivals:
+    def test_same_seed_same_trace(self):
+        a = open_loop_arrivals(["q1", "q2", "q3"], 5000, 100.0, seed=5)
+        b = open_loop_arrivals(["q1", "q2", "q3"], 5000, 100.0, seed=5)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.query_index, b.query_index)
+        assert np.array_equal(a.tenant_index, b.tenant_index)
+
+    def test_different_seed_different_trace(self):
+        a = open_loop_arrivals(["q1", "q2"], 5000, 100.0, seed=5)
+        b = open_loop_arrivals(["q1", "q2"], 5000, 100.0, seed=6)
+        assert not np.array_equal(a.times, b.times)
+
+    def test_offered_rate_is_roughly_requested(self):
+        batch = open_loop_arrivals(["q"], 200_000, 500.0, seed=1)
+        assert batch.offered_qps == pytest.approx(500.0, rel=0.05)
+
+    def test_interarrivals_are_heavy_tailed(self):
+        batch = open_loop_arrivals(["q"], 100_000, 100.0, seed=2, sigma=1.2)
+        gaps = np.diff(batch.times)
+        # Lognormal signature: mean far above median, long right tail.
+        assert gaps.mean() > 2.0 * np.median(gaps)
+        assert gaps.max() > 20.0 * gaps.mean()
+
+    def test_zipf_mix_concentrates_on_hot_queries(self):
+        ids = ["q%d" % i for i in range(20)]
+        batch = open_loop_arrivals(ids, 50_000, 100.0, seed=3, zipf_s=1.2)
+        counts = np.bincount(batch.query_index, minlength=20)
+        assert counts[0] > counts[10] > 0
+
+    def test_tenant_pools_restrict_queries(self):
+        ids = ["hot1", "hot2", "heavy1", "heavy2"]
+        batch = open_loop_arrivals(
+            ids,
+            20_000,
+            100.0,
+            seed=4,
+            tenants=("dash", "analyst"),
+            tenant_shares=(0.8, 0.2),
+            tenant_pools={"dash": [0, 1], "analyst": [2, 3]},
+        )
+        dash_mask = batch.tenant_index == 0
+        assert set(np.unique(batch.query_index[dash_mask])) <= {0, 1}
+        assert set(np.unique(batch.query_index[~dash_mask])) <= {2, 3}
+
+    def test_stream_orders_match_legacy_multistream_draws(self):
+        """The shared generator must reproduce the exact permutations the
+        closed-loop harness drew before the refactor (byte-compatible
+        schedules across the PR)."""
+        n_queries, n_streams, seed = 7, 4, 11
+        rng = derive_rng(seed, "streams")
+        legacy = [
+            list(rng.permutation(n_queries)) for _ in range(n_streams)
+        ]
+        assert stream_orders(n_queries, n_streams, seed) == legacy
+
+    def test_run_multistream_unchanged_by_refactor(self):
+        measurement = PoolMeasurement(
+            query_ids=["a", "b", "c"],
+            seconds={"a": 0.5, "b": 1.0, "c": 0.25},
+            total=1.75,
+        )
+        result = run_multistream(measurement, n_streams=3, concurrency=2)
+        assert result.jobs and result.makespan > 0
+        # Deterministic: same inputs, same schedule.
+        again = run_multistream(measurement, n_streams=3, concurrency=2)
+        assert again.makespan == result.makespan
+        assert again.total_service == result.total_service
+
+
+# -- admission control ---------------------------------------------------------
+
+
+def _profile(miss=0.002, hit=0.0001):
+    m = PoolMeasurement(
+        query_ids=["a", "b"], seconds={"a": miss, "b": 2 * miss}, total=3 * miss
+    )
+    return ServingPoolProfile(measurement=m, hit_seconds=hit)
+
+
+class TestAdmission:
+    def test_underload_completes_everything(self):
+        batch = open_loop_arrivals(["a", "b"], 10_000, 100.0, seed=7)
+        classes = {
+            "dashboard": ServiceClass("dashboard", concurrency=8, queue_limit=64)
+        }
+        outcome = run_open_loop(batch, _profile(), classes, cache_enabled=False)
+        assert outcome.result.completed == 10_000
+        assert outcome.result.shed == 0
+        assert outcome.result.p99 >= outcome.result.p50 > 0
+
+    def test_overload_sheds_with_bounded_queue(self):
+        batch = open_loop_arrivals(["a", "b"], 20_000, 4000.0, seed=8)
+        classes = {
+            "dashboard": ServiceClass(
+                "dashboard", concurrency=2, queue_limit=8,
+                timeout_seconds=0.25,
+            )
+        }
+        outcome = run_open_loop(batch, _profile(), classes, cache_enabled=False)
+        result = outcome.result
+        assert result.shed > 0
+        assert result.completed + result.shed == 20_000
+        assert result.shed_rate > 0.3
+        # Bounded queue keeps p99 of *completed* work bounded too: nothing
+        # can wait longer than the queue ahead of it allows.
+        assert result.p99 < 1.0
+
+    def test_timeout_shedding_triggers(self):
+        batch = open_loop_arrivals(["a", "b"], 20_000, 4000.0, seed=8)
+        classes = {
+            "dashboard": ServiceClass(
+                "dashboard", concurrency=2, queue_limit=64,
+                timeout_seconds=0.01,
+            )
+        }
+        outcome = run_open_loop(batch, _profile(), classes, cache_enabled=False)
+        assert outcome.result.shed_timeout > 0
+
+    def test_simulation_is_deterministic(self):
+        batch = open_loop_arrivals(["a", "b"], 30_000, 2000.0, seed=9)
+        classes = {
+            "dashboard": ServiceClass(
+                "dashboard", concurrency=4, queue_limit=16,
+                timeout_seconds=0.5,
+            )
+        }
+        r1 = run_open_loop(batch, _profile(), classes).result
+        r2 = run_open_loop(batch, _profile(), classes).result
+        assert r1.completed == r2.completed
+        assert r1.shed_queue_full == r2.shed_queue_full
+        assert r1.shed_timeout == r2.shed_timeout
+        assert np.array_equal(r1.latencies, r2.latencies)
+
+    def test_per_tenant_isolation(self):
+        """A saturated tenant cannot shed a lightly loaded one."""
+        batch = open_loop_arrivals(
+            ["a", "b"],
+            20_000,
+            2000.0,
+            seed=10,
+            tenants=("noisy", "quiet"),
+            tenant_shares=(0.95, 0.05),
+        )
+        classes = {
+            "noisy": ServiceClass("noisy", concurrency=1, queue_limit=2),
+            "quiet": ServiceClass("quiet", concurrency=4, queue_limit=64),
+        }
+        outcome = run_open_loop(batch, _profile(), classes, cache_enabled=False)
+        tenants = outcome.result.tenants
+        assert tenants["noisy"].shed_rate > 0.5
+        assert tenants["quiet"].shed == 0
+
+    def test_cache_model_raises_hit_rate_and_throughput(self):
+        batch = open_loop_arrivals(
+            ["a", "b"], 50_000, 4000.0, seed=11, zipf_s=1.1
+        )
+        classes = {
+            "dashboard": ServiceClass(
+                "dashboard", concurrency=2, queue_limit=8,
+                timeout_seconds=0.25,
+            )
+        }
+        on = run_open_loop(batch, _profile(), classes, cache_enabled=True)
+        off = run_open_loop(batch, _profile(), classes, cache_enabled=False)
+        assert on.hit_rate > 0.99
+        assert off.hit_rate == 0.0
+        assert on.result.qph > 2.0 * off.result.qph
+
+    def test_invalidation_period_lowers_hit_rate(self):
+        batch = open_loop_arrivals(["a", "b"], 20_000, 100.0, seed=12)
+        service_always, rate_always = cache_service_profile(
+            batch, _profile(), invalidation_period=None
+        )
+        service_churn, rate_churn = cache_service_profile(
+            batch, _profile(), invalidation_period=1.0
+        )
+        assert rate_churn < rate_always
+        assert service_churn.sum() > service_always.sum()
+
+    def test_live_admission_sheds_with_sqlstate(self, served):
+        db, gw = served
+        gw.close()
+        classes = {"t1": ServiceClass("t1", concurrency=1)}
+        gateway = ServingGateway(db, classes=classes)
+        try:
+            gateway.admission.acquire("t1")  # hold the only slot
+            with pytest.raises(AdmissionError) as excinfo:
+                gateway.execute("SELECT COUNT(*) FROM t", tenant="t1")
+            assert excinfo.value.sqlstate == SHED_SQLSTATE == "57014"
+            gateway.admission.release("t1", completed=False)
+            assert gateway.execute("SELECT COUNT(*) FROM t").scalar() == 3
+        finally:
+            gateway.close()
+
+    def test_unknown_tenant_rejected(self, served):
+        db, gw = served
+        with pytest.raises(AdmissionError):
+            gw.execute("SELECT 1 FROM t", tenant="nope")
+
+
+# -- capacity sizer ------------------------------------------------------------
+
+
+class TestSizer:
+    HW = HardwareSpec(cores=16, ram_gb=64, storage_tb=4.0)
+
+    def _measurement(self):
+        return PoolMeasurement(
+            query_ids=["a", "b"],
+            seconds={"a": 0.002, "b": 0.006},
+            total=0.008,
+        )
+
+    def test_erlang_c_bounds_and_monotonicity(self):
+        assert erlang_c(4, 0.0) == 0.0
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 5.0) == 1.0
+        assert 0.0 < erlang_c(4, 2.0) < 1.0
+        assert erlang_c(8, 2.0) < erlang_c(4, 2.0)
+
+    def test_more_load_needs_more_nodes(self):
+        m = self._measurement()
+        low = recommend(100.0, m, self.HW)
+        high = recommend(20_000.0, m, self.HW)
+        assert high.required_slots > low.required_slots
+        assert high.nodes >= low.nodes
+        assert high.shards >= high.nodes  # paper II.E: shards >= servers
+
+    def test_cache_hits_shrink_the_fleet(self):
+        m = self._measurement()
+        cold = recommend(20_000.0, m, self.HW, hit_rate=0.0)
+        warm = recommend(
+            20_000.0, m, self.HW, hit_rate=0.95, hit_seconds=0.0001
+        )
+        assert warm.required_slots < cold.required_slots
+        assert warm.service_seconds < cold.service_seconds
+
+    def test_utilization_stays_under_target(self):
+        rec = recommend(
+            5000.0, self._measurement(), self.HW, target_utilization=0.7
+        )
+        assert rec.utilization <= 0.7 + 1e-9
+        assert rec.wait_probability <= 0.20
+
+    def test_mix_weights_shift_the_mean(self):
+        m = self._measurement()
+        heavy = recommend(1000.0, m, self.HW, weights={"b": 1.0})
+        light = recommend(1000.0, m, self.HW, weights={"a": 1.0})
+        assert heavy.service_seconds > light.service_seconds
+
+    def test_input_validation(self):
+        m = self._measurement()
+        with pytest.raises(ValueError):
+            recommend(0.0, m, self.HW)
+        with pytest.raises(ValueError):
+            recommend(10.0, m, self.HW, hit_rate=1.5)
+        with pytest.raises(ValueError):
+            recommend(10.0, m, self.HW, target_utilization=1.0)
+
+    def test_cluster_sizes_against_its_own_hardware(self):
+        from repro.cluster.autoconfig import wlm_concurrency
+        from repro.cluster.mpp import Cluster
+
+        cluster = Cluster([self.HW] * 2, durable=False)
+        try:
+            rec = cluster.serving_recommendation(1000.0, self._measurement())
+            assert rec.slots_per_node == wlm_concurrency(self.HW)
+            assert rec == recommend(1000.0, self._measurement(), self.HW)
+        finally:
+            cluster.pool.shutdown()
+
+
+# -- monreport surface ---------------------------------------------------------
+
+
+class TestServingMonreport:
+    def test_database_report_includes_serving_section(self, served):
+        db, gw = served
+        gw.execute("SELECT COUNT(*) FROM t")
+        gw.execute("SELECT COUNT(*) FROM t")
+        report = db.monreport()["serving"]
+        assert report["enabled"]
+        assert report["result_cache"]["hits"] == 1
+        assert report["result_cache"]["hit_rate"] == 0.5
+        assert report["plan_cache"]["cached_asts"] >= 1
+        assert report["admission"]["dashboard"]["completed"] == 2
+
+    def test_report_disabled_without_gateway(self):
+        db = Database("plain")
+        assert db.monreport()["serving"] == {"enabled": False}
+
+    def test_open_loop_outcome_lands_in_report(self, served):
+        db, gw = served
+        batch = open_loop_arrivals(["a", "b"], 10_000, 200.0, seed=13)
+        gw.open_loop(batch, _profile(), classes={
+            "dashboard": ServiceClass("dashboard", concurrency=8, queue_limit=64)
+        })
+        section = db.monreport()["serving"]["last_open_loop"]
+        assert section["sessions"] == 10_000
+        assert section["qph"] > 0
+        assert "p99_seconds" in section and "shed_rate" in section
+        assert section["cache_hit_rate"] > 0.9
+
+
+# -- engine integration: correctness with the cache in front -------------------
+
+
+class TestGatewayDifferential:
+    def test_cached_equals_uncached_through_write_mix(self):
+        """Interleave reads and writes; every gateway answer must equal a
+        cache-free engine fed the same statements."""
+        db = Database("gdiff")
+        oracle = Database("gdiff-oracle")
+        for system in (db, oracle):
+            system.execute("CREATE TABLE t (a INT, b INT)")
+            system.execute(
+                "INSERT INTO t VALUES (1, 1), (2, 4), (3, 9), (4, 16)"
+            )
+        gateway = ServingGateway(db)
+        rng = derive_rng(21, "serving-gdiff")
+        queries = [
+            "SELECT COUNT(*) FROM t",
+            "SELECT SUM(b) FROM t",
+            "SELECT a, b FROM t ORDER BY a",
+            "SELECT MAX(b) FROM t WHERE a > 1",
+        ]
+        try:
+            for i in range(60):
+                if rng.random() < 0.25:
+                    statement = "INSERT INTO t VALUES (%d, %d)" % (
+                        100 + i,
+                        int(rng.integers(0, 50)),
+                    )
+                    db.execute(statement)
+                    oracle.execute(statement)
+                sql = queries[int(rng.integers(0, len(queries)))]
+                assert gateway.execute(sql).rows == oracle.execute(sql).rows
+            assert gateway.result_cache.stats.hits > 0
+            assert gateway.result_cache.stats.invalidations > 0
+        finally:
+            gateway.close()
