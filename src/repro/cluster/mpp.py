@@ -353,10 +353,16 @@ class Cluster:
             txn.insert(self._shard_table(shard, name), shard_rows)
             shard.log_committed_insert(name, shard_rows, txid=txn.txid)
             shard.sync_fileset()
-            staged.append(txn)
+            staged.append((shard, txn))
         with self._commit_lock:
-            for txn in staged:
+            for shard, txn in staged:
                 txn.commit()
+                # This coordinator path commits raw per-shard transactions,
+                # bypassing Database._execute_write_node — so it must bump
+                # each shard engine's commit-version clock itself, or
+                # serving caches attached to shard engines keep replaying
+                # pre-insert results as valid.
+                shard.engine._note_commit(frozenset({name}))
         return len(rows)
 
     def _pin_snapshots(self) -> dict[int, object]:

@@ -389,6 +389,7 @@ def _attach_shm(desc, opened):
     # set, so the duplicate collapses and the parent's unlink() remains the
     # single unregistration.  Do NOT unregister here: that would remove the
     # entry early and make the parent's unlink() a double-unregister.
+    # flow-ok: resource-pairing (registered in `opened` before any fallible op; _shm_reduce_task closes every registered segment in its finally)
     shm = shared_memory.SharedMemory(name=name)
     opened.append(shm)
     return np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)

@@ -185,6 +185,7 @@ class TableScanOp(Operator):
         self.use_skipping = use_skipping
         self.use_compressed_eval = use_compressed_eval
         self.pool = pool
+        # flow-ok: snapshot-scope (operator trees are statement-scoped by construction — the planner builds a fresh tree per statement and the serving layer caches results, never planned trees)
         self.snapshot = snapshot
         self.stats = ScanStats()
         #: PoolRun of the last parallel execution (EXPLAIN ANALYZE surface).

@@ -106,7 +106,14 @@ class TransactionConflictError(SQLError):
 
 
 class StorageError(ReproError):
-    """Base class for storage-layer failures."""
+    """Base class for storage-layer failures.
+
+    Carries the DB2-style SQLSTATE 58030 ("an I/O error occurred") so
+    storage faults surfacing through the public statement API are
+    machine-distinguishable from SQL compilation/runtime errors.
+    """
+
+    sqlstate = "58030"
 
 
 class PageCorruptionError(StorageError):
@@ -134,11 +141,19 @@ class RecoveryError(StorageError):
 
 
 class ClusterError(ReproError):
-    """Base class for MPP cluster-layer failures."""
+    """Base class for MPP cluster-layer failures.
+
+    SQLSTATE 57011 ("virtual storage or database resource is not
+    available") is the DB2 class for a temporarily unusable resource —
+    the closest match for a degraded cluster."""
+
+    sqlstate = "57011"
 
 
 class NodeDownError(ClusterError):
     """An operation was routed to a node that is not alive."""
+
+    sqlstate = "57015"  # connection to the application server does not exist
 
 
 class NoSurvivorsError(ClusterError):
@@ -162,9 +177,13 @@ class AdmissionError(ClusterError):
 class DeploymentError(ReproError):
     """Container deployment failed (bad image, missing mount, etc.)."""
 
+    sqlstate = "58004"  # system error (appliance-level failure)
+
 
 class SparkError(ReproError):
     """Base class for mini-Spark failures."""
+
+    sqlstate = "58004"  # system error in an embedded runtime
 
 
 class SparkJobError(SparkError):
@@ -178,6 +197,10 @@ class SparkSubmitError(SparkError):
 class FederationError(ReproError):
     """Remote-table (nickname) access failure."""
 
+    sqlstate = "08001"  # unable to establish the remote connection
+
 
 class AnalyticsError(ReproError):
     """In-database analytics failure (non-convergence, bad input shape)."""
+
+    sqlstate = "22000"  # data exception (bad shape / non-convergence)

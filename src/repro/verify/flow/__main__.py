@@ -1,0 +1,9 @@
+"""``python -m repro.verify.flow`` entry point."""
+
+# Re-import under the canonical module name so dataclass identities and
+# the reprolint Finding type are shared with library users (running as
+# __main__ would otherwise create parallel class objects).
+from repro.verify.flow.analyzer import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,11 @@ from repro.types.datatypes import BIGINT, DataType, TypeKind
 class PlanVerificationError(ReproError):
     """A compiled plan failed static verification."""
 
+    #: a verified invariant failed inside the engine: system error, not a
+    #: user SQL error — but it still crosses the public API, so it carries
+    #: a SQLSTATE like every other engine error.
+    sqlstate = "58004"
+
     def __init__(self, issues: list["PlanIssue"]):
         self.issues = issues
         super().__init__(

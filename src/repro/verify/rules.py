@@ -15,9 +15,11 @@ invariants (the regimes PRs 1–3 introduced but nothing checked):
 * ``broad-except`` — ``except Exception:`` / bare ``except:`` handlers
   that do not re-raise silently swallow engine bugs; the intentional ones
   (torn-tail tolerance) must carry a justified suppression.
-* ``durability-logging`` — every ``Table``-mutating entry point in
-  ``database.py`` / ``mpp.py`` must reach a WAL ``log_*`` hook, or crash
-  recovery silently loses committed work.
+* ``durability-logging`` — demoted to a registered no-op: reproflow's
+  interprocedural ``write-protocol`` rule (``python -m repro.verify.flow``)
+  now enforces mutation ⇒ WAL append + version bump + touched-table
+  recording across helper boundaries, so the per-function check would
+  only double-report.
 * ``lock-order`` — lexically nested lock acquisitions must follow the
   declared global lock order (see :mod:`repro.verify.mc.lockorder`); an
   inversion is half of an ABBA deadlock.
@@ -428,51 +430,32 @@ def check_lock_discipline(ctx: FileContext):
 
 
 # ---------------------------------------------------------------------------
-# durability-logging
+# durability-logging (demoted)
 # ---------------------------------------------------------------------------
 
-#: ColumnTable methods that mutate durable table state.
+#: ColumnTable methods that mutate durable table state.  Retained for
+#: reference/tests; the interprocedural analyzer owns the live check.
 _TABLE_MUTATORS = {"insert_rows", "apply_deletes", "truncate"}
 
 
 @rule(
     "durability-logging",
-    "Table-mutating entry points in database.py/mpp.py must reach a WAL "
-    "log_* hook",
+    "superseded by reproflow's interprocedural `write-protocol` rule "
+    "(python -m repro.verify.flow src)",
 )
 def check_durability_logging(ctx: FileContext):
-    if not (
-        ctx.module.endswith("database/database.py")
-        or ctx.module.endswith("cluster/mpp.py")
-    ):
-        return
-    # Only functions that are direct children of a class or the module:
-    # nested helpers are covered by their enclosing entry point.
-    containers: list[ast.AST] = [ctx.tree]
-    containers.extend(
-        node for node in ast.walk(ctx.tree) if isinstance(node, ast.ClassDef)
-    )
-    for container in containers:
-        for node in ast.iter_child_nodes(container):
-            if not isinstance(node, ast.FunctionDef):
-                continue
-            mutator_lines = []
-            logs = False
-            for sub in ast.walk(node):
-                if isinstance(sub, ast.Call) and isinstance(
-                    sub.func, ast.Attribute
-                ):
-                    if sub.func.attr in _TABLE_MUTATORS:
-                        mutator_lines.append((sub.lineno, sub.func.attr))
-                    elif sub.func.attr.startswith("log_"):
-                        logs = True
-            if mutator_lines and not logs:
-                lineno, attr = mutator_lines[0]
-                yield lineno, (
-                    "%s() mutates a Table via %s without reaching a "
-                    "durability log_* hook: redo recovery will lose this "
-                    "write" % (node.name, attr)
-                )
+    """Demoted to a registered no-op.
+
+    The per-function check went blind the moment a mutation or its WAL
+    hook moved into a helper, and double-reported whatever reproflow's
+    transitive ``write-protocol`` rule already caught.  The rule name
+    stays registered so ``--rule durability-logging`` and existing
+    ``lint-ok: durability-logging`` suppressions keep working; the actual
+    enforcement — mutation implies WAL append + version bump +
+    touched-table recording, checked over the project call graph — lives
+    in :mod:`repro.verify.flow.protocols`.
+    """
+    return iter(())
 
 
 # ---------------------------------------------------------------------------

@@ -270,3 +270,41 @@ class TestElasticity:
         scale_in(cluster, node.node_id)
         assert set(cluster.shard_counts().values()) == {6}
         assert s.execute("SELECT SUM(amt) FROM sales").scalar() is not None
+
+
+class TestClusterInsertInvalidation:
+    """Pinned regression: the coordinator's raw-transaction insert path
+    must bump each shard engine's commit-version clock (reproflow's
+    write-protocol rule caught this omission — serving caches attached
+    to shard engines replayed pre-insert results as valid)."""
+
+    def test_cluster_insert_bumps_shard_engine_version_clocks(self):
+        cluster, s = make_cluster(rows=0)
+        tokens = {
+            sid: shard.engine.versions_token(frozenset({"SALES"}))
+            for sid, shard in cluster.shards.items()
+        }
+        s.execute(
+            "INSERT INTO sales VALUES (1, 'east', 1.25), (2, 'west', 2.25)"
+        )
+        stale = {
+            sid for sid, shard in cluster.shards.items()
+            if not shard.engine.versions_valid(tokens[sid])
+        }
+        touched = {
+            sid for sid, shard in cluster.shards.items()
+            if shard.n_rows("SALES") > 0
+        }
+        assert touched, "insert reached no shard"
+        assert stale == touched
+
+    def test_cluster_insert_fires_shard_commit_listeners(self):
+        cluster, s = make_cluster(rows=0)
+        events = []
+        for sid, shard in cluster.shards.items():
+            shard.engine.add_commit_listener(
+                lambda tables, sid=sid: events.append((sid, tables))
+            )
+        s.execute("INSERT INTO sales VALUES (7, 'east', 7.25)")
+        assert events, "no shard commit listener fired"
+        assert all(tables == frozenset({"SALES"}) for _, tables in events)

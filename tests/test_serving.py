@@ -15,7 +15,7 @@ import pytest
 from repro.cluster.hardware import HardwareSpec
 from repro.cluster.wlm import Job, WorkloadManager
 from repro.database import Database
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, SQLSyntaxError
 from repro.serving import (
     SHED_SQLSTATE,
     AdmissionSimulator,
@@ -69,6 +69,54 @@ class TestNormalize:
 
     def test_string_escapes_roundtrip(self):
         assert normalize("SELECT 'it''s' FROM t") == "SELECT 'it''s' FROM T"
+
+    def test_escaped_quotes_keep_distinct_statements_distinct(self):
+        # 'it''s' is ONE string containing a quote — the lexer must not
+        # resynchronize mid-literal and fold the tail of one statement
+        # into another's normal form.
+        assert normalize("SELECT 'it''s' FROM t") != normalize(
+            "SELECT 'it' FROM t"
+        )
+        assert normalize("SELECT 'it''s' FROM t") != normalize(
+            "SELECT 'its' FROM t"
+        )
+        # An escaped quote adjoining the closing quote.
+        assert normalize("SELECT 'x''' FROM t") != normalize(
+            "SELECT 'x' FROM t"
+        )
+        key_a = statement_key("SELECT 'a''--' FROM t")
+        key_b = statement_key("SELECT 'a' FROM t")
+        assert key_a is not None and key_b is not None
+        assert key_a != key_b
+        # Parameterization extracts the *unescaped* value, still one
+        # parameter per literal.
+        _, params = parameterize("SELECT 'it''s' FROM t")
+        assert params == ("it's",)
+
+    def test_quoted_identifiers_containing_keywords_never_merge(self):
+        # "FROM" as a quoted identifier is data, not syntax: folding it
+        # with the keyword would merge structurally different statements.
+        assert normalize('SELECT "FROM" FROM t') != normalize(
+            "SELECT FROM FROM t"
+        )
+        assert normalize('SELECT "SELECT" FROM t') != normalize(
+            'SELECT "select" FROM t'
+        )
+        key_a = statement_key('SELECT "WHERE" FROM t')
+        key_b = statement_key('SELECT "where" FROM t')
+        assert key_a is not None and key_b is not None
+        assert key_a != key_b
+
+    def test_unterminated_block_comment_gets_no_cache_key(self):
+        # An unterminated /* swallows the rest of the text; two distinct
+        # statements would normalize identically if the lexer guessed.
+        # They must be uncacheable instead of sharing a key.
+        assert statement_key("SELECT a FROM t /* oops") is None
+        assert statement_key("SELECT b FROM t /* oops") is None
+        with pytest.raises(SQLSyntaxError):
+            normalize("SELECT a FROM t /* oops")
+        # Same for an unterminated string literal.
+        assert statement_key("SELECT 'abc FROM t") is None
 
     def test_parameterize_extracts_literals_in_order(self):
         template, params = parameterize(

@@ -1,0 +1,91 @@
+"""Tests for the ``repro-verify`` console front door (repro.verify.cli).
+
+The four subcommands delegate to tools that own their own test suites
+(test_verify_lint / test_verify_flow / test_verify_plan / test_verify_mc);
+here we pin the wiring: dispatch, argument passthrough (including tokens
+that look like options), the shared ``--json`` flag, exit-status
+propagation, and the pyproject entry-point declaration.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.verify.cli import COMMANDS, PLAN_SWEEP_CORPUS, main
+
+
+class TestPlanSweep:
+    def test_demo_corpus_verifies_clean(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr()
+        assert out.out.count("ok") == len(PLAN_SWEEP_CORPUS)
+        assert "0 with issues" in out.err
+
+    def test_json_report_shape(self, capsys):
+        assert main(["--json", "plan"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 0
+        assert [s["sql"] for s in payload["statements"]] == list(
+            PLAN_SWEEP_CORPUS
+        )
+        assert all(s["issues"] == [] for s in payload["statements"])
+
+
+class TestDelegation:
+    def test_flow_propagates_findings_as_exit_status(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "database" / "database.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(textwrap.dedent("""\
+            class Database:
+                def execute(self, sql):
+                    self.table.insert_rows([])
+        """))
+        assert main(["flow", str(tmp_path / "src")]) == 1
+        assert "write-protocol" in capsys.readouterr().out
+
+    def test_top_level_json_is_forwarded_to_flow(self, tmp_path, capsys):
+        clean = tmp_path / "mod.py"
+        clean.write_text("def f():\n    return 1\n")
+        assert main(["--json", "flow", str(clean)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"findings": [], "unsuppressed": 0, "suppressed": 0}
+
+    def test_lint_delegates_with_paths(self, tmp_path, capsys):
+        clean = tmp_path / "mod.py"
+        clean.write_text("def f():\n    return 1\n")
+        assert main(["lint", str(clean)]) == 0
+
+    def test_mc_passthrough_accepts_leading_option(self, capsys):
+        # `--list` follows the subcommand with no positional in between —
+        # the hand-rolled argv split must hand it to the mc tool verbatim.
+        assert main(["mc", "--list"]) == 0
+        assert "commit-vs-checkpoint" in capsys.readouterr().out
+
+
+class TestArgumentErrors:
+    def test_unknown_command_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["bogus"])
+        assert exc.value.code == 2
+
+    def test_missing_command_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+
+class TestEntryPoint:
+    def test_pyproject_declares_console_script(self):
+        pyproject = (
+            Path(__file__).resolve().parents[1] / "pyproject.toml"
+        ).read_text()
+        assert 'repro-verify = "repro.verify.cli:main"' in pyproject
+
+    def test_every_documented_command_dispatches(self):
+        # COMMANDS is both the help text and the dispatch table; a typo in
+        # either direction would silently drop a subcommand.
+        assert set(COMMANDS) == {"lint", "flow", "plan", "mc"}
