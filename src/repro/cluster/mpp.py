@@ -576,7 +576,6 @@ class Cluster:
         table = session.inner.declare_temp_table(TableSchema(table_name, columns))
         for result in results:
             if result.rows:
-                # lint-ok: durability-logging (coordinator gather target is a session temp table; temp tables die with the session and are never WAL-logged)
                 table.insert_rows([list(r) for r in result.rows])
                 self.last_stats.rows_gathered += len(result.rows)
         self.last_stats.gather_seconds += time.perf_counter() - t0  # lint-ok: wall-clock (same reported wall metric as above)

@@ -10,6 +10,10 @@ verification matrix):
   in-memory database (every planned statement must verify clean)
 * ``repro-verify mc --all``         — explicit-state model checker +
   lock-order analysis
+* ``repro-verify mutate``           — repromutate, callgraph-guided
+  mutation analysis scoring the battery's kill rate
+* ``repro-verify impact <spec>``    — test files statically reaching
+  ``<module>::<symbol>``
 
 ``--json`` before the subcommand switches every tool to its JSON report;
 each tool also accepts its own flags after the subcommand name
@@ -110,6 +114,8 @@ COMMANDS = {
     "flow": "reproflow interprocedural protocol analysis",
     "plan": "plan-verifier sweep over a demo database",
     "mc": "model checker + lock-order analysis",
+    "mutate": "callgraph-guided mutation analysis",
+    "impact": "test files statically reaching a symbol",
 }
 
 
@@ -129,8 +135,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-verify",
         description="verification toolbox front door (lint / flow / plan / "
-                    "mc); arguments after the subcommand are passed to the "
-                    "tool (see `repro-verify <cmd> --help`)",
+                    "mc / mutate / impact); arguments after the subcommand "
+                    "are passed to the tool (see `repro-verify <cmd> "
+                    "--help`)",
     )
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the selected tool's JSON report")
@@ -156,6 +163,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.mc.__main__ import main as mc_main
 
         return mc_main(rest)
+    if args.command == "mutate":
+        from repro.verify.mutate.__main__ import main as mutate_main
+
+        return mutate_main(rest)
+    if args.command == "impact":
+        from repro.verify.mutate.__main__ import impact_main
+
+        return impact_main(rest)
     return _plan_sweep(args.as_json)
 
 

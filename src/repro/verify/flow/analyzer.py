@@ -13,6 +13,7 @@ meta-rule, exactly like ``lint-ok``.
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import re
 import sys
@@ -39,6 +40,8 @@ RULE_DESCRIPTIONS = {
                 "API carry a SQLSTATE",
     "suppression-justification": "every flow-ok suppression carries a "
                                  "(justification)",
+    "stale-suppression": "flow-ok comment names a rule that no longer "
+                         "fires on its line (full runs only)",
 }
 
 
@@ -58,10 +61,11 @@ def _parse_suppressions(lines: list[str]) -> dict[int, Suppression]:
     return table
 
 
-def _suppression_for(
+def _suppression_site(
     table: dict[int, Suppression], lines: list[str], rule: str, line: int
-) -> Suppression | None:
-    """Same-line or pure-comment-line-above, mirroring reprolint."""
+) -> int | None:
+    """Line of the suppression covering ``rule`` at ``line``: same-line or
+    pure-comment-line-above, mirroring reprolint."""
     for candidate in (line, line - 1):
         sup = table.get(candidate)
         if sup is None:
@@ -73,8 +77,32 @@ def _suppression_for(
             if not text.startswith("#"):
                 continue
         if rule in sup.rules or "all" in sup.rules:
-            return sup
+            return candidate
     return None
+
+
+def _suppression_for(
+    table: dict[int, Suppression], lines: list[str], rule: str, line: int
+) -> Suppression | None:
+    site = _suppression_site(table, lines, rule, line)
+    return table[site] if site is not None else None
+
+
+def _string_literal_lines(source: str) -> set[int]:
+    """Lines covered by str/bytes constants — a flow-ok inside a literal
+    (fixture corpora in test files, docstring examples) is data."""
+    covered: set[int] = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return covered
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (str, bytes)
+        ):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            covered.update(range(node.lineno, end + 1))
+    return covered
 
 
 @dataclass
@@ -115,12 +143,16 @@ def analyze_sources(
 
     report = FlowReport()
     wanted = set(rules) if rules else None
+    used_sites: set[tuple[str, int, str]] = set()
     for raw in run_all(index, direct, closed):
         if wanted is not None and raw.rule not in wanted:
             continue
         table = suppression_tables.get(raw.module, {})
         lines = index.lines.get(raw.module, [])
         sup = _suppression_for(table, lines, raw.rule, raw.lineno)
+        if sup is not None:
+            site = _suppression_site(table, lines, raw.rule, raw.lineno)
+            used_sites.add((raw.module, site, raw.rule))
         report.findings.append(
             Finding(
                 rule=raw.rule,
@@ -143,6 +175,36 @@ def analyze_sources(
                             message="flow-ok suppression of %s has no "
                                     "(justification)"
                                     % ", ".join(sorted(sup.rules)),
+                        )
+                    )
+    if wanted is None:
+        # Staleness is only decidable on full runs: under --rule
+        # selection an unselected rule never got the chance to fire.
+        known = set(ALL_RULES)
+        for module, table in sorted(suppression_tables.items()):
+            literal_lines: set[int] | None = None
+            for lineno, sup in sorted(table.items()):
+                stale = [
+                    name for name in sorted(sup.rules)
+                    if name in known
+                    and (module, lineno, name) not in used_sites
+                ]
+                if not stale:
+                    continue
+                if literal_lines is None:
+                    literal_lines = _string_literal_lines(
+                        sources.get(module, "")
+                    )
+                if lineno in literal_lines:
+                    continue
+                for name in stale:
+                    report.findings.append(
+                        Finding(
+                            rule="stale-suppression",
+                            path=module,
+                            line=lineno,
+                            message="flow-ok suppression of %r is stale: "
+                                    "the rule no longer fires here" % name,
                         )
                     )
     report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
@@ -177,7 +239,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for name in (*ALL_RULES, "suppression-justification"):
+        for name in (*ALL_RULES, "suppression-justification",
+                     "stale-suppression"):
             print("%-24s %s" % (name, RULE_DESCRIPTIONS[name]))
         return 0
 

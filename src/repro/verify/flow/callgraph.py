@@ -123,9 +123,20 @@ def own_nodes(fn_node: ast.AST):
 
 
 class ProjectIndex:
-    """Parses a set of sources into functions, classes and call edges."""
+    """Parses a set of sources into functions, classes and call edges.
 
-    def __init__(self, sources: dict[str, str]):
+    ``ambiguity_limit`` tunes the opaque-call threshold: the reproflow
+    protocol rules keep the tight default (see :data:`AMBIGUITY_LIMIT`)
+    because a near-complete graph makes their must-reach obligations
+    vacuous, while the mutation impact map
+    (:mod:`repro.verify.mutate.impact`) raises it — over-approximate
+    reachability there only means running a few extra test files, never
+    a missed obligation.
+    """
+
+    def __init__(self, sources: dict[str, str],
+                 ambiguity_limit: int = AMBIGUITY_LIMIT):
+        self.ambiguity_limit = ambiguity_limit
         #: module path -> raw source lines (suppression parsing).
         self.lines: dict[str, list[str]] = {}
         self.functions: dict[tuple[str, str], FunctionInfo] = {}
@@ -237,7 +248,7 @@ class ProjectIndex:
         targets = list(self._methods_by_name.get(name, [])) + list(
             self._toplevel_by_name.get(name, [])
         )
-        if len(targets) > AMBIGUITY_LIMIT:
+        if len(targets) > self.ambiguity_limit:
             return []
         return targets
 

@@ -99,6 +99,13 @@ class FileContext:
     def suppression_for(self, rule_name: str, line: int) -> Suppression | None:
         """A suppression covering ``rule_name`` at ``line`` (same line or
         the pure-comment line directly above)."""
+        site = self.suppression_site(rule_name, line)
+        return self.suppressions[site] if site is not None else None
+
+    def suppression_site(self, rule_name: str, line: int) -> int | None:
+        """Line number of the suppression covering ``rule_name`` at
+        ``line``, or None.  Exposed separately so the stale-suppression
+        check can credit the *specific* comment a finding used."""
         for candidate in (line, line - 1):
             sup = self.suppressions.get(candidate)
             if sup is None:
@@ -112,8 +119,21 @@ class FileContext:
                 if not text.startswith("#"):
                     continue
             if rule_name in sup.rules or "all" in sup.rules:
-                return sup
+                return candidate
         return None
+
+    def string_literal_lines(self) -> set[int]:
+        """Lines covered by string/bytes constants — suppression-looking
+        text inside a literal (fixture corpora embedded in test files,
+        docstring examples) is data, not a live suppression."""
+        covered: set[int] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, (str, bytes)
+            ):
+                end = getattr(node, "end_lineno", None) or node.lineno
+                covered.update(range(node.lineno, end + 1))
+        return covered
 
 
 class Rule:
@@ -213,6 +233,7 @@ def _run_rules(ctx: FileContext, only: list[str] | None) -> list[Finding]:
                 )
             )
     findings.extend(_check_suppression_justifications(ctx, only))
+    findings.extend(_check_stale_suppressions(ctx, only, findings, registry))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -233,6 +254,72 @@ def _check_suppression_justifications(
                     line=lineno,
                     message="lint-ok suppression of %s has no (justification)"
                     % ", ".join(sorted(sup.rules)),
+                )
+            )
+    return out
+
+
+def _check_stale_suppressions(
+    ctx: FileContext,
+    only: list[str] | None,
+    findings: list[Finding],
+    registry: dict[str, Rule],
+) -> list[Finding]:
+    """Meta-rule ``stale-suppression``: a ``lint-ok`` comment naming a
+    rule that no longer fires on its line is a finding.
+
+    A stale suppression is worse than dead weight — it documents an
+    invariant violation that was since fixed (or moved), and it would
+    silently swallow the *next* finding to land on that line.  Staleness
+    is only decidable on full runs: with ``--rule`` selection a rule may
+    simply not have been given the chance to fire, so partial runs skip
+    the check entirely.
+
+    Judgement is per rule *name* within a suppression comment: the
+    comment ``# lint-ok: a,b (...)`` is stale for ``a`` alone when only
+    ``b`` still fires.  Names that aren't registered rules are skipped
+    (they may belong to other tools); lines inside string literals are
+    data, not suppressions.
+    """
+    if only is not None:
+        return []
+    used: set[tuple[int, str]] = set()
+    for finding in findings:
+        if finding.suppressed:
+            site = ctx.suppression_site(finding.rule, finding.line)
+            if site is not None:
+                used.add((site, finding.rule))
+    literal_lines = None  # computed lazily: most files have no suppressions
+    out: list[Finding] = []
+    for lineno, sup in sorted(ctx.suppressions.items()):
+        stale = [
+            name for name in sorted(sup.rules)
+            if name in registry
+            and name not in ("all", "stale-suppression")
+            and (lineno, name) not in used
+        ]
+        if not stale:
+            continue
+        if literal_lines is None:
+            literal_lines = ctx.string_literal_lines()
+        if lineno in literal_lines:
+            continue
+        for name in stale:
+            message = (
+                "suppression of %r is stale: the rule no longer fires here"
+                % name
+            )
+            sup_site = ctx.suppression_site("stale-suppression", lineno)
+            shadow = ctx.suppressions.get(sup_site) if sup_site is not None \
+                else None
+            out.append(
+                Finding(
+                    rule="stale-suppression",
+                    path=ctx.path,
+                    line=lineno,
+                    message=message,
+                    suppressed=shadow is not None,
+                    justification=shadow.justification if shadow else None,
                 )
             )
     return out

@@ -1,0 +1,53 @@
+"""repromutate — callgraph-guided mutation analysis.
+
+Scores the verification matrix by injecting repo-specific faults
+(dropped WAL appends, swapped MVCC stamps, off-by-one morsel ranges,
+deleted lock acquires, …) and checking that the statically-selected
+test battery kills them.  See DESIGN.md note 16.
+"""
+
+from repro.verify.mutate.engine import (
+    BUDGET_ENV_VAR,
+    DEFAULT_TARGET_PATHS,
+    Mutant,
+    MutantResult,
+    MutationReport,
+    MutationRun,
+    compare_baseline,
+    generate_mutants,
+    mutate_source,
+)
+from repro.verify.mutate.impact import (
+    ImpactMap,
+    TestAwareIndex,
+    load_project_sources,
+    resolve_symbol_spec,
+)
+from repro.verify.mutate.operators import (
+    ALL_OPERATORS,
+    DEFAULT_OPERATOR_NAMES,
+    OPERATORS_BY_NAME,
+    Operator,
+    resolve_operators,
+)
+
+__all__ = [
+    "BUDGET_ENV_VAR",
+    "DEFAULT_TARGET_PATHS",
+    "Mutant",
+    "MutantResult",
+    "MutationReport",
+    "MutationRun",
+    "compare_baseline",
+    "generate_mutants",
+    "mutate_source",
+    "ImpactMap",
+    "TestAwareIndex",
+    "load_project_sources",
+    "resolve_symbol_spec",
+    "ALL_OPERATORS",
+    "DEFAULT_OPERATOR_NAMES",
+    "OPERATORS_BY_NAME",
+    "Operator",
+    "resolve_operators",
+]

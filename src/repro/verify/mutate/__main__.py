@@ -1,0 +1,217 @@
+"""CLI for repromutate (``python -m repro.verify.mutate`` /
+``repro-verify mutate``) plus the ``repro-verify impact`` query.
+
+Exit status of ``mutate``: 0 when the run is healthy, 1 when the kill
+rate regresses against ``--baseline`` (or, without a baseline, when any
+selected test could not even be attempted due to an operator bug).  A
+surviving mutant alone is *not* an error — survivors are the product,
+reported for triage; CI gates on the baseline comparison instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.verify.mutate.engine import (
+    BUDGET_ENV_VAR,
+    DEFAULT_MAX_MUTANTS,
+    DEFAULT_MAX_TESTS,
+    DEFAULT_TARGET_PATHS,
+    MutationRun,
+    compare_baseline,
+)
+from repro.verify.mutate.impact import (
+    ImpactMap,
+    load_project_sources,
+    resolve_symbol_spec,
+)
+from repro.verify.mutate.operators import ALL_OPERATORS
+
+
+def _print_report(report, stream=sys.stdout) -> None:
+    counts = report.counts()
+    print("repromutate: seed=%d budget=%.0fs wall=%.1fs"
+          % (report.seed, report.budget, report.wall_seconds), file=stream)
+    print("  mutants: %d  killed=%d survived=%d timeout=%d unreached=%d "
+          "skipped=%d" % (len(report.results), counts["killed"],
+                          counts["survived"], counts["timeout"],
+                          counts["unreached"], counts["skipped"]),
+          file=stream)
+    rate = report.kill_rate
+    print("  kill rate (reached): %s"
+          % ("n/a" if rate is None else "%.2f" % rate), file=stream)
+    print("  per operator:", file=stream)
+    for name, stats in report.per_operator().items():
+        op_rate = stats["kill_rate"]
+        print("    %-16s sampled=%-3d killed=%-3d survived=%-3d "
+              "unreached=%-3d rate=%s"
+              % (name, stats["sampled"], stats["killed"], stats["survived"],
+                 stats["unreached"],
+                 "n/a" if op_rate is None else "%.2f" % op_rate),
+              file=stream)
+    survivors = report.survivors()
+    if survivors:
+        print("  surviving mutants (test gaps):", file=stream)
+        for result in survivors:
+            mutant = result.mutant
+            print("    %s — %s" % (mutant.mid, mutant.description),
+                  file=stream)
+            print("      ran: %s" % ", ".join(result.tests), file=stream)
+            for line in result.diff.splitlines():
+                print("      | %s" % line, file=stream)
+    unreached = report.unreached()
+    if unreached:
+        print("  unreached mutants (no test file statically reaches the "
+              "symbol):", file=stream)
+        for result in unreached:
+            mutant = result.mutant
+            print("    %s — %s::%s" % (
+                mutant.mid, mutant.module, mutant.symbol or "<module>",
+            ), file=stream)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify mutate",
+        description="callgraph-guided mutation analysis: inject "
+                    "repo-specific faults, run only the test files that "
+                    "statically reach each one, score the kill rate",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for per-operator mutant sampling "
+                             "(default 0)")
+    parser.add_argument("--operators", default=None,
+                        help="comma-separated operator names "
+                             "(default: all; see --list-operators)")
+    parser.add_argument("--paths", nargs="*", default=None,
+                        help="target files/dirs relative to --root "
+                             "(default: curated engine surfaces)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="total execution budget in seconds "
+                             "(default: $%s or 600)" % BUDGET_ENV_VAR)
+    parser.add_argument("--max-mutants", type=int,
+                        default=DEFAULT_MAX_MUTANTS,
+                        help="cap on sampled mutants (0 = unlimited)")
+    parser.add_argument("--max-tests", type=int, default=DEFAULT_MAX_TESTS,
+                        help="test files run per mutant, most specific "
+                             "first (default %d)" % DEFAULT_MAX_TESTS)
+    parser.add_argument("--root", default=".",
+                        help="project root holding src/ and tests/")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full JSON report to stdout")
+    parser.add_argument("--report", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="committed report to compare kill rates "
+                             "against; regression exits 1")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed kill-rate drop vs baseline "
+                             "(default 0.05)")
+    parser.add_argument("--list-operators", action="store_true",
+                        help="list operators and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_operators:
+        for op in ALL_OPERATORS:
+            print("%-16s %s" % (op.name, op.description))
+        return 0
+
+    run = MutationRun(
+        root=args.root,
+        paths=tuple(args.paths) if args.paths else DEFAULT_TARGET_PATHS,
+        operator_names=(
+            tuple(p.strip() for p in args.operators.split(",") if p.strip())
+            if args.operators else None
+        ),
+        seed=args.seed,
+        budget=args.budget,
+        max_mutants=args.max_mutants or None,
+        max_tests=args.max_tests,
+    )
+
+    def progress(result):
+        if not args.as_json:
+            print("  [%s] %s (%.1fs)" % (result.status, result.mutant.mid,
+                                         result.seconds), file=sys.stderr)
+
+    report = run.execute(progress=progress)
+    report_json = report.to_json()
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report_json, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.as_json:
+        print(json.dumps(report_json, indent=2, sort_keys=True))
+    else:
+        _print_report(report)
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        regressions = compare_baseline(report_json, baseline,
+                                       tolerance=args.tolerance)
+        for line in regressions:
+            print("REGRESSION: %s" % line, file=sys.stderr)
+        if regressions:
+            return 1
+    return 0
+
+
+def impact_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify impact",
+        description="print the test files whose static call closure "
+                    "reaches a symbol (<module>::<symbol>)",
+    )
+    parser.add_argument("spec",
+                        help="symbol spec, e.g. repro.mvcc.txn::"
+                             "Transaction.commit or "
+                             "src/repro/parallel/morsel.py::morsel_ranges")
+    parser.add_argument("--root", default=".",
+                        help="project root holding src/ and tests/")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit JSON ({symbols: [...]} )")
+    args = parser.parse_args(argv)
+
+    impact = ImpactMap.build(load_project_sources(args.root))
+    try:
+        matches = resolve_symbol_spec(impact, args.spec)
+    except ValueError as exc:
+        print("repro-verify impact: %s" % exc, file=sys.stderr)
+        return 2
+    if not matches:
+        print("repro-verify impact: no symbol matches %r" % args.spec,
+              file=sys.stderr)
+        return 2
+
+    entries = []
+    for info in matches:
+        tests = impact.tests_reaching(info.module, info.qualname)
+        entries.append({
+            "module": info.module,
+            "symbol": info.qualname,
+            "line": info.lineno,
+            "tests": tests,
+        })
+    if args.as_json:
+        print(json.dumps({"spec": args.spec, "symbols": entries}, indent=2))
+    else:
+        for entry in entries:
+            print("%s::%s (line %d)" % (entry["module"], entry["symbol"],
+                                        entry["line"]))
+            if entry["tests"]:
+                for test in entry["tests"]:
+                    print("  %s" % test)
+            else:
+                print("  (statically unreached by any test file)")
+    return 0 if any(e["tests"] for e in entries) else 1
+
+
+if __name__ == "__main__":
+    from repro.verify.mutate.__main__ import main as _canonical_main
+
+    raise SystemExit(_canonical_main())

@@ -15,6 +15,9 @@ invariants (the regimes PRs 1–3 introduced but nothing checked):
 * ``broad-except`` — ``except Exception:`` / bare ``except:`` handlers
   that do not re-raise silently swallow engine bugs; the intentional ones
   (torn-tail tolerance) must carry a justified suppression.
+* ``stale-suppression`` — a ``lint-ok`` comment naming a rule that no
+  longer fires on its line is itself a finding (full runs only; the
+  detection lives in the framework since it needs every rule's output).
 * ``durability-logging`` — demoted to a registered no-op: reproflow's
   interprocedural ``write-protocol`` rule (``python -m repro.verify.flow``)
   now enforces mutation ⇒ WAL append + version bump + touched-table
@@ -92,6 +95,13 @@ _DATETIME_FNS = {"now", "today", "utcnow"}
     "not read the machine clock",
 )
 def check_wall_clock(ctx: FileContext):
+    if ctx.in_package("verify"):
+        # Verification tooling measures *real* wall time by design
+        # (mutation budgets, subprocess timeouts); only the simulated
+        # engine subsystems must charge the sim clock.  Matters because
+        # in_package matches basenames too: verify/mutate/engine.py
+        # would otherwise collide with the engine/ scope.
+        return
     if not ctx.in_package(
         "engine", "cluster", "durability", "database", "storage"
     ):
@@ -454,6 +464,30 @@ def check_durability_logging(ctx: FileContext):
     enforcement — mutation implies WAL append + version bump +
     touched-table recording, checked over the project call graph — lives
     in :mod:`repro.verify.flow.protocols`.
+    """
+    return iter(())
+
+
+# ---------------------------------------------------------------------------
+# stale-suppression (framework-hosted)
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "stale-suppression",
+    "lint-ok comment names a rule that no longer fires on its line "
+    "(full runs only)",
+)
+def check_stale_suppression(ctx: FileContext):
+    """Registered for ``--list-rules`` and suppression routing only.
+
+    The actual detection is :func:`repro.verify.lint._check_stale_suppressions`
+    in the framework: staleness of a suppression for rule *R* is only
+    decidable after *R* itself has run over the file, so the check has to
+    sit downstream of the whole registry rather than inside any one rule.
+    It also only runs on full sweeps — under ``--rule`` selection an
+    unselected rule never got the chance to fire, and every suppression
+    of it would be falsely flagged.
     """
     return iter(())
 

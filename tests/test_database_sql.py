@@ -364,3 +364,36 @@ class TestMisc:
         before = db.statement_count
         db.connect("db2").execute("SELECT 1 FROM emp WHERE id = 1")
         assert db.statement_count == before + 1
+
+
+class TestAggregateFinalizers:
+    """Kill tests for surviving aggregate mutants (see BENCH_mutation.json)."""
+
+    def test_partial_sum_keeps_singleton_groups(self):
+        # constant@src/repro/engine/aggregate.py:361:33 survived: the
+        # "group is empty" test (count == 0 -> NULL) drifting to
+        # count == 1 NULLs out every single-row group in the parallel
+        # finaliser, and no selected test aggregated a one-row group
+        # through the partial path.
+        from repro.engine.aggregate import AggregateSpec, _partial_result
+        from repro.engine.expression import ColumnRef
+        from repro.parallel import PartialAgg, partial_from_values
+        from repro.types import BIGINT
+
+        spec = AggregateSpec("SUM", [ColumnRef("V", BIGINT)], "S")
+        vector = _partial_result(spec, [partial_from_values([5]), PartialAgg()])
+        assert vector.nulls is not None
+        assert vector.nulls.tolist() == [False, True]
+        assert int(vector.values[0]) == 5
+
+    def test_covar_pop_descales_decimal_inputs(self):
+        # constant@src/repro/engine/aggregate.py:565:17 survived: the
+        # DECIMAL descale base (10 ** scale) drifting to 11 ** scale is
+        # invisible unless a two-argument aggregate actually runs over a
+        # DECIMAL column.
+        database = Database()
+        s = database.connect("db2")
+        s.execute("CREATE TABLE pts (x DECIMAL(5,2), y DOUBLE)")
+        s.execute("INSERT INTO pts VALUES (1.00, 2), (2.00, 4), (3.00, 6)")
+        value = s.execute("SELECT COVAR_POP(x, y) FROM pts").scalar()
+        assert value == pytest.approx(4.0 / 3.0)

@@ -213,6 +213,26 @@ class TestCommitSemantics:
         db.reopen(clean=True)  # orderly shutdown flushes first
         assert db.connect().query("SELECT k FROM g") == [(1,)]
 
+    def test_ctas_table_and_rows_survive_crash(self):
+        # Mutants drop-wal@src/repro/database/database.py:901:16 and
+        # :913:20 survived: CTAS logs its DDL and its bulk rows through a
+        # dedicated path (the populating SELECT runs before the table
+        # exists in the catalog), and no crash test covered it — dropping
+        # either record silently lost the whole snapshot table (or its
+        # contents) on recovery.
+        db, _ = make_db()
+        session = db.connect()
+        session.execute("CREATE TABLE base (k INT, v INT)")
+        session.execute("INSERT INTO base VALUES (1, 10), (2, 20)")
+        session.execute(
+            "CREATE TABLE snap AS (SELECT k, v FROM base) WITH DATA"
+        )
+        crash_and_recover(db)
+        assert sorted(db.connect().query("SELECT k, v FROM snap")) == [
+            (1, 10),
+            (2, 20),
+        ]
+
     def test_failed_statement_never_resurrects(self):
         db, _ = make_db()
         session = db.connect()

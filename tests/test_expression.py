@@ -310,3 +310,46 @@ class TestReferences:
             ],
         )
         assert e.references() == {"a", "b", "x"}
+
+
+class TestPhysicalAlignmentInternals:
+    """Kill tests for surviving expression mutants (see BENCH_mutation.json)."""
+
+    def test_align_for_compare_unifies_mixed_numeric_dtypes(self):
+        # invert-predicate@src/repro/engine/expression.py:284:7 survived:
+        # inverting the dtype-mismatch test makes mixed int64/float64
+        # comparisons run on unconverted arrays (and needlessly converts
+        # matched ones); the planner usually aligns via Cast first, so no
+        # selected test hit the raw helper with mixed dtypes.
+        from repro.engine.expression import _align_for_compare
+
+        ints = ColumnVector(BIGINT, np.array([1, 2], dtype=np.int64), None)
+        doubles = ColumnVector(DOUBLE, np.array([0.5, 2.0]), None)
+        left, right = _align_for_compare(ints, doubles)
+        assert left.dtype == np.float64
+        assert right.dtype == np.float64
+        same_l, same_r = _align_for_compare(ints, ints)
+        assert same_l.dtype == np.int64
+        assert same_r.dtype == np.int64
+
+    def test_cast_scalar_decimal_to_bigint_goes_through_boundary(self):
+        # boolean@src/repro/engine/expression.py:567:7 survived: the
+        # decimal fast path guard (DECIMAL *and* DECIMAL) weakening to
+        # *or* hijacks DECIMAL -> integer casts into raw scaled-integer
+        # passthrough (2.50 cast to BIGINT returns 250, not 3).
+        from repro.engine.expression import _cast_physical_scalar
+
+        assert _cast_physical_scalar(250, decimal_type(5, 2), BIGINT, 0) == 3
+
+    def test_decimal_multiply_result_scale_adds_operand_scales(self):
+        # off-by-one@src/repro/engine/expression.py:729:53 survived: the
+        # product scale (ls + rs, DB2 rule) drifting by one truncates a
+        # digit off every decimal multiplication's declared scale.
+        from repro.engine.expression import _align_decimals
+
+        tenths = decimal_type(5, 1)
+        _, _, result = _align_decimals(
+            "*", Literal(15, tenths), Literal(25, tenths), DOUBLE
+        )
+        assert result.scale == 2
+        assert result.precision == 31

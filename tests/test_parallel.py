@@ -25,6 +25,7 @@ from repro.database import Database
 from repro.parallel import (
     DEFAULT_MORSEL_ROWS,
     MorselMerger,
+    PartialAgg,
     PoolRun,
     TaskSpan,
     WorkerPool,
@@ -259,6 +260,23 @@ def test_morsel_merger_group_totals(keys, morsel_rows):
         assert merger.groups[k][0] == expected[k]
     # Sorted output order is deterministic whatever the morsel size.
     assert merger.ordered_groups(sort_key=lambda k: k) == sorted(expected)
+
+
+def test_morsel_merger_preserves_first_appearance_order():
+    """Unsorted GROUP BY output keeps first-appearance order across morsels.
+
+    Kill test for commute-merge@src/repro/parallel/morsel.py:180:8 (see
+    BENCH_mutation.json): iterating a morsel's groups in reverse preserves
+    every *total* (merge is commutative) but scrambles the documented
+    first-appearance order that unsorted grouped output relies on — and
+    the property test above only compares order-insensitively.
+    """
+    merger = MorselMerger(n_aggregates=1)
+    merger.add_morsel({"a": [PartialAgg(rows=1)], "b": [PartialAgg(rows=2)]})
+    assert merger.ordered_groups() == ["a", "b"]
+    merger.add_morsel({"c": [PartialAgg(rows=4)], "a": [PartialAgg(rows=8)]})
+    assert merger.ordered_groups() == ["a", "b", "c"]
+    assert merger.groups["a"][0].rows == 9
 
 
 @given(

@@ -243,3 +243,45 @@ class TestRowTable:
         row = RowTable(make_schema())
         row.insert_rows(rows)
         assert col.compressed_nbytes() < row.nbytes() / 5
+
+
+class TestRegionVersionStamps:
+    """Kill tests for surviving Region mutants (see BENCH_mutation.json)."""
+
+    def _sealed_region(self, txid=0):
+        table = ColumnTable(
+            TableSchema(name="r", columns=(("id", INTEGER),)), region_rows=4
+        )
+        table.insert_rows([[i] for i in range(4)], txid=txid)
+        return table.regions[0]
+
+    def test_live_mask_sees_deletes_on_ancient_regions(self):
+        # swap-xmin-xmax@src/repro/storage/table.py:95:11 survived:
+        # short-circuiting live_mask on ``xmin is None`` instead of
+        # ``xmax is None`` resurrects every deleted row of an
+        # ancient-created region (the common bulk-load shape: all-zero
+        # xmin is elided to None, then rows get deleted).
+        region = self._sealed_region()
+        assert region.xmin is None  # ancient creators are elided
+        region.mark_deleted(np.array([True, False, False, False]))
+        mask = region.live_mask()
+        assert mask is not None
+        assert mask.tolist() == [False, True, True, True]
+        assert region.live_count() == 3
+
+    def test_visible_mask_fast_path_keys_on_deleter_stamps(self):
+        # swap-xmin-xmax@src/repro/storage/table.py:118:19 survived: the
+        # "every deleter committed long ago" fast path keyed on xmin_hi
+        # instead of xmax_hi treats an *in-flight* deleter as ancient
+        # whenever the region's creators are ancient — the deleted row
+        # vanishes from snapshots that should still see it.
+        from repro.mvcc import Snapshot
+
+        region = self._sealed_region()
+        region.mark_deleted(np.array([True, False, False, False]), txid=7)
+        # A snapshot from before the deleter began must see all 4 rows.
+        assert region.visible_mask(Snapshot(high=5)) is None
+        # A snapshot after the deleter committed must not see row 0.
+        newer = region.visible_mask(Snapshot(high=8))
+        assert newer is not None
+        assert newer.tolist() == [False, True, True, True]

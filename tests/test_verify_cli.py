@@ -1,7 +1,8 @@
 """Tests for the ``repro-verify`` console front door (repro.verify.cli).
 
-The four subcommands delegate to tools that own their own test suites
-(test_verify_lint / test_verify_flow / test_verify_plan / test_verify_mc);
+The subcommands delegate to tools that own their own test suites
+(test_verify_lint / test_verify_flow / test_verify_plan / test_verify_mc
+/ test_verify_mutate);
 here we pin the wiring: dispatch, argument passthrough (including tokens
 that look like options), the shared ``--json`` flag, exit-status
 propagation, and the pyproject entry-point declaration.
@@ -88,4 +89,87 @@ class TestEntryPoint:
     def test_every_documented_command_dispatches(self):
         # COMMANDS is both the help text and the dispatch table; a typo in
         # either direction would silently drop a subcommand.
-        assert set(COMMANDS) == {"lint", "flow", "plan", "mc"}
+        assert set(COMMANDS) == {
+            "lint", "flow", "plan", "mc", "mutate", "impact"
+        }
+
+
+def _mini_project(tmp_path: Path) -> Path:
+    """A tiny src/+tests/ tree with one reached and one unreached symbol."""
+    src = tmp_path / "src" / "mini"
+    src.mkdir(parents=True)
+    (src / "__init__.py").write_text("")
+    (src / "core.py").write_text(textwrap.dedent("""\
+        def clamp(value, low, high):
+            if value < low:
+                return low
+            if value > high:
+                return high
+            return value
+
+
+        def orphan(value):
+            return value > 0
+    """))
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_core.py").write_text(textwrap.dedent("""\
+        from mini.core import clamp
+
+
+        def test_clamp():
+            assert clamp(5, 0, 3) == 3
+            assert clamp(-1, 0, 3) == 0
+            assert clamp(2, 0, 3) == 2
+    """))
+    return tmp_path
+
+
+class TestImpactCommand:
+    def test_reached_symbol_lists_test_files(self, tmp_path, capsys):
+        root = _mini_project(tmp_path)
+        assert main(
+            ["impact", "mini.core::clamp", "--root", str(root)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "src/mini/core.py::clamp" in out
+        assert "tests/test_core.py" in out
+
+    def test_unreached_symbol_exits_nonzero(self, tmp_path, capsys):
+        root = _mini_project(tmp_path)
+        assert main(
+            ["impact", "mini.core::orphan", "--root", str(root)]
+        ) == 1
+        assert "statically unreached" in capsys.readouterr().out
+
+    def test_json_shape(self, tmp_path, capsys):
+        root = _mini_project(tmp_path)
+        assert main(
+            ["--json", "impact", "mini.core::clamp", "--root", str(root)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"] == "mini.core::clamp"
+        [entry] = payload["symbols"]
+        assert entry["symbol"] == "clamp"
+        assert entry["tests"] == ["tests/test_core.py"]
+
+    def test_unknown_symbol_is_an_error(self, tmp_path, capsys):
+        root = _mini_project(tmp_path)
+        assert main(
+            ["impact", "mini.core::nonexistent", "--root", str(root)]
+        ) == 2
+        assert "no symbol matches" in capsys.readouterr().err
+
+    def test_malformed_spec_is_an_error(self, tmp_path, capsys):
+        root = _mini_project(tmp_path)
+        assert main(["impact", "no-separator", "--root", str(root)]) == 2
+        assert "<module>::<symbol>" in capsys.readouterr().err
+
+
+class TestMutateCommand:
+    def test_list_operators(self, capsys):
+        assert main(["mutate", "--list-operators"]) == 0
+        out = capsys.readouterr().out
+        for name in ("drop-wal", "swap-xmin-xmax", "off-by-one",
+                     "drop-lock", "boundary", "constant"):
+            assert name in out

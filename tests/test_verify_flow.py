@@ -485,7 +485,57 @@ class TestSuppressions:
         report = flow({ENGINE: self.BUGGY.format(
             comment="  # flow-ok: sqlstate (wrong rule)"
         )})
-        assert [f.rule for f in report.active] == ["snapshot-scope"]
+        # The misnamed suppression leaves the real finding live AND is
+        # itself reported as stale — sqlstate never fires on that line.
+        assert sorted(f.rule for f in report.active) == [
+            "snapshot-scope", "stale-suppression",
+        ]
+
+
+# -- stale-suppression --------------------------------------------------------
+
+
+class TestStaleFlowSuppression:
+    def test_fires_when_named_rule_no_longer_fires(self):
+        findings = active({ENGINE: """
+            def helper():
+                return 1  # flow-ok: write-protocol (fix landed in PR 9)
+            """})
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert "'write-protocol'" in findings[0].message
+
+    def test_quiet_when_suppression_is_used(self):
+        report = flow({DB: """
+            class Database:
+                # flow-ok: write-protocol (recovery replays the WAL)
+                def execute(self, node):
+                    return self._resolve(node).insert_rows(node.rows)
+            """})
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
+    def test_only_on_full_runs(self):
+        sources = {ENGINE: """
+            def helper():
+                return 1  # flow-ok: write-protocol (stale)
+            """}
+        assert active(sources, rules=["write-protocol"]) == []
+        assert [f.rule for f in active(sources)] == ["stale-suppression"]
+
+    def test_string_literals_are_exempt(self):
+        findings = active({"tests/test_example.py": '''
+            FIXTURE = """
+            txn.commit()  # flow-ok: write-protocol (inside a literal)
+            """
+            '''})
+        assert findings == []
+
+    def test_unknown_rule_names_are_skipped(self):
+        findings = active({ENGINE: """
+            def helper():
+                return 1  # flow-ok: some-other-tool (owned elsewhere)
+            """})
+        assert findings == []
 
 
 # -- call graph plumbing ------------------------------------------------------

@@ -44,6 +44,7 @@ class TestFramework:
             "lock-discipline",
             "broad-except",
             "durability-logging",
+            "stale-suppression",
         } <= names
 
     def test_suppression_same_line(self):
@@ -527,9 +528,10 @@ class TestDurabilityLoggingDemoted:
         assert len(report2.active) == 1
         assert "Database.execute" in report2.active[0].message
 
-    def test_stale_suppressions_stay_inert(self):
-        # Existing `lint-ok: durability-logging` comments in the tree
-        # must not start failing the meta-rule or resurrect findings.
+    def test_stale_suppressions_are_reported(self):
+        # The demotion left `lint-ok: durability-logging` comments in the
+        # tree with nothing to suppress; the stale-suppression meta-rule
+        # (mutant drop-commit-hook's cousin in spirit) now names them.
         findings = _active(
             """
             class Database:
@@ -539,7 +541,111 @@ class TestDurabilityLoggingDemoted:
             """,
             "src/repro/database/database.py",
         )
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert "durability-logging" in findings[0].message
+
+
+# -- stale-suppression --------------------------------------------------------
+
+
+class TestStaleSuppression:
+    def test_fires_when_named_rule_no_longer_fires(self):
+        findings = _active(
+            """
+            x = 1  # lint-ok: wall-clock (clock read removed long ago)
+            """,
+            "src/repro/engine/x.py",
+            "stale-suppression",
+        )
+        assert len(findings) == 1
+        assert "'wall-clock'" in findings[0].message
+
+    def test_quiet_when_suppression_is_used(self):
+        findings = _active(
+            """
+            import time
+            t = time.time()  # lint-ok: wall-clock (fixture)
+            """,
+            "src/repro/engine/x.py",
+            "stale-suppression",
+        )
         assert findings == []
+
+    def test_comment_above_style_counts_as_used(self):
+        findings = _active(
+            """
+            import time
+            # lint-ok: wall-clock (fixture above)
+            t = time.time()
+            """,
+            "src/repro/engine/x.py",
+            "stale-suppression",
+        )
+        assert findings == []
+
+    def test_judged_per_rule_name_within_one_comment(self):
+        # broad-except still fires (and is suppressed); wall-clock never
+        # does — the one comment is stale for wall-clock alone.
+        findings = _active(
+            """
+            try:
+                x = 1
+            except Exception:  # lint-ok: broad-except, wall-clock (fixture)
+                pass
+            """,
+            "src/repro/engine/x.py",
+            "stale-suppression",
+        )
+        assert len(findings) == 1
+        assert "'wall-clock'" in findings[0].message
+
+    def test_unregistered_rule_names_are_skipped(self):
+        # Comments may carry markers for other tools; staleness is only
+        # decidable for rules this registry actually runs.
+        findings = _active(
+            """
+            x = 1  # lint-ok: third-party-tool-rule (owned elsewhere)
+            """,
+            "src/repro/engine/x.py",
+            "stale-suppression",
+        )
+        assert findings == []
+
+    def test_only_on_full_runs(self):
+        from repro.verify.lint import lint_source
+
+        source = "x = 1  # lint-ok: wall-clock (stale)\n"
+        partial = lint_source(source, "src/repro/engine/x.py",
+                              rules=["wall-clock"])
+        assert [f for f in partial if f.rule == "stale-suppression"] == []
+        full = lint_source(source, "src/repro/engine/x.py")
+        assert [f.rule for f in full if not f.suppressed] \
+            == ["stale-suppression"]
+
+    def test_string_literals_are_exempt(self):
+        # Fixture corpora embedded in test-file strings (this very file)
+        # must not read as live stale suppressions.
+        findings = _active(
+            '''
+            FIXTURE = """
+            t = time.time()  # lint-ok: wall-clock (inside a literal)
+            """
+            ''',
+            "tests/test_example.py",
+            "stale-suppression",
+        )
+        assert findings == []
+
+    def test_stale_finding_is_itself_suppressible(self):
+        findings = _lint(
+            """
+            x = 1  # lint-ok: wall-clock, stale-suppression (kept during migration)
+            """,
+            "src/repro/engine/x.py",
+            "stale-suppression",
+        )
+        assert [f.suppressed for f in findings] == [True]
+        assert findings[0].justification == "kept during migration"
 
 
 # -- the repo itself ----------------------------------------------------------
